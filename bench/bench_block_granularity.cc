@@ -1,0 +1,77 @@
+// A1 — ablation of the §4.2 refinement: blocking the losing side of ALL
+// detected conflicts per round (the paper's main definition) vs blocking
+// only the first conflict per round ("include only a non-empty part of
+// conflicts into blocked"). The paper predicts the all-conflicts variant
+// may block instances unnecessarily (larger blocked set, fewer restarts);
+// the first-only variant blocks minimally but restarts more.
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "workload/conflict_gen.h"
+#include "workload/graph_gen.h"
+
+namespace park {
+namespace {
+
+void RunGraph(benchmark::State& state, BlockGranularity granularity) {
+  Workload w =
+      MakeIrreflexiveGraphWorkload(static_cast<int>(state.range(0)));
+  ParkStats last;
+  for (auto _ : state) {
+    ParkOptions options;
+    options.policy = MakeIrreflexiveGraphPolicy();
+    options.block_granularity = granularity;
+    auto result = Park(w.program, w.database, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["blocked"] = static_cast<double>(last.blocked_instances);
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+  state.counters["conflicts"] =
+      static_cast<double>(last.conflicts_resolved);
+}
+
+void BM_GraphBlockAll(benchmark::State& state) {
+  RunGraph(state, BlockGranularity::kAllConflicts);
+}
+void BM_GraphBlockFirstOnly(benchmark::State& state) {
+  RunGraph(state, BlockGranularity::kFirstConflictOnly);
+}
+BENCHMARK(BM_GraphBlockAll)->Arg(3)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GraphBlockFirstOnly)->Arg(3)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void RunPairs(benchmark::State& state, BlockGranularity granularity) {
+  Workload w = MakeConflictPairsWorkload(
+      static_cast<int>(state.range(0)), 1.0, /*seed=*/71);
+  ParkStats last;
+  for (auto _ : state) {
+    ParkOptions options;
+    options.block_granularity = granularity;
+    auto result = Park(w.program, w.database, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["blocked"] = static_cast<double>(last.blocked_instances);
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+}
+
+void BM_PairsBlockAll(benchmark::State& state) {
+  RunPairs(state, BlockGranularity::kAllConflicts);
+}
+void BM_PairsBlockFirstOnly(benchmark::State& state) {
+  RunPairs(state, BlockGranularity::kFirstConflictOnly);
+}
+BENCHMARK(BM_PairsBlockAll)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PairsBlockFirstOnly)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// C7 — restart cost vs conflict density: every conflict interrupts the
+// inflationary computation and re-derives from I° (the Δ operator's
+// "resume with the initial database instance"). Two sweeps:
+//   * density sweep: fraction of conflicted targets from 0% to 100%;
+//   * restart-chain: conflicts staggered along a long derivation chain,
+//     so each restart replays the chain prefix — the worst case for the
+//     restart-from-I° design.
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "workload/conflict_gen.h"
+
+namespace park {
+namespace {
+
+void BM_ConflictDensity(benchmark::State& state) {
+  double fraction = static_cast<double>(state.range(0)) / 100.0;
+  Workload w = MakeConflictPairsWorkload(256, fraction, /*seed=*/53);
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["pct"] = static_cast<double>(state.range(0));
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+  state.counters["conflicts"] =
+      static_cast<double>(last.conflicts_resolved);
+}
+BENCHMARK(BM_ConflictDensity)
+    ->Arg(0)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RestartChain(benchmark::State& state) {
+  int conflicts = static_cast<int>(state.range(0));
+  Workload w = MakeRestartChainWorkload(/*chain_len=*/128, conflicts);
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+  state.counters["gamma_steps"] = static_cast<double>(last.gamma_steps);
+}
+BENCHMARK(BM_RestartChain)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FirstConflictGranularityOnDensity(benchmark::State& state) {
+  double fraction = static_cast<double>(state.range(0)) / 100.0;
+  Workload w = MakeConflictPairsWorkload(256, fraction, /*seed=*/53);
+  ParkStats last;
+  for (auto _ : state) {
+    ParkOptions options;
+    options.block_granularity = BlockGranularity::kFirstConflictOnly;
+    auto result = Park(w.program, w.database, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["pct"] = static_cast<double>(state.range(0));
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+}
+BENCHMARK(BM_FirstConflictGranularityOnDensity)
+    ->Arg(5)->Arg(25)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

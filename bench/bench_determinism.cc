@@ -1,0 +1,104 @@
+// C3 — "Unambiguous Semantics" (paper §3): repeated evaluations and rule
+// permutations must yield the identical database state. The benchmark
+// measures evaluation time on randomized programs while the `stable`
+// counter (1.0 = every run identical) verifies the claim on the fly.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "park/park.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+std::string RandomProgramText(uint64_t seed, int num_atoms, int num_rules) {
+  Rng rng(seed);
+  std::string text;
+  auto atom = [](int i) { return "a" + std::to_string(i); };
+  for (int r = 0; r < num_rules; ++r) {
+    int len = static_cast<int>(rng.UniformInt(1, 3));
+    for (int b = 0; b < len; ++b) {
+      if (b > 0) text += ", ";
+      if (rng.Bernoulli(0.25)) text += "!";
+      text += atom(static_cast<int>(rng.UniformInt(0, num_atoms - 1)));
+    }
+    text += rng.Bernoulli(0.5) ? " -> +" : " -> -";
+    text += atom(static_cast<int>(rng.UniformInt(0, num_atoms - 1)));
+    text += ".\n";
+  }
+  return text;
+}
+
+std::string RandomFacts(uint64_t seed, int num_atoms) {
+  Rng rng(seed ^ 0x5a5a);
+  std::string text;
+  for (int i = 0; i < num_atoms; ++i) {
+    if (rng.Bernoulli(0.4)) text += "a" + std::to_string(i) + ". ";
+  }
+  return text;
+}
+
+void BM_DeterminismAcrossRuns(benchmark::State& state) {
+  int rules = static_cast<int>(state.range(0));
+  std::string program_text = RandomProgramText(41, rules / 2, rules);
+  std::string facts = RandomFacts(41, rules / 2);
+  std::string reference;
+  bool stable = true;
+  for (auto _ : state) {
+    auto symbols = MakeSymbolTable();
+    auto program = ParseProgram(program_text, symbols);
+    auto db = ParseDatabase(facts, symbols);
+    auto result = Park(*program, *db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    std::string rendered = result->database.ToString();
+    if (reference.empty()) {
+      reference = rendered;
+    } else if (rendered != reference) {
+      stable = false;
+    }
+  }
+  state.counters["stable"] = stable ? 1.0 : 0.0;
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_DeterminismAcrossRuns)->Arg(32)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DeterminismAcrossRuleOrder(benchmark::State& state) {
+  int rules = static_cast<int>(state.range(0));
+  std::string program_text = RandomProgramText(43, rules / 2, rules);
+  std::string facts = RandomFacts(43, rules / 2);
+  std::vector<std::string> lines = Split(program_text, '\n');
+  lines.erase(std::remove(lines.begin(), lines.end(), std::string()),
+              lines.end());
+  Rng rng(99);
+  std::string reference;
+  bool stable = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rng.Shuffle(lines);
+    std::string shuffled = Join(lines, "\n");
+    state.ResumeTiming();
+    auto symbols = MakeSymbolTable();
+    auto program = ParseProgram(shuffled, symbols);
+    auto db = ParseDatabase(facts, symbols);
+    auto result = Park(*program, *db);  // inertia: order-independent
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    std::string rendered = result->database.ToString();
+    if (reference.empty()) {
+      reference = rendered;
+    } else if (rendered != reference) {
+      stable = false;
+    }
+  }
+  state.counters["stable"] = stable ? 1.0 : 0.0;
+}
+BENCHMARK(BM_DeterminismAcrossRuleOrder)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// C9 — ECA transaction throughput: commit latency on the payroll
+// ActiveDatabase as (a) the stored database grows at fixed transaction
+// size, and (b) the transaction grows at fixed database size. Event-rule
+// cascades (deactivation -> payroll deletion -> audit) run inside every
+// commit.
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "workload/payroll_gen.h"
+
+namespace park {
+namespace {
+
+void BM_CommitAtDatabaseSize(benchmark::State& state) {
+  PayrollParams params;
+  params.num_employees = static_cast<int>(state.range(0));
+  params.inactive_fraction = 0.0;
+  params.num_deactivations = 8;
+  params.seed = 61;
+  Workload w = MakePayrollWorkload(params);
+  for (auto _ : state) {
+    // Evaluate the commit against the immutable stored instance; the
+    // result database is produced fresh each time (copy-on-commit).
+    auto result = Park(w.database, w.program, w.updates.updates());
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["db_atoms"] = static_cast<double>(w.database.size());
+  state.counters["tx_updates"] = static_cast<double>(w.updates.size());
+}
+BENCHMARK(BM_CommitAtDatabaseSize)->RangeMultiplier(4)->Range(64, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CommitAtTransactionSize(benchmark::State& state) {
+  PayrollParams params;
+  params.num_employees = 2048;
+  params.inactive_fraction = 0.0;
+  params.num_deactivations = static_cast<int>(state.range(0));
+  params.seed = 67;
+  Workload w = MakePayrollWorkload(params);
+  for (auto _ : state) {
+    auto result = Park(w.database, w.program, w.updates.updates());
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["tx_updates"] = static_cast<double>(w.updates.size());
+}
+BENCHMARK(BM_CommitAtTransactionSize)->RangeMultiplier(4)->Range(1, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ActiveDatabaseEndToEnd(benchmark::State& state) {
+  // Full facade path: Begin/Insert/Commit with the onboarding trigger.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ActiveDatabase db;
+    (void)db.LoadRules(R"(
+      onboard: +emp(X) -> +active(X).
+      cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+    )");
+    state.ResumeTiming();
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      Transaction tx = db.Begin();
+      tx.Insert("emp", {"e" + std::to_string(i)});
+      tx.Insert("payroll", {"e" + std::to_string(i), "pay"});
+      auto report = std::move(tx).Commit();
+      if (!report.ok()) {
+        state.SkipWithError(report.status().ToString().c_str());
+      }
+    }
+    benchmark::DoNotOptimize(db.database());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ActiveDatabaseEndToEnd)->Arg(16)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,208 @@
+// Regenerates every worked example of the paper (experiment ids E1-E9 in
+// DESIGN.md) and prints one row per example: the result the paper states,
+// the result this implementation computes, whether they agree, and the
+// wall time. E6 is expected to differ by exactly the q(a,a) the paper's
+// final line dropped (see EXPERIMENTS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "park/park.h"
+
+namespace park {
+namespace {
+
+struct ExampleRow {
+  std::string id;
+  std::string description;
+  std::string paper_expected;
+  std::string computed;
+  std::string note;
+  double micros = 0;
+
+  bool Matches() const { return paper_expected == computed; }
+};
+
+using RunFn = std::function<std::string()>;
+
+ExampleRow RunExample(std::string id, std::string description,
+                      std::string paper_expected, std::string note,
+                      const RunFn& run) {
+  ExampleRow row;
+  row.id = std::move(id);
+  row.description = std::move(description);
+  row.paper_expected = std::move(paper_expected);
+  row.note = std::move(note);
+  auto start = std::chrono::steady_clock::now();
+  row.computed = run();
+  auto end = std::chrono::steady_clock::now();
+  row.micros =
+      std::chrono::duration<double, std::micro>(end - start).count();
+  return row;
+}
+
+std::string ParkOn(const char* rules, const char* facts,
+                   PolicyPtr policy = nullptr) {
+  auto symbols = MakeSymbolTable();
+  auto program = ParseProgram(rules, symbols);
+  if (!program.ok()) return "parse error: " + program.status().ToString();
+  auto db = ParseDatabase(facts, symbols);
+  if (!db.ok()) return "parse error: " + db.status().ToString();
+  ParkOptions options;
+  options.policy = std::move(policy);
+  auto result = Park(*program, *db, options);
+  if (!result.ok()) return "error: " + result.status().ToString();
+  return result->database.ToString();
+}
+
+std::string ParkEca(const char* rules, const char* facts,
+                    const std::vector<const char*>& updates) {
+  auto symbols = MakeSymbolTable();
+  auto program = ParseProgram(rules, symbols);
+  if (!program.ok()) return "parse error: " + program.status().ToString();
+  auto db = ParseDatabase(facts, symbols);
+  if (!db.ok()) return "parse error: " + db.status().ToString();
+  UpdateSet set;
+  for (const char* text : updates) {
+    Status status = set.AddParsed(text, symbols);
+    if (!status.ok()) return "update error: " + status.ToString();
+  }
+  auto result = Park(*db, *program, set.updates());
+  if (!result.ok()) return "error: " + result.status().ToString();
+  return result->database.ToString();
+}
+
+std::string NaiveOn(const char* rules, const char* facts) {
+  auto symbols = MakeSymbolTable();
+  auto program = ParseProgram(rules, symbols);
+  auto db = ParseDatabase(facts, symbols);
+  auto result = NaiveCancelSemantics(*program, *db);
+  if (!result.ok()) return "error: " + result.status().ToString();
+  return result->database.ToString();
+}
+
+constexpr char kP1[] = "r1: p -> +q. r2: p -> -a. r3: q -> +a.";
+constexpr char kP2[] =
+    "r1: p -> +q. r2: p -> -a. r3: q -> +a. r4: !a -> +r. r5: a -> +s.";
+constexpr char kP3[] =
+    "r1: p -> +q. r2: p -> -q. r3: q -> +a. r4: q -> -a. r5: p -> +a.";
+constexpr char kGraph[] = R"(
+  r1: p(X), p(Y) -> +q(X, Y).
+  r2: q(X, X) -> -q(X, X).
+  r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+)";
+constexpr char kEca1[] =
+    "r1: p(X) -> +q(X). r2: q(X) -> +r(X). r3: +r(X) -> -s(X).";
+constexpr char kEca2[] =
+    "r1: q(X, a) -> -p(X, a). r2: q(a, X) -> +r(a, X)."
+    " r3: +r(X, a) -> +p(X, a).";
+constexpr char kSection5[] =
+    "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.";
+constexpr char kCounter[] =
+    "r1: a -> +b. r2: a -> +d. r3: b -> +c. r4: b -> -d. r5: c -> -b.";
+
+PolicyPtr GraphPolicy(const std::shared_ptr<SymbolTable>& symbols) {
+  SymbolId a = symbols->InternSymbol("a");
+  SymbolId c = symbols->InternSymbol("c");
+  return MakeLambdaPolicy(
+      "paper-graph",
+      [a, c](const PolicyContext&, const Conflict& conflict) -> Result<Vote> {
+        const Value& x = conflict.atom.args()[0];
+        const Value& y = conflict.atom.args()[1];
+        if (x == y) return Vote::kDelete;
+        bool ac = (x == Value::Symbol(a) && y == Value::Symbol(c)) ||
+                  (x == Value::Symbol(c) && y == Value::Symbol(a));
+        return ac ? Vote::kDelete : Vote::kInsert;
+      });
+}
+
+}  // namespace
+}  // namespace park
+
+int main() {
+  using namespace park;  // NOLINT — bench driver
+  std::vector<ExampleRow> rows;
+
+  rows.push_back(RunExample(
+      "E1", "§4.1 P1, inertia", "{p, q}", "",
+      [] { return ParkOn(kP1, "p."); }));
+
+  rows.push_back(RunExample(
+      "E2", "§4.1 P2, inertia (PARK)", "{p, q, r}", "",
+      [] { return ParkOn(kP2, "p."); }));
+
+  rows.push_back(RunExample(
+      "E2b", "§4.1 P2, naive strawman", "{p, q, r, s}",
+      "paper shows this result to be WRONG",
+      [] { return NaiveOn(kP2, "p."); }));
+
+  rows.push_back(RunExample(
+      "E3", "§4.1 P3, inertia (false conflict)", "{a, p}", "",
+      [] { return ParkOn(kP3, "p."); }));
+
+  rows.push_back(RunExample(
+      "E4", "§4.2 graph, custom SELECT",
+      "{p(a), p(b), p(c), q(a, b), q(b, a), q(b, c), q(c, b)}", "",
+      [] {
+        auto symbols = MakeSymbolTable();
+        auto program = ParseProgram(kGraph, symbols);
+        auto db = ParseDatabase("p(a). p(b). p(c).", symbols);
+        ParkOptions options;
+        options.policy = GraphPolicy(symbols);
+        auto result = Park(*program, *db, options);
+        return result.ok() ? result->database.ToString()
+                           : result.status().ToString();
+      }));
+
+  rows.push_back(RunExample(
+      "E5", "§4.3 ECA ex.1, U={+q(b)}",
+      "{p(a), q(a), q(b), r(a), r(b)}", "",
+      [] { return ParkEca(kEca1, "p(a). s(a). s(b).", {"+q(b)"}); }));
+
+  rows.push_back(RunExample(
+      "E6", "§4.3 ECA ex.2, U={+q(a,a)}, inertia",
+      "{p(a, a), p(a, b), p(a, c), q(a, a), r(a, a)}",
+      "paper's final line omits q(a, a) — typo per its own I5 listing",
+      [] {
+        return ParkEca(kEca2, "p(a, a). p(a, b). p(a, c).", {"+q(a, a)"});
+      }));
+
+  rows.push_back(RunExample(
+      "E7", "§5 rules, inertia", "{a, b, p}", "blocked must be {r2, r5}",
+      [] { return ParkOn(kSection5, "p."); }));
+
+  rows.push_back(RunExample(
+      "E8", "§5 counterintuitive chain, inertia", "{a}",
+      "paper: inertia gives {a}, not the intuitive {a, d}",
+      [] { return ParkOn(kCounter, "a."); }));
+
+  rows.push_back(RunExample(
+      "E9", "§5 rules, rule priority", "{a, b, p, q}",
+      "blocked must be {r2, r4}",
+      [] { return ParkOn(kSection5, "p.", MakeRulePriorityPolicy()); }));
+
+  std::printf("%-4s %-38s %-7s %9s  %s\n", "id", "description", "match",
+              "time_us", "computed");
+  std::printf("%s\n", std::string(110, '-').c_str());
+  int mismatches = 0;
+  for (const ExampleRow& row : rows) {
+    bool ok = row.Matches();
+    if (!ok) ++mismatches;
+    std::printf("%-4s %-38s %-7s %9.1f  %s\n", row.id.c_str(),
+                row.description.c_str(), ok ? "yes" : "NO", row.micros,
+                row.computed.c_str());
+    if (!ok) {
+      std::printf("     paper: %s\n", row.paper_expected.c_str());
+    }
+    if (!row.note.empty()) {
+      std::printf("     note: %s\n", row.note.c_str());
+    }
+  }
+  std::printf("%s\n%d/%zu examples match the paper\n",
+              std::string(110, '-').c_str(),
+              static_cast<int>(rows.size()) - mismatches, rows.size());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// C5/C6 — the policy matrix (paper §3 "Independence from Conflict
+// Resolution Policies", §5 efficiency discussion): one engine, different
+// SELECT strategies over the same conflict-heavy workload.
+//
+// Expected shape per §5: inertia / priority / random / constant policies
+// are O(1) per conflict and indistinguishable in cost; specificity does a
+// per-conflict scan of the involved rule bodies (here still cheap, as the
+// paper concedes simple definitions exist); voting costs the sum of its
+// critics; the interactive policy is excluded (it costs a human).
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "workload/conflict_gen.h"
+
+namespace park {
+namespace {
+
+constexpr int kPairs = 512;
+constexpr double kFraction = 0.5;
+
+void RunWithPolicy(benchmark::State& state, const PolicyPtr& policy) {
+  Workload w = MakeConflictPairsWorkload(kPairs, kFraction, /*seed=*/37);
+  ParkStats last;
+  for (auto _ : state) {
+    ParkOptions options;
+    options.policy = policy;
+    auto result = Park(w.program, w.database, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["conflicts"] =
+      static_cast<double>(last.conflicts_resolved);
+  state.counters["select_calls"] =
+      static_cast<double>(last.policy_invocations);
+}
+
+void BM_PolicyInertia(benchmark::State& state) {
+  RunWithPolicy(state, MakeInertiaPolicy());
+}
+void BM_PolicyRulePriority(benchmark::State& state) {
+  RunWithPolicy(state, MakeRulePriorityPolicy());
+}
+void BM_PolicySpecificityWithFallback(benchmark::State& state) {
+  RunWithPolicy(state, MakeCompositePolicy(
+                           {MakeSpecificityPolicy(), MakeInertiaPolicy()}));
+}
+void BM_PolicyRandom(benchmark::State& state) {
+  RunWithPolicy(state, MakeRandomPolicy(2024));
+}
+void BM_PolicyAlwaysInsert(benchmark::State& state) {
+  RunWithPolicy(state, MakeAlwaysInsertPolicy());
+}
+void BM_PolicyVotingThreeCritics(benchmark::State& state) {
+  RunWithPolicy(state,
+                MakeVotingPolicy({MakeInertiaPolicy(),
+                                  MakeRulePriorityPolicy(),
+                                  MakeAlwaysDeletePolicy()}));
+}
+void BM_PolicyVotingSevenCritics(benchmark::State& state) {
+  std::vector<PolicyPtr> critics;
+  for (int i = 0; i < 7; ++i) critics.push_back(MakeRandomPolicy(100 + i));
+  RunWithPolicy(state, MakeVotingPolicy(std::move(critics)));
+}
+
+BENCHMARK(BM_PolicyInertia)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyRulePriority)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicySpecificityWithFallback)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyRandom)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyAlwaysInsert)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyVotingThreeCritics)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PolicyVotingSevenCritics)->Unit(benchmark::kMillisecond);
+
+// C5 outcome divergence: the same program under different policies ends
+// in different states — policy plugs in without touching the engine.
+void BM_PolicyOutcomeMatrix(benchmark::State& state) {
+  constexpr char kProgram[] =
+      "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.";
+  auto symbols = MakeSymbolTable();
+  auto program = ParseProgram(kProgram, symbols).value();
+  auto db = ParseDatabase("p.", symbols).value();
+  std::string inertia_result;
+  std::string priority_result;
+  for (auto _ : state) {
+    ParkOptions inertia;
+    inertia_result = Park(program, db, inertia)->database.ToString();
+    ParkOptions priority;
+    priority.policy = MakeRulePriorityPolicy();
+    priority_result = Park(program, db, priority)->database.ToString();
+    benchmark::DoNotOptimize(inertia_result);
+  }
+  // {a, b, p} vs {a, b, p, q}: 1.0 iff the §5 divergence reproduces.
+  state.counters["diverges"] =
+      (inertia_result == "{a, b, p}" && priority_result == "{a, b, p, q}")
+          ? 1.0
+          : 0.0;
+}
+BENCHMARK(BM_PolicyOutcomeMatrix)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// C8 — recursive active rules (paper §3 "Basic Inference Engine ...
+// powerful enough to deal with recursive active rules"): transitive
+// closure over graph families with different closure depths, plus a
+// recursion/conflict interaction where the closure feeds a conflicting
+// rule pair.
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "util/string_util.h"
+#include "workload/graph_gen.h"
+
+namespace park {
+namespace {
+
+void BM_ClosurePath(benchmark::State& state) {
+  // Path graphs maximize fixpoint depth: n-1 Γ rounds.
+  Workload w = MakeTransitiveClosureWorkload(
+      GraphShape::kPath, static_cast<int>(state.range(0)), 0, 1);
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["gamma_steps"] = static_cast<double>(last.gamma_steps);
+  state.counters["derived"] = static_cast<double>(last.derived_marks);
+}
+BENCHMARK(BM_ClosurePath)->RangeMultiplier(2)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClosureCycle(benchmark::State& state) {
+  Workload w = MakeTransitiveClosureWorkload(
+      GraphShape::kCycle, static_cast<int>(state.range(0)), 0, 1);
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->database);
+  }
+}
+BENCHMARK(BM_ClosureCycle)->RangeMultiplier(2)->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+/// Recursion feeding a conflict: close a path graph, then a pair of rules
+/// fights over a summary atom derived from the deepest path. The restart
+/// must replay the whole recursive closure.
+void BM_RecursionThenConflict(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto symbols = MakeSymbolTable();
+  std::string rules =
+      "edge(X, Y) -> +path(X, Y)."
+      " path(X, Y), edge(Y, Z) -> +path(X, Z).";
+  rules += StrFormat(" path(0, %d) -> +deep. path(0, %d) -> -deep.", n - 1,
+                     n - 1);
+  std::string facts;
+  for (int i = 0; i + 1 < n; ++i) {
+    facts += StrFormat("edge(%d, %d). ", i, i + 1);
+  }
+  auto program = ParseProgram(rules, symbols).value();
+  auto db = ParseDatabase(facts, symbols).value();
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(program, db);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+  state.counters["gamma_steps"] = static_cast<double>(last.gamma_steps);
+}
+BENCHMARK(BM_RecursionThenConflict)->RangeMultiplier(2)->Range(8, 64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

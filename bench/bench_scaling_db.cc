@@ -1,0 +1,58 @@
+// C1 — polynomial tractability in |D| (paper §3 "Polynomial Tractability"
+// and the complexity argument of §4.2): PARK runtime as the database
+// grows, program fixed. Series: random-graph transitive closure (recursive,
+// conflict-free) and the payroll cleanup rules (non-recursive, with
+// negation). Counters report derived marks and Γ steps so the growth rate
+// can be read off directly.
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "workload/graph_gen.h"
+#include "workload/payroll_gen.h"
+
+namespace park {
+namespace {
+
+void BM_ClosureRandomGraph(benchmark::State& state) {
+  int edges = static_cast<int>(state.range(0));
+  int nodes = edges / 4;
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kRandom, nodes,
+                                             edges, /*seed=*/17);
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["db_atoms"] = static_cast<double>(w.database.size());
+  state.counters["derived"] = static_cast<double>(last.derived_marks);
+  state.counters["gamma_steps"] = static_cast<double>(last.gamma_steps);
+}
+BENCHMARK(BM_ClosureRandomGraph)->RangeMultiplier(2)->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PayrollCleanup(benchmark::State& state) {
+  PayrollParams params;
+  params.num_employees = static_cast<int>(state.range(0));
+  params.inactive_fraction = 0.1;
+  params.seed = 23;
+  Workload w = MakePayrollWorkload(params);
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["db_atoms"] = static_cast<double>(w.database.size());
+  state.counters["derived"] = static_cast<double>(last.derived_marks);
+}
+BENCHMARK(BM_PayrollCleanup)->RangeMultiplier(4)->Range(64, 16384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// C2 — scaling in the program size |P| (paper §4.2: "the above iterative
+// procedure is only executed at most size(P) times"): runtime and restart
+// counts as the number of rules grows, at fixed conflict fraction. The
+// restarts counter should track the number of conflicted pairs, never
+// exceed it, and runtime should stay polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "workload/conflict_gen.h"
+
+namespace park {
+namespace {
+
+void BM_RuleScaling(benchmark::State& state, double conflict_fraction) {
+  int pairs = static_cast<int>(state.range(0));
+  Workload w =
+      MakeConflictPairsWorkload(pairs, conflict_fraction, /*seed=*/29);
+  ParkStats last;
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = result->stats;
+    benchmark::DoNotOptimize(result->database);
+  }
+  state.counters["rules"] = static_cast<double>(w.program.size());
+  state.counters["restarts"] = static_cast<double>(last.restarts);
+  state.counters["conflicts"] =
+      static_cast<double>(last.conflicts_resolved);
+  state.counters["blocked"] = static_cast<double>(last.blocked_instances);
+}
+
+BENCHMARK_CAPTURE(BM_RuleScaling, conflict_free, 0.0)
+    ->RangeMultiplier(4)->Range(16, 4096)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_RuleScaling, ten_pct_conflicts, 0.1)
+    ->RangeMultiplier(4)->Range(16, 4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// S-series — substrate micro-benchmarks: the storage, language, query and
+// durability layers that carry the semantics. Not a paper experiment; this
+// quantifies the "commercial DBMS" stand-in so the C1-C9 numbers can be
+// interpreted (e.g. how much of a Γ step is index probing vs planning).
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+void BM_RelationIndexedMatch(benchmark::State& state) {
+  auto symbols = MakeSymbolTable();
+  Relation rel(2);
+  Rng rng(3);
+  int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    rel.Insert(Tuple{Value::Int(i % 100), Value::Int(i)});
+  }
+  int64_t hits = 0;
+  for (auto _ : state) {
+    TuplePattern pattern{Value::Int(rng.UniformInt(0, 99)), std::nullopt};
+    rel.ForEachMatching(pattern, [&](const Tuple&) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationIndexedMatch)->Range(1'000, 100'000);
+
+void BM_RelationFullScan(benchmark::State& state) {
+  Relation rel(2);
+  int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    rel.Insert(Tuple{Value::Int(i % 100), Value::Int(i)});
+  }
+  int64_t count = 0;
+  for (auto _ : state) {
+    rel.ForEach([&](const Tuple&) { ++count; });
+  }
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_RelationFullScan)->Range(1'000, 100'000);
+
+void BM_ParseProgramThroughput(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    text += StrFormat(
+        "r%d [prio=%d]: emp%d(X), !active%d(X), payroll%d(X, S) "
+        "-> -payroll%d(X, S).\n",
+        i, i, i, i, i, i);
+  }
+  for (auto _ : state) {
+    auto program = ParseProgram(text, MakeSymbolTable());
+    if (!program.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseProgramThroughput)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryBoundColumn(benchmark::State& state) {
+  auto symbols = MakeSymbolTable();
+  Database db(symbols);
+  Rng rng(7);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    db.InsertAtom("payroll",
+                  {StrFormat("e%d", i), StrFormat("%d", 1000 + i % 50)});
+  }
+  for (auto _ : state) {
+    auto result = QueryDatabase(
+        db, StrFormat("payroll(_, %d)",
+                      1000 + static_cast<int>(rng.Uniform(50))),
+        symbols);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result->bindings);
+  }
+}
+BENCHMARK(BM_QueryBoundColumn)->Range(1'000, 64'000);
+
+void BM_JournalAppend(benchmark::State& state) {
+  auto symbols = MakeSymbolTable();
+  std::string path = "/tmp/park_bench_journal";
+  std::remove(path.c_str());
+  auto journal = TransactionJournal::Open(path);
+  if (!journal.ok()) {
+    state.SkipWithError("cannot open journal");
+    return;
+  }
+  UpdateSet updates;
+  for (int i = 0; i < 8; ++i) {
+    (void)updates.AddParsed(StrFormat("+user(u%d)", i), symbols);
+  }
+  for (auto _ : state) {
+    Status status = journal->Append(updates, *symbols);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_DatabaseCloneAndDiff(benchmark::State& state) {
+  auto symbols = MakeSymbolTable();
+  Database db(symbols);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    db.InsertAtom("fact", {StrFormat("k%d", i)});
+  }
+  for (auto _ : state) {
+    Database copy = db.Clone();
+    copy.InsertAtom("fact", {"extra"});
+    Database::Diff diff = copy.DiffWith(db);
+    benchmark::DoNotOptimize(diff);
+  }
+}
+BENCHMARK(BM_DatabaseCloneAndDiff)->Range(1'000, 64'000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// C4 — PARK vs the two baselines (paper §4.1/§3):
+//   * pure inflationary fixpoint [6] — identical results and essentially
+//     identical cost on conflict-free programs (PARK's conflict machinery
+//     must be pay-as-you-go);
+//   * the naive cancel-at-the-end strawman — similar cost, but WRONG
+//     results once conflicts interact (the `agrees` counter drops to 0 on
+//     the stale-derivation workload).
+
+#include <benchmark/benchmark.h>
+
+#include "park/park.h"
+#include "util/string_util.h"
+#include "workload/graph_gen.h"
+
+namespace park {
+namespace {
+
+/// Scaled-up §4.1 P2: n independent copies of the stale-derivation
+/// pattern, where the naive semantics keeps every s(i) and PARK drops
+/// them all.
+struct StaleScenario {
+  std::shared_ptr<SymbolTable> symbols = MakeSymbolTable();
+  Program program{symbols};
+  Database database{symbols};
+};
+
+StaleScenario MakeStaleScenario(int copies) {
+  StaleScenario s;
+  std::string rules;
+  std::string facts;
+  for (int i = 0; i < copies; ++i) {
+    rules += StrFormat("p(%d) -> +q(%d).\n", i, i);
+    rules += StrFormat("p(%d) -> -a(%d).\n", i, i);
+    rules += StrFormat("q(%d) -> +a(%d).\n", i, i);
+    rules += StrFormat("a(%d) -> +s(%d).\n", i, i);
+    facts += StrFormat("p(%d). ", i);
+  }
+  s.program = ParseProgram(rules, s.symbols).value();
+  s.database = ParseDatabase(facts, s.symbols).value();
+  return s;
+}
+
+void BM_ParkOnClosure(benchmark::State& state) {
+  Workload w = MakeTransitiveClosureWorkload(
+      GraphShape::kRandom, static_cast<int>(state.range(0)) / 4,
+      static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    auto result = Park(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->database);
+  }
+}
+BENCHMARK(BM_ParkOnClosure)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InflationaryOnClosure(benchmark::State& state) {
+  Workload w = MakeTransitiveClosureWorkload(
+      GraphShape::kRandom, static_cast<int>(state.range(0)) / 4,
+      static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    auto result = InflationaryFixpoint(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->database);
+  }
+}
+BENCHMARK(BM_InflationaryOnClosure)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveCancelOnClosure(benchmark::State& state) {
+  Workload w = MakeTransitiveClosureWorkload(
+      GraphShape::kRandom, static_cast<int>(state.range(0)) / 4,
+      static_cast<int>(state.range(0)), 31);
+  for (auto _ : state) {
+    auto result = NaiveCancelSemantics(w.program, w.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result->database);
+  }
+}
+BENCHMARK(BM_NaiveCancelOnClosure)->RangeMultiplier(2)->Range(64, 512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParkOnStale(benchmark::State& state) {
+  StaleScenario s = MakeStaleScenario(static_cast<int>(state.range(0)));
+  size_t wrong_s_atoms = 0;
+  for (auto _ : state) {
+    auto result = Park(s.program, s.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    wrong_s_atoms = 0;
+    result->database.ForEach([&](const GroundAtom& atom) {
+      if (s.symbols->PredicateName(atom.predicate()) == "s") {
+        ++wrong_s_atoms;
+      }
+    });
+  }
+  // PARK must keep NO stale s(i).
+  state.counters["stale_s_kept"] = static_cast<double>(wrong_s_atoms);
+}
+BENCHMARK(BM_ParkOnStale)->RangeMultiplier(4)->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NaiveOnStale(benchmark::State& state) {
+  StaleScenario s = MakeStaleScenario(static_cast<int>(state.range(0)));
+  size_t wrong_s_atoms = 0;
+  for (auto _ : state) {
+    auto result = NaiveCancelSemantics(s.program, s.database);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    wrong_s_atoms = 0;
+    result->database.ForEach([&](const GroundAtom& atom) {
+      if (s.symbols->PredicateName(atom.predicate()) == "s") {
+        ++wrong_s_atoms;
+      }
+    });
+  }
+  // The naive semantics keeps every stale s(i): one per copy.
+  state.counters["stale_s_kept"] = static_cast<double>(wrong_s_atoms);
+}
+BENCHMARK(BM_NaiveOnStale)->RangeMultiplier(4)->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

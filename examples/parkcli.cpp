@@ -1,0 +1,245 @@
+// parkcli: a small command-line driver around the library.
+//
+//   parkcli --rules FILE --facts FILE [options]
+//
+// Options:
+//   --rules FILE       active-rule program (required)
+//   --facts FILE       initial database instance (required)
+//   --update ±atom     transaction update; repeatable (e.g. --update +q(b))
+//   --policy NAME      inertia (default) | priority | specificity |
+//                      insert | delete | random:<seed> | interactive
+//   --block-first      resolve one conflict per restart (§4.2 refinement)
+//   --trace            print the full fixpoint trace
+//   --provenance       print which rule instances derived each change
+//   --explain          print the parsed program, analysis, and body plans
+//
+// Exit status: 0 on success, 1 on any error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/matcher.h"
+#include "util/string_util.h"
+#include "park/park.h"
+
+namespace {
+
+park::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return park::NotFoundError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+park::Result<park::PolicyPtr> MakePolicy(const std::string& name) {
+  if (name == "inertia") return park::MakeInertiaPolicy();
+  if (name == "priority") return park::MakeRulePriorityPolicy();
+  if (name == "specificity") {
+    // Specificity is partial; fall back to inertia on ties.
+    return park::MakeCompositePolicy(
+        {park::MakeSpecificityPolicy(), park::MakeInertiaPolicy()});
+  }
+  if (name == "insert") return park::MakeAlwaysInsertPolicy();
+  if (name == "delete") return park::MakeAlwaysDeletePolicy();
+  if (name.rfind("random:", 0) == 0) {
+    auto seed = park::ParseInt64(name.substr(7));
+    if (!seed.has_value()) {
+      return park::InvalidArgumentError("bad seed in --policy " + name);
+    }
+    return park::MakeRandomPolicy(static_cast<uint64_t>(*seed));
+  }
+  if (name == "interactive") {
+    return park::MakeStreamInteractivePolicy(std::cin, std::cout);
+  }
+  return park::InvalidArgumentError(
+      "unknown policy '" + name +
+      "' (inertia|priority|specificity|insert|delete|random:<seed>|"
+      "interactive)");
+}
+
+void PrintExplain(const park::Program& program) {
+  std::printf("program (%zu rule(s)):\n", program.size());
+  std::printf("%s", park::ProgramToString(program).c_str());
+  park::ProgramAnalysis analysis = park::AnalyzeProgram(program);
+  std::printf("\nanalysis:\n");
+  std::printf("  recursive:        %s\n",
+              analysis.is_recursive ? "yes" : "no");
+  std::printf("  uses ECA events:  %s\n",
+              analysis.uses_events ? "yes" : "no");
+  std::printf("  max variables:    %d\n", analysis.max_rule_variables);
+  std::printf("  conflict-capable predicates:");
+  if (analysis.potentially_conflicting_predicates.empty()) {
+    std::printf(" none");
+  }
+  for (park::PredicateId pred :
+       analysis.potentially_conflicting_predicates) {
+    std::printf(" %s", program.symbols()->PredicateName(pred).c_str());
+  }
+  std::printf("\n  conflict-capable rule pairs:");
+  if (analysis.potentially_conflicting_rule_pairs.empty()) {
+    std::printf(" none");
+  }
+  for (const auto& [inserter, deleter] :
+       analysis.potentially_conflicting_rule_pairs) {
+    std::printf(" (#%d,#%d)", inserter, deleter);
+  }
+  std::printf("\n\nbody evaluation plans:\n");
+  for (const park::Rule& rule : program.rules()) {
+    std::vector<int> order = park::PlanBodyOrder(rule);
+    std::printf("  rule #%d:", rule.index());
+    for (int i : order) std::printf(" %d", i);
+    std::printf("\n");
+  }
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --rules FILE --facts FILE [--update ±atom]...\n"
+               "          [--policy NAME] [--block-first] [--trace]"
+               " [--explain]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string rules_path;
+  std::string facts_path;
+  std::vector<std::string> update_texts;
+  std::string policy_name = "inertia";
+  bool block_first = false;
+  bool trace = false;
+  bool explain = false;
+  bool provenance = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--rules") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      rules_path = v;
+    } else if (arg == "--facts") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      facts_path = v;
+    } else if (arg == "--update") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      update_texts.push_back(v);
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      policy_name = v;
+    } else if (arg == "--block-first") {
+      block_first = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--provenance") {
+      provenance = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (rules_path.empty() || facts_path.empty()) return Usage(argv[0]);
+
+  auto rules_text = ReadFile(rules_path);
+  if (!rules_text.ok()) {
+    std::fprintf(stderr, "%s\n", rules_text.status().ToString().c_str());
+    return 1;
+  }
+  auto facts_text = ReadFile(facts_path);
+  if (!facts_text.ok()) {
+    std::fprintf(stderr, "%s\n", facts_text.status().ToString().c_str());
+    return 1;
+  }
+
+  auto symbols = park::MakeSymbolTable();
+  auto program = park::ParseProgram(*rules_text, symbols);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", rules_path.c_str(),
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  auto db = park::ParseDatabase(*facts_text, symbols);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s: %s\n", facts_path.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  if (explain) PrintExplain(*program);
+
+  park::UpdateSet updates;
+  for (const std::string& text : update_texts) {
+    park::Status status = updates.AddParsed(text, symbols);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--update %s: %s\n", text.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto policy = MakePolicy(policy_name);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+
+  park::ParkOptions options;
+  options.policy = *policy;
+  options.trace_level =
+      trace ? park::TraceLevel::kFull : park::TraceLevel::kNone;
+  options.block_granularity =
+      block_first ? park::BlockGranularity::kFirstConflictOnly
+                  : park::BlockGranularity::kAllConflicts;
+  options.record_provenance = provenance;
+
+  auto result = park::Park(*db, *program, updates.updates(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (trace) {
+    std::printf("trace:\n%s\n", result->trace.ToString().c_str());
+  }
+  std::printf("result: %s\n", result->database.ToString().c_str());
+  if (!result->blocked.empty()) {
+    std::printf("blocked:");
+    for (const std::string& b : result->blocked) {
+      std::printf(" %s", b.c_str());
+    }
+    std::printf("\n");
+  }
+  if (provenance) {
+    std::printf("provenance:\n");
+    for (const park::AtomProvenance& entry : result->provenance) {
+      std::printf("  %-24s <-", entry.atom.c_str());
+      for (const std::string& g : entry.derived_by) {
+        std::printf(" %s", g.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "stats: %zu step(s), %zu restart(s), %zu conflict(s) resolved\n",
+      result->stats.gamma_steps, result->stats.restarts,
+      result->stats.conflicts_resolved);
+  return 0;
+}

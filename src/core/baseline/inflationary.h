@@ -1,0 +1,43 @@
+// Baseline 1: the pure inflationary fixpoint semantics of Kolaitis and
+// Papadimitriou [6] — the deductive engine PARK builds on, with no
+// conflict handling whatsoever. On conflict-free programs PARK coincides
+// with it (claim C4 in DESIGN.md); on conflicting programs the inflationary
+// fixpoint is inconsistent and its result database is undefined.
+
+#ifndef PARK_CORE_BASELINE_INFLATIONARY_H_
+#define PARK_CORE_BASELINE_INFLATIONARY_H_
+
+#include "engine/consequence.h"
+#include "util/status.h"
+
+namespace park {
+
+/// Runs Γ(P, ∅) to its inflationary fixpoint from `base`, never blocking
+/// and never restarting, even through inconsistencies. `base` must outlive
+/// the returned interpretation. `steps_out` (optional) receives the number
+/// of Γ applications.
+Result<IInterpretation> UnblockedFixpoint(const Program& program,
+                                          const Database& base,
+                                          size_t max_steps,
+                                          size_t* steps_out);
+
+/// The inflationary-fixpoint result for `program` on `db`.
+struct InflationaryResult {
+  /// incorp of the final interpretation — only meaningful when
+  /// `consistent` (the evaluation refuses to incorporate otherwise and
+  /// leaves the database equal to `db`).
+  Database database;
+  bool consistent = true;
+  size_t steps = 0;
+  /// Final fixpoint rendered as sorted literals (always populated).
+  std::vector<std::string> final_literals;
+};
+
+/// Computes the inflationary fixpoint semantics of `program` on `db`.
+Result<InflationaryResult> InflationaryFixpoint(const Program& program,
+                                                const Database& db,
+                                                size_t max_steps = 1'000'000);
+
+}  // namespace park
+
+#endif  // PARK_CORE_BASELINE_INFLATIONARY_H_

@@ -1,0 +1,34 @@
+#include "core/baseline/naive_cancel.h"
+
+#include <vector>
+
+namespace park {
+
+Result<NaiveCancelResult> NaiveCancelSemantics(const Program& program,
+                                               const Database& db,
+                                               size_t max_steps) {
+  size_t steps = 0;
+  PARK_ASSIGN_OR_RETURN(IInterpretation interp,
+                        UnblockedFixpoint(program, db, max_steps, &steps));
+  NaiveCancelResult result{Database(db.symbols()), steps, 0,
+                           interp.SortedLiteralStrings()};
+
+  // Cancel conflicting pairs, then incorporate the survivors.
+  std::vector<GroundAtom> cancelled;
+  interp.plus().ForEach([&](const GroundAtom& atom) {
+    if (interp.HasMinus(atom)) cancelled.push_back(atom);
+  });
+  result.cancelled_pairs = cancelled.size();
+
+  Database final_db = db.Clone();
+  interp.plus().ForEach([&](const GroundAtom& atom) {
+    if (!interp.HasMinus(atom)) final_db.Insert(atom);
+  });
+  interp.minus().ForEach([&](const GroundAtom& atom) {
+    if (!interp.HasPlus(atom)) final_db.Erase(atom);
+  });
+  result.database = std::move(final_db);
+  return result;
+}
+
+}  // namespace park

@@ -1,0 +1,43 @@
+// Bi-structures ⟨B, I⟩ (paper §4.2): the state of the PARK computation —
+// a set B of blocked rule instances plus an i-interpretation I, ordered by
+//
+//     ⟨B, I⟩ ⊑ ⟨B', I'⟩  iff  B ⊂ B', or (B = B' and I ⊆ I').
+//
+// The evaluator keeps the live bi-structure implicitly (a BlockedSet plus
+// an IInterpretation); this header defines the value-level snapshot used
+// by traces and by the property tests that verify Theorem 4.1 (Δ is
+// growing; ω is a fixpoint).
+
+#ifndef PARK_CORE_BISTRUCTURE_H_
+#define PARK_CORE_BISTRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/interpretation.h"
+
+namespace park {
+
+/// An order-comparable snapshot of a bi-structure. Both components are
+/// sorted rendered strings, so snapshots are self-contained (no live
+/// references into the evaluator).
+struct BiStructureSnapshot {
+  std::vector<std::string> blocked;         // rendered RuleGroundings, sorted
+  std::vector<std::string> interpretation;  // rendered literals, sorted
+
+  /// "<{...blocked...}, {...literals...}>"
+  std::string ToString() const;
+};
+
+/// Captures the current ⟨B, I⟩.
+BiStructureSnapshot SnapshotBiStructure(const BlockedSet& blocked,
+                                        const IInterpretation& interp,
+                                        const Program& program);
+
+/// The paper's ordering: a ⊑ b (reflexive).
+bool BiStructureLeq(const BiStructureSnapshot& a,
+                    const BiStructureSnapshot& b);
+
+}  // namespace park
+
+#endif  // PARK_CORE_BISTRUCTURE_H_

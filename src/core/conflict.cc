@@ -1,0 +1,71 @@
+#include "core/conflict.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace park {
+namespace {
+
+void SortUnique(std::vector<RuleGrounding>& groundings) {
+  std::sort(groundings.begin(), groundings.end());
+  groundings.erase(std::unique(groundings.begin(), groundings.end()),
+                   groundings.end());
+}
+
+}  // namespace
+
+std::string Conflict::ToString(const Program& program,
+                               const SymbolTable& symbols) const {
+  std::string out = atom.ToString(symbols);
+  out += ": ins={";
+  for (size_t i = 0; i < inserters.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += inserters[i].ToString(program, symbols);
+  }
+  out += "} del={";
+  for (size_t i = 0; i < deleters.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += deleters[i].ToString(program, symbols);
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<Conflict> BuildConflicts(const GammaResult& gamma,
+                                     const IInterpretation& interp) {
+  std::vector<Conflict> conflicts;
+  conflicts.reserve(gamma.clashing_atoms.size());
+  for (const GroundAtom& atom : gamma.clashing_atoms) {
+    Conflict conflict;
+    conflict.atom = atom;
+    // Currently firable instances — the paper's one-step lookahead.
+    for (const Derivation& d : gamma.derivations) {
+      if (d.atom != atom) continue;
+      if (d.action == ActionKind::kInsert) {
+        conflict.inserters.push_back(d.grounding);
+      } else {
+        conflict.deleters.push_back(d.grounding);
+      }
+    }
+    // Provenance completion: if one side of the clash is a mark already in
+    // I whose deriving bodies are no longer valid, the instances that
+    // derived it are still the ones to hold responsible (DESIGN.md §2).
+    if (const auto* prov = interp.Provenance(ActionKind::kInsert, atom)) {
+      conflict.inserters.insert(conflict.inserters.end(), prov->begin(),
+                                prov->end());
+    }
+    if (const auto* prov = interp.Provenance(ActionKind::kDelete, atom)) {
+      conflict.deleters.insert(conflict.deleters.end(), prov->begin(),
+                               prov->end());
+    }
+    SortUnique(conflict.inserters);
+    SortUnique(conflict.deleters);
+    PARK_CHECK(!conflict.inserters.empty() && !conflict.deleters.empty())
+        << "conflict with an empty side";
+    conflicts.push_back(std::move(conflict));
+  }
+  return conflicts;
+}
+
+}  // namespace park

@@ -1,0 +1,40 @@
+// Conflicts (paper §4.2): a conflict is a maximal triple (a, ins, del)
+// where `a` is a ground atom, `ins` is the set of rule groundings with
+// valid bodies commanding +a, and `del` the set commanding -a.
+//
+// Conflicts are built from a Γ derivation list ("one step into the
+// future"), restricted to non-blocked instances, and augmented with the
+// provenance of marked atoms already in I — see DESIGN.md §2 for why both
+// refinements are necessary and faithful.
+
+#ifndef PARK_CORE_CONFLICT_H_
+#define PARK_CORE_CONFLICT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/consequence.h"
+
+namespace park {
+
+/// One conflict triple (a, ins, del). Both sides are non-empty, sorted,
+/// and duplicate-free.
+struct Conflict {
+  GroundAtom atom;
+  std::vector<RuleGrounding> inserters;  // the paper's `ins`
+  std::vector<RuleGrounding> deleters;   // the paper's `del`
+
+  /// "q(a): ins={(r1, [x <- a])} del={(r2, [x <- a])}"
+  std::string ToString(const Program& program,
+                       const SymbolTable& symbols) const;
+};
+
+/// Builds conflicts(P, I) for the Γ evaluation `gamma` of a program over
+/// `interp`. One Conflict per clashing atom, sorted by atom for
+/// determinism. `gamma` must have been computed against `interp`.
+std::vector<Conflict> BuildConflicts(const GammaResult& gamma,
+                                     const IInterpretation& interp);
+
+}  // namespace park
+
+#endif  // PARK_CORE_CONFLICT_H_

@@ -1,0 +1,256 @@
+#include "core/park_evaluator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+/// Renders I ∪ {Γ-derived marks} — the inconsistent interpretation the
+/// paper prints as a numbered step before resolving, never applied to I.
+std::vector<std::string> RenderWithDerivations(
+    const IInterpretation& interp, const std::vector<Derivation>& derived,
+    const SymbolTable& symbols) {
+  std::set<std::string> unmarked;
+  std::set<std::string> plus;
+  std::set<std::string> minus;
+  interp.base().ForEach([&](const GroundAtom& atom) {
+    unmarked.insert(atom.ToString(symbols));
+  });
+  interp.plus().ForEach([&](const GroundAtom& atom) {
+    plus.insert("+" + atom.ToString(symbols));
+  });
+  interp.minus().ForEach([&](const GroundAtom& atom) {
+    minus.insert("-" + atom.ToString(symbols));
+  });
+  for (const Derivation& d : derived) {
+    if (d.action == ActionKind::kInsert) {
+      plus.insert("+" + d.atom.ToString(symbols));
+    } else {
+      minus.insert("-" + d.atom.ToString(symbols));
+    }
+  }
+  std::vector<std::string> out;
+  out.reserve(unmarked.size() + plus.size() + minus.size());
+  out.insert(out.end(), unmarked.begin(), unmarked.end());
+  out.insert(out.end(), plus.begin(), plus.end());
+  out.insert(out.end(), minus.begin(), minus.end());
+  return out;
+}
+
+/// Renders the provenance of every marked atom of the final fixpoint.
+std::vector<AtomProvenance> RenderProvenance(const IInterpretation& interp,
+                                             const Program& program) {
+  const SymbolTable& symbols = *program.symbols();
+  std::vector<AtomProvenance> out;
+  auto collect = [&](ActionKind action, const Database& marked) {
+    marked.ForEach([&](const GroundAtom& atom) {
+      AtomProvenance entry;
+      entry.atom = ActionKindSign(action) + atom.ToString(symbols);
+      if (const auto* derivations = interp.Provenance(action, atom)) {
+        for (const RuleGrounding& g : *derivations) {
+          entry.derived_by.push_back(g.ToString(program, symbols));
+        }
+        std::sort(entry.derived_by.begin(), entry.derived_by.end());
+      }
+      out.push_back(std::move(entry));
+    });
+  };
+  collect(ActionKind::kInsert, interp.plus());
+  collect(ActionKind::kDelete, interp.minus());
+  std::sort(out.begin(), out.end(),
+            [](const AtomProvenance& a, const AtomProvenance& b) {
+              return a.atom < b.atom;
+            });
+  return out;
+}
+
+/// Renders the final blocked set, sorted, for ParkResult.
+std::vector<std::string> RenderBlocked(const BlockedSet& blocked,
+                                       const Program& program) {
+  std::vector<std::string> out;
+  out.reserve(blocked.size());
+  for (const RuleGrounding& g : blocked) {
+    out.push_back(g.ToString(program, *program.symbols()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Result<Program> ProgramWithUpdates(const Program& program,
+                                   const std::vector<Update>& updates) {
+  Program extended = program.Clone();
+  const SymbolTable& symbols = *program.symbols();
+  for (const Update& update : updates) {
+    RuleParts parts;
+    parts.head.action = update.action;
+    parts.head.atom.predicate = update.atom.predicate();
+    for (const Value& v : update.atom.args().values()) {
+      parts.head.atom.terms.push_back(Term::Constant(v));
+    }
+    Status status = extended.AddRule(Rule(std::move(parts)));
+    if (!status.ok()) {
+      return status.WithContext(
+          StrFormat("seeding update %s%s", ActionKindSign(update.action),
+                    update.atom.ToString(symbols).c_str()));
+    }
+  }
+  return extended;
+}
+
+Result<ParkResult> Park(const Program& program, const Database& db,
+                        const ParkOptions& options) {
+  PARK_CHECK(program.symbols() == db.symbols())
+      << "program and database must share a symbol table";
+  PolicyPtr policy = options.policy ? options.policy : MakeInertiaPolicy();
+
+  IInterpretation interp(&db);
+  BlockedSet blocked;
+  ParkStats stats;
+  Trace trace(options.trace_level);
+  DeltaState delta;
+  DeltaAtoms delta_atoms;
+  const GammaMode mode = options.gamma_mode;
+  int step = 0;
+
+  trace.RecordInitial(interp, step);
+
+  while (true) {
+    if (static_cast<size_t>(step) >= options.max_steps) {
+      return ResourceExhaustedError(StrFormat(
+          "PARK evaluation exceeded max_steps=%zu", options.max_steps));
+    }
+    GammaResult gamma;
+    switch (mode) {
+      case GammaMode::kNaive:
+        gamma = ComputeGamma(program, blocked, interp);
+        break;
+      case GammaMode::kDeltaFiltered:
+        gamma = ComputeGammaFiltered(program, blocked, interp, delta);
+        break;
+      case GammaMode::kSemiNaive:
+        gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms);
+        break;
+    }
+    stats.rule_evaluations += gamma.rules_evaluated;
+
+    if (gamma.consistent) {
+      if (gamma.newly_marked == 0) {
+        // Γ(P,B)(I) = I: the bi-structure is a fixpoint of Δ.
+        trace.RecordFixpoint(interp, step);
+        break;
+      }
+      switch (mode) {
+        case GammaMode::kNaive:
+          stats.derived_marks += ApplyDerivations(gamma.derivations, interp);
+          break;
+        case GammaMode::kDeltaFiltered:
+          stats.derived_marks +=
+              ApplyDerivationsTracked(gamma.derivations, interp, delta);
+          break;
+        case GammaMode::kSemiNaive:
+          stats.derived_marks += ApplyDerivationsTrackedAtoms(
+              gamma.derivations, interp, delta_atoms);
+          break;
+      }
+      ++stats.gamma_steps;
+      ++step;
+      trace.RecordGammaStep(interp, step);
+      continue;
+    }
+
+    // Inconsistent: this Γ application is counted and shown as a step (the
+    // paper's traces include it) but never applied; instead conflicts are
+    // resolved, B is extended, and the computation restarts from I°.
+    //
+    // Conflict triples must be MAXIMAL (§4.2) — they need every currently
+    // firable instance on each side, which a delta-driven evaluation may
+    // have skipped — so recompute the full Γ before building them.
+    if (mode != GammaMode::kNaive) {
+      gamma = ComputeGamma(program, blocked, interp);
+      stats.rule_evaluations += gamma.rules_evaluated;
+    }
+    ++step;
+    if (trace.level() == TraceLevel::kFull) {
+      trace.RecordInconsistentStep(
+          RenderWithDerivations(interp, gamma.derivations,
+                                *program.symbols()),
+          step);
+    }
+    std::vector<Conflict> conflicts = BuildConflicts(gamma, interp);
+    if (options.block_granularity == BlockGranularity::kFirstConflictOnly &&
+        conflicts.size() > 1) {
+      conflicts.resize(1);
+    }
+    if (trace.level() != TraceLevel::kNone) {
+      std::vector<std::string> descriptions;
+      descriptions.reserve(conflicts.size());
+      for (const Conflict& c : conflicts) {
+        descriptions.push_back(c.ToString(program, *program.symbols()));
+      }
+      trace.RecordConflict(std::move(descriptions), step);
+    }
+
+    PolicyContext context{db, program, interp,
+                          static_cast<int>(stats.restarts)};
+    size_t newly_blocked = 0;
+    std::vector<std::string> resolution_notes;
+    for (const Conflict& conflict : conflicts) {
+      ++stats.policy_invocations;
+      PARK_ASSIGN_OR_RETURN(Vote vote, policy->Select(context, conflict));
+      if (vote == Vote::kAbstain) {
+        return AbortedError(StrFormat(
+            "policy '%s' abstained on conflict over %s; wrap it in a "
+            "composite with a complete fallback (e.g. inertia)",
+            std::string(policy->name()).c_str(),
+            conflict.atom.ToString(*program.symbols()).c_str()));
+      }
+      ++stats.conflicts_resolved;
+      const std::vector<RuleGrounding>& losing =
+          vote == Vote::kInsert ? conflict.deleters : conflict.inserters;
+      for (const RuleGrounding& g : losing) {
+        if (blocked.insert(g).second) ++newly_blocked;
+      }
+      if (trace.level() != TraceLevel::kNone) {
+        resolution_notes.push_back(StrFormat(
+            "%s on %s: block %zu instance(s)", VoteToString(vote),
+            conflict.atom.ToString(*program.symbols()).c_str(),
+            losing.size()));
+      }
+    }
+    if (newly_blocked == 0) {
+      return AbortedError(
+          "conflict resolution made no progress (no new blocked "
+          "instances); the policy decisions are cyclic");
+    }
+    trace.RecordResolution(std::move(resolution_notes), step);
+    interp.ClearMarks();
+    delta.Reset();
+    delta_atoms.Reset();
+    ++stats.restarts;
+    trace.RecordRestart(step);
+    trace.RecordInitial(interp, step);
+  }
+
+  stats.blocked_instances = blocked.size();
+  ParkResult result{interp.Incorporate(), stats, std::move(trace),
+                    RenderBlocked(blocked, program), {}};
+  if (options.record_provenance) {
+    result.provenance = RenderProvenance(interp, program);
+  }
+  return result;
+}
+
+Result<ParkResult> Park(const Database& db, const Program& program,
+                        const std::vector<Update>& updates,
+                        const ParkOptions& options) {
+  PARK_ASSIGN_OR_RETURN(Program extended,
+                        ProgramWithUpdates(program, updates));
+  return Park(extended, db, options);
+}
+
+}  // namespace park

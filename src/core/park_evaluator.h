@@ -1,0 +1,127 @@
+// The PARK semantics (paper §4.2/§4.3): the Δ transition operator on
+// bi-structures, its fixpoint ω, and the top-level entry points
+//
+//   PARK(P, D)     = incorp(int(ω_P(⟨∅, D⟩)))            (condition-action)
+//   PARK(D, P, U)  = incorp(int(ω_{P_U}(⟨∅, D⟩)))        (full ECA)
+//
+// where P_U = P ∪ { → ±a | ±a ∈ U } seeds the transaction's updates as
+// body-less rules, so update/rule conflicts are handled uniformly and the
+// updates survive restarts.
+
+#ifndef PARK_CORE_PARK_EVALUATOR_H_
+#define PARK_CORE_PARK_EVALUATOR_H_
+
+#include "core/policy.h"
+#include "core/trace.h"
+
+namespace park {
+
+/// One transaction update ±a (paper §4.3).
+struct Update {
+  ActionKind action = ActionKind::kInsert;
+  GroundAtom atom;
+
+  friend bool operator==(const Update& a, const Update& b) {
+    return a.action == b.action && a.atom == b.atom;
+  }
+};
+
+/// How much of `conflicts(P, I)` is blocked per resolution round.
+enum class BlockGranularity {
+  /// Block the losing side of every conflict found in the round — the
+  /// paper's main definition of `blocked(D, P, I, SELECT)`.
+  kAllConflicts,
+  /// Block the losing side of only the first conflict (atom-sorted), then
+  /// restart — the paper's §4.2 refinement ("include only a non-empty part
+  /// of conflicts into blocked"), which avoids blocking instances that
+  /// later rounds would never find in conflict. More restarts, fewer
+  /// unnecessarily blocked instances.
+  kFirstConflictOnly,
+};
+
+/// How the Γ operator is evaluated at each step. All three modes are
+/// semantically identical (proven in gamma_mode_test); they differ only
+/// in how much repeated work each fixpoint step performs. The ablation
+/// bench_gamma_mode quantifies the differences.
+enum class GammaMode {
+  /// Match every rule body at every step — the paper's literal algorithm.
+  kNaive,
+  /// Skip rules none of whose body literals could have gained a match
+  /// since the previous step (rule-granularity delta filtering; see
+  /// engine/consequence.h). Fast on wide schemas with narrow activity.
+  kDeltaFiltered,
+  /// Full semi-naive evaluation: each new mark seeds the body literals it
+  /// satisfies and only completions of seeds are enumerated. Fast on deep
+  /// recursive derivations (transitive closure) where even the live rules
+  /// would otherwise re-derive everything every step.
+  kSemiNaive,
+};
+
+/// Evaluation parameters. Default-constructed options use the principle
+/// of inertia and no tracing.
+struct ParkOptions {
+  /// The SELECT policy. If null, MakeInertiaPolicy() is used.
+  PolicyPtr policy;
+  BlockGranularity block_granularity = BlockGranularity::kAllConflicts;
+  GammaMode gamma_mode = GammaMode::kDeltaFiltered;
+  /// Upper bound on Γ applications across all restarts; exceeding it
+  /// returns kResourceExhausted. PARK terminates on every input, so this
+  /// only guards against misconfigured gigantic workloads.
+  size_t max_steps = 1'000'000;
+  TraceLevel trace_level = TraceLevel::kNone;
+  /// When set, ParkResult::provenance explains every surviving marked
+  /// atom: which rule groundings derived it in the final round.
+  bool record_provenance = false;
+};
+
+/// Counters describing one evaluation.
+struct ParkStats {
+  size_t gamma_steps = 0;         // consistent Γ applications
+  size_t restarts = 0;            // conflict-resolution rounds
+  size_t conflicts_resolved = 0;  // individual conflicts decided
+  size_t blocked_instances = 0;   // rule groundings in the final B
+  size_t derived_marks = 0;       // marked-atom insertions (all rounds)
+  size_t policy_invocations = 0;  // SELECT calls
+  size_t rule_evaluations = 0;    // rule-body matchings across all steps
+};
+
+/// Why one update survived into the result: the marked atom (with its
+/// sign) and every rule grounding that derived it in the final round.
+struct AtomProvenance {
+  std::string atom;                     // e.g. "+q(a)" or "-payroll(jo, 5)"
+  std::vector<std::string> derived_by;  // rendered RuleGroundings, sorted
+};
+
+/// Everything PARK(P, D) produces.
+struct ParkResult {
+  /// The result database instance.
+  Database database;
+  ParkStats stats;
+  Trace trace;
+  /// The final blocked set B, rendered and sorted (e.g. {"(r2)", "(r5)"}).
+  std::vector<std::string> blocked;
+  /// Populated iff options.record_provenance: one entry per marked atom
+  /// of the final fixpoint, sorted by rendered atom. Unmarked atoms come
+  /// from D and have no provenance.
+  std::vector<AtomProvenance> provenance;
+};
+
+/// Computes PARK(P, D). `program` and `db` must share a symbol table.
+/// Errors: kAborted if the policy abstains or makes no progress,
+/// kResourceExhausted past options.max_steps, plus any policy failure.
+Result<ParkResult> Park(const Program& program, const Database& db,
+                        const ParkOptions& options = {});
+
+/// Computes PARK(D, P, U) — full ECA form with transaction updates.
+Result<ParkResult> Park(const Database& db, const Program& program,
+                        const std::vector<Update>& updates,
+                        const ParkOptions& options = {});
+
+/// Builds P_U: a clone of `program` extended with a body-less seed rule
+/// `-> ±a` per update. Exposed for tests and tools.
+Result<Program> ProgramWithUpdates(const Program& program,
+                                   const std::vector<Update>& updates);
+
+}  // namespace park
+
+#endif  // PARK_CORE_PARK_EVALUATOR_H_

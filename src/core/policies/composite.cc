@@ -1,0 +1,44 @@
+// Composite policy: first-non-abstain chaining. The paper presents
+// specificity and priority as partial strategies "combined with other
+// conflict resolution strategies"; this combinator is that combination.
+
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class CompositePolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit CompositePolicy(std::vector<PolicyPtr> policies)
+      : policies_(std::move(policies)) {
+    name_ = "composite(";
+    for (size_t i = 0; i < policies_.size(); ++i) {
+      if (i > 0) name_ += ",";
+      name_ += policies_[i]->name();
+    }
+    name_ += ")";
+  }
+
+  std::string_view name() const override { return name_; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    for (const PolicyPtr& policy : policies_) {
+      PARK_ASSIGN_OR_RETURN(Vote vote, policy->Select(context, conflict));
+      if (vote != Vote::kAbstain) return vote;
+    }
+    return Vote::kAbstain;
+  }
+
+ private:
+  std::vector<PolicyPtr> policies_;
+  std::string name_;
+};
+
+}  // namespace
+
+PolicyPtr MakeCompositePolicy(std::vector<PolicyPtr> policies) {
+  return std::make_shared<CompositePolicy>(std::move(policies));
+}
+
+}  // namespace park

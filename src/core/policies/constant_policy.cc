@@ -1,0 +1,37 @@
+// Constant policies: unconditionally prefer insertion (or deletion).
+// Useful as composite fallbacks, as degenerate critics in voting tests,
+// and for "insertions always win" application conventions.
+
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class ConstantPolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit ConstantPolicy(Vote vote)
+      : vote_(vote),
+        name_(vote == Vote::kInsert ? "always-insert" : "always-delete") {}
+
+  std::string_view name() const override { return name_; }
+
+  Result<Vote> Select(const PolicyContext&, const Conflict&) override {
+    return vote_;
+  }
+
+ private:
+  Vote vote_;
+  std::string name_;
+};
+
+}  // namespace
+
+PolicyPtr MakeAlwaysInsertPolicy() {
+  return std::make_shared<ConstantPolicy>(Vote::kInsert);
+}
+
+PolicyPtr MakeAlwaysDeletePolicy() {
+  return std::make_shared<ConstantPolicy>(Vote::kDelete);
+}
+
+}  // namespace park

@@ -1,0 +1,25 @@
+// The principle of inertia (paper §4.1): a conflict on atom `a` is
+// resolved so that the status of `a` stays what it was in the original
+// database instance D. SELECT = insert iff a ∈ D.
+
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class InertiaPolicy final : public ConflictResolutionPolicy {
+ public:
+  std::string_view name() const override { return "inertia"; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    return context.database.Contains(conflict.atom) ? Vote::kInsert
+                                                    : Vote::kDelete;
+  }
+};
+
+}  // namespace
+
+PolicyPtr MakeInertiaPolicy() { return std::make_shared<InertiaPolicy>(); }
+
+}  // namespace park

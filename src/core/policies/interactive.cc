@@ -1,0 +1,60 @@
+// Interactive conflict resolution (paper §5): "as soon as a conflict is
+// found, the user is queried and may resolve the conflict by choosing one
+// among the conflicting rules". The paper singles this strategy out for
+// databases monitoring critical systems (power plants, machine tools).
+//
+// MakeInteractivePolicy delegates to an arbitrary callback;
+// MakeStreamInteractivePolicy is the canonical human loop over iostreams.
+
+#include <istream>
+#include <ostream>
+
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class InteractivePolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit InteractivePolicy(
+      std::function<Result<Vote>(const PolicyContext&, const Conflict&)> ask)
+      : ask_(std::move(ask)) {}
+
+  std::string_view name() const override { return "interactive"; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    return ask_(context, conflict);
+  }
+
+ private:
+  std::function<Result<Vote>(const PolicyContext&, const Conflict&)> ask_;
+};
+
+}  // namespace
+
+PolicyPtr MakeInteractivePolicy(
+    std::function<Result<Vote>(const PolicyContext&, const Conflict&)> ask) {
+  return std::make_shared<InteractivePolicy>(std::move(ask));
+}
+
+PolicyPtr MakeStreamInteractivePolicy(std::istream& in, std::ostream& out) {
+  return MakeInteractivePolicy(
+      [&in, &out](const PolicyContext& context,
+                  const Conflict& conflict) -> Result<Vote> {
+        out << DescribeConflict(context, conflict);
+        while (true) {
+          out << "resolve [i]nsert / [d]elete / [a]bstain? " << std::flush;
+          std::string answer;
+          if (!std::getline(in, answer)) {
+            return AbortedError("interactive policy: input stream closed");
+          }
+          if (answer == "i" || answer == "insert") return Vote::kInsert;
+          if (answer == "d" || answer == "delete") return Vote::kDelete;
+          if (answer == "a" || answer == "abstain") return Vote::kAbstain;
+          out << "unrecognized answer '" << answer << "'\n";
+        }
+      });
+}
+
+}  // namespace park

@@ -1,0 +1,63 @@
+// Predicate-directed policies: per-predicate vote tables and
+// delete-protection. Both are partial (they abstain off their tables) and
+// meant to be chained via MakeCompositePolicy.
+
+#include <unordered_set>
+
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class PredicateBiasPolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit PredicateBiasPolicy(std::unordered_map<std::string, Vote> bias)
+      : bias_(std::move(bias)) {}
+
+  std::string_view name() const override { return "predicate-bias"; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    const std::string& pred =
+        context.program.symbols()->PredicateName(conflict.atom.predicate());
+    auto it = bias_.find(pred);
+    if (it == bias_.end()) return Vote::kAbstain;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, Vote> bias_;
+};
+
+class ProtectedPredicatesPolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit ProtectedPredicatesPolicy(std::vector<std::string> names)
+      : protected_(names.begin(), names.end()) {}
+
+  std::string_view name() const override { return "protected-predicates"; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    const std::string& pred =
+        context.program.symbols()->PredicateName(conflict.atom.predicate());
+    return protected_.contains(pred) ? Vote::kInsert : Vote::kAbstain;
+  }
+
+ private:
+  std::unordered_set<std::string> protected_;
+};
+
+}  // namespace
+
+PolicyPtr MakePredicateBiasPolicy(
+    std::unordered_map<std::string, Vote> bias) {
+  return std::make_shared<PredicateBiasPolicy>(std::move(bias));
+}
+
+PolicyPtr MakeProtectedPredicatesPolicy(
+    std::vector<std::string> protected_names) {
+  return std::make_shared<ProtectedPredicatesPolicy>(
+      std::move(protected_names));
+}
+
+}  // namespace park

@@ -1,0 +1,36 @@
+// Random conflict resolution (paper §5): "the system just randomly
+// chooses one from the conflicting rules". The randomness comes from an
+// explicitly seeded deterministic stream, so any individual run is exactly
+// reproducible — PARK's unambiguous-semantics guarantee then holds
+// relative to the seed.
+
+#include "core/policy.h"
+#include "util/random.h"
+
+namespace park {
+namespace {
+
+class RandomPolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+  std::string_view name() const override { return "random"; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    (void)context;
+    (void)conflict;
+    return rng_.Bernoulli(0.5) ? Vote::kInsert : Vote::kDelete;
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+PolicyPtr MakeRandomPolicy(uint64_t seed) {
+  return std::make_shared<RandomPolicy>(seed);
+}
+
+}  // namespace park

@@ -1,0 +1,44 @@
+// The voting scheme (paper §5): a set of critics each examines the
+// conflict and votes insert or delete; "the majority opinion of the
+// critics is then adopted". Critics are themselves policies, so a critic
+// can encode recency preferences, source reliability, or any other
+// intuition — including a human (the paper observes that interactive
+// resolution is the one-critic special case of voting).
+
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class VotingPolicy final : public ConflictResolutionPolicy {
+ public:
+  explicit VotingPolicy(std::vector<PolicyPtr> critics)
+      : critics_(std::move(critics)) {}
+
+  std::string_view name() const override { return "voting"; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    int inserts = 0;
+    int deletes = 0;
+    for (const PolicyPtr& critic : critics_) {
+      PARK_ASSIGN_OR_RETURN(Vote vote, critic->Select(context, conflict));
+      if (vote == Vote::kInsert) ++inserts;
+      if (vote == Vote::kDelete) ++deletes;
+    }
+    if (inserts > deletes) return Vote::kInsert;
+    if (deletes > inserts) return Vote::kDelete;
+    return Vote::kAbstain;
+  }
+
+ private:
+  std::vector<PolicyPtr> critics_;
+};
+
+}  // namespace
+
+PolicyPtr MakeVotingPolicy(std::vector<PolicyPtr> critics) {
+  return std::make_shared<VotingPolicy>(std::move(critics));
+}
+
+}  // namespace park

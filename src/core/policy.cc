@@ -1,0 +1,66 @@
+#include "core/policy.h"
+
+namespace park {
+namespace {
+
+class LambdaPolicy final : public ConflictResolutionPolicy {
+ public:
+  LambdaPolicy(
+      std::string name,
+      std::function<Result<Vote>(const PolicyContext&, const Conflict&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  std::string_view name() const override { return name_; }
+
+  Result<Vote> Select(const PolicyContext& context,
+                      const Conflict& conflict) override {
+    return fn_(context, conflict);
+  }
+
+ private:
+  std::string name_;
+  std::function<Result<Vote>(const PolicyContext&, const Conflict&)> fn_;
+};
+
+}  // namespace
+
+const char* VoteToString(Vote vote) {
+  switch (vote) {
+    case Vote::kInsert:
+      return "insert";
+    case Vote::kDelete:
+      return "delete";
+    case Vote::kAbstain:
+      return "abstain";
+  }
+  return "?";
+}
+
+PolicyPtr MakeLambdaPolicy(
+    std::string name,
+    std::function<Result<Vote>(const PolicyContext&, const Conflict&)> fn) {
+  return std::make_shared<LambdaPolicy>(std::move(name), std::move(fn));
+}
+
+std::string DescribeConflict(const PolicyContext& context,
+                             const Conflict& conflict) {
+  const SymbolTable& symbols = *context.program.symbols();
+  std::string atom = conflict.atom.ToString(symbols);
+  std::string out = "conflict on " + atom + "\n";
+  out += "  currently " +
+         std::string(context.database.Contains(conflict.atom)
+                         ? "present in"
+                         : "absent from") +
+         " the database\n";
+  out += "  insert commanded by:\n";
+  for (const RuleGrounding& g : conflict.inserters) {
+    out += "    " + g.ToString(context.program, symbols) + "\n";
+  }
+  out += "  delete commanded by:\n";
+  for (const RuleGrounding& g : conflict.deleters) {
+    out += "    " + g.ToString(context.program, symbols) + "\n";
+  }
+  return out;
+}
+
+}  // namespace park

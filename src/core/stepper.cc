@@ -1,0 +1,119 @@
+#include "core/stepper.h"
+
+#include "util/string_util.h"
+
+namespace park {
+
+ParkStepper::ParkStepper(const Program& program, const Database& db,
+                         ParkOptions options)
+    : program_(program),
+      db_(db),
+      options_(std::move(options)),
+      policy_(options_.policy ? options_.policy : MakeInertiaPolicy()),
+      interp_(&db) {
+  PARK_CHECK(program.symbols() == db.symbols())
+      << "program and database must share a symbol table";
+}
+
+Result<StepOutcome> ParkStepper::Step() {
+  if (done_) return StepOutcome{};  // kFixpoint
+  if (steps_taken_ >= options_.max_steps) {
+    return ResourceExhaustedError(StrFormat(
+        "PARK evaluation exceeded max_steps=%zu", options_.max_steps));
+  }
+  ++steps_taken_;
+
+  const GammaMode mode = options_.gamma_mode;
+  GammaResult gamma;
+  switch (mode) {
+    case GammaMode::kNaive:
+      gamma = ComputeGamma(program_, blocked_, interp_);
+      break;
+    case GammaMode::kDeltaFiltered:
+      gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_);
+      break;
+    case GammaMode::kSemiNaive:
+      gamma = ComputeGammaSemiNaive(program_, blocked_, interp_,
+                                    delta_atoms_);
+      break;
+  }
+  stats_.rule_evaluations += gamma.rules_evaluated;
+
+  if (gamma.consistent) {
+    if (gamma.newly_marked == 0) {
+      done_ = true;
+      stats_.blocked_instances = blocked_.size();
+      return StepOutcome{};  // kFixpoint
+    }
+    StepOutcome outcome;
+    outcome.kind = StepOutcome::Kind::kGamma;
+    switch (mode) {
+      case GammaMode::kNaive:
+        outcome.new_marks = ApplyDerivations(gamma.derivations, interp_);
+        break;
+      case GammaMode::kDeltaFiltered:
+        outcome.new_marks =
+            ApplyDerivationsTracked(gamma.derivations, interp_, delta_);
+        break;
+      case GammaMode::kSemiNaive:
+        outcome.new_marks = ApplyDerivationsTrackedAtoms(
+            gamma.derivations, interp_, delta_atoms_);
+        break;
+    }
+    stats_.derived_marks += outcome.new_marks;
+    ++stats_.gamma_steps;
+    return outcome;
+  }
+
+  // Resolution transition: same logic as the batch evaluator.
+  if (mode != GammaMode::kNaive) {
+    gamma = ComputeGamma(program_, blocked_, interp_);
+    stats_.rule_evaluations += gamma.rules_evaluated;
+  }
+  std::vector<Conflict> conflicts = BuildConflicts(gamma, interp_);
+  if (options_.block_granularity == BlockGranularity::kFirstConflictOnly &&
+      conflicts.size() > 1) {
+    conflicts.resize(1);
+  }
+
+  StepOutcome outcome;
+  outcome.kind = StepOutcome::Kind::kResolution;
+  PolicyContext context{db_, program_, interp_,
+                        static_cast<int>(stats_.restarts)};
+  for (const Conflict& conflict : conflicts) {
+    ++stats_.policy_invocations;
+    PARK_ASSIGN_OR_RETURN(Vote vote, policy_->Select(context, conflict));
+    if (vote == Vote::kAbstain) {
+      return AbortedError(StrFormat(
+          "policy '%s' abstained on conflict over %s",
+          std::string(policy_->name()).c_str(),
+          conflict.atom.ToString(*program_.symbols()).c_str()));
+    }
+    ++stats_.conflicts_resolved;
+    outcome.conflicts.push_back(
+        conflict.ToString(program_, *program_.symbols()));
+    const std::vector<RuleGrounding>& losing =
+        vote == Vote::kInsert ? conflict.deleters : conflict.inserters;
+    for (const RuleGrounding& g : losing) {
+      if (blocked_.insert(g).second) ++outcome.newly_blocked;
+    }
+  }
+  if (outcome.newly_blocked == 0) {
+    return AbortedError(
+        "conflict resolution made no progress (no new blocked instances)");
+  }
+  interp_.ClearMarks();
+  delta_.Reset();
+  delta_atoms_.Reset();
+  ++stats_.restarts;
+  return outcome;
+}
+
+Result<Database> ParkStepper::Finish() {
+  while (!done_) {
+    PARK_RETURN_IF_ERROR(Step().status());
+  }
+  return interp_.Incorporate();
+}
+
+}  // namespace park

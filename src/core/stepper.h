@@ -1,0 +1,82 @@
+// ParkStepper: the Δ transition operator exposed one step at a time.
+//
+// The batch evaluator (Park()) runs ω_P to completion; the stepper lets a
+// debugger, visualizer, or interactive tool drive the same computation
+// transition by transition and inspect the live bi-structure ⟨B, I⟩
+// between steps. Finishing a stepper yields exactly PARK(P, D) (asserted
+// against the batch evaluator in stepper_test.cc).
+
+#ifndef PARK_CORE_STEPPER_H_
+#define PARK_CORE_STEPPER_H_
+
+#include "core/park_evaluator.h"
+
+namespace park {
+
+/// One Δ transition outcome.
+struct StepOutcome {
+  enum class Kind {
+    kGamma,       // consistent Γ application; `new_marks` atoms added
+    kResolution,  // conflicts resolved, blocked set grew, restarted at I°
+    kFixpoint,    // Γ(P,B)(I) = I — the computation is complete
+  };
+
+  Kind kind = Kind::kFixpoint;
+  /// kGamma: number of newly marked atoms.
+  size_t new_marks = 0;
+  /// kResolution: rendered descriptions of the conflicts just resolved.
+  std::vector<std::string> conflicts;
+  /// kResolution: number of rule instances newly blocked.
+  size_t newly_blocked = 0;
+};
+
+/// Stateful, single-use driver of one PARK evaluation. The program and
+/// database must outlive the stepper; neither is modified.
+class ParkStepper {
+ public:
+  /// `options.trace_level` is ignored (the live state IS the trace);
+  /// policy / granularity / gamma_mode behave as in Park().
+  ParkStepper(const Program& program, const Database& db,
+              ParkOptions options = {});
+
+  ParkStepper(const ParkStepper&) = delete;
+  ParkStepper& operator=(const ParkStepper&) = delete;
+
+  /// Applies one Δ transition. Calling Step() after the fixpoint is
+  /// reached keeps returning kFixpoint outcomes. Errors are the same as
+  /// Park()'s (policy abstention, no progress, max_steps).
+  Result<StepOutcome> Step();
+
+  bool done() const { return done_; }
+
+  /// The live i-interpretation I.
+  const IInterpretation& interpretation() const { return interp_; }
+
+  /// The live bi-structure ⟨B, I⟩, order-comparable (Theorem 4.1).
+  BiStructureSnapshot Snapshot() const {
+    return SnapshotBiStructure(blocked_, interp_, program_);
+  }
+
+  const ParkStats& stats() const { return stats_; }
+
+  /// Runs remaining steps to the fixpoint and incorporates: the result
+  /// database equals Park(program, db, options).database.
+  Result<Database> Finish();
+
+ private:
+  const Program& program_;
+  const Database& db_;
+  ParkOptions options_;
+  PolicyPtr policy_;
+  IInterpretation interp_;
+  BlockedSet blocked_;
+  DeltaState delta_;
+  DeltaAtoms delta_atoms_;
+  ParkStats stats_;
+  size_t steps_taken_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace park
+
+#endif  // PARK_CORE_STEPPER_H_

@@ -1,0 +1,107 @@
+#include "core/trace.h"
+
+#include "util/string_util.h"
+
+namespace park {
+
+const char* TraceEventKindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kInitial:
+      return "initial";
+    case TraceEvent::Kind::kGammaStep:
+      return "gamma";
+    case TraceEvent::Kind::kInconsistent:
+      return "clash";
+    case TraceEvent::Kind::kConflict:
+      return "conflict";
+    case TraceEvent::Kind::kResolution:
+      return "resolution";
+    case TraceEvent::Kind::kRestart:
+      return "restart";
+    case TraceEvent::Kind::kFixpoint:
+      return "fixpoint";
+  }
+  return "?";
+}
+
+void Trace::RecordInitial(const IInterpretation& interp, int step) {
+  if (level_ == TraceLevel::kNone) return;
+  TraceEvent event{TraceEvent::Kind::kInitial, step, {}, {}};
+  if (level_ == TraceLevel::kFull) {
+    event.interpretation = interp.SortedLiteralStrings();
+  }
+  events_.push_back(std::move(event));
+}
+
+void Trace::RecordGammaStep(const IInterpretation& interp, int step) {
+  if (level_ != TraceLevel::kFull) return;
+  TraceEvent event{TraceEvent::Kind::kGammaStep, step, {}, {}};
+  event.interpretation = interp.SortedLiteralStrings();
+  events_.push_back(std::move(event));
+}
+
+void Trace::RecordInconsistentStep(std::vector<std::string> snapshot,
+                                   int step) {
+  if (level_ != TraceLevel::kFull) return;
+  events_.push_back(TraceEvent{TraceEvent::Kind::kInconsistent, step,
+                               std::move(snapshot), {}});
+}
+
+void Trace::RecordConflict(std::vector<std::string> descriptions, int step) {
+  if (level_ == TraceLevel::kNone) return;
+  events_.push_back(TraceEvent{TraceEvent::Kind::kConflict, step, {},
+                               std::move(descriptions)});
+}
+
+void Trace::RecordResolution(std::vector<std::string> notes, int step) {
+  if (level_ == TraceLevel::kNone) return;
+  events_.push_back(
+      TraceEvent{TraceEvent::Kind::kResolution, step, {}, std::move(notes)});
+}
+
+void Trace::RecordRestart(int step) {
+  if (level_ == TraceLevel::kNone) return;
+  events_.push_back(TraceEvent{TraceEvent::Kind::kRestart, step, {}, {}});
+}
+
+void Trace::RecordFixpoint(const IInterpretation& interp, int step) {
+  if (level_ == TraceLevel::kNone) return;
+  TraceEvent event{TraceEvent::Kind::kFixpoint, step, {}, {}};
+  if (level_ == TraceLevel::kFull) {
+    event.interpretation = interp.SortedLiteralStrings();
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<std::vector<std::string>> Trace::InterpretationHistory() const {
+  std::vector<std::vector<std::string>> history;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == TraceEvent::Kind::kGammaStep ||
+        event.kind == TraceEvent::Kind::kInconsistent) {
+      history.push_back(event.interpretation);
+    }
+  }
+  return history;
+}
+
+std::string Trace::ToString() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += StrFormat("[%3d] %-10s", event.step,
+                     TraceEventKindName(event.kind));
+    if (!event.interpretation.empty()) {
+      out += " {";
+      out += Join(event.interpretation, ", ");
+      out += "}";
+    }
+    out += "\n";
+    for (const std::string& note : event.notes) {
+      out += "        ";
+      out += note;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace park

@@ -1,0 +1,85 @@
+// Execution traces of the PARK fixpoint computation.
+//
+// At TraceLevel::kFull the trace records the i-interpretation after every
+// Γ application — exactly the step listings the paper prints for its
+// worked examples — plus every detected conflict, policy decision, blocked
+// instance, and restart. Tests compare these against the paper's text
+// verbatim; parkcli's --trace flag prints them.
+
+#ifndef PARK_CORE_TRACE_H_
+#define PARK_CORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bistructure.h"
+
+namespace park {
+
+enum class TraceLevel {
+  kNone,     // record nothing
+  kSummary,  // conflicts / resolutions / restarts, no interpretations
+  kFull,     // everything, including per-step interpretation snapshots
+};
+
+/// One recorded event.
+struct TraceEvent {
+  enum class Kind {
+    kInitial,       // computation (re)starts from I°
+    kGammaStep,     // one consistent Γ application; snapshot is the new I
+    kInconsistent,  // a Γ application whose result clashes; snapshot is the
+                    // never-applied I ∪ Γ-derivations (the paper prints
+                    // these as ordinary steps, e.g. "{p, +a, +q, +b, -q}")
+    kConflict,      // a conflict was detected (notes describe it)
+    kResolution,    // the policy decided (notes: vote, blocked instances)
+    kRestart,       // marks cleared, computation resumes from I°
+    kFixpoint,      // Γ(P,B)(I) = I: ω reached
+  };
+
+  Kind kind;
+  /// Γ-application counter at the time of the event (global, not reset on
+  /// restart).
+  int step = 0;
+  /// Sorted rendered literals of I (kInitial/kGammaStep/kFixpoint at
+  /// kFull; empty otherwise).
+  std::vector<std::string> interpretation;
+  /// Event-specific text: conflict descriptions, votes, blocked instances.
+  std::vector<std::string> notes;
+};
+
+const char* TraceEventKindName(TraceEvent::Kind kind);
+
+/// Append-only event log. All Record* calls are no-ops at levels that do
+/// not include the event's payload.
+class Trace {
+ public:
+  explicit Trace(TraceLevel level = TraceLevel::kNone) : level_(level) {}
+
+  TraceLevel level() const { return level_; }
+
+  void RecordInitial(const IInterpretation& interp, int step);
+  void RecordGammaStep(const IInterpretation& interp, int step);
+  void RecordInconsistentStep(std::vector<std::string> snapshot, int step);
+  void RecordConflict(std::vector<std::string> descriptions, int step);
+  void RecordResolution(std::vector<std::string> notes, int step);
+  void RecordRestart(int step);
+  void RecordFixpoint(const IInterpretation& interp, int step);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// The sequence of per-Γ-application snapshots (kGammaStep and
+  /// kInconsistent events, in order) — exactly the paper's numbered
+  /// "after step k" listings, which include the inconsistent attempts.
+  std::vector<std::vector<std::string>> InterpretationHistory() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  TraceLevel level_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace park
+
+#endif  // PARK_CORE_TRACE_H_

@@ -1,0 +1,110 @@
+#include "eca/active_database.h"
+
+#include "lang/io.h"
+#include "lang/parser.h"
+
+namespace park {
+
+ActiveDatabase::ActiveDatabase(std::shared_ptr<SymbolTable> symbols)
+    : database_(symbols ? symbols : MakeSymbolTable()),
+      program_(database_.symbols()) {}
+
+Status ActiveDatabase::LoadRules(std::string_view program_text) {
+  PARK_ASSIGN_OR_RETURN(Program parsed,
+                        ParseProgram(program_text, database_.symbols()));
+  for (const Rule& rule : parsed.rules()) {
+    // Re-add into the installed program so indexes/labels stay coherent.
+    Rule copy = rule;
+    PARK_RETURN_IF_ERROR(program_.AddRule(std::move(copy)));
+  }
+  return Status::OK();
+}
+
+Status ActiveDatabase::AddRule(Rule rule) {
+  return program_.AddRule(std::move(rule));
+}
+
+Status ActiveDatabase::LoadFacts(std::string_view facts_text) {
+  return ParseFactsInto(facts_text, database_);
+}
+
+Result<CommitReport> ActiveDatabase::Apply(ActionKind action,
+                                           const GroundAtom& atom) {
+  Transaction tx = Begin();
+  if (action == ActionKind::kInsert) {
+    tx.Insert(atom);
+  } else {
+    tx.Delete(atom);
+  }
+  return std::move(tx).Commit();
+}
+
+Result<CommitReport> ActiveDatabase::Stabilize() {
+  return CommitUpdates(UpdateSet());
+}
+
+Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
+  PARK_ASSIGN_OR_RETURN(
+      ParkResult park,
+      Park(database_, program_, updates.updates(), options_));
+
+  CommitReport report;
+  Database::Diff diff = park.database.DiffWith(database_);
+  report.inserted = std::move(diff.only_in_this);
+  report.deleted = std::move(diff.only_in_other);
+  report.stats = park.stats;
+  report.trace = std::move(park.trace);
+
+  // Apply the diff in place rather than swapping in the result database:
+  // O(|changes|) instead of discarding the stored instance, and the
+  // column indexes of untouched relations stay warm for the next commit.
+  for (const GroundAtom& atom : report.inserted) database_.Insert(atom);
+  for (const GroundAtom& atom : report.deleted) database_.Erase(atom);
+  if (journal_.has_value()) {
+    // Redo-log semantics: the record is written only for transactions
+    // that actually committed. An append failure is surfaced (the
+    // in-memory commit stands, but callers must know durability was lost).
+    PARK_RETURN_IF_ERROR(journal_->Append(updates, *symbols()));
+  }
+  return report;
+}
+
+Status ActiveDatabase::AttachJournal(const std::string& path) {
+  if (journal_.has_value()) {
+    return FailedPreconditionError("a journal is already attached");
+  }
+  PARK_ASSIGN_OR_RETURN(TransactionJournal journal,
+                        TransactionJournal::Open(path));
+  journal_.emplace(std::move(journal));
+  return Status::OK();
+}
+
+Status ActiveDatabase::RecoverFromJournal(const std::string& path) {
+  if (journal_.has_value()) {
+    return FailedPreconditionError(
+        "recover before attaching the journal, not after");
+  }
+  PARK_ASSIGN_OR_RETURN(std::vector<UpdateSet> records,
+                        TransactionJournal::ReadAll(path, symbols()));
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto report = CommitUpdates(records[i]);
+    if (!report.ok()) {
+      return report.status().WithContext(
+          "replaying journal record #" + std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status ActiveDatabase::SaveSnapshot(const std::string& path) const {
+  return WriteDatabaseFile(database_, path);
+}
+
+Status ActiveDatabase::LoadSnapshot(const std::string& path) {
+  PARK_ASSIGN_OR_RETURN(Database loaded,
+                        ReadDatabaseFile(path, symbols()));
+  loaded.ForEach([this](const GroundAtom& atom) { database_.Insert(atom); });
+  return Status::OK();
+}
+
+}  // namespace park

@@ -1,0 +1,120 @@
+// ActiveDatabase: the user-facing facade of the library — a database
+// instance plus a set of active rules and a conflict-resolution policy.
+// Transactions committed against it are evaluated with the full ECA PARK
+// semantics PARK(D, P, U).
+//
+// Example:
+//   auto symbols = park::MakeSymbolTable();
+//   park::ActiveDatabase db(symbols);
+//   PARK_RETURN_IF_ERROR(db.LoadRules("emp(X), !active(X), payroll(X, S)"
+//                                     " -> -payroll(X, S)."));
+//   PARK_RETURN_IF_ERROR(db.LoadFacts("emp(john). payroll(john, 5000)."));
+//   auto tx = db.Begin();
+//   tx.Insert("emp", {"jane"});
+//   auto report = std::move(tx).Commit();
+
+#ifndef PARK_ECA_ACTIVE_DATABASE_H_
+#define PARK_ECA_ACTIVE_DATABASE_H_
+
+#include <optional>
+
+#include "eca/journal.h"
+#include "eca/transaction.h"
+
+namespace park {
+
+class ActiveDatabase {
+ public:
+  /// Creates an empty active database. If `symbols` is null a fresh table
+  /// is created.
+  explicit ActiveDatabase(std::shared_ptr<SymbolTable> symbols = nullptr);
+
+  ActiveDatabase(const ActiveDatabase&) = delete;
+  ActiveDatabase& operator=(const ActiveDatabase&) = delete;
+  ActiveDatabase(ActiveDatabase&&) = default;
+  ActiveDatabase& operator=(ActiveDatabase&&) = default;
+
+  const std::shared_ptr<SymbolTable>& symbols() const {
+    return database_.symbols();
+  }
+
+  // --- rule management ---
+
+  /// Parses and installs rules (appended to the existing program).
+  Status LoadRules(std::string_view program_text);
+  /// Installs one already-built rule.
+  Status AddRule(Rule rule);
+  const Program& program() const { return program_; }
+
+  // --- policy / options ---
+
+  /// Sets the SELECT policy used at commit (default: inertia).
+  void SetPolicy(PolicyPtr policy) { options_.policy = std::move(policy); }
+  void SetBlockGranularity(BlockGranularity granularity) {
+    options_.block_granularity = granularity;
+  }
+  void SetTraceLevel(TraceLevel level) { options_.trace_level = level; }
+  const ParkOptions& options() const { return options_; }
+
+  // --- data ---
+
+  /// Parses fact text ("p(a). q(b).") directly into the stored database,
+  /// WITHOUT firing rules (bulk load).
+  Status LoadFacts(std::string_view facts_text);
+
+  /// Read access to the current instance.
+  const Database& database() const { return database_; }
+  bool Contains(const GroundAtom& atom) const {
+    return database_.Contains(atom);
+  }
+
+  // --- transactions ---
+
+  /// Starts a transaction. Multiple sequential transactions are fine;
+  /// concurrent ones are not supported (PARK is a sequential semantics).
+  Transaction Begin() { return Transaction(this); }
+
+  /// One-shot convenience: runs a single-update transaction.
+  Result<CommitReport> Apply(ActionKind action, const GroundAtom& atom);
+
+  /// Runs the rules with NO user updates — PARK(P, D) — replacing the
+  /// stored instance with the result. Useful after LoadFacts to bring the
+  /// database to a rule-consistent state.
+  Result<CommitReport> Stabilize();
+
+  // --- durability ---
+
+  /// Attaches a redo journal: every subsequent successful commit is
+  /// appended to `path` (created if absent). Recovery order on restart:
+  /// LoadSnapshot (optional), RecoverFromJournal, then AttachJournal.
+  Status AttachJournal(const std::string& path);
+  bool has_journal() const { return journal_.has_value(); }
+
+  /// Replays every committed record of the journal at `path` through the
+  /// normal commit path (rules fire, policies decide — PARK's determinism
+  /// makes replay reproduce the pre-crash state exactly). Must be called
+  /// before AttachJournal; fails if a journal is already attached.
+  Status RecoverFromJournal(const std::string& path);
+
+  /// Writes the current instance as a fact-file snapshot (atomic).
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Bulk-loads a fact-file snapshot into the stored instance (no rules
+  /// fire, like LoadFacts).
+  Status LoadSnapshot(const std::string& path);
+
+ private:
+  friend class Transaction;
+
+  /// Shared commit path: PARK(D, P, U) then swap in the result.
+  Result<CommitReport> CommitUpdates(const UpdateSet& updates);
+
+  Database database_;
+  Program program_;
+  ParkOptions options_;
+  std::optional<TransactionJournal> journal_;
+};
+
+}  // namespace park
+
+#endif  // PARK_ECA_ACTIVE_DATABASE_H_

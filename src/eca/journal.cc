@@ -1,0 +1,106 @@
+#include "eca/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace park {
+
+Result<TransactionJournal> TransactionJournal::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return InternalError(StrFormat("cannot open journal %s: %s",
+                                   path.c_str(), std::strerror(errno)));
+  }
+  return TransactionJournal(path, file);
+}
+
+TransactionJournal::TransactionJournal(TransactionJournal&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+TransactionJournal& TransactionJournal::operator=(
+    TransactionJournal&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+TransactionJournal::~TransactionJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TransactionJournal::Append(const UpdateSet& updates,
+                                  const SymbolTable& symbols) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("journal has been moved from");
+  }
+  std::string record = "begin\n";
+  for (const Update& update : updates.updates()) {
+    record += ActionKindSign(update.action);
+    record += update.atom.ToString(symbols);
+    record += "\n";
+  }
+  record += "commit\n";
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return InternalError(
+        StrFormat("journal write failed on %s", path_.c_str()));
+  }
+  if (std::fflush(file_) != 0) {
+    return InternalError(
+        StrFormat("journal flush failed on %s", path_.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<UpdateSet>> TransactionJournal::ReadAll(
+    const std::string& path,
+    const std::shared_ptr<SymbolTable>& symbols) {
+  std::ifstream in(path);
+  if (!in) return std::vector<UpdateSet>{};  // fresh journal
+
+  std::vector<UpdateSet> records;
+  UpdateSet pending;
+  bool in_record = false;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "begin") {
+      // A bare `begin` inside a record means the previous record was torn;
+      // drop it and start over.
+      pending.clear();
+      in_record = true;
+      continue;
+    }
+    if (trimmed == "commit") {
+      if (in_record) records.push_back(pending);
+      pending.clear();
+      in_record = false;
+      continue;
+    }
+    if (!in_record) {
+      return InvalidArgumentError(StrFormat(
+          "%s:%d: update line outside begin/commit", path.c_str(),
+          line_number));
+    }
+    Status status = pending.AddParsed(trimmed, symbols);
+    if (!status.ok()) {
+      return status.WithContext(
+          StrFormat("%s:%d", path.c_str(), line_number));
+    }
+  }
+  // A trailing record without `commit` is a torn append: ignored.
+  return records;
+}
+
+}  // namespace park

@@ -1,0 +1,63 @@
+// TransactionJournal: an append-only, human-readable write-ahead log of
+// committed transactions, giving ActiveDatabase durability across process
+// restarts: snapshot + journal replay reconstructs the exact state,
+// because the PARK semantics is deterministic (paper §3, "Unambiguous
+// Semantics") given the same policy.
+//
+// Record format (text, one update per line):
+//
+//   begin
+//   +q(b)
+//   -payroll(ada, 9000)
+//   commit
+//
+// A record is only acted on during recovery if its `commit` line made it
+// to disk; a torn trailing record (crash mid-append) is ignored.
+
+#ifndef PARK_ECA_JOURNAL_H_
+#define PARK_ECA_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eca/update.h"
+
+namespace park {
+
+/// Append handle for a journal file. Move-only; closes on destruction.
+class TransactionJournal {
+ public:
+  /// Opens `path` for appending, creating it if absent.
+  static Result<TransactionJournal> Open(const std::string& path);
+
+  TransactionJournal(TransactionJournal&& other) noexcept;
+  TransactionJournal& operator=(TransactionJournal&& other) noexcept;
+  TransactionJournal(const TransactionJournal&) = delete;
+  TransactionJournal& operator=(const TransactionJournal&) = delete;
+  ~TransactionJournal();
+
+  /// Appends one committed transaction record and flushes it to the OS.
+  Status Append(const UpdateSet& updates, const SymbolTable& symbols);
+
+  const std::string& path() const { return path_; }
+
+  /// Parses every complete record in `path`. A missing file yields an
+  /// empty list (a fresh journal); a torn trailing record is skipped; a
+  /// malformed line inside a committed record is an error.
+  static Result<std::vector<UpdateSet>> ReadAll(
+      const std::string& path,
+      const std::shared_ptr<SymbolTable>& symbols);
+
+ private:
+  TransactionJournal(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace park
+
+#endif  // PARK_ECA_JOURNAL_H_

@@ -1,0 +1,47 @@
+#include "eca/transaction.h"
+
+#include "eca/active_database.h"
+
+namespace park {
+
+GroundAtom Transaction::MakeAtom(std::string_view predicate,
+                                 const std::vector<std::string>& args) {
+  SymbolTable& symbols = *db_->symbols();
+  PredicateId pred =
+      symbols.InternPredicate(predicate, static_cast<int>(args.size()));
+  Tuple tuple;
+  for (const std::string& arg : args) {
+    tuple.Append(ConstantFromText(arg, symbols));
+  }
+  return GroundAtom(pred, std::move(tuple));
+}
+
+Transaction& Transaction::Insert(const GroundAtom& atom) {
+  updates_.AddInsert(atom);
+  return *this;
+}
+
+Transaction& Transaction::Delete(const GroundAtom& atom) {
+  updates_.AddDelete(atom);
+  return *this;
+}
+
+Transaction& Transaction::Insert(std::string_view predicate,
+                                 const std::vector<std::string>& args) {
+  return Insert(MakeAtom(predicate, args));
+}
+
+Transaction& Transaction::Delete(std::string_view predicate,
+                                 const std::vector<std::string>& args) {
+  return Delete(MakeAtom(predicate, args));
+}
+
+Status Transaction::Stage(std::string_view update_text) {
+  return updates_.AddParsed(update_text, db_->symbols());
+}
+
+Result<CommitReport> Transaction::Commit() && {
+  return db_->CommitUpdates(updates_);
+}
+
+}  // namespace park

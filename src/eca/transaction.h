@@ -1,0 +1,67 @@
+// Transaction: a unit of user updates evaluated atomically under the PARK
+// semantics at commit time. Produced by ActiveDatabase::Begin().
+
+#ifndef PARK_ECA_TRANSACTION_H_
+#define PARK_ECA_TRANSACTION_H_
+
+#include "eca/update.h"
+
+namespace park {
+
+class ActiveDatabase;
+
+/// What a commit did. The commit is atomic: either the whole report
+/// applies or (on error) nothing changed.
+struct CommitReport {
+  /// Atoms actually added to / removed from the stored database.
+  std::vector<GroundAtom> inserted;
+  std::vector<GroundAtom> deleted;
+  /// Evaluation counters (restarts > 0 means conflicts were resolved).
+  ParkStats stats;
+  /// Full trace at the ActiveDatabase's configured trace level.
+  Trace trace;
+};
+
+/// A pending set of updates against an ActiveDatabase. Move-only; commit
+/// or abandon. Updates are collected eagerly but nothing touches the
+/// stored database until Commit.
+class Transaction {
+ public:
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Stages an insertion/deletion of a ground atom.
+  Transaction& Insert(const GroundAtom& atom);
+  Transaction& Delete(const GroundAtom& atom);
+
+  /// Convenience: interns and stages `predicate(args...)`.
+  Transaction& Insert(std::string_view predicate,
+                      const std::vector<std::string>& args);
+  Transaction& Delete(std::string_view predicate,
+                      const std::vector<std::string>& args);
+
+  /// Stages a parsed "+p(a)" / "-q(b)" update.
+  Status Stage(std::string_view update_text);
+
+  const UpdateSet& pending() const { return updates_; }
+
+  /// Runs PARK(D, P, U) and atomically replaces the stored database with
+  /// the result. The transaction must not be reused afterwards.
+  Result<CommitReport> Commit() &&;
+
+ private:
+  friend class ActiveDatabase;
+  explicit Transaction(ActiveDatabase* db) : db_(db) {}
+
+  GroundAtom MakeAtom(std::string_view predicate,
+                      const std::vector<std::string>& args);
+
+  ActiveDatabase* db_;
+  UpdateSet updates_;
+};
+
+}  // namespace park
+
+#endif  // PARK_ECA_TRANSACTION_H_

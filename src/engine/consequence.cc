@@ -1,0 +1,189 @@
+#include "engine/consequence.h"
+
+#include <algorithm>
+
+namespace park {
+namespace {
+
+/// Fills consistency / newly_marked / clashing_atoms of `result` from its
+/// derivation list against `interp`.
+void AnalyzeDerivations(const IInterpretation& interp, GammaResult& result) {
+  std::unordered_set<GroundAtom, GroundAtomHash> derived_plus;
+  std::unordered_set<GroundAtom, GroundAtomHash> derived_minus;
+  for (const Derivation& d : result.derivations) {
+    if (d.action == ActionKind::kInsert) {
+      derived_plus.insert(d.atom);
+    } else {
+      derived_minus.insert(d.atom);
+    }
+  }
+  for (const GroundAtom& atom : derived_plus) {
+    if (!interp.HasPlus(atom)) ++result.newly_marked;
+    if (derived_minus.contains(atom) || interp.HasMinus(atom)) {
+      result.clashing_atoms.push_back(atom);
+    }
+  }
+  for (const GroundAtom& atom : derived_minus) {
+    if (!interp.HasMinus(atom)) ++result.newly_marked;
+    if (!derived_plus.contains(atom) && interp.HasPlus(atom)) {
+      result.clashing_atoms.push_back(atom);
+    }
+  }
+  std::sort(result.clashing_atoms.begin(), result.clashing_atoms.end());
+  result.clashing_atoms.erase(
+      std::unique(result.clashing_atoms.begin(),
+                  result.clashing_atoms.end()),
+      result.clashing_atoms.end());
+  result.consistent = result.clashing_atoms.empty();
+}
+
+void MatchRule(const Rule& rule, const BlockedSet& blocked,
+               const IInterpretation& interp, GammaResult& result) {
+  ForEachBodyMatch(rule, interp, [&](const Tuple& binding) {
+    RuleGrounding grounding(rule.index(), binding);
+    if (blocked.contains(grounding)) return;
+    GroundAtom head = rule.head().atom.Ground(binding.values());
+    result.derivations.push_back(Derivation{
+        std::move(grounding), rule.head().action, std::move(head)});
+  });
+  ++result.rules_evaluated;
+}
+
+}  // namespace
+
+GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
+                         const IInterpretation& interp) {
+  GammaResult result;
+  for (const Rule& rule : program.rules()) {
+    MatchRule(rule, blocked, interp, result);
+  }
+  AnalyzeDerivations(interp, result);
+  return result;
+}
+
+size_t ApplyDerivations(const std::vector<Derivation>& derivations,
+                        IInterpretation& interp) {
+  size_t added = 0;
+  for (const Derivation& d : derivations) {
+    if (interp.AddMarked(d.action, d.atom, d.grounding)) ++added;
+  }
+  return added;
+}
+
+bool RuleIsAffected(const Rule& rule, const DeltaState& delta) {
+  if (delta.initial) return true;
+  for (const BodyLiteral& lit : rule.body()) {
+    switch (lit.kind) {
+      case LiteralKind::kPositive:
+      case LiteralKind::kEventInsert:
+        if (delta.plus_changed.contains(lit.atom.predicate)) return true;
+        break;
+      case LiteralKind::kNegated:
+      case LiteralKind::kEventDelete:
+        if (delta.minus_changed.contains(lit.atom.predicate)) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+GammaResult ComputeGammaFiltered(const Program& program,
+                                 const BlockedSet& blocked,
+                                 const IInterpretation& interp,
+                                 const DeltaState& delta) {
+  GammaResult result;
+  for (const Rule& rule : program.rules()) {
+    if (!RuleIsAffected(rule, delta)) continue;
+    MatchRule(rule, blocked, interp, result);
+  }
+  AnalyzeDerivations(interp, result);
+  return result;
+}
+
+GammaResult ComputeGammaSemiNaive(const Program& program,
+                                  const BlockedSet& blocked,
+                                  const IInterpretation& interp,
+                                  const DeltaAtoms& delta) {
+  if (delta.initial) return ComputeGamma(program, blocked, interp);
+
+  GammaResult result;
+  std::unordered_set<RuleGrounding, RuleGroundingHash> seen;
+  for (const Rule& rule : program.rules()) {
+    bool evaluated = false;
+    auto complete_seed = [&](int literal_index, const GroundAtom& atom) {
+      ForEachBodyMatchSeeded(
+          rule, interp, literal_index, atom, [&](const Tuple& binding) {
+            RuleGrounding grounding(rule.index(), binding);
+            if (blocked.contains(grounding)) return;
+            if (!seen.insert(grounding).second) return;  // multi-seeded
+            GroundAtom head = rule.head().atom.Ground(binding.values());
+            result.derivations.push_back(Derivation{
+                std::move(grounding), rule.head().action, std::move(head)});
+          });
+    };
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      const BodyLiteral& lit = rule.body()[i];
+      const std::vector<GroundAtom>* source = nullptr;
+      switch (lit.kind) {
+        case LiteralKind::kPositive:
+        case LiteralKind::kEventInsert:
+          source = &delta.plus;
+          break;
+        case LiteralKind::kNegated:
+        case LiteralKind::kEventDelete:
+          source = &delta.minus;
+          break;
+      }
+      for (const GroundAtom& atom : *source) {
+        if (atom.predicate() != lit.atom.predicate) continue;
+        complete_seed(static_cast<int>(i), atom);
+        evaluated = true;
+      }
+    }
+    if (evaluated) ++result.rules_evaluated;
+  }
+  AnalyzeDerivations(interp, result);
+  return result;
+}
+
+size_t ApplyDerivationsTrackedAtoms(
+    const std::vector<Derivation>& derivations, IInterpretation& interp,
+    DeltaAtoms& next_delta) {
+  next_delta.initial = false;
+  next_delta.plus.clear();
+  next_delta.minus.clear();
+  size_t added = 0;
+  for (const Derivation& d : derivations) {
+    if (interp.AddMarked(d.action, d.atom, d.grounding)) {
+      ++added;
+      if (d.action == ActionKind::kInsert) {
+        next_delta.plus.push_back(d.atom);
+      } else {
+        next_delta.minus.push_back(d.atom);
+      }
+    }
+  }
+  return added;
+}
+
+size_t ApplyDerivationsTracked(const std::vector<Derivation>& derivations,
+                               IInterpretation& interp,
+                               DeltaState& next_delta) {
+  next_delta.initial = false;
+  next_delta.plus_changed.clear();
+  next_delta.minus_changed.clear();
+  size_t added = 0;
+  for (const Derivation& d : derivations) {
+    if (interp.AddMarked(d.action, d.atom, d.grounding)) {
+      ++added;
+      if (d.action == ActionKind::kInsert) {
+        next_delta.plus_changed.insert(d.atom.predicate());
+      } else {
+        next_delta.minus_changed.insert(d.atom.predicate());
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace park

@@ -1,0 +1,144 @@
+// The immediate consequence operator Γ(P,B) of paper §4.2.
+//
+// ComputeGamma enumerates every non-blocked rule grounding whose body is
+// valid in I — i.e. exactly the marked atoms Γ(P,B)(I) would add — without
+// mutating I. The Δ operator then either applies the derivations (the
+// consistent case) or hands them to conflict construction (the
+// inconsistent case).
+
+#ifndef PARK_ENGINE_CONSEQUENCE_H_
+#define PARK_ENGINE_CONSEQUENCE_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "engine/interpretation.h"
+#include "engine/matcher.h"
+
+namespace park {
+
+/// One firing: the grounding (r, θ), the head action it commands, and the
+/// ground head atom.
+struct Derivation {
+  RuleGrounding grounding;
+  ActionKind action = ActionKind::kInsert;
+  GroundAtom atom;
+};
+
+/// The outcome of one Γ(P,B)(I) evaluation.
+struct GammaResult {
+  /// Every firable, non-blocked rule instance (including those whose head
+  /// atom is already marked in I).
+  std::vector<Derivation> derivations;
+
+  /// True iff I ∪ {derived marks} contains no +a/-a pair.
+  bool consistent = true;
+
+  /// Number of derived marked atoms not already present in I. Zero (with
+  /// `consistent`) means Γ(P,B)(I) = I: the fixpoint is reached.
+  size_t newly_marked = 0;
+
+  /// The atoms that would be marked both + and -, sorted and de-duplicated
+  /// (non-empty iff !consistent).
+  std::vector<GroundAtom> clashing_atoms;
+
+  /// Number of rules whose bodies were actually matched (= program size
+  /// for ComputeGamma; possibly fewer for ComputeGammaFiltered).
+  size_t rules_evaluated = 0;
+};
+
+/// Evaluates Γ(P,B)(I) as a derivation list; does not modify `interp`.
+GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
+                         const IInterpretation& interp);
+
+/// Applies `derivations` to `interp` (AddMarked + provenance). The caller
+/// must have checked `consistent`. Returns the number of marked atoms that
+/// were new.
+size_t ApplyDerivations(const std::vector<Derivation>& derivations,
+                        IInterpretation& interp);
+
+// --- Delta-filtered (semi-naive style) evaluation ---
+//
+// Between two Γ applications of the same round, a rule can only produce a
+// NEW derivation if some body literal gained satisfying atoms since the
+// last step: positive and +event literals gain from new `+` marks of
+// their predicate, -event and negated literals gain from new `-` marks
+// (negation-by-absence only ever *loses* witnesses as I grows). Rules
+// whose body predicates saw no relevant new marks are skipped entirely.
+// The filtered result has exactly the same `newly_marked`, consistency
+// verdict, and new derivations as the full Γ; it may omit re-derivations
+// of already-present marks, so conflict construction (which needs maximal
+// ins/del sides) recomputes a full Γ when a clash is detected.
+
+/// Which predicates gained +/- marks in the previous Γ application.
+/// `initial` forces a full evaluation (start of a round / after restart).
+struct DeltaState {
+  bool initial = true;
+  std::unordered_set<PredicateId> plus_changed;
+  std::unordered_set<PredicateId> minus_changed;
+
+  void Reset() {
+    initial = true;
+    plus_changed.clear();
+    minus_changed.clear();
+  }
+};
+
+/// True if `rule` may produce a new derivation given `delta`.
+bool RuleIsAffected(const Rule& rule, const DeltaState& delta);
+
+/// Γ(P,B)(I) restricted to affected rules. `rules_evaluated` in the result
+/// counts the rules actually matched.
+GammaResult ComputeGammaFiltered(const Program& program,
+                                 const BlockedSet& blocked,
+                                 const IInterpretation& interp,
+                                 const DeltaState& delta);
+
+/// ApplyDerivations variant that also records, into `next_delta`, which
+/// predicates gained new marks (for the next filtered step).
+size_t ApplyDerivationsTracked(const std::vector<Derivation>& derivations,
+                               IInterpretation& interp,
+                               DeltaState& next_delta);
+
+// --- Semi-naive evaluation (per-literal delta joins) ---
+//
+// Strictly stronger than delta filtering: instead of fully re-matching
+// every affected rule, each new mark SEEDS the body literals it can
+// satisfy and only the completions of those seeds are enumerated
+// (ForEachBodyMatchSeeded). Every genuinely new match contains at least
+// one literal that only a new mark satisfies — positive/+event literals
+// gain witnesses from new `+` marks, -event literals from new `-` marks,
+// and negated literals become valid only through new `-` marks (validity
+// by absence can only be lost as I grows) — so seeding is complete.
+// The result omits re-derivations of already-present marks, which is why
+// the evaluator recomputes a full Γ before building (maximal) conflicts.
+
+/// The actual atoms newly marked by the previous Γ application.
+struct DeltaAtoms {
+  bool initial = true;
+  std::vector<GroundAtom> plus;
+  std::vector<GroundAtom> minus;
+
+  void Reset() {
+    initial = true;
+    plus.clear();
+    minus.clear();
+  }
+};
+
+/// Γ(P,B)(I) as the set of seed-completions of `delta`. With
+/// `delta.initial`, identical to ComputeGamma. Derivations are
+/// duplicate-free.
+GammaResult ComputeGammaSemiNaive(const Program& program,
+                                  const BlockedSet& blocked,
+                                  const IInterpretation& interp,
+                                  const DeltaAtoms& delta);
+
+/// ApplyDerivations variant recording the newly marked atoms themselves.
+size_t ApplyDerivationsTrackedAtoms(
+    const std::vector<Derivation>& derivations, IInterpretation& interp,
+    DeltaAtoms& next_delta);
+
+}  // namespace park
+
+#endif  // PARK_ENGINE_CONSEQUENCE_H_

@@ -1,0 +1,113 @@
+#include "engine/interpretation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace park {
+
+IInterpretation::IInterpretation(const Database* base)
+    : base_(base), plus_(base->symbols()), minus_(base->symbols()) {
+  PARK_CHECK(base != nullptr) << "IInterpretation requires a base database";
+}
+
+bool IInterpretation::IsValid(const GroundAtom& atom, LiteralKind kind) const {
+  switch (kind) {
+    case LiteralKind::kPositive:
+      return base_->Contains(atom) || plus_.Contains(atom);
+    case LiteralKind::kNegated:
+      return minus_.Contains(atom) ||
+             (!base_->Contains(atom) && !plus_.Contains(atom));
+    case LiteralKind::kEventInsert:
+      return plus_.Contains(atom);
+    case LiteralKind::kEventDelete:
+      return minus_.Contains(atom);
+  }
+  return false;
+}
+
+bool IInterpretation::AddMarked(ActionKind action, const GroundAtom& atom,
+                                const RuleGrounding& by) {
+  Database& target = action == ActionKind::kInsert ? plus_ : minus_;
+  const Database& opposite = action == ActionKind::kInsert ? minus_ : plus_;
+  ProvenanceMap& provenance = action == ActionKind::kInsert
+                                  ? plus_provenance_
+                                  : minus_provenance_;
+  bool added = target.Insert(atom);
+  std::vector<RuleGrounding>& derivations = provenance[atom];
+  if (std::find(derivations.begin(), derivations.end(), by) ==
+      derivations.end()) {
+    derivations.push_back(by);
+  }
+  if (added && opposite.Contains(atom)) ++inconsistent_count_;
+  return added;
+}
+
+const std::vector<RuleGrounding>* IInterpretation::Provenance(
+    ActionKind action, const GroundAtom& atom) const {
+  const ProvenanceMap& provenance = action == ActionKind::kInsert
+                                        ? plus_provenance_
+                                        : minus_provenance_;
+  auto it = provenance.find(atom);
+  if (it == provenance.end()) return nullptr;
+  return &it->second;
+}
+
+void IInterpretation::ClearMarks() {
+  plus_ = Database(base_->symbols());
+  minus_ = Database(base_->symbols());
+  plus_provenance_.clear();
+  minus_provenance_.clear();
+  inconsistent_count_ = 0;
+}
+
+Database IInterpretation::Incorporate() const {
+  PARK_CHECK(IsConsistent()) << "incorp on an inconsistent i-interpretation";
+  Database result = base_->Clone();
+  plus_.ForEach([&](const GroundAtom& atom) { result.Insert(atom); });
+  minus_.ForEach([&](const GroundAtom& atom) { result.Erase(atom); });
+  return result;
+}
+
+std::vector<std::string> IInterpretation::SortedLiteralStrings() const {
+  std::vector<std::string> out;
+  out.reserve(base_->size() + plus_.size() + minus_.size());
+  const SymbolTable& symbols = *base_->symbols();
+
+  std::vector<std::string> unmarked;
+  base_->ForEach([&](const GroundAtom& atom) {
+    unmarked.push_back(atom.ToString(symbols));
+  });
+  std::sort(unmarked.begin(), unmarked.end());
+
+  std::vector<std::string> plus;
+  plus_.ForEach([&](const GroundAtom& atom) {
+    plus.push_back("+" + atom.ToString(symbols));
+  });
+  std::sort(plus.begin(), plus.end());
+
+  std::vector<std::string> minus;
+  minus_.ForEach([&](const GroundAtom& atom) {
+    minus.push_back("-" + atom.ToString(symbols));
+  });
+  std::sort(minus.begin(), minus.end());
+
+  out.insert(out.end(), unmarked.begin(), unmarked.end());
+  out.insert(out.end(), plus.begin(), plus.end());
+  out.insert(out.end(), minus.begin(), minus.end());
+  return out;
+}
+
+std::string IInterpretation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& lit : SortedLiteralStrings()) {
+    if (!first) out += ", ";
+    out += lit;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace park

@@ -1,0 +1,100 @@
+// IInterpretation: the "intermediate interpretation" of paper §4.2 — a set
+// of unmarked atoms (always exactly the original database instance D; the
+// fixpoint computation never changes I°) plus sets of atoms marked `+` and
+// `-`, together with the validity relation for all four literal kinds and
+// provenance bookkeeping for conflict construction.
+
+#ifndef PARK_ENGINE_INTERPRETATION_H_
+#define PARK_ENGINE_INTERPRETATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/rule_grounding.h"
+#include "storage/database.h"
+
+namespace park {
+
+/// An i-interpretation I = I° ∪ I⁺ ∪ I⁻ over a fixed base database.
+///
+/// The base (I°) is borrowed and never mutated; marked atoms accumulate via
+/// AddMarked and are discarded wholesale by ClearMarks (the "restart from
+/// I°" step of the Δ operator). The class also records, for every marked
+/// atom, which rule groundings derived it — used to build conflict sides
+/// when a stale derivation clashes with a current one (see DESIGN.md §2).
+class IInterpretation {
+ public:
+  /// `base` must outlive this interpretation.
+  explicit IInterpretation(const Database* base);
+
+  IInterpretation(const IInterpretation&) = delete;
+  IInterpretation& operator=(const IInterpretation&) = delete;
+  IInterpretation(IInterpretation&&) = default;
+
+  const Database& base() const { return *base_; }
+  const Database& plus() const { return plus_; }
+  const Database& minus() const { return minus_; }
+
+  /// Literal validity per §4.2 (conditions) and §4.3 (events):
+  ///  - kPositive:    atom ∈ I° or +atom ∈ I⁺
+  ///  - kNegated:     -atom ∈ I⁻, or (atom ∉ I° and +atom ∉ I⁺)
+  ///  - kEventInsert: +atom ∈ I⁺
+  ///  - kEventDelete: -atom ∈ I⁻
+  bool IsValid(const GroundAtom& atom, LiteralKind kind) const;
+
+  bool HasPlus(const GroundAtom& atom) const { return plus_.Contains(atom); }
+  bool HasMinus(const GroundAtom& atom) const { return minus_.Contains(atom); }
+  bool HasUnmarked(const GroundAtom& atom) const {
+    return base_->Contains(atom);
+  }
+
+  /// Adds `±atom` and records `by` as one of its derivations. Returns true
+  /// if the marked atom is new. Does NOT check consistency — the caller
+  /// (the Δ operator) decides whether a would-be-inconsistent Γ result is
+  /// ever applied.
+  bool AddMarked(ActionKind action, const GroundAtom& atom,
+                 const RuleGrounding& by);
+
+  /// All groundings that ever derived `±atom` since the last ClearMarks.
+  const std::vector<RuleGrounding>* Provenance(ActionKind action,
+                                               const GroundAtom& atom) const;
+
+  /// Discards all marked atoms and provenance: I becomes I° again.
+  void ClearMarks();
+
+  /// True iff no atom is marked both + and -.
+  bool IsConsistent() const { return inconsistent_count_ == 0; }
+
+  size_t num_plus() const { return plus_.size(); }
+  size_t num_minus() const { return minus_.size(); }
+
+  /// incorp(I) (paper §4.2): (I° ∪ {a | +a ∈ I⁺}) − {a | -a ∈ I⁻}.
+  /// Must only be called on a consistent interpretation.
+  Database Incorporate() const;
+
+  /// Renders like the paper's traces: "{p, +q, -a}", atoms sorted within
+  /// each mark class (unmarked first, then +, then -).
+  std::string ToString() const;
+
+  /// Sorted rendered atoms, e.g. {"p", "+q", "-a"} — handy for EXPECT_EQ
+  /// against the paper's step listings.
+  std::vector<std::string> SortedLiteralStrings() const;
+
+ private:
+  using ProvenanceMap =
+      std::unordered_map<GroundAtom, std::vector<RuleGrounding>,
+                         GroundAtomHash>;
+
+  const Database* base_;
+  Database plus_;
+  Database minus_;
+  ProvenanceMap plus_provenance_;
+  ProvenanceMap minus_provenance_;
+  // Number of atoms currently marked both ways.
+  size_t inconsistent_count_ = 0;
+};
+
+}  // namespace park
+
+#endif  // PARK_ENGINE_INTERPRETATION_H_

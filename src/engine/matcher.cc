@@ -1,0 +1,291 @@
+#include "engine/matcher.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/logging.h"
+
+namespace park {
+namespace {
+
+bool IsBindingKind(LiteralKind kind) {
+  return kind == LiteralKind::kPositive ||
+         kind == LiteralKind::kEventInsert ||
+         kind == LiteralKind::kEventDelete;
+}
+
+/// True if every variable of `atom` is in `bound`.
+bool FullyBound(const AtomPattern& atom, const std::vector<bool>& bound) {
+  for (const Term& t : atom.terms) {
+    if (t.is_variable() && !bound[static_cast<size_t>(t.var_index())]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int CountBoundPositions(const AtomPattern& atom,
+                        const std::vector<bool>& bound) {
+  int n = 0;
+  for (const Term& t : atom.terms) {
+    if (t.is_constant() ||
+        bound[static_cast<size_t>(t.var_index())]) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+/// Backtracking evaluator for one rule body, in planned order.
+class BodyMatcher {
+ public:
+  BodyMatcher(const Rule& rule, const IInterpretation& interp,
+              const std::function<void(const Tuple&)>& fn,
+              const std::vector<int>& order)
+      : rule_(rule),
+        interp_(interp),
+        fn_(fn),
+        order_(order),
+        binding_(static_cast<size_t>(rule.num_variables())),
+        bound_(static_cast<size_t>(rule.num_variables()), false) {}
+
+  void Run() { Extend(0); }
+
+  /// Pre-binds the variables of `seed_literal` against `seed_atom` (its
+  /// validity is the caller's guarantee), then enumerates the remaining
+  /// plan. Returns without calling the callback if constants or repeated
+  /// variables disagree with the atom.
+  void RunSeeded(const BodyLiteral& seed_literal,
+                 const GroundAtom& seed_atom) {
+    const AtomPattern& pattern = seed_literal.atom;
+    if (pattern.predicate != seed_atom.predicate()) return;
+    for (size_t i = 0; i < pattern.terms.size(); ++i) {
+      const Term& term = pattern.terms[i];
+      const Value& value = seed_atom.args()[static_cast<int>(i)];
+      if (term.is_constant()) {
+        if (term.constant() != value) return;
+        continue;
+      }
+      size_t var = static_cast<size_t>(term.var_index());
+      if (bound_[var]) {
+        if (binding_[var] != value) return;  // repeated variable mismatch
+      } else {
+        binding_[var] = value;
+        bound_[var] = true;
+      }
+    }
+    Extend(0);
+  }
+
+ private:
+  void Extend(size_t step) {
+    if (step == order_.size()) {
+      Emit();
+      return;
+    }
+    const BodyLiteral& lit =
+        rule_.body()[static_cast<size_t>(order_[step])];
+    if (FullyBound(lit.atom, bound_)) {
+      GroundAtom atom = GroundLiteral(lit.atom);
+      if (interp_.IsValid(atom, lit.kind)) Extend(step + 1);
+      return;
+    }
+    PARK_CHECK(IsBindingKind(lit.kind))
+        << "planner scheduled an unbound negated literal";
+    EnumerateCandidates(lit, step);
+  }
+
+  GroundAtom GroundLiteral(const AtomPattern& atom) const {
+    Tuple args;
+    for (const Term& t : atom.terms) {
+      args.Append(t.is_constant()
+                      ? t.constant()
+                      : binding_[static_cast<size_t>(t.var_index())]);
+    }
+    return GroundAtom(atom.predicate, std::move(args));
+  }
+
+  TuplePattern PatternFor(const AtomPattern& atom) const {
+    TuplePattern pattern;
+    pattern.reserve(atom.terms.size());
+    for (const Term& t : atom.terms) {
+      if (t.is_constant()) {
+        pattern.push_back(t.constant());
+      } else if (bound_[static_cast<size_t>(t.var_index())]) {
+        pattern.push_back(binding_[static_cast<size_t>(t.var_index())]);
+      } else {
+        pattern.push_back(std::nullopt);
+      }
+    }
+    return pattern;
+  }
+
+  /// Tries to bind the unbound variables of `atom` against `t`; on success
+  /// recurses, then undoes the new bindings. Repeated unbound variables
+  /// within the literal are checked for equality here (the TuplePattern
+  /// cannot express them).
+  void TryTuple(const AtomPattern& atom, const Tuple& t, size_t step) {
+    std::vector<int> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& term = atom.terms[i];
+      if (term.is_constant()) continue;  // pattern guaranteed the match
+      size_t var = static_cast<size_t>(term.var_index());
+      if (bound_[var]) {
+        if (binding_[var] != t[static_cast<int>(i)]) {
+          ok = false;
+          break;
+        }
+      } else {
+        binding_[var] = t[static_cast<int>(i)];
+        bound_[var] = true;
+        newly_bound.push_back(static_cast<int>(var));
+      }
+    }
+    if (ok) Extend(step + 1);
+    for (int var : newly_bound) bound_[static_cast<size_t>(var)] = false;
+  }
+
+  void EnumerateCandidates(const BodyLiteral& lit, size_t step) {
+    TuplePattern pattern = PatternFor(lit.atom);
+    PredicateId pred = lit.atom.predicate;
+    switch (lit.kind) {
+      case LiteralKind::kPositive: {
+        // Valid sources: unmarked base atoms and +marked atoms. An atom in
+        // both would be enumerated twice; skip base duplicates in the plus
+        // scan.
+        const Relation* base = interp_.base().GetRelation(pred);
+        if (base != nullptr) {
+          base->ForEachMatching(
+              pattern, [&](const Tuple& t) { TryTuple(lit.atom, t, step); });
+        }
+        const Relation* plus = interp_.plus().GetRelation(pred);
+        if (plus != nullptr) {
+          plus->ForEachMatching(pattern, [&](const Tuple& t) {
+            if (base != nullptr && base->Contains(t)) return;
+            TryTuple(lit.atom, t, step);
+          });
+        }
+        return;
+      }
+      case LiteralKind::kEventInsert: {
+        const Relation* plus = interp_.plus().GetRelation(pred);
+        if (plus != nullptr) {
+          plus->ForEachMatching(
+              pattern, [&](const Tuple& t) { TryTuple(lit.atom, t, step); });
+        }
+        return;
+      }
+      case LiteralKind::kEventDelete: {
+        const Relation* minus = interp_.minus().GetRelation(pred);
+        if (minus != nullptr) {
+          minus->ForEachMatching(
+              pattern, [&](const Tuple& t) { TryTuple(lit.atom, t, step); });
+        }
+        return;
+      }
+      case LiteralKind::kNegated:
+        PARK_CHECK(false) << "unreachable: negated literal as generator";
+    }
+  }
+
+  void Emit() {
+    Tuple result;
+    for (size_t i = 0; i < binding_.size(); ++i) {
+      PARK_CHECK(bound_[i])
+          << "variable '" << rule_.variable_names()[i]
+          << "' unbound at match emission (safety should prevent this)";
+      result.Append(binding_[i]);
+    }
+    fn_(result);
+  }
+
+  const Rule& rule_;
+  const IInterpretation& interp_;
+  const std::function<void(const Tuple&)>& fn_;
+  const std::vector<int>& order_;
+  std::vector<Value> binding_;
+  std::vector<bool> bound_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Greedy literal ordering; when `pre_bound` >= 0 that literal is treated
+/// as already evaluated (its variables bound, itself excluded).
+std::vector<int> PlanBodyOrderImpl(const Rule& rule, int pre_bound) {
+  const auto& body = rule.body();
+  std::vector<int> order;
+  order.reserve(body.size());
+  std::vector<bool> scheduled(body.size(), false);
+  std::vector<bool> bound(static_cast<size_t>(rule.num_variables()), false);
+  size_t to_schedule = body.size();
+  if (pre_bound >= 0) {
+    scheduled[static_cast<size_t>(pre_bound)] = true;
+    for (const Term& t : body[static_cast<size_t>(pre_bound)].atom.terms) {
+      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    }
+    --to_schedule;
+  }
+
+  auto bind_vars = [&bound](const AtomPattern& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    }
+  };
+
+  for (size_t n = 0; n < to_schedule; ++n) {
+    // 1. Prefer any literal that is already fully bound: it is a constant-
+    //    time filter and prunes the search space earliest.
+    int chosen = -1;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!scheduled[i] && FullyBound(body[i].atom, bound)) {
+        chosen = static_cast<int>(i);
+        break;
+      }
+    }
+    // 2. Otherwise the binding literal with the most bound positions (uses
+    //    the narrowest index); break ties by source order.
+    if (chosen < 0) {
+      int best_bound = -1;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (scheduled[i] || !IsBindingKind(body[i].kind)) continue;
+        int b = CountBoundPositions(body[i].atom, bound);
+        if (b > best_bound) {
+          best_bound = b;
+          chosen = static_cast<int>(i);
+        }
+      }
+    }
+    PARK_CHECK_GE(chosen, 0)
+        << "no schedulable literal (unsafe rule slipped past validation)";
+    scheduled[static_cast<size_t>(chosen)] = true;
+    bind_vars(body[static_cast<size_t>(chosen)].atom);
+    order.push_back(chosen);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> PlanBodyOrder(const Rule& rule) {
+  return PlanBodyOrderImpl(rule, /*pre_bound=*/-1);
+}
+
+void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
+                      const std::function<void(const Tuple& binding)>& fn) {
+  std::vector<int> order = PlanBodyOrder(rule);
+  BodyMatcher matcher(rule, interp, fn, order);
+  matcher.Run();
+}
+
+void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
+                            int seed_index, const GroundAtom& seed_atom,
+                            const std::function<void(const Tuple&)>& fn) {
+  std::vector<int> order = PlanBodyOrderImpl(rule, seed_index);
+  BodyMatcher matcher(rule, interp, fn, order);
+  matcher.RunSeeded(rule.body()[static_cast<size_t>(seed_index)], seed_atom);
+}
+
+}  // namespace park

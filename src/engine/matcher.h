@@ -1,0 +1,44 @@
+// Body matching: enumerating the ground substitutions that make a rule
+// body valid in an i-interpretation.
+//
+// The matcher plans a literal order per rule (filters as early as possible,
+// then the binding literal with the most bound argument positions, so that
+// the storage layer's column indexes are used), then enumerates matches by
+// backtracking. Negated literals are only ever evaluated once fully bound —
+// guaranteed possible by the safety conditions.
+
+#ifndef PARK_ENGINE_MATCHER_H_
+#define PARK_ENGINE_MATCHER_H_
+
+#include <functional>
+#include <vector>
+
+#include "engine/interpretation.h"
+
+namespace park {
+
+/// Invokes `fn(binding)` once per distinct ground substitution θ (a Tuple
+/// indexed by the rule's variable indexes) such that every body literal of
+/// `rule` is valid in `interp`. A rule with an empty body yields exactly
+/// one (empty) binding. `fn` must not mutate `interp`.
+void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
+                      const std::function<void(const Tuple& binding)>& fn);
+
+/// Returns the body-literal evaluation order the matcher would use for
+/// `rule` (indexes into rule.body()). Exposed for tests and for the
+/// EXPLAIN output of the parkcli tool.
+std::vector<int> PlanBodyOrder(const Rule& rule);
+
+/// Semi-naive building block: enumerates the matches of `rule` in which
+/// body literal `seed_index` is grounded by exactly `seed_atom`. The
+/// seed literal's constants and repeated variables are checked against
+/// the atom; its variables are pre-bound; the remaining literals are then
+/// enumerated as usual. The caller guarantees `seed_atom` makes the seed
+/// literal valid (it came from the engine's delta of new marks).
+void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
+                            int seed_index, const GroundAtom& seed_atom,
+                            const std::function<void(const Tuple&)>& fn);
+
+}  // namespace park
+
+#endif  // PARK_ENGINE_MATCHER_H_

@@ -1,0 +1,26 @@
+#include "engine/rule_grounding.h"
+
+namespace park {
+
+std::string RuleGrounding::ToString(const Program& program,
+                                    const SymbolTable& symbols) const {
+  const Rule& rule = program.rule(rule_index_);
+  std::string label = rule.name().empty()
+                          ? "r#" + std::to_string(rule_index_)
+                          : rule.name();
+  std::string out = "(" + label;
+  if (binding_.arity() > 0) {
+    out += ", [";
+    for (int i = 0; i < binding_.arity(); ++i) {
+      if (i > 0) out += ", ";
+      out += rule.variable_names()[static_cast<size_t>(i)];
+      out += " <- ";
+      out += binding_[i].ToString(symbols);
+    }
+    out += "]";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace park

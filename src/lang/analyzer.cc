@@ -1,0 +1,183 @@
+#include "lang/analyzer.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+std::string RuleLabelForError(const Rule& rule) {
+  if (!rule.name().empty()) return "rule '" + rule.name() + "'";
+  if (rule.index() >= 0) return StrFormat("rule #%d", rule.index());
+  return "rule";
+}
+
+/// Union-find over the disjoint variable spaces of two atom patterns,
+/// where each class may carry at most one constant.
+class HeadUnifier {
+ public:
+  HeadUnifier(int vars_a, int vars_b)
+      : offset_(vars_a),
+        parent_(static_cast<size_t>(vars_a + vars_b)),
+        constant_(static_cast<size_t>(vars_a + vars_b)) {
+    for (size_t i = 0; i < parent_.size(); ++i) {
+      parent_[i] = static_cast<int>(i);
+    }
+  }
+
+  /// Unifies position terms `a` (from the first rule) and `b` (from the
+  /// second). Returns false on a constant clash.
+  bool Unify(const Term& a, const Term& b) {
+    if (a.is_constant() && b.is_constant()) {
+      return a.constant() == b.constant();
+    }
+    if (a.is_constant()) return BindConstant(b.var_index() + offset_, a.constant());
+    if (b.is_constant()) return BindConstant(a.var_index(), b.constant());
+    return Union(a.var_index(), b.var_index() + offset_);
+  }
+
+ private:
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  bool BindConstant(int var, const Value& value) {
+    int root = Find(var);
+    auto& slot = constant_[static_cast<size_t>(root)];
+    if (slot.has_value()) return *slot == value;
+    slot = value;
+    return true;
+  }
+
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return true;
+    const auto& ca = constant_[static_cast<size_t>(ra)];
+    const auto& cb = constant_[static_cast<size_t>(rb)];
+    if (ca.has_value() && cb.has_value() && *ca != *cb) return false;
+    parent_[static_cast<size_t>(rb)] = ra;
+    if (!ca.has_value() && cb.has_value()) {
+      constant_[static_cast<size_t>(ra)] = cb;
+    }
+    return true;
+  }
+
+  int offset_;
+  std::vector<int> parent_;
+  std::vector<std::optional<Value>> constant_;
+};
+
+}  // namespace
+
+bool HeadsMayConflict(const Rule& inserter, const Rule& deleter) {
+  const AtomPattern& a = inserter.head().atom;
+  const AtomPattern& b = deleter.head().atom;
+  if (a.predicate != b.predicate) return false;
+  HeadUnifier unifier(inserter.num_variables(), deleter.num_variables());
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (!unifier.Unify(a.terms[i], b.terms[i])) return false;
+  }
+  return true;
+}
+
+Status CheckRuleSafety(const Rule& rule, const SymbolTable& symbols) {
+  (void)symbols;
+  std::vector<int> binding = rule.BindingBodyVariables();
+  auto is_bound = [&binding](int var) {
+    return std::binary_search(binding.begin(), binding.end(), var);
+  };
+  for (int var : rule.HeadVariables()) {
+    if (!is_bound(var)) {
+      return InvalidArgumentError(StrFormat(
+          "%s is unsafe: head variable '%s' does not occur in a positive "
+          "body literal",
+          RuleLabelForError(rule).c_str(),
+          rule.variable_names()[static_cast<size_t>(var)].c_str()));
+    }
+  }
+  for (int var : rule.NegatedBodyVariables()) {
+    if (!is_bound(var)) {
+      return InvalidArgumentError(StrFormat(
+          "%s is unsafe: variable '%s' of a negated literal does not occur "
+          "in a positive body literal",
+          RuleLabelForError(rule).c_str(),
+          rule.variable_names()[static_cast<size_t>(var)].c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+ProgramAnalysis AnalyzeProgram(const Program& program) {
+  ProgramAnalysis analysis;
+  for (const Rule& rule : program.rules()) {
+    PredicateId head_pred = rule.head().atom.predicate;
+    if (rule.head().action == ActionKind::kInsert) {
+      analysis.inserters[head_pred].push_back(rule.index());
+    } else {
+      analysis.deleters[head_pred].push_back(rule.index());
+    }
+    for (const BodyLiteral& lit : rule.body()) {
+      analysis.depends_on[head_pred].insert(lit.atom.predicate);
+      if (lit.kind == LiteralKind::kEventInsert ||
+          lit.kind == LiteralKind::kEventDelete) {
+        analysis.uses_events = true;
+      }
+    }
+    analysis.max_rule_variables =
+        std::max(analysis.max_rule_variables, rule.num_variables());
+  }
+
+  for (const auto& [pred, rules] : analysis.inserters) {
+    auto deleters_it = analysis.deleters.find(pred);
+    if (deleters_it == analysis.deleters.end()) continue;
+    analysis.potentially_conflicting_predicates.push_back(pred);
+    for (int inserter : rules) {
+      for (int deleter : deleters_it->second) {
+        if (HeadsMayConflict(program.rule(inserter),
+                             program.rule(deleter))) {
+          analysis.potentially_conflicting_rule_pairs.emplace_back(
+              inserter, deleter);
+        }
+      }
+    }
+  }
+  std::sort(analysis.potentially_conflicting_predicates.begin(),
+            analysis.potentially_conflicting_predicates.end());
+  std::sort(analysis.potentially_conflicting_rule_pairs.begin(),
+            analysis.potentially_conflicting_rule_pairs.end());
+
+  // Recursion: DFS from each head predicate over depends_on edges.
+  for (const auto& [start, _] : analysis.depends_on) {
+    std::vector<PredicateId> stack{start};
+    std::unordered_set<PredicateId> seen;
+    bool recursive = false;
+    while (!stack.empty() && !recursive) {
+      PredicateId current = stack.back();
+      stack.pop_back();
+      auto it = analysis.depends_on.find(current);
+      if (it == analysis.depends_on.end()) continue;
+      for (PredicateId dep : it->second) {
+        if (dep == start) {
+          recursive = true;
+          break;
+        }
+        if (seen.insert(dep).second) stack.push_back(dep);
+      }
+    }
+    if (recursive) {
+      analysis.is_recursive = true;
+      break;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace park

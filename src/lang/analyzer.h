@@ -1,0 +1,67 @@
+// Static analysis of active-rule programs: the safety conditions of §2,
+// plus structural metadata used by tools, policies, and benchmarks
+// (predicate dependency graph, recursion detection, potential conflicts).
+
+#ifndef PARK_LANG_ANALYZER_H_
+#define PARK_LANG_ANALYZER_H_
+
+#include <unordered_map>
+#include <utility>
+#include <unordered_set>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace park {
+
+/// Checks the two safety conditions of §2 (extended to event literals,
+/// which bind variables just like positive literals do):
+///  1. every head variable occurs in the body;
+///  2. every variable of a negated literal occurs in some positive (or
+///     event) body literal.
+Status CheckRuleSafety(const Rule& rule, const SymbolTable& symbols);
+
+/// True iff the head atoms of `inserter` and `deleter` unify — i.e. some
+/// database instance exists on which the two rules command +a and -a for
+/// the same ground atom `a`. A sound and complete test at the head level
+/// (bodies are not analyzed, so a `true` here may still never manifest).
+bool HeadsMayConflict(const Rule& inserter, const Rule& deleter);
+
+/// Structural facts about a whole program.
+struct ProgramAnalysis {
+  /// Predicates that appear in some rule head with `+` and in some (other
+  /// or the same) rule head with `-`: the only predicates that can ever be
+  /// the subject of a conflict.
+  std::vector<PredicateId> potentially_conflicting_predicates;
+
+  /// Rule-index pairs (inserter, deleter) whose heads unify — the precise
+  /// (head-level) refinement of potentially_conflicting_predicates.
+  /// `p(a, X) -> +q(a)` and `r(Y) -> -q(b)` share predicate q but can
+  /// never conflict; they are excluded here.
+  std::vector<std::pair<int, int>> potentially_conflicting_rule_pairs;
+
+  /// For each predicate: the indexes of rules whose head inserts /
+  /// deletes it.
+  std::unordered_map<PredicateId, std::vector<int>> inserters;
+  std::unordered_map<PredicateId, std::vector<int>> deleters;
+
+  /// Edges head-predicate <- body-predicate of the dependency graph.
+  std::unordered_map<PredicateId, std::unordered_set<PredicateId>> depends_on;
+
+  /// True if some head predicate (transitively) depends on itself.
+  bool is_recursive = false;
+
+  /// True if any rule has an event literal in its body (full ECA program).
+  bool uses_events = false;
+
+  /// Maximum number of variables in any single rule.
+  int max_rule_variables = 0;
+};
+
+/// Computes ProgramAnalysis for `program`. The program's rules are assumed
+/// individually safe (Program::AddRule enforces this).
+ProgramAnalysis AnalyzeProgram(const Program& program);
+
+}  // namespace park
+
+#endif  // PARK_LANG_ANALYZER_H_

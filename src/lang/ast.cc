@@ -1,0 +1,115 @@
+#include "lang/ast.h"
+
+#include <algorithm>
+
+#include "lang/analyzer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+void CollectVariables(const AtomPattern& atom, std::vector<int>& out) {
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) out.push_back(t.var_index());
+  }
+}
+
+std::vector<int> SortedUnique(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+const char* ActionKindSign(ActionKind kind) {
+  return kind == ActionKind::kInsert ? "+" : "-";
+}
+
+bool AtomPattern::IsGround() const {
+  for (const Term& t : terms) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+GroundAtom AtomPattern::Ground(const std::vector<Value>& binding) const {
+  Tuple tuple;
+  for (const Term& t : terms) {
+    if (t.is_constant()) {
+      tuple.Append(t.constant());
+    } else {
+      PARK_CHECK_LT(static_cast<size_t>(t.var_index()), binding.size())
+          << "unbound variable during grounding";
+      tuple.Append(binding[static_cast<size_t>(t.var_index())]);
+    }
+  }
+  return GroundAtom(predicate, std::move(tuple));
+}
+
+bool Rule::HasEventLiterals() const {
+  for (const BodyLiteral& lit : body_) {
+    if (lit.kind == LiteralKind::kEventInsert ||
+        lit.kind == LiteralKind::kEventDelete) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int> Rule::HeadVariables() const {
+  std::vector<int> vars;
+  CollectVariables(head_.atom, vars);
+  return SortedUnique(std::move(vars));
+}
+
+std::vector<int> Rule::BindingBodyVariables() const {
+  std::vector<int> vars;
+  for (const BodyLiteral& lit : body_) {
+    if (lit.kind != LiteralKind::kNegated) CollectVariables(lit.atom, vars);
+  }
+  return SortedUnique(std::move(vars));
+}
+
+std::vector<int> Rule::NegatedBodyVariables() const {
+  std::vector<int> vars;
+  for (const BodyLiteral& lit : body_) {
+    if (lit.kind == LiteralKind::kNegated) CollectVariables(lit.atom, vars);
+  }
+  return SortedUnique(std::move(vars));
+}
+
+Program::Program(std::shared_ptr<SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {
+  PARK_CHECK(symbols_ != nullptr) << "Program requires a symbol table";
+}
+
+Program Program::Clone() const {
+  Program copy(symbols_);
+  copy.rules_ = rules_;
+  copy.rules_by_name_ = rules_by_name_;
+  return copy;
+}
+
+Status Program::AddRule(Rule rule) {
+  PARK_RETURN_IF_ERROR(CheckRuleSafety(rule, *symbols_));
+  if (!rule.name_.empty()) {
+    if (rules_by_name_.contains(rule.name_)) {
+      return AlreadyExistsError(
+          StrFormat("duplicate rule label '%s'", rule.name_.c_str()));
+    }
+    rules_by_name_.emplace(rule.name_, static_cast<int>(rules_.size()));
+  }
+  rule.index_ = static_cast<int>(rules_.size());
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+std::optional<int> Program::FindRule(const std::string& name) const {
+  auto it = rules_by_name_.find(name);
+  if (it == rules_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace park

@@ -1,0 +1,203 @@
+// Abstract syntax of active rules (paper §2 and §4.3):
+//
+//   l1, ..., ln -> +l0      (insert action)
+//   l1, ..., ln -> -l0      (delete action)
+//
+// Body literals are positive atoms, negated atoms (negation as failure), or
+// — for full ECA rules — event literals `+a` / `-a` that match pending
+// updates. Rules carry an optional label and an optional priority used by
+// priority-based conflict resolution.
+
+#ifndef PARK_LANG_AST_H_
+#define PARK_LANG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/ground_atom.h"
+#include "util/status.h"
+
+namespace park {
+
+/// What a rule head (or a transaction update) does to its atom.
+enum class ActionKind : uint8_t {
+  kInsert,  // +a : insert `a` into the database
+  kDelete,  // -a : delete `a` from the database
+};
+
+/// "+" or "-".
+const char* ActionKindSign(ActionKind kind);
+
+/// How a body literal is evaluated against an i-interpretation.
+enum class LiteralKind : uint8_t {
+  kPositive,     // a    : `a` unmarked or `+a` present
+  kNegated,      // !a   : `-a` present, or neither `a` nor `+a` present
+  kEventInsert,  // +a   : the update `+a` is pending (ECA trigger, §4.3)
+  kEventDelete,  // -a   : the update `-a` is pending (ECA trigger, §4.3)
+};
+
+/// A term in a rule: either a variable (identified by its per-rule index)
+/// or a constant Value.
+class Term {
+ public:
+  static Term Variable(int index) { return Term(index); }
+  static Term Constant(Value value) { return Term(value); }
+
+  bool is_variable() const { return var_index_ >= 0; }
+  bool is_constant() const { return var_index_ < 0; }
+
+  /// Valid only when is_variable().
+  int var_index() const { return var_index_; }
+  /// Valid only when is_constant().
+  const Value& constant() const { return constant_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.var_index_ != b.var_index_) return false;
+    return a.is_variable() || a.constant_ == b.constant_;
+  }
+
+ private:
+  explicit Term(int index) : var_index_(index) {}
+  explicit Term(Value value) : var_index_(-1), constant_(value) {}
+
+  int var_index_;   // >= 0 for variables, -1 for constants
+  Value constant_;  // meaningful only for constants
+};
+
+/// A possibly non-ground atom `p(t1, ..., tn)`.
+struct AtomPattern {
+  PredicateId predicate = 0;
+  std::vector<Term> terms;
+
+  bool IsGround() const;
+
+  /// Instantiates this pattern with `binding` (indexed by variable index).
+  /// Every variable appearing in the pattern must be bound.
+  GroundAtom Ground(const std::vector<Value>& binding) const;
+};
+
+/// One literal of a rule body.
+struct BodyLiteral {
+  LiteralKind kind = LiteralKind::kPositive;
+  AtomPattern atom;
+};
+
+/// The head of a rule: an action on a positive atom.
+struct RuleHead {
+  ActionKind action = ActionKind::kInsert;
+  AtomPattern atom;
+};
+
+/// Mutable aggregate from which a Rule is assembled; used by the parser
+/// and other internal builders. Most callers never touch this — they parse
+/// rule text or use RuleBuilder.
+struct RuleParts {
+  std::string name;
+  std::optional<int> priority;
+  std::optional<int> source;
+  std::vector<BodyLiteral> body;
+  RuleHead head;
+  std::vector<std::string> variable_names;
+};
+
+/// A single active rule. Construct via Parser or the programmatic
+/// RuleBuilder in parser.h; Rules are immutable once added to a Program.
+class Rule {
+ public:
+  Rule() = default;
+
+  /// Assembles a rule from parsed parts. Does not validate safety; that
+  /// happens in Program::AddRule / RuleBuilder::Build.
+  explicit Rule(RuleParts parts)
+      : name_(std::move(parts.name)),
+        priority_(parts.priority),
+        source_(parts.source),
+        body_(std::move(parts.body)),
+        head_(std::move(parts.head)),
+        variable_names_(std::move(parts.variable_names)) {}
+
+  const std::string& name() const { return name_; }
+  const std::optional<int>& priority() const { return priority_; }
+  /// Provenance tag from a `[src=N]` annotation: which source authored
+  /// this rule. Used by source-reliability conflict resolution (§5's
+  /// "source-based approach" critic).
+  const std::optional<int>& source() const { return source_; }
+  const std::vector<BodyLiteral>& body() const { return body_; }
+  const RuleHead& head() const { return head_; }
+
+  /// Number of distinct variables; bindings are vectors of this length.
+  int num_variables() const {
+    return static_cast<int>(variable_names_.size());
+  }
+  const std::vector<std::string>& variable_names() const {
+    return variable_names_;
+  }
+
+  /// Position of this rule within its Program; -1 until added.
+  int index() const { return index_; }
+
+  /// True if some body literal is an event literal (full ECA rule).
+  bool HasEventLiterals() const;
+
+  /// Variable indexes occurring in the head / in binding body literals
+  /// (positive + event) / in negated literals.
+  std::vector<int> HeadVariables() const;
+  std::vector<int> BindingBodyVariables() const;
+  std::vector<int> NegatedBodyVariables() const;
+
+ private:
+  friend class Parser;
+  friend class Program;
+  friend class RuleBuilder;
+
+  std::string name_;
+  std::optional<int> priority_;
+  std::optional<int> source_;
+  std::vector<BodyLiteral> body_;
+  RuleHead head_;
+  std::vector<std::string> variable_names_;
+  int index_ = -1;
+};
+
+/// An ordered set of rules sharing a SymbolTable. The order is significant
+/// only as an identity (rule index); the PARK semantics itself is
+/// order-independent.
+class Program {
+ public:
+  /// Creates an empty program over `symbols` (must be non-null).
+  explicit Program(std::shared_ptr<SymbolTable> symbols);
+
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  /// Deep copy (shares the symbol table).
+  Program Clone() const;
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+
+  /// Validates the safety conditions of §2 (extended to event literals)
+  /// and label uniqueness, then appends `rule` and assigns its index.
+  Status AddRule(Rule rule);
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& rule(int index) const { return rules_[static_cast<size_t>(index)]; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Index of the rule labeled `name`, or nullopt.
+  std::optional<int> FindRule(const std::string& name) const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Rule> rules_;
+  std::unordered_map<std::string, int> rules_by_name_;
+};
+
+}  // namespace park
+
+#endif  // PARK_LANG_AST_H_

@@ -1,0 +1,27 @@
+#include "lang/io.h"
+
+#include "lang/printer.h"
+
+namespace park {
+
+Result<Database> ReadDatabaseFile(const std::string& path,
+                                  std::shared_ptr<SymbolTable> symbols) {
+  PARK_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  auto db = ParseDatabase(contents, std::move(symbols));
+  if (!db.ok()) return db.status().WithContext(path);
+  return db;
+}
+
+Result<Program> ReadProgramFile(const std::string& path,
+                                std::shared_ptr<SymbolTable> symbols) {
+  PARK_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  auto program = ParseProgram(contents, std::move(symbols));
+  if (!program.ok()) return program.status().WithContext(path);
+  return program;
+}
+
+Status WriteProgramFile(const Program& program, const std::string& path) {
+  return WriteStringToFile(ProgramToString(program), path);
+}
+
+}  // namespace park

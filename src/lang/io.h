@@ -1,0 +1,26 @@
+// File-level load/save for databases and programs (parser-side of
+// storage/io.h). Formats are the ordinary surface syntax, so anything the
+// parser accepts can be a snapshot.
+
+#ifndef PARK_LANG_IO_H_
+#define PARK_LANG_IO_H_
+
+#include "lang/parser.h"
+#include "storage/io.h"
+
+namespace park {
+
+/// Reads a fact file into a fresh Database over `symbols`.
+Result<Database> ReadDatabaseFile(const std::string& path,
+                                  std::shared_ptr<SymbolTable> symbols);
+
+/// Reads a rule file into a fresh Program over `symbols`.
+Result<Program> ReadProgramFile(const std::string& path,
+                                std::shared_ptr<SymbolTable> symbols);
+
+/// Writes `program` as a rule file (atomic temp-file + rename).
+Status WriteProgramFile(const Program& program, const std::string& path);
+
+}  // namespace park
+
+#endif  // PARK_LANG_IO_H_

@@ -1,0 +1,221 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view input) : input_(input) { Lex(); }
+
+Token Lexer::Advance() {
+  Token result = current_;
+  if (current_.kind != TokenKind::kEof && current_.kind != TokenKind::kError) {
+    Lex();
+  }
+  return result;
+}
+
+void Lexer::Bump() {
+  if (CurrentChar() == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = CurrentChar();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Bump();
+    } else if (c == '#' || c == '%') {
+      while (!AtEnd() && CurrentChar() != '\n') Bump();
+    } else if (c == '/' && pos_ + 1 < input_.size() &&
+               input_[pos_ + 1] == '/') {
+      while (!AtEnd() && CurrentChar() != '\n') Bump();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = token_line_;
+  t.column = token_column_;
+  return t;
+}
+
+Token Lexer::LexIdentifierOrVariable() {
+  size_t start = pos_;
+  while (!AtEnd() && IsIdentChar(CurrentChar())) Bump();
+  std::string text(input_.substr(start, pos_ - start));
+  char first = text[0];
+  bool is_variable = (first == '_') || std::isupper(static_cast<unsigned char>(first));
+  // `not` is surface syntax for negation; report it as kBang so the parser
+  // has a single negation token.
+  if (text == "not") return MakeToken(TokenKind::kBang, "not");
+  return MakeToken(
+      is_variable ? TokenKind::kVariable : TokenKind::kIdentifier, text);
+}
+
+Token Lexer::LexNumber() {
+  size_t start = pos_;
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(CurrentChar()))) {
+    Bump();
+  }
+  std::string text(input_.substr(start, pos_ - start));
+  auto value = ParseInt64(text);
+  if (!value.has_value()) {
+    return MakeToken(TokenKind::kError, "integer literal out of range: " + text);
+  }
+  Token t = MakeToken(TokenKind::kInt, text);
+  t.int_value = *value;
+  return t;
+}
+
+Token Lexer::LexString() {
+  Bump();  // opening quote
+  std::string text;
+  while (!AtEnd() && CurrentChar() != '"') {
+    char c = CurrentChar();
+    if (c == '\n') {
+      return MakeToken(TokenKind::kError, "newline in string literal");
+    }
+    if (c == '\\') {
+      Bump();
+      if (AtEnd()) break;
+      char escaped = CurrentChar();
+      if (escaped == '"' || escaped == '\\') {
+        text += escaped;
+      } else if (escaped == 'n') {
+        text += '\n';
+      } else if (escaped == 't') {
+        text += '\t';
+      } else {
+        return MakeToken(TokenKind::kError,
+                         std::string("unknown escape: \\") + escaped);
+      }
+      Bump();
+      continue;
+    }
+    text += c;
+    Bump();
+  }
+  if (AtEnd()) {
+    return MakeToken(TokenKind::kError, "unterminated string literal");
+  }
+  Bump();  // closing quote
+  return MakeToken(TokenKind::kString, std::move(text));
+}
+
+void Lexer::Lex() {
+  SkipWhitespaceAndComments();
+  token_line_ = line_;
+  token_column_ = column_;
+  if (AtEnd()) {
+    current_ = MakeToken(TokenKind::kEof);
+    return;
+  }
+  char c = CurrentChar();
+  if (IsIdentStart(c)) {
+    current_ = LexIdentifierOrVariable();
+    return;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    current_ = LexNumber();
+    return;
+  }
+  if (c == '"') {
+    current_ = LexString();
+    return;
+  }
+  switch (c) {
+    case '(':
+      Bump();
+      current_ = MakeToken(TokenKind::kLParen);
+      return;
+    case ')':
+      Bump();
+      current_ = MakeToken(TokenKind::kRParen);
+      return;
+    case '[':
+      Bump();
+      current_ = MakeToken(TokenKind::kLBracket);
+      return;
+    case ']':
+      Bump();
+      current_ = MakeToken(TokenKind::kRBracket);
+      return;
+    case ',':
+      Bump();
+      current_ = MakeToken(TokenKind::kComma);
+      return;
+    case '.':
+      Bump();
+      current_ = MakeToken(TokenKind::kPeriod);
+      return;
+    case ':':
+      Bump();
+      current_ = MakeToken(TokenKind::kColon);
+      return;
+    case '+':
+      Bump();
+      current_ = MakeToken(TokenKind::kPlus);
+      return;
+    case '!':
+      Bump();
+      current_ = MakeToken(TokenKind::kBang);
+      return;
+    case '=':
+      Bump();
+      current_ = MakeToken(TokenKind::kEquals);
+      return;
+    case '-':
+      Bump();
+      if (!AtEnd() && CurrentChar() == '>') {
+        Bump();
+        current_ = MakeToken(TokenKind::kArrow);
+      } else {
+        current_ = MakeToken(TokenKind::kMinus);
+      }
+      return;
+    default:
+      current_ = MakeToken(TokenKind::kError,
+                           StrFormat("unexpected character '%c'", c));
+      Bump();
+      return;
+  }
+}
+
+Result<std::vector<Token>> LexAll(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Token> tokens;
+  while (true) {
+    Token t = lexer.Advance();
+    if (t.kind == TokenKind::kError) {
+      return InvalidArgumentError(StrFormat("%d:%d: %s", t.line, t.column,
+                                            t.text.c_str()));
+    }
+    tokens.push_back(t);
+    if (t.kind == TokenKind::kEof) return tokens;
+  }
+}
+
+}  // namespace park

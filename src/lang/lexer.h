@@ -1,0 +1,65 @@
+// Lexer for the active-rule language.
+//
+// Syntax summary (see parser.h for the grammar):
+//   - identifiers: lowercase-initial `[a-z][A-Za-z0-9_]*` (constants,
+//     predicate names, rule labels)
+//   - variables: uppercase- or underscore-initial `[A-Z_][A-Za-z0-9_]*`
+//   - integers: `-?[0-9]+` (the '-' is a separate token; the parser folds
+//     it into literals where a term is expected)
+//   - strings: double-quoted with `\"` and `\\` escapes
+//   - comments: `//` and `#` to end of line, `%` (Prolog style) to end of
+//     line
+//   - punctuation: ( ) [ ] , . : -> + - ! =
+
+#ifndef PARK_LANG_LEXER_H_
+#define PARK_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+#include "util/status.h"
+
+namespace park {
+
+/// One-token-lookahead lexer. Errors surface as kError tokens whose `text`
+/// is the message; the parser converts them to Status.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// The current token. Valid until Advance() is called.
+  const Token& Peek() const { return current_; }
+
+  /// Consumes the current token and returns it; lexes the next one.
+  Token Advance();
+
+ private:
+  void Lex();
+  void SkipWhitespaceAndComments();
+  char CurrentChar() const { return input_[pos_]; }
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  void Bump();
+
+  Token MakeToken(TokenKind kind, std::string text = "");
+  Token LexIdentifierOrVariable();
+  Token LexNumber();
+  Token LexString();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+  Token current_;
+};
+
+/// Lexes the entire input; returns the token list (ending with kEof) or the
+/// first lexing error. Mostly a testing convenience.
+Result<std::vector<Token>> LexAll(std::string_view input);
+
+}  // namespace park
+
+#endif  // PARK_LANG_LEXER_H_

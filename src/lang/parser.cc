@@ -1,0 +1,471 @@
+#include "lang/parser.h"
+
+#include <cctype>
+
+#include "lang/analyzer.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+/// Recursive-descent parser over the Lexer token stream. One instance
+/// parses one input; errors abort the parse with a located message.
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, std::shared_ptr<SymbolTable> symbols)
+      : lexer_(input), symbols_(std::move(symbols)) {}
+
+  Result<Program> ParseProgram() {
+    Program program(symbols_);
+    while (Peek().kind != TokenKind::kEof) {
+      PARK_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+      PARK_RETURN_IF_ERROR(program.AddRule(std::move(rule)));
+    }
+    return program;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    PARK_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+    PARK_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    PARK_RETURN_IF_ERROR(CheckRuleSafety(rule, *symbols_));
+    return rule;
+  }
+
+  Status ParseFacts(Database& db) {
+    while (Peek().kind != TokenKind::kEof) {
+      PARK_ASSIGN_OR_RETURN(GroundAtom atom, ParseOneGroundAtom());
+      PARK_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+      db.Insert(atom);
+    }
+    return Status::OK();
+  }
+
+  Result<GroundAtom> ParseSingleGroundAtom() {
+    PARK_ASSIGN_OR_RETURN(GroundAtom atom, ParseOneGroundAtom());
+    PARK_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return atom;
+  }
+
+  Result<ParsedAtomPattern> ParseSingleAtomPattern() {
+    RuleParts parts;
+    var_indexes_.clear();
+    current_parts_ = &parts;
+    PARK_ASSIGN_OR_RETURN(AtomPattern atom, ParseAtom());
+    PARK_RETURN_IF_ERROR(Expect(TokenKind::kEof));
+    return ParsedAtomPattern{std::move(atom),
+                             std::move(parts.variable_names)};
+  }
+
+ private:
+  const Token& Peek() { return lexer_.Peek(); }
+
+  Token Advance() { return lexer_.Advance(); }
+
+  Status ErrorAt(const Token& token, std::string message) {
+    return InvalidArgumentError(StrFormat("%d:%d: %s", token.line,
+                                          token.column, message.c_str()));
+  }
+
+  Status Expect(TokenKind kind) {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kError) return ErrorAt(token, token.text);
+    if (token.kind != kind) {
+      return ErrorAt(token, StrFormat("expected %s, found %s",
+                                      TokenKindName(kind),
+                                      TokenKindName(token.kind)));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Rule> ParseOneRule() {
+    RuleParts parts;
+    var_indexes_.clear();
+    current_parts_ = &parts;
+
+    // Optional label: IDENT ':' or IDENT '[' annotations ']' ':'.
+    if (Peek().kind == TokenKind::kIdentifier) {
+      Token ident = Advance();
+      if (Peek().kind == TokenKind::kLBracket) {
+        // Annotations can only follow a rule label, never a body atom.
+        parts.name = ident.text;
+        PARK_RETURN_IF_ERROR(ParseAnnotations(parts));
+        PARK_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        PARK_RETURN_IF_ERROR(ParseRuleTail(parts, /*body_started=*/false));
+        return Rule(std::move(parts));
+      }
+      if (Peek().kind == TokenKind::kColon) {
+        Advance();  // ':'
+        parts.name = ident.text;
+      } else {
+        // Not a label: `ident` starts the first body atom.
+        PARK_ASSIGN_OR_RETURN(AtomPattern atom, ParseAtomAfterName(ident));
+        parts.body.push_back(BodyLiteral{LiteralKind::kPositive, atom});
+        PARK_RETURN_IF_ERROR(ParseRuleTail(parts, /*body_started=*/true));
+        return Rule(std::move(parts));
+      }
+    }
+
+    // Optional annotations.
+    if (Peek().kind == TokenKind::kLBracket) {
+      PARK_RETURN_IF_ERROR(ParseAnnotations(parts));
+    }
+
+    PARK_RETURN_IF_ERROR(ParseRuleTail(parts, /*body_started=*/false));
+    return Rule(std::move(parts));
+  }
+
+  /// Parses `[rest-of-body] -> head .` into `parts`. If `body_started` is
+  /// true, the first literal is already in parts.body and a ',' or '->'
+  /// follows.
+  Status ParseRuleTail(RuleParts& parts, bool body_started) {
+    if (body_started) {
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        PARK_ASSIGN_OR_RETURN(BodyLiteral lit, ParseBodyLiteral());
+        parts.body.push_back(std::move(lit));
+      }
+    } else if (Peek().kind != TokenKind::kArrow) {
+      PARK_ASSIGN_OR_RETURN(BodyLiteral first, ParseBodyLiteral());
+      parts.body.push_back(std::move(first));
+      while (Peek().kind == TokenKind::kComma) {
+        Advance();
+        PARK_ASSIGN_OR_RETURN(BodyLiteral lit, ParseBodyLiteral());
+        parts.body.push_back(std::move(lit));
+      }
+    }
+    PARK_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+
+    // Head: mandatory sign, then atom.
+    const Token& sign = Peek();
+    if (sign.kind == TokenKind::kPlus) {
+      parts.head.action = ActionKind::kInsert;
+    } else if (sign.kind == TokenKind::kMinus) {
+      parts.head.action = ActionKind::kDelete;
+    } else {
+      return ErrorAt(sign, StrFormat("rule head must start with '+' or '-',"
+                                     " found %s",
+                                     TokenKindName(sign.kind)));
+    }
+    Advance();
+    PARK_ASSIGN_OR_RETURN(parts.head.atom, ParseAtom());
+    PARK_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return Status::OK();
+  }
+
+  Status ParseAnnotations(RuleParts& parts) {
+    PARK_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    while (true) {
+      const Token& key = Peek();
+      if (key.kind != TokenKind::kIdentifier) {
+        return ErrorAt(key, "expected annotation name");
+      }
+      std::string name = key.text;
+      Advance();
+      PARK_RETURN_IF_ERROR(Expect(TokenKind::kEquals));
+      bool negative = false;
+      if (Peek().kind == TokenKind::kMinus) {
+        Advance();
+        negative = true;
+      }
+      const Token& value = Peek();
+      if (value.kind != TokenKind::kInt) {
+        return ErrorAt(value, "expected integer annotation value");
+      }
+      int64_t v = negative ? -value.int_value : value.int_value;
+      Advance();
+      if (name == "prio" || name == "priority") {
+        parts.priority = static_cast<int>(v);
+      } else if (name == "src" || name == "source") {
+        parts.source = static_cast<int>(v);
+      } else {
+        return ErrorAt(key,
+                       StrFormat("unknown annotation '%s' (supported: prio, "
+                                 "priority, src, source)",
+                                 name.c_str()));
+      }
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Expect(TokenKind::kRBracket);
+  }
+
+  Result<BodyLiteral> ParseBodyLiteral() {
+    const Token& token = Peek();
+    LiteralKind kind = LiteralKind::kPositive;
+    switch (token.kind) {
+      case TokenKind::kBang:
+        kind = LiteralKind::kNegated;
+        Advance();
+        break;
+      case TokenKind::kPlus:
+        kind = LiteralKind::kEventInsert;
+        Advance();
+        break;
+      case TokenKind::kMinus:
+        kind = LiteralKind::kEventDelete;
+        Advance();
+        break;
+      case TokenKind::kError:
+        return ErrorAt(token, token.text);
+      default:
+        break;
+    }
+    PARK_ASSIGN_OR_RETURN(AtomPattern atom, ParseAtom());
+    return BodyLiteral{kind, std::move(atom)};
+  }
+
+  Result<AtomPattern> ParseAtom() {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kError) return ErrorAt(token, token.text);
+    if (token.kind != TokenKind::kIdentifier) {
+      return ErrorAt(token, StrFormat("expected predicate name, found %s",
+                                      TokenKindName(token.kind)));
+    }
+    Token name = Advance();
+    return ParseAtomAfterName(name);
+  }
+
+  Result<AtomPattern> ParseAtomAfterName(const Token& name) {
+    AtomPattern atom;
+    std::vector<Term> terms;
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      while (true) {
+        PARK_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        terms.push_back(term);
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      PARK_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    }
+    atom.predicate = symbols_->InternPredicate(
+        name.text, static_cast<int>(terms.size()));
+    atom.terms = std::move(terms);
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kIdentifier: {
+        Token t = Advance();
+        return Term::Constant(Value::Symbol(symbols_->InternSymbol(t.text)));
+      }
+      case TokenKind::kVariable: {
+        if (current_parts_ == nullptr) {
+          // Fact/ground-atom context: variables are not allowed.
+          return ErrorAt(token, "facts must be ground (no variables)");
+        }
+        Token t = Advance();
+        return Term::Variable(VariableIndex(t.text));
+      }
+      case TokenKind::kInt: {
+        Token t = Advance();
+        return Term::Constant(Value::Int(t.int_value));
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        const Token& next = Peek();
+        if (next.kind != TokenKind::kInt) {
+          return ErrorAt(next, "expected integer after '-'");
+        }
+        Token t = Advance();
+        return Term::Constant(Value::Int(-t.int_value));
+      }
+      case TokenKind::kString: {
+        Token t = Advance();
+        return Term::Constant(Value::String(symbols_->InternSymbol(t.text)));
+      }
+      case TokenKind::kError:
+        return ErrorAt(token, token.text);
+      default:
+        return ErrorAt(token, StrFormat("expected term, found %s",
+                                        TokenKindName(token.kind)));
+    }
+  }
+
+  int VariableIndex(const std::string& name) {
+    RuleParts& parts = *current_parts_;
+    if (name == "_") {
+      // Anonymous: always a fresh variable.
+      int index = static_cast<int>(parts.variable_names.size());
+      parts.variable_names.push_back("_");
+      return index;
+    }
+    auto it = var_indexes_.find(name);
+    if (it != var_indexes_.end()) return it->second;
+    int index = static_cast<int>(parts.variable_names.size());
+    parts.variable_names.push_back(name);
+    var_indexes_.emplace(name, index);
+    return index;
+  }
+
+  Result<GroundAtom> ParseOneGroundAtom() {
+    PARK_ASSIGN_OR_RETURN(AtomPattern atom, ParseAtom());
+    if (!atom.IsGround()) {
+      return InvalidArgumentError("facts must be ground (no variables)");
+    }
+    return atom.Ground({});
+  }
+
+  Lexer lexer_;
+  std::shared_ptr<SymbolTable> symbols_;
+  RuleParts* current_parts_ = nullptr;
+  std::unordered_map<std::string, int> var_indexes_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view input,
+                             std::shared_ptr<SymbolTable> symbols) {
+  ParserImpl parser(input, std::move(symbols));
+  return parser.ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view input,
+                       std::shared_ptr<SymbolTable> symbols) {
+  ParserImpl parser(input, std::move(symbols));
+  return parser.ParseSingleRule();
+}
+
+Result<Database> ParseDatabase(std::string_view input,
+                               std::shared_ptr<SymbolTable> symbols) {
+  Database db(symbols);
+  ParserImpl parser(input, std::move(symbols));
+  PARK_RETURN_IF_ERROR(parser.ParseFacts(db));
+  return db;
+}
+
+Status ParseFactsInto(std::string_view input, Database& db) {
+  ParserImpl parser(input, db.symbols());
+  return parser.ParseFacts(db);
+}
+
+Result<GroundAtom> ParseGroundAtom(std::string_view input,
+                                   std::shared_ptr<SymbolTable> symbols) {
+  ParserImpl parser(input, std::move(symbols));
+  return parser.ParseSingleGroundAtom();
+}
+
+Result<ParsedAtomPattern> ParseAtomPattern(
+    std::string_view input, std::shared_ptr<SymbolTable> symbols) {
+  ParserImpl parser(input, std::move(symbols));
+  return parser.ParseSingleAtomPattern();
+}
+
+RuleBuilder::RuleBuilder(std::shared_ptr<SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {
+  PARK_CHECK(symbols_ != nullptr) << "RuleBuilder requires a symbol table";
+}
+
+Term RuleBuilder::MakeTerm(const std::string& text) {
+  PARK_CHECK(!text.empty()) << "empty term";
+  char first = text[0];
+  if (first == '_' || std::isupper(static_cast<unsigned char>(first))) {
+    if (text == "_") {
+      int index = static_cast<int>(rule_.variable_names_.size());
+      rule_.variable_names_.push_back("_");
+      return Term::Variable(index);
+    }
+    auto it = var_indexes_.find(text);
+    if (it != var_indexes_.end()) return Term::Variable(it->second);
+    int index = static_cast<int>(rule_.variable_names_.size());
+    rule_.variable_names_.push_back(text);
+    var_indexes_.emplace(text, index);
+    return Term::Variable(index);
+  }
+  return Term::Constant(ConstantFromText(text, *symbols_));
+}
+
+AtomPattern RuleBuilder::MakeAtom(std::string_view predicate,
+                                  const std::vector<std::string>& args) {
+  AtomPattern atom;
+  atom.predicate = symbols_->InternPredicate(
+      predicate, static_cast<int>(args.size()));
+  atom.terms.reserve(args.size());
+  for (const std::string& arg : args) atom.terms.push_back(MakeTerm(arg));
+  return atom;
+}
+
+RuleBuilder& RuleBuilder::Name(std::string_view name) {
+  rule_.name_ = std::string(name);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Priority(int priority) {
+  rule_.priority_ = priority;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Source(int source) {
+  rule_.source_ = source;
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::When(std::string_view predicate,
+                               const std::vector<std::string>& args) {
+  rule_.body_.push_back(
+      BodyLiteral{LiteralKind::kPositive, MakeAtom(predicate, args)});
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::WhenNot(std::string_view predicate,
+                                  const std::vector<std::string>& args) {
+  rule_.body_.push_back(
+      BodyLiteral{LiteralKind::kNegated, MakeAtom(predicate, args)});
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::OnInserted(std::string_view predicate,
+                                     const std::vector<std::string>& args) {
+  rule_.body_.push_back(
+      BodyLiteral{LiteralKind::kEventInsert, MakeAtom(predicate, args)});
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::OnDeleted(std::string_view predicate,
+                                    const std::vector<std::string>& args) {
+  rule_.body_.push_back(
+      BodyLiteral{LiteralKind::kEventDelete, MakeAtom(predicate, args)});
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Insert(std::string_view predicate,
+                                 const std::vector<std::string>& args) {
+  if (has_head_) {
+    deferred_error_ = InvalidArgumentError("rule already has a head");
+    return *this;
+  }
+  has_head_ = true;
+  rule_.head_ = RuleHead{ActionKind::kInsert, MakeAtom(predicate, args)};
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Delete(std::string_view predicate,
+                                 const std::vector<std::string>& args) {
+  if (has_head_) {
+    deferred_error_ = InvalidArgumentError("rule already has a head");
+    return *this;
+  }
+  has_head_ = true;
+  rule_.head_ = RuleHead{ActionKind::kDelete, MakeAtom(predicate, args)};
+  return *this;
+}
+
+Result<Rule> RuleBuilder::Build() {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (!has_head_) {
+    return InvalidArgumentError("rule has no head (call Insert or Delete)");
+  }
+  PARK_RETURN_IF_ERROR(CheckRuleSafety(rule_, *symbols_));
+  return rule_;
+}
+
+}  // namespace park

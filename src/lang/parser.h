@@ -1,0 +1,132 @@
+// Parser for the active-rule language and for fact (database) files, plus
+// a programmatic RuleBuilder.
+//
+// Grammar (EBNF; comments and whitespace skipped by the lexer):
+//
+//   program     = { rule } ;
+//   rule        = [ label ] [ annotations ] body "->" head "." ;
+//   label       = identifier ":" ;
+//   annotations = "[" annotation { "," annotation } "]" ;
+//   annotation  = ("prio" | "priority" | "src" | "source")
+//                 "=" [ "-" ] integer ;
+//   body        = [ literal { "," literal } ] ;          (* may be empty *)
+//   literal     = ("!" | "not") atom                     (* negation *)
+//               | "+" atom                               (* event: inserted *)
+//               | "-" atom                               (* event: deleted *)
+//               | atom ;                                 (* condition *)
+//   head        = ("+" | "-") atom ;
+//   atom        = identifier [ "(" term { "," term } ")" ] ;
+//   term        = identifier | variable | [ "-" ] integer | string ;
+//
+//   facts       = { atom "." } ;                         (* database files *)
+//
+// Identifiers are lowercase-initial (constants / predicates / labels);
+// variables are uppercase- or underscore-initial. The variable `_` is
+// anonymous: each occurrence is a fresh variable.
+//
+// Example:
+//   r1 [prio=2]: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+//   # a transaction update seeded as a body-less rule (paper §4.3):
+//   -> +q(b).
+
+#ifndef PARK_LANG_PARSER_H_
+#define PARK_LANG_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+#include "storage/database.h"
+
+namespace park {
+
+/// Parses a whole program. All constants and predicates are interned into
+/// `symbols`; the returned Program shares it.
+Result<Program> ParseProgram(std::string_view input,
+                             std::shared_ptr<SymbolTable> symbols);
+
+/// Parses a single rule (with trailing '.').
+Result<Rule> ParseRule(std::string_view input,
+                       std::shared_ptr<SymbolTable> symbols);
+
+/// Parses a fact file ("p(a). q(b, 1).") into a fresh Database.
+Result<Database> ParseDatabase(std::string_view input,
+                               std::shared_ptr<SymbolTable> symbols);
+
+/// Parses a fact file and inserts every fact into `db`.
+Status ParseFactsInto(std::string_view input, Database& db);
+
+/// Parses a single ground atom, e.g. "payroll(john, 5000)".
+Result<GroundAtom> ParseGroundAtom(std::string_view input,
+                                   std::shared_ptr<SymbolTable> symbols);
+
+/// A possibly non-ground atom plus the names of its variables
+/// (indexed by Term::var_index; anonymous variables are named "_").
+struct ParsedAtomPattern {
+  AtomPattern atom;
+  std::vector<std::string> variable_names;
+};
+
+/// Parses a single atom pattern, e.g. "payroll(X, S)" — used by the query
+/// API (lang/query.h).
+Result<ParsedAtomPattern> ParseAtomPattern(
+    std::string_view input, std::shared_ptr<SymbolTable> symbols);
+
+/// Fluent programmatic construction of a Rule, as an alternative to text.
+/// Argument strings follow the surface syntax: uppercase-initial strings
+/// are variables, lowercase-initial are constant symbols, digit strings
+/// are integers.
+///
+///   auto rule = RuleBuilder(symbols)
+///                   .Name("r1")
+///                   .When("emp", {"X"})
+///                   .WhenNot("active", {"X"})
+///                   .Delete("payroll", {"X", "S"})   // oops: unsafe, S free
+///                   .Build();                        // -> error status
+class RuleBuilder {
+ public:
+  explicit RuleBuilder(std::shared_ptr<SymbolTable> symbols);
+
+  RuleBuilder& Name(std::string_view name);
+  RuleBuilder& Priority(int priority);
+  /// Tags the rule with an authoring source (see Rule::source()).
+  RuleBuilder& Source(int source);
+
+  /// Positive condition literal.
+  RuleBuilder& When(std::string_view predicate,
+                    const std::vector<std::string>& args);
+  /// Negated condition literal (negation as failure).
+  RuleBuilder& WhenNot(std::string_view predicate,
+                       const std::vector<std::string>& args);
+  /// Event literal `+p(...)` — fires when the insertion is pending.
+  RuleBuilder& OnInserted(std::string_view predicate,
+                          const std::vector<std::string>& args);
+  /// Event literal `-p(...)` — fires when the deletion is pending.
+  RuleBuilder& OnDeleted(std::string_view predicate,
+                         const std::vector<std::string>& args);
+
+  /// Head actions (exactly one of Insert/Delete must be called).
+  RuleBuilder& Insert(std::string_view predicate,
+                      const std::vector<std::string>& args);
+  RuleBuilder& Delete(std::string_view predicate,
+                      const std::vector<std::string>& args);
+
+  /// Validates (safety, head present) and returns the rule.
+  Result<Rule> Build();
+
+ private:
+  AtomPattern MakeAtom(std::string_view predicate,
+                       const std::vector<std::string>& args);
+  Term MakeTerm(const std::string& text);
+
+  std::shared_ptr<SymbolTable> symbols_;
+  Rule rule_;
+  std::unordered_map<std::string, int> var_indexes_;
+  bool has_head_ = false;
+  Status deferred_error_;
+};
+
+}  // namespace park
+
+#endif  // PARK_LANG_PARSER_H_

@@ -1,0 +1,100 @@
+#include "lang/printer.h"
+
+#include "util/string_util.h"
+
+namespace park {
+
+std::string TermToString(const Term& term, const Rule& rule,
+                         const SymbolTable& symbols) {
+  if (term.is_variable()) {
+    return rule.variable_names()[static_cast<size_t>(term.var_index())];
+  }
+  return term.constant().ToString(symbols);
+}
+
+std::string AtomPatternToString(const AtomPattern& atom, const Rule& rule,
+                                const SymbolTable& symbols) {
+  std::string out = symbols.PredicateName(atom.predicate);
+  if (!atom.terms.empty()) {
+    out += "(";
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += TermToString(atom.terms[i], rule, symbols);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string BodyLiteralToString(const BodyLiteral& literal, const Rule& rule,
+                                const SymbolTable& symbols) {
+  std::string prefix;
+  switch (literal.kind) {
+    case LiteralKind::kPositive:
+      break;
+    case LiteralKind::kNegated:
+      prefix = "!";
+      break;
+    case LiteralKind::kEventInsert:
+      prefix = "+";
+      break;
+    case LiteralKind::kEventDelete:
+      prefix = "-";
+      break;
+  }
+  return prefix + AtomPatternToString(literal.atom, rule, symbols);
+}
+
+namespace {
+
+/// "[prio=2, src=1]" or "" when the rule has no annotations.
+std::string AnnotationsToString(const Rule& rule) {
+  std::vector<std::string> parts;
+  if (rule.priority().has_value()) {
+    parts.push_back(StrFormat("prio=%d", *rule.priority()));
+  }
+  if (rule.source().has_value()) {
+    parts.push_back(StrFormat("src=%d", *rule.source()));
+  }
+  if (parts.empty()) return "";
+  return "[" + Join(parts, ", ") + "]";
+}
+
+}  // namespace
+
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols) {
+  std::string out;
+  std::string annotations = AnnotationsToString(rule);
+  if (!rule.name().empty()) {
+    out += rule.name();
+    if (!annotations.empty()) {
+      out += " ";
+      out += annotations;
+    }
+    out += ": ";
+  } else if (!annotations.empty()) {
+    out += annotations;
+    out += " ";
+  }
+  for (size_t i = 0; i < rule.body().size(); ++i) {
+    if (i > 0) out += ", ";
+    out += BodyLiteralToString(rule.body()[i], rule, symbols);
+  }
+  if (!rule.body().empty()) out += " ";
+  out += "-> ";
+  out += ActionKindSign(rule.head().action);
+  out += AtomPatternToString(rule.head().atom, rule, symbols);
+  out += ".";
+  return out;
+}
+
+std::string ProgramToString(const Program& program) {
+  std::string out;
+  for (const Rule& rule : program.rules()) {
+    out += RuleToString(rule, *program.symbols());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace park

@@ -1,0 +1,34 @@
+// Rendering of AST nodes back to surface syntax. Printing a parsed rule
+// and re-parsing it yields a structurally identical rule (round-trip
+// property, tested in printer_test.cc).
+
+#ifndef PARK_LANG_PRINTER_H_
+#define PARK_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace park {
+
+/// "X" / "alice" / "42" / "\"text\"".
+std::string TermToString(const Term& term, const Rule& rule,
+                         const SymbolTable& symbols);
+
+/// "p(X, a)".
+std::string AtomPatternToString(const AtomPattern& atom, const Rule& rule,
+                                const SymbolTable& symbols);
+
+/// "!p(X)", "+p(X)", "-p(X)" or "p(X)".
+std::string BodyLiteralToString(const BodyLiteral& literal, const Rule& rule,
+                                const SymbolTable& symbols);
+
+/// Full rule text, e.g. "r1 [prio=2]: p(X), !q(X) -> +r(X)."
+std::string RuleToString(const Rule& rule, const SymbolTable& symbols);
+
+/// One rule per line.
+std::string ProgramToString(const Program& program);
+
+}  // namespace park
+
+#endif  // PARK_LANG_PRINTER_H_

@@ -1,0 +1,105 @@
+#include "lang/query.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace park {
+namespace {
+
+/// Attempts to bind the pattern's variables against `tuple`; returns the
+/// projected row (named variables only, in variable-index order of the
+/// projection) or nullopt when repeated variables disagree. Constants and
+/// already-bound pattern positions were pre-filtered by the TuplePattern,
+/// except repeated variables, which are checked here.
+std::optional<Tuple> BindRow(const AtomPattern& atom, const Tuple& tuple,
+                             int num_variables,
+                             const std::vector<int>& projection) {
+  std::vector<std::optional<Value>> binding(
+      static_cast<size_t>(num_variables));
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.is_constant()) continue;
+    auto& slot = binding[static_cast<size_t>(term.var_index())];
+    const Value& value = tuple[static_cast<int>(i)];
+    if (slot.has_value()) {
+      if (*slot != value) return std::nullopt;
+    } else {
+      slot = value;
+    }
+  }
+  Tuple row;
+  for (int var : projection) row.Append(*binding[static_cast<size_t>(var)]);
+  return row;
+}
+
+}  // namespace
+
+std::vector<std::string> QueryResult::ToStrings(
+    const SymbolTable& symbols) const {
+  std::vector<std::string> out;
+  out.reserve(bindings.size());
+  for (const Tuple& row : bindings) {
+    std::string rendered;
+    for (size_t i = 0; i < variable_names.size(); ++i) {
+      if (i > 0) rendered += ", ";
+      rendered += variable_names[i];
+      rendered += "=";
+      rendered += row[static_cast<int>(i)].ToString(symbols);
+    }
+    out.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+Result<QueryResult> QueryDatabase(
+    const Database& db, std::string_view pattern_text,
+    const std::shared_ptr<SymbolTable>& symbols) {
+  PARK_ASSIGN_OR_RETURN(ParsedAtomPattern parsed,
+                        ParseAtomPattern(pattern_text, symbols));
+
+  QueryResult result;
+  // Project the named (non-anonymous) variables, by variable index.
+  std::vector<int> projection;
+  for (size_t v = 0; v < parsed.variable_names.size(); ++v) {
+    if (parsed.variable_names[v] != "_") {
+      projection.push_back(static_cast<int>(v));
+      result.variable_names.push_back(parsed.variable_names[v]);
+    }
+  }
+
+  const Relation* relation = db.GetRelation(parsed.atom.predicate);
+  if (relation == nullptr) return result;  // predicate never populated
+
+  // Constants become bound pattern positions; variables scan.
+  TuplePattern tuple_pattern;
+  tuple_pattern.reserve(parsed.atom.terms.size());
+  for (const Term& term : parsed.atom.terms) {
+    if (term.is_constant()) {
+      tuple_pattern.push_back(term.constant());
+    } else {
+      tuple_pattern.push_back(std::nullopt);
+    }
+  }
+
+  relation->ForEachMatching(tuple_pattern, [&](const Tuple& tuple) {
+    auto row = BindRow(parsed.atom, tuple,
+                       static_cast<int>(parsed.variable_names.size()),
+                       projection);
+    if (row.has_value()) result.bindings.push_back(std::move(*row));
+  });
+  std::sort(result.bindings.begin(), result.bindings.end());
+  result.bindings.erase(
+      std::unique(result.bindings.begin(), result.bindings.end()),
+      result.bindings.end());
+  return result;
+}
+
+Result<bool> DatabaseMatches(const Database& db,
+                             std::string_view pattern_text,
+                             const std::shared_ptr<SymbolTable>& symbols) {
+  PARK_ASSIGN_OR_RETURN(QueryResult result,
+                        QueryDatabase(db, pattern_text, symbols));
+  return !result.empty();
+}
+
+}  // namespace park

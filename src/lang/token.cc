@@ -1,0 +1,47 @@
+#include "lang/token.h"
+
+namespace park {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kError:
+      return "lexing error";
+  }
+  return "unknown token";
+}
+
+}  // namespace park

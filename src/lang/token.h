@@ -1,0 +1,45 @@
+// Token definitions for the active-rule language.
+
+#ifndef PARK_LANG_TOKEN_H_
+#define PARK_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace park {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // lowercase-initial: constant symbol or predicate name
+  kVariable,     // uppercase- or underscore-initial: rule variable
+  kInt,          // integer literal
+  kString,       // quoted string literal (text stored unescaped)
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kComma,        // ,
+  kPeriod,       // .
+  kColon,        // :
+  kArrow,        // ->
+  kPlus,         // +
+  kMinus,        // -
+  kBang,         // !
+  kEquals,       // =
+  kError,        // lexing error; message in `text`
+};
+
+/// Human-readable name of a token kind, for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier/variable/string payload or error text
+  int64_t int_value = 0;  // valid when kind == kInt
+  int line = 1;           // 1-based source position of the first character
+  int column = 1;
+};
+
+}  // namespace park
+
+#endif  // PARK_LANG_TOKEN_H_

@@ -1,0 +1,43 @@
+// Umbrella header for the PARK active-rules library.
+//
+// PARK implements the semantics of Gottlob, Moerkotte & Subrahmanian,
+// "The PARK Semantics for Active Rules" (EDBT 1996): a deterministic,
+// polynomial-time fixpoint semantics for event-condition-action rules
+// parameterized by a pluggable conflict-resolution policy.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   #include "park/park.h"
+//
+//   auto symbols = park::MakeSymbolTable();
+//   auto db = park::ParseDatabase("p.", symbols).value();
+//   auto program = park::ParseProgram(
+//       "r1: p -> +q. r2: p -> -a. r3: q -> +a.", symbols).value();
+//   park::ParkOptions options;        // default policy: inertia
+//   auto result = park::Park(program, db, options).value();
+//   // result.database.ToString() == "{p, q}"
+//
+// Or through the transactional facade:
+//
+//   park::ActiveDatabase adb(symbols);
+//   adb.LoadRules(...); adb.LoadFacts(...);
+//   auto tx = adb.Begin();
+//   tx.Insert("q", {"b"});
+//   auto report = std::move(tx).Commit();
+
+#ifndef PARK_PARK_PARK_H_
+#define PARK_PARK_PARK_H_
+
+#include "core/baseline/inflationary.h"   // IWYU pragma: export
+#include "core/baseline/naive_cancel.h"   // IWYU pragma: export
+#include "core/park_evaluator.h"          // IWYU pragma: export
+#include "core/policy.h"                  // IWYU pragma: export
+#include "core/stepper.h"                 // IWYU pragma: export
+#include "eca/active_database.h"          // IWYU pragma: export
+#include "lang/analyzer.h"                // IWYU pragma: export
+#include "lang/io.h"                      // IWYU pragma: export
+#include "lang/parser.h"                  // IWYU pragma: export
+#include "lang/printer.h"                 // IWYU pragma: export
+#include "lang/query.h"                   // IWYU pragma: export
+
+#endif  // PARK_PARK_PARK_H_

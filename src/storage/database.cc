@@ -1,0 +1,124 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace park {
+
+Database::Database(std::shared_ptr<SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {
+  PARK_CHECK(symbols_ != nullptr) << "Database requires a symbol table";
+}
+
+Database Database::Clone() const {
+  Database copy(symbols_);
+  for (const auto& [pred, rel] : relations_) {
+    copy.relations_.emplace(pred, rel.Clone());
+  }
+  copy.total_atoms_ = total_atoms_;
+  return copy;
+}
+
+bool Database::Insert(const GroundAtom& atom) {
+  Relation& rel = GetOrCreateRelation(atom.predicate(), atom.arity());
+  bool added = rel.Insert(atom.args());
+  if (added) ++total_atoms_;
+  return added;
+}
+
+bool Database::InsertAtom(std::string_view predicate,
+                          const std::vector<std::string>& args) {
+  PredicateId pred = symbols_->InternPredicate(
+      predicate, static_cast<int>(args.size()));
+  Tuple tuple;
+  for (const std::string& arg : args) {
+    tuple.Append(ConstantFromText(arg, *symbols_));
+  }
+  return Insert(GroundAtom(pred, std::move(tuple)));
+}
+
+bool Database::Erase(const GroundAtom& atom) {
+  auto it = relations_.find(atom.predicate());
+  if (it == relations_.end()) return false;
+  bool removed = it->second.Erase(atom.args());
+  if (removed) --total_atoms_;
+  return removed;
+}
+
+bool Database::Contains(const GroundAtom& atom) const {
+  auto it = relations_.find(atom.predicate());
+  if (it == relations_.end()) return false;
+  return it->second.Contains(atom.args());
+}
+
+const Relation* Database::GetRelation(PredicateId predicate) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return nullptr;
+  return &it->second;
+}
+
+Relation& Database::GetOrCreateRelation(PredicateId predicate, int arity) {
+  auto it = relations_.find(predicate);
+  if (it != relations_.end()) {
+    PARK_CHECK_EQ(it->second.arity(), arity)
+        << "predicate " << symbols_->PredicateName(predicate)
+        << " used with inconsistent arity";
+    return it->second;
+  }
+  auto [inserted, _] = relations_.emplace(predicate, Relation(arity));
+  return inserted->second;
+}
+
+void Database::ForEach(
+    const std::function<void(const GroundAtom&)>& fn) const {
+  for (const auto& [pred, rel] : relations_) {
+    rel.ForEach([&](const Tuple& t) { fn(GroundAtom(pred, t)); });
+  }
+}
+
+std::vector<std::string> Database::SortedAtomStrings() const {
+  std::vector<std::string> out;
+  out.reserve(total_atoms_);
+  ForEach([&](const GroundAtom& atom) {
+    out.push_back(atom.ToString(*symbols_));
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& atom : SortedAtomStrings()) {
+    if (!first) out += ", ";
+    out += atom;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+bool Database::SameAtoms(const Database& other) const {
+  if (total_atoms_ != other.total_atoms_) return false;
+  bool same = true;
+  ForEach([&](const GroundAtom& atom) {
+    if (!other.Contains(atom)) same = false;
+  });
+  return same;
+}
+
+Database::Diff Database::DiffWith(const Database& other) const {
+  Diff diff;
+  ForEach([&](const GroundAtom& atom) {
+    if (!other.Contains(atom)) diff.only_in_this.push_back(atom);
+  });
+  other.ForEach([&](const GroundAtom& atom) {
+    if (!Contains(atom)) diff.only_in_other.push_back(atom);
+  });
+  std::sort(diff.only_in_this.begin(), diff.only_in_this.end());
+  std::sort(diff.only_in_other.begin(), diff.only_in_other.end());
+  return diff;
+}
+
+}  // namespace park

@@ -1,0 +1,95 @@
+// Database: a database instance in the paper's sense — a finite set of
+// positive ground atoms, organized as one Relation per predicate.
+//
+// A Database owns its tuples but shares a SymbolTable with the programs
+// that run against it. Databases are the inputs and outputs of the PARK
+// semantics: `PARK(P, D)` maps a Database to a Database.
+
+#ifndef PARK_STORAGE_DATABASE_H_
+#define PARK_STORAGE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/ground_atom.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace park {
+
+/// A set of ground atoms with per-predicate index-backed storage.
+class Database {
+ public:
+  /// Creates an empty database over `symbols` (must be non-null).
+  explicit Database(std::shared_ptr<SymbolTable> symbols);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Deep copy (shares the symbol table, copies all tuples).
+  Database Clone() const;
+
+  const std::shared_ptr<SymbolTable>& symbols() const { return symbols_; }
+  SymbolTable& mutable_symbols() { return *symbols_; }
+
+  /// Inserts `atom`; returns true if it was not already present.
+  bool Insert(const GroundAtom& atom);
+
+  /// Convenience: interns `predicate` (with arity = args.size()) and the
+  /// symbol constants in `args`, then inserts. Example:
+  ///   db.InsertAtom("edge", {"a", "b"});
+  bool InsertAtom(std::string_view predicate,
+                  const std::vector<std::string>& args);
+
+  /// Removes `atom`; returns true if it was present.
+  bool Erase(const GroundAtom& atom);
+
+  bool Contains(const GroundAtom& atom) const;
+
+  /// Number of atoms across all predicates.
+  size_t size() const { return total_atoms_; }
+  bool empty() const { return total_atoms_ == 0; }
+
+  /// The relation for `predicate`, or nullptr if no atom of that predicate
+  /// was ever inserted.
+  const Relation* GetRelation(PredicateId predicate) const;
+
+  /// The relation for `predicate`, created (with `arity`) if absent.
+  Relation& GetOrCreateRelation(PredicateId predicate, int arity);
+
+  /// Invokes `fn` for every atom, in unspecified order.
+  void ForEach(const std::function<void(const GroundAtom&)>& fn) const;
+
+  /// All atoms as sorted, rendered strings — deterministic; used in tests
+  /// and tools.
+  std::vector<std::string> SortedAtomStrings() const;
+
+  /// "{p(a), q(a, b)}" with atoms sorted by rendered text.
+  std::string ToString() const;
+
+  /// True iff both databases contain exactly the same atoms. The two
+  /// databases must share a symbol table.
+  bool SameAtoms(const Database& other) const;
+
+  /// Atoms present in `this` but not `other`, and vice versa.
+  struct Diff {
+    std::vector<GroundAtom> only_in_this;
+    std::vector<GroundAtom> only_in_other;
+    bool empty() const { return only_in_this.empty() && only_in_other.empty(); }
+  };
+  Diff DiffWith(const Database& other) const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::unordered_map<PredicateId, Relation> relations_;
+  size_t total_atoms_ = 0;
+};
+
+}  // namespace park
+
+#endif  // PARK_STORAGE_DATABASE_H_

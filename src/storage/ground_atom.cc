@@ -1,0 +1,11 @@
+#include "storage/ground_atom.h"
+
+namespace park {
+
+std::string GroundAtom::ToString(const SymbolTable& table) const {
+  std::string out = table.PredicateName(predicate_);
+  out += args_.ToString(table);
+  return out;
+}
+
+}  // namespace park

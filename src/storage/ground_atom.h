@@ -1,0 +1,55 @@
+// GroundAtom: a fully instantiated atom `p(c1, ..., cn)` — a row together
+// with the predicate it belongs to. Database instances and i-interpretations
+// are sets of GroundAtoms (the latter with +/- markings kept alongside).
+
+#ifndef PARK_STORAGE_GROUND_ATOM_H_
+#define PARK_STORAGE_GROUND_ATOM_H_
+
+#include <string>
+
+#include "storage/tuple.h"
+
+namespace park {
+
+/// A ground (variable-free) atom. Value type: copyable, hashable, ordered
+/// (by predicate id, then tuple).
+class GroundAtom {
+ public:
+  GroundAtom() : predicate_(0) {}
+  GroundAtom(PredicateId predicate, Tuple args)
+      : predicate_(predicate), args_(std::move(args)) {}
+
+  PredicateId predicate() const { return predicate_; }
+  const Tuple& args() const { return args_; }
+  int arity() const { return args_.arity(); }
+
+  /// "p(a, b)" or "p" for propositional (0-ary) atoms.
+  std::string ToString(const SymbolTable& table) const;
+
+  size_t Hash() const {
+    return HashCombine(static_cast<size_t>(predicate_), args_.Hash());
+  }
+
+  friend bool operator==(const GroundAtom& a, const GroundAtom& b) {
+    return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const GroundAtom& a, const GroundAtom& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const GroundAtom& a, const GroundAtom& b) {
+    if (a.predicate_ != b.predicate_) return a.predicate_ < b.predicate_;
+    return a.args_ < b.args_;
+  }
+
+ private:
+  PredicateId predicate_;
+  Tuple args_;
+};
+
+struct GroundAtomHash {
+  size_t operator()(const GroundAtom& a) const { return a.Hash(); }
+};
+
+}  // namespace park
+
+#endif  // PARK_STORAGE_GROUND_ATOM_H_

@@ -1,0 +1,33 @@
+// File persistence for databases and programs.
+//
+// The on-disk formats are exactly the surface syntax the parser accepts
+// (fact files and rule files), so snapshots are human-readable, diffable,
+// and round-trip losslessly through the parser/printer pair.
+
+#ifndef PARK_STORAGE_IO_H_
+#define PARK_STORAGE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/database.h"
+
+namespace park {
+
+/// Writes `db` as a fact file (one sorted atom per line, trailing '.').
+/// The write is atomic: a temp file is written and renamed over `path`.
+/// The reader side (ReadDatabaseFile) lives in lang/io.h, which has the
+/// parser available.
+Status WriteDatabaseFile(const Database& db, const std::string& path);
+
+/// Reads an entire file into a string. Shared helper for the lang-level
+/// readers; returns kNotFound if the file cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` atomically (temp file + rename).
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path);
+
+}  // namespace park
+
+#endif  // PARK_STORAGE_IO_H_

@@ -1,0 +1,113 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace park {
+
+Relation Relation::Clone() const {
+  Relation copy(arity_);
+  copy.tuples_ = tuples_;
+  return copy;
+}
+
+bool Relation::Insert(const Tuple& t) {
+  PARK_CHECK_EQ(t.arity(), arity_) << "arity mismatch on insert";
+  auto [it, inserted] = tuples_.insert(t);
+  if (!inserted) return false;
+  const Tuple* stored = &*it;
+  for (int c = 0; c < static_cast<int>(indexes_.size()); ++c) {
+    if (indexes_[static_cast<size_t>(c)].has_value()) {
+      indexes_[static_cast<size_t>(c)]->emplace((*stored)[c], stored);
+    }
+  }
+  return true;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = tuples_.find(t);
+  if (it == tuples_.end()) return false;
+  const Tuple* stored = &*it;
+  for (int c = 0; c < static_cast<int>(indexes_.size()); ++c) {
+    auto& index = indexes_[static_cast<size_t>(c)];
+    if (!index.has_value()) continue;
+    auto range = index->equal_range((*stored)[c]);
+    for (auto e = range.first; e != range.second; ++e) {
+      if (e->second == stored) {
+        index->erase(e);
+        break;
+      }
+    }
+  }
+  tuples_.erase(it);
+  return true;
+}
+
+void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
+  for (const Tuple& t : tuples_) fn(t);
+}
+
+bool Relation::Matches(const Tuple& t, const TuplePattern& pattern) {
+  for (int c = 0; c < t.arity(); ++c) {
+    const auto& want = pattern[static_cast<size_t>(c)];
+    if (want.has_value() && *want != t[c]) return false;
+  }
+  return true;
+}
+
+void Relation::EnsureIndex(int column) const {
+  if (static_cast<size_t>(column) >= indexes_.size()) {
+    indexes_.resize(static_cast<size_t>(arity_));
+  }
+  auto& index = indexes_[static_cast<size_t>(column)];
+  if (index.has_value()) return;
+  index.emplace();
+  index->reserve(tuples_.size());
+  for (const Tuple& t : tuples_) {
+    index->emplace(t[column], &t);
+  }
+}
+
+void Relation::ForEachMatching(
+    const TuplePattern& pattern,
+    const std::function<void(const Tuple&)>& fn) const {
+  PARK_CHECK_EQ(static_cast<int>(pattern.size()), arity_)
+      << "pattern arity mismatch";
+  int bound_column = -1;
+  for (int c = 0; c < arity_; ++c) {
+    if (pattern[static_cast<size_t>(c)].has_value()) {
+      bound_column = c;
+      break;
+    }
+  }
+  if (bound_column < 0) {
+    // Fully unbound: plain scan.
+    for (const Tuple& t : tuples_) fn(t);
+    return;
+  }
+  // Exact-match fast path when every column is bound.
+  bool all_bound = true;
+  for (const auto& slot : pattern) all_bound = all_bound && slot.has_value();
+  if (all_bound) {
+    Tuple probe;
+    for (const auto& slot : pattern) probe.Append(*slot);
+    if (tuples_.contains(probe)) fn(probe);
+    return;
+  }
+  EnsureIndex(bound_column);
+  const ColumnIndex& index = *indexes_[static_cast<size_t>(bound_column)];
+  auto range = index.equal_range(*pattern[static_cast<size_t>(bound_column)]);
+  for (auto it = range.first; it != range.second; ++it) {
+    const Tuple& t = *it->second;
+    if (Matches(t, pattern)) fn(t);
+  }
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace park

@@ -1,0 +1,81 @@
+// Relation: the tuple store for one predicate.
+//
+// A Relation is an unordered set of Tuples plus lazily built, incrementally
+// maintained per-column hash indexes. The engine's body matcher asks for
+// tuples matching a partial binding; when some column of the binding is
+// bound, the relation answers via a column index instead of a full scan.
+
+#ifndef PARK_STORAGE_RELATION_H_
+#define PARK_STORAGE_RELATION_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace park {
+
+/// A partial binding over the columns of a relation: `std::nullopt` means
+/// "any value". Used as the query form for Relation::ForEachMatching.
+using TuplePattern = std::vector<std::optional<Value>>;
+
+/// Tuple set with on-demand column indexes. Not thread-safe.
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+
+  // Relations are heavyweight; copying is explicit via Clone().
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  /// Deep copy without the indexes (they rebuild on demand).
+  Relation Clone() const;
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `t`; returns true if the tuple was not already present.
+  /// `t.arity()` must equal the relation arity.
+  bool Insert(const Tuple& t);
+
+  /// Removes `t`; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return tuples_.contains(t); }
+
+  /// Invokes `fn` for every tuple, in unspecified order. `fn` must not
+  /// mutate this relation.
+  void ForEach(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Invokes `fn` for every tuple consistent with `pattern` (same arity;
+  /// bound positions must match exactly). Uses the most selective column
+  /// index among bound positions, building it on first use.
+  void ForEachMatching(const TuplePattern& pattern,
+                       const std::function<void(const Tuple&)>& fn) const;
+
+  /// All tuples, sorted — for deterministic printing and diffs.
+  std::vector<Tuple> SortedTuples() const;
+
+ private:
+  // Value -> tuples having that value in the indexed column. Pointers are
+  // into `tuples_` (node-based, so stable until erase).
+  using ColumnIndex = std::unordered_multimap<Value, const Tuple*, ValueHash>;
+
+  void EnsureIndex(int column) const;
+  static bool Matches(const Tuple& t, const TuplePattern& pattern);
+
+  int arity_;
+  std::unordered_set<Tuple, TupleHash> tuples_;
+  // indexes_[c] is built lazily; nullopt means "not built".
+  mutable std::vector<std::optional<ColumnIndex>> indexes_;
+};
+
+}  // namespace park
+
+#endif  // PARK_STORAGE_RELATION_H_

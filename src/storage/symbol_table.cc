@@ -1,0 +1,58 @@
+#include "storage/symbol_table.h"
+
+namespace park {
+
+SymbolId SymbolTable::InternSymbol(std::string_view name) {
+  auto it = symbol_ids_.find(std::string(name));
+  if (it != symbol_ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(symbol_names_.size());
+  symbol_names_.emplace_back(name);
+  symbol_ids_.emplace(symbol_names_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::FindSymbol(std::string_view name) const {
+  auto it = symbol_ids_.find(std::string(name));
+  if (it == symbol_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& SymbolTable::SymbolName(SymbolId id) const {
+  PARK_CHECK_LT(id, symbol_names_.size()) << "invalid symbol id";
+  return symbol_names_[id];
+}
+
+PredicateId SymbolTable::InternPredicate(std::string_view name, int arity) {
+  PARK_CHECK_GE(arity, 0);
+  std::string key(name);
+  key += '/';
+  key += std::to_string(arity);
+  auto it = predicate_ids_.find(key);
+  if (it != predicate_ids_.end()) return it->second;
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(PredicateInfo{std::string(name), arity});
+  predicate_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+std::optional<PredicateId> SymbolTable::FindPredicate(std::string_view name,
+                                                      int arity) const {
+  std::string key(name);
+  key += '/';
+  key += std::to_string(arity);
+  auto it = predicate_ids_.find(key);
+  if (it == predicate_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& SymbolTable::PredicateName(PredicateId id) const {
+  PARK_CHECK_LT(id, predicates_.size()) << "invalid predicate id";
+  return predicates_[id].name;
+}
+
+int SymbolTable::PredicateArity(PredicateId id) const {
+  PARK_CHECK_LT(id, predicates_.size()) << "invalid predicate id";
+  return predicates_[id].arity;
+}
+
+}  // namespace park

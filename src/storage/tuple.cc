@@ -1,0 +1,22 @@
+#include "storage/tuple.h"
+
+namespace park {
+
+std::string Tuple::ToString(const SymbolTable& table) const {
+  if (values_.empty()) return "";
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString(table);
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0x51ed270b;
+  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+}  // namespace park

@@ -1,0 +1,55 @@
+// Tuple: an ordered list of Values — one row of a relation.
+
+#ifndef PARK_STORAGE_TUPLE_H_
+#define PARK_STORAGE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace park {
+
+/// A fixed-arity row. Tuples are value types: copyable, hashable,
+/// lexicographically ordered.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  int arity() const { return static_cast<int>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& operator[](int i) const { return values_[static_cast<size_t>(i)]; }
+  Value& operator[](int i) { return values_[static_cast<size_t>(i)]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(v); }
+
+  /// "(v1, v2, ...)" — or "" for the 0-ary tuple.
+  std::string ToString(const SymbolTable& table) const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace park
+
+#endif  // PARK_STORAGE_TUPLE_H_

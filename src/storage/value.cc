@@ -1,0 +1,38 @@
+#include "storage/value.h"
+
+#include "util/string_util.h"
+
+namespace park {
+
+Value ConstantFromText(std::string_view text, SymbolTable& symbols) {
+  if (!text.empty() &&
+      (std::isdigit(static_cast<unsigned char>(text.front())) ||
+       (text.front() == '-' && text.size() > 1))) {
+    auto value = ParseInt64(text);
+    if (value.has_value()) return Value::Int(*value);
+  }
+  return Value::Symbol(symbols.InternSymbol(text));
+}
+
+std::string Value::ToString(const SymbolTable& table) const {
+  switch (type_) {
+    case ValueType::kSymbol:
+      return table.SymbolName(static_cast<SymbolId>(payload_));
+    case ValueType::kInt:
+      return std::to_string(static_cast<int64_t>(payload_));
+    case ValueType::kString: {
+      const std::string& raw =
+          table.SymbolName(static_cast<SymbolId>(payload_));
+      std::string out = "\"";
+      for (char c : raw) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "<invalid>";
+}
+
+}  // namespace park

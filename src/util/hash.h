@@ -1,0 +1,26 @@
+// Hash combining utilities used by the storage layer's hash tables.
+
+#ifndef PARK_UTIL_HASH_H_
+#define PARK_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace park {
+
+/// Mixes `value` into `seed` (boost-style combine with a 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hashes a trivially-hashable value with std::hash and combines.
+template <typename T>
+size_t HashCombineValue(size_t seed, const T& value) {
+  return HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace park
+
+#endif  // PARK_UTIL_HASH_H_

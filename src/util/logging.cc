@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace park {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel SetMinLogLevel(LogLevel level) {
+  return g_min_level.exchange(level);
+}
+
+LogLevel GetMinLogLevel() { return g_min_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), file_(file), line_(line), fatal_(fatal) {}
+
+LogMessage::~LogMessage() {
+  if (fatal_ || level_ >= g_min_level.load()) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), file_, line_,
+                 stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace park

@@ -1,0 +1,72 @@
+// Minimal leveled logging and CHECK macros.
+//
+// PARK_CHECK(cond) aborts with a message when `cond` is false; it is used
+// for internal invariants only, never for validating user input (user input
+// errors are reported via park::Status).
+
+#ifndef PARK_UTIL_LOGGING_H_
+#define PARK_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace park {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal_logging {
+
+/// Collects a message via operator<< and emits it on destruction.
+/// If `fatal` is set, destruction aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum level that is actually emitted (default: kWarning, so
+/// library code is silent in normal operation). Returns the previous level.
+LogLevel SetMinLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetMinLogLevel();
+
+#define PARK_LOG(level)                                        \
+  ::park::internal_logging::LogMessage(::park::LogLevel::level, \
+                                       __FILE__, __LINE__)
+
+#define PARK_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::park::internal_logging::LogMessage(::park::LogLevel::kError,         \
+                                         __FILE__, __LINE__, /*fatal=*/true) \
+        << "Check failed: " #cond " "
+
+#define PARK_CHECK_EQ(a, b) PARK_CHECK((a) == (b))
+#define PARK_CHECK_NE(a, b) PARK_CHECK((a) != (b))
+#define PARK_CHECK_LT(a, b) PARK_CHECK((a) < (b))
+#define PARK_CHECK_LE(a, b) PARK_CHECK((a) <= (b))
+#define PARK_CHECK_GT(a, b) PARK_CHECK((a) > (b))
+#define PARK_CHECK_GE(a, b) PARK_CHECK((a) >= (b))
+
+}  // namespace park
+
+#endif  // PARK_UTIL_LOGGING_H_

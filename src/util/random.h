@@ -1,0 +1,54 @@
+// Deterministic random number generation for tests, policies, and workload
+// generators. A thin SplitMix64-seeded xoshiro256** engine with convenience
+// samplers; deterministic across platforms (unlike std::default_random_engine
+// distributions).
+
+#ifndef PARK_UTIL_RANDOM_H_
+#define PARK_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace park {
+
+/// A small, fast, reproducible PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0xda3e39cb94b95bdbULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the result is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace park
+
+#endif  // PARK_UTIL_RANDOM_H_

@@ -1,0 +1,156 @@
+// Status and Result<T>: the error-handling vocabulary of the park library.
+//
+// The library does not use exceptions. Fallible operations return a
+// `park::Status` (or a `park::Result<T>` when they also produce a value).
+// Internal invariant violations use the PARK_CHECK macros from logging.h,
+// which abort.
+
+#ifndef PARK_UTIL_STATUS_H_
+#define PARK_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace park {
+
+/// Broad classification of an error. Mirrors the usual database-engine
+/// taxonomy; `kOk` is the success sentinel.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Malformed input from the caller (bad rule text, ...).
+  kNotFound,          // A named entity (relation, rule) does not exist.
+  kAlreadyExists,     // Attempt to redefine an existing entity.
+  kFailedPrecondition,// Operation not valid in the current state.
+  kOutOfRange,        // Index or arity out of range.
+  kResourceExhausted, // A configured limit (e.g. max_steps) was exceeded.
+  kInternal,          // Invariant violation that was recoverable.
+  kUnimplemented,     // Feature intentionally not available.
+  kAborted,           // Operation gave up (e.g. policy made no progress).
+};
+
+/// Returns the canonical lower-case name of `code` ("ok", "invalid
+/// argument", ...). Never returns an empty view.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); carries a code and a human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and `message`. If `code` is `kOk` the
+  /// message is dropped and the result is the OK status.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message,
+  /// separated by ": ". OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Factory helpers, one per error code.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status AbortedError(std::string message);
+
+/// A value of type `T`, or the Status explaining why it is absent.
+/// `Result` is movable; it is copyable iff `T` is.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value: success case.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from a non-OK status: error case. Constructing a
+  /// Result from an OK status is an internal-error Result.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal,
+                       "Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK() when a value is present.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  /// Accessors. Must only be called when ok(); checked in debug builds via
+  /// the standard library's optional assertions.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from the current function.
+/// Usage: PARK_RETURN_IF_ERROR(DoThing());
+#define PARK_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::park::Status _park_status = (expr);           \
+    if (!_park_status.ok()) return _park_status;    \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// moves the value into `lhs`. `lhs` must be a declaration or assignable.
+/// Usage: PARK_ASSIGN_OR_RETURN(auto prog, ParseProgram(text));
+#define PARK_ASSIGN_OR_RETURN(lhs, expr)                          \
+  PARK_ASSIGN_OR_RETURN_IMPL_(                                    \
+      PARK_STATUS_CONCAT_(_park_result, __LINE__), lhs, expr)
+
+#define PARK_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define PARK_STATUS_CONCAT_INNER_(a, b) a##b
+#define PARK_STATUS_CONCAT_(a, b) PARK_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace park
+
+#endif  // PARK_UTIL_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string helpers shared across the library: splitting, joining,
+// trimming, numeric parsing, and printf-style formatting into std::string.
+
+#ifndef PARK_UTIL_STRING_UTIL_H_
+#define PARK_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace park {
+
+/// Splits `text` on `sep`. Adjacent separators yield empty fields; an empty
+/// input yields a single empty field (like most split implementations).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns `text` with ASCII whitespace removed from both ends.
+std::string_view Trim(std::string_view text);
+
+/// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a base-10 signed integer; rejects trailing garbage and overflow.
+std::optional<int64_t> ParseInt64(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders `n` with thousands separators ("1_234_567") for bench tables.
+std::string FormatWithSeparators(int64_t n);
+
+}  // namespace park
+
+#endif  // PARK_UTIL_STRING_UTIL_H_

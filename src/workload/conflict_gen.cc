@@ -1,0 +1,61 @@
+#include "workload/conflict_gen.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace park {
+
+Workload MakeConflictPairsWorkload(int num_pairs, double conflict_fraction,
+                                   uint64_t seed) {
+  PARK_CHECK_GE(num_pairs, 1);
+  Workload w(MakeSymbolTable());
+  Rng rng(seed);
+
+  std::string rules;
+  for (int i = 0; i < num_pairs; ++i) {
+    w.database.Insert(IntAtom(w.symbols, "s", i));
+    rules += StrFormat("s(%d) -> +t(%d).\n", i, i);
+    if (rng.Bernoulli(conflict_fraction)) {
+      rules += StrFormat("s(%d) -> -t(%d).\n", i, i);
+    }
+  }
+  auto program = ParseProgram(rules, w.symbols);
+  PARK_CHECK(program.ok()) << program.status().ToString();
+  w.program = std::move(program).value();
+  w.description = StrFormat("conflict-pairs n=%d f=%.2f", num_pairs,
+                            conflict_fraction);
+  return w;
+}
+
+Workload MakeRestartChainWorkload(int chain_len, int num_conflicts) {
+  PARK_CHECK_GE(chain_len, 1);
+  PARK_CHECK_GE(num_conflicts, 0);
+  Workload w(MakeSymbolTable());
+  w.database.Insert(IntAtom(w.symbols, "c", 0));
+
+  std::string rules;
+  for (int i = 0; i < chain_len; ++i) {
+    rules += StrFormat("c(%d) -> +c(%d).\n", i, i + 1);
+  }
+  // Conflicts are staggered along the chain so they surface at different
+  // Γ steps: each one forces its own restart that replays the prefix.
+  for (int j = 0; j < num_conflicts; ++j) {
+    int pos = num_conflicts == 1
+                  ? chain_len
+                  : 1 + static_cast<int>((static_cast<int64_t>(j) *
+                                          (chain_len - 1)) /
+                                         (num_conflicts - 1));
+    rules += StrFormat("c(%d) -> +boom(%d).\n", pos, j);
+    rules += StrFormat("c(%d) -> -boom(%d).\n", pos, j);
+  }
+  auto program = ParseProgram(rules, w.symbols);
+  PARK_CHECK(program.ok()) << program.status().ToString();
+  w.program = std::move(program).value();
+  w.description =
+      StrFormat("restart-chain len=%d conflicts=%d", chain_len,
+                num_conflicts);
+  return w;
+}
+
+}  // namespace park

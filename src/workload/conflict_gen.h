@@ -1,0 +1,32 @@
+// Conflict workloads: programs with a controllable number of rules and a
+// controllable fraction of insert/delete conflicts, plus chain workloads
+// that make each conflict-triggered restart expensive. Used for the C2
+// (|P| scaling), C7 (conflict density) and restart-cost experiments.
+
+#ifndef PARK_WORKLOAD_CONFLICT_GEN_H_
+#define PARK_WORKLOAD_CONFLICT_GEN_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace park {
+
+/// `num_pairs` independent targets t(i), each driven by a ground rule
+/// `s(i) -> +t(i).`; a `conflict_fraction` of them additionally get
+/// `s(i) -> -t(i).`, creating one conflict each. |P| grows linearly in
+/// `num_pairs`; every conflicted target costs one resolution.
+Workload MakeConflictPairsWorkload(int num_pairs, double conflict_fraction,
+                                   uint64_t seed);
+
+/// A derivation chain of length `chain_len`
+///   c0 -> +c1, c1 -> +c2, ..., c_{k-1} -> +c_k   (as ground rules on c(i))
+/// whose tail then conflicts: `c(k) -> +boom.` vs `c(k) -> -boom.`
+/// Every restart recomputes the whole chain, so the restart cost is
+/// proportional to chain_len: the workload isolates the "resume from I°"
+/// cost model of the Δ operator.
+Workload MakeRestartChainWorkload(int chain_len, int num_conflicts);
+
+}  // namespace park
+
+#endif  // PARK_WORKLOAD_CONFLICT_GEN_H_

@@ -1,0 +1,99 @@
+#include "workload/graph_gen.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+constexpr char kClosureRules[] = R"(
+  tc1: edge(X, Y) -> +path(X, Y).
+  tc2: path(X, Y), edge(Y, Z) -> +path(X, Z).
+)";
+
+constexpr char kIrreflexiveRules[] = R"(
+  r1: p(X), p(Y) -> +q(X, Y).
+  r2: q(X, X) -> -q(X, X).
+  r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+)";
+
+void AddEdge(Workload& w, int64_t a, int64_t b) {
+  w.database.Insert(IntAtom2(w.symbols, "edge", a, b));
+}
+
+}  // namespace
+
+Workload MakeTransitiveClosureWorkload(GraphShape shape, int num_nodes,
+                                       int num_edges, uint64_t seed) {
+  PARK_CHECK_GE(num_nodes, 2);
+  Workload w(MakeSymbolTable());
+  auto program = ParseProgram(kClosureRules, w.symbols);
+  PARK_CHECK(program.ok()) << program.status().ToString();
+  w.program = std::move(program).value();
+
+  switch (shape) {
+    case GraphShape::kPath:
+      for (int i = 0; i + 1 < num_nodes; ++i) AddEdge(w, i, i + 1);
+      w.description = StrFormat("closure/path n=%d", num_nodes);
+      break;
+    case GraphShape::kCycle:
+      for (int i = 0; i + 1 < num_nodes; ++i) AddEdge(w, i, i + 1);
+      AddEdge(w, num_nodes - 1, 0);
+      w.description = StrFormat("closure/cycle n=%d", num_nodes);
+      break;
+    case GraphShape::kRandom: {
+      Rng rng(seed);
+      std::unordered_set<int64_t> used;
+      int added = 0;
+      while (added < num_edges) {
+        int64_t a = rng.UniformInt(0, num_nodes - 1);
+        int64_t b = rng.UniformInt(0, num_nodes - 1);
+        if (a == b) continue;
+        int64_t key = a * num_nodes + b;
+        if (!used.insert(key).second) continue;
+        AddEdge(w, a, b);
+        ++added;
+      }
+      w.description =
+          StrFormat("closure/random n=%d m=%d", num_nodes, num_edges);
+      break;
+    }
+  }
+  return w;
+}
+
+Workload MakeIrreflexiveGraphWorkload(int num_nodes) {
+  PARK_CHECK_GE(num_nodes, 2);
+  Workload w(MakeSymbolTable());
+  auto program = ParseProgram(kIrreflexiveRules, w.symbols);
+  PARK_CHECK(program.ok()) << program.status().ToString();
+  w.program = std::move(program).value();
+  for (int i = 0; i < num_nodes; ++i) {
+    w.database.Insert(IntAtom(w.symbols, "p", i));
+  }
+  w.description = StrFormat("irreflexive-graph n=%d", num_nodes);
+  return w;
+}
+
+PolicyPtr MakeIrreflexiveGraphPolicy() {
+  return MakeLambdaPolicy(
+      "irreflexive-graph",
+      [](const PolicyContext&, const Conflict& conflict) -> Result<Vote> {
+        const Tuple& args = conflict.atom.args();
+        if (args.arity() != 2) return Vote::kAbstain;
+        const Value& x = args[0];
+        const Value& y = args[1];
+        if (x == y) return Vote::kDelete;
+        if (x.is_int() && y.is_int()) {
+          int64_t dist = x.int_value() - y.int_value();
+          if (dist < 0) dist = -dist;
+          return dist > 1 ? Vote::kDelete : Vote::kInsert;
+        }
+        return Vote::kInsert;
+      });
+}
+
+}  // namespace park

@@ -1,0 +1,43 @@
+// Graph workloads: recursive transitive-closure programs (the "Basic
+// Inference Engine must deal with recursive active rules" requirement) and
+// the paper's §4.2 irreflexive/transitivity-free graph example scaled to n
+// nodes.
+
+#ifndef PARK_WORKLOAD_GRAPH_GEN_H_
+#define PARK_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace park {
+
+enum class GraphShape {
+  kPath,    // 0 -> 1 -> ... -> n-1 (closure has maximal depth)
+  kCycle,   // path plus the closing edge
+  kRandom,  // num_edges uniformly random distinct ordered pairs
+};
+
+/// Conflict-free recursive closure: facts edge(a, b); rules
+///   tc1: edge(X, Y) -> +path(X, Y).
+///   tc2: path(X, Y), edge(Y, Z) -> +path(X, Z).
+/// `num_edges` is ignored for kPath/kCycle.
+Workload MakeTransitiveClosureWorkload(GraphShape shape, int num_nodes,
+                                       int num_edges, uint64_t seed);
+
+/// The §4.2 example over n nodes: D = {p(0), ..., p(n-1)} and
+///   r1: p(X), p(Y) -> +q(X, Y).
+///   r2: q(X, X) -> -q(X, X).
+///   r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+/// Needs a policy that decides per atom; see MakeIrreflexiveGraphPolicy.
+Workload MakeIrreflexiveGraphWorkload(int num_nodes);
+
+/// The paper's custom SELECT for the §4.2 example, generalized: conflicts
+/// on q(x, x) resolve to delete (no self loops); conflicts on q(x, y) with
+/// |x - y| > 1 resolve to delete (drop "long" arcs, the paper's a--c
+/// case); all other conflicts resolve to insert (keep adjacent arcs).
+PolicyPtr MakeIrreflexiveGraphPolicy();
+
+}  // namespace park
+
+#endif  // PARK_WORKLOAD_GRAPH_GEN_H_

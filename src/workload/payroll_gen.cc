@@ -1,0 +1,56 @@
+#include "workload/payroll_gen.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+constexpr char kPayrollRules[] = R"(
+  cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+  cascade: -payroll(X, S) -> +audit(X).
+  onboard: +emp(X) -> +active(X).
+)";
+
+}  // namespace
+
+Workload MakePayrollWorkload(const PayrollParams& params) {
+  PARK_CHECK_GE(params.num_employees, 1);
+  Workload w(MakeSymbolTable());
+  auto program = ParseProgram(kPayrollRules, w.symbols);
+  PARK_CHECK(program.ok()) << program.status().ToString();
+  w.program = std::move(program).value();
+
+  Rng rng(params.seed);
+  std::vector<std::string> active_names;
+  for (int i = 0; i < params.num_employees; ++i) {
+    std::string name = StrFormat("e%d", i);
+    w.database.Insert(SymAtom(w.symbols, "emp", name));
+    PredicateId payroll = w.symbols->InternPredicate("payroll", 2);
+    w.database.Insert(GroundAtom(
+        payroll, Tuple{Value::Symbol(w.symbols->InternSymbol(name)),
+                       Value::Int(rng.UniformInt(30'000, 200'000))}));
+    if (!rng.Bernoulli(params.inactive_fraction)) {
+      w.database.Insert(SymAtom(w.symbols, "active", name));
+      active_names.push_back(name);
+    }
+  }
+
+  rng.Shuffle(active_names);
+  int deactivations =
+      std::min<int>(params.num_deactivations,
+                    static_cast<int>(active_names.size()));
+  for (int i = 0; i < deactivations; ++i) {
+    w.updates.AddDelete(SymAtom(w.symbols, "active", active_names[i]));
+  }
+
+  w.description = StrFormat(
+      "payroll n=%d inactive=%.2f deactivate=%d", params.num_employees,
+      params.inactive_fraction, deactivations);
+  return w;
+}
+
+}  // namespace park

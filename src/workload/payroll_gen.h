@@ -1,0 +1,34 @@
+// The payroll workload: the paper's motivating example from §2 scaled up —
+// non-active employees lose their payroll records — extended with an ECA
+// cascade (event literals) for the transaction-throughput experiment C9.
+
+#ifndef PARK_WORKLOAD_PAYROLL_GEN_H_
+#define PARK_WORKLOAD_PAYROLL_GEN_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace park {
+
+struct PayrollParams {
+  int num_employees = 100;
+  /// Fraction of employees NOT in `active` (their payroll rows are doomed).
+  double inactive_fraction = 0.1;
+  /// Number of `-active(e)` transaction updates to stage (the commit then
+  /// cascades payroll deletion and auditing through the rules).
+  int num_deactivations = 0;
+  uint64_t seed = 42;
+};
+
+/// Facts: emp(e_i), payroll(e_i, salary), active(e_i) for the active
+/// subset. Rules:
+///   cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).  (§2)
+///   cascade: -payroll(X, S) -> +audit(X).        (ECA: react to deletion)
+///   onboard: +emp(X) -> +active(X).              (ECA: react to insertion)
+/// Updates: `-active(e)` for `num_deactivations` random active employees.
+Workload MakePayrollWorkload(const PayrollParams& params);
+
+}  // namespace park
+
+#endif  // PARK_WORKLOAD_PAYROLL_GEN_H_

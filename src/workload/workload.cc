@@ -1,0 +1,24 @@
+#include "workload/workload.h"
+
+namespace park {
+
+GroundAtom IntAtom(const std::shared_ptr<SymbolTable>& symbols,
+                   std::string_view predicate, int64_t n) {
+  PredicateId pred = symbols->InternPredicate(predicate, 1);
+  return GroundAtom(pred, Tuple{Value::Int(n)});
+}
+
+GroundAtom IntAtom2(const std::shared_ptr<SymbolTable>& symbols,
+                    std::string_view predicate, int64_t a, int64_t b) {
+  PredicateId pred = symbols->InternPredicate(predicate, 2);
+  return GroundAtom(pred, Tuple{Value::Int(a), Value::Int(b)});
+}
+
+GroundAtom SymAtom(const std::shared_ptr<SymbolTable>& symbols,
+                   std::string_view predicate, std::string_view name) {
+  PredicateId pred = symbols->InternPredicate(predicate, 1);
+  return GroundAtom(pred,
+                    Tuple{Value::Symbol(symbols->InternSymbol(name))});
+}
+
+}  // namespace park

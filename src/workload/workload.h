@@ -1,0 +1,45 @@
+// Workloads: generated (program, database, updates) triples used by the
+// benchmark harness and the randomized property tests. Each generator is
+// deterministic in its parameters (and seed, where applicable).
+
+#ifndef PARK_WORKLOAD_WORKLOAD_H_
+#define PARK_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "eca/update.h"
+#include "lang/parser.h"
+
+namespace park {
+
+/// One benchmarkable scenario. Move-only (owns a Database and Program that
+/// share `symbols`).
+struct Workload {
+  std::shared_ptr<SymbolTable> symbols;
+  Program program;
+  Database database;
+  UpdateSet updates;
+  std::string description;
+
+  explicit Workload(std::shared_ptr<SymbolTable> s)
+      : symbols(s), program(s), database(s) {}
+  Workload(Workload&&) = default;
+  Workload& operator=(Workload&&) = default;
+};
+
+/// Builds a ground atom `predicate(n)` over `symbols` with an integer arg.
+GroundAtom IntAtom(const std::shared_ptr<SymbolTable>& symbols,
+                   std::string_view predicate, int64_t n);
+
+/// Builds a ground atom `predicate(a, b)` with two integer args.
+GroundAtom IntAtom2(const std::shared_ptr<SymbolTable>& symbols,
+                    std::string_view predicate, int64_t a, int64_t b);
+
+/// Builds a ground atom `predicate(name)` with a symbol arg.
+GroundAtom SymAtom(const std::shared_ptr<SymbolTable>& symbols,
+                   std::string_view predicate, std::string_view name);
+
+}  // namespace park
+
+#endif  // PARK_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,169 @@
+// The transactional ActiveDatabase facade.
+
+#include "eca/active_database.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace park {
+namespace {
+
+TEST(ActiveDatabaseTest, LoadRulesAndFacts) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules("r1: p(X) -> +q(X).").ok());
+  ASSERT_TRUE(db.LoadFacts("p(a). p(b).").ok());
+  EXPECT_EQ(db.program().size(), 1u);
+  EXPECT_EQ(db.database().size(), 2u);
+  // LoadFacts is a bulk load: rules have not fired yet.
+  EXPECT_EQ(db.database().ToString(), "{p(a), p(b)}");
+}
+
+TEST(ActiveDatabaseTest, StabilizeRunsRulesWithoutUpdates) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules("p(X) -> +q(X).").ok());
+  ASSERT_TRUE(db.LoadFacts("p(a).").ok());
+  auto report = db.Stabilize();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(db.database().ToString(), "{p(a), q(a)}");
+  ASSERT_EQ(report->inserted.size(), 1u);
+  EXPECT_EQ(report->inserted[0].ToString(*db.symbols()), "q(a)");
+  EXPECT_TRUE(report->deleted.empty());
+}
+
+TEST(ActiveDatabaseTest, TransactionCommitFiresRules) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules(R"(
+    cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+  )").ok());
+  ASSERT_TRUE(db.LoadFacts(
+      "emp(jo). active(jo). payroll(jo, 5000).").ok());
+
+  Transaction tx = db.Begin();
+  tx.Delete("active", {"jo"});
+  auto report = std::move(tx).Commit();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(db.database().ToString(), "{emp(jo)}");
+  EXPECT_EQ(report->deleted.size(), 2u);  // active(jo) and payroll(jo, _)
+}
+
+TEST(ActiveDatabaseTest, TransactionStagesParsedUpdates) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadFacts("p(a).").ok());
+  Transaction tx = db.Begin();
+  ASSERT_TRUE(tx.Stage("+q(b)").ok());
+  ASSERT_TRUE(tx.Stage("-p(a)").ok());
+  EXPECT_FALSE(tx.Stage("nonsense").ok());
+  EXPECT_EQ(tx.pending().size(), 2u);
+  auto report = std::move(tx).Commit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(db.database().ToString(), "{q(b)}");
+}
+
+TEST(ActiveDatabaseTest, ApplyConvenience) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules("+p(X) -> +echo(X).").ok());
+  auto symbols = db.symbols();
+  auto report =
+      db.Apply(ActionKind::kInsert, ParseGroundAtom("p(a)", symbols).value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(db.database().ToString(), "{echo(a), p(a)}");
+}
+
+TEST(ActiveDatabaseTest, CommitReportCountsConflicts) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules("+x -> -y. +x -> +y.").ok());
+  auto symbols = db.symbols();
+  Transaction tx = db.Begin();
+  tx.Insert(ParseGroundAtom("x", symbols).value());
+  auto report = std::move(tx).Commit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->stats.restarts, 1u);
+  EXPECT_EQ(report->stats.conflicts_resolved, 1u);
+}
+
+TEST(ActiveDatabaseTest, FailedCommitLeavesDatabaseUntouched) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules("p -> +a. p -> -a.").ok());
+  ASSERT_TRUE(db.LoadFacts("p.").ok());
+  // An abstaining policy makes the commit fail...
+  db.SetPolicy(MakeLambdaPolicy(
+      "abstain", [](const PolicyContext&, const Conflict&) -> Result<Vote> {
+        return Vote::kAbstain;
+      }));
+  auto report = db.Stabilize();
+  EXPECT_FALSE(report.ok());
+  // ... and the stored database is unchanged.
+  EXPECT_EQ(db.database().ToString(), "{p}");
+  // Switching to a complete policy, the same commit succeeds.
+  db.SetPolicy(MakeInertiaPolicy());
+  EXPECT_TRUE(db.Stabilize().ok());
+}
+
+TEST(ActiveDatabaseTest, PolicyAndOptionsAreConfigurable) {
+  ActiveDatabase db;
+  db.SetPolicy(MakeAlwaysInsertPolicy());
+  db.SetBlockGranularity(BlockGranularity::kFirstConflictOnly);
+  db.SetTraceLevel(TraceLevel::kFull);
+  ASSERT_TRUE(db.LoadRules("p -> +a. p -> -a.").ok());
+  ASSERT_TRUE(db.LoadFacts("p.").ok());
+  auto report = db.Stabilize();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(db.database().ToString(), "{a, p}");  // insert won
+  EXPECT_FALSE(report->trace.InterpretationHistory().empty());
+}
+
+TEST(ActiveDatabaseTest, SequentialTransactions) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules(R"(
+    +emp(X) -> +active(X).
+    -emp(X), payroll(X, S) -> -payroll(X, S).
+  )").ok());
+  {
+    Transaction tx = db.Begin();
+    tx.Insert("emp", {"a"});
+    ASSERT_TRUE(std::move(tx).Commit().ok());
+  }
+  EXPECT_EQ(db.database().ToString(), "{active(a), emp(a)}");
+  {
+    Transaction tx = db.Begin();
+    tx.Insert("payroll", {"a", "x"});
+    ASSERT_TRUE(std::move(tx).Commit().ok());
+  }
+  {
+    Transaction tx = db.Begin();
+    tx.Delete("emp", {"a"});
+    ASSERT_TRUE(std::move(tx).Commit().ok());
+  }
+  // The deletion event cascaded to payroll; active remains (no rule).
+  EXPECT_EQ(db.database().ToString(), "{active(a)}");
+}
+
+TEST(ActiveDatabaseTest, AddRuleProgrammatically) {
+  ActiveDatabase db;
+  auto rule = RuleBuilder(db.symbols())
+                  .Name("r")
+                  .When("p", {"X"})
+                  .Insert("q", {"X"})
+                  .Build();
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(db.AddRule(std::move(rule).value()).ok());
+  ASSERT_TRUE(db.LoadFacts("p(a).").ok());
+  ASSERT_TRUE(db.Stabilize().ok());
+  EXPECT_TRUE(db.Contains(ParseGroundAtom("q(a)", db.symbols()).value()));
+}
+
+TEST(ActiveDatabaseTest, LoadRulesRejectsDuplicateLabelAcrossCalls) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.LoadRules("r: p -> +q.").ok());
+  EXPECT_FALSE(db.LoadRules("r: q -> +p.").ok());
+}
+
+TEST(ActiveDatabaseTest, ExternalSymbolTableIsShared) {
+  auto symbols = MakeSymbolTable();
+  ActiveDatabase db(symbols);
+  EXPECT_EQ(db.symbols(), symbols);
+}
+
+}  // namespace
+}  // namespace park

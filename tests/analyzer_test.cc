@@ -1,0 +1,174 @@
+#include "lang/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace park {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : symbols_(MakeSymbolTable()) {}
+
+  Program MustProgram(std::string_view text) {
+    auto program = ParseProgram(text, symbols_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program.ok() ? std::move(program).value()
+                        : Program(MakeSymbolTable());
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(AnalyzerTest, SafetyAcceptsBoundRules) {
+  EXPECT_TRUE(ParseRule("p(X, Y), q(Y) -> +r(X).", symbols_).ok());
+  EXPECT_TRUE(ParseRule("p(X), !q(X) -> -p(X).", symbols_).ok());
+  EXPECT_TRUE(ParseRule("+e(X), p(X) -> +f(X).", symbols_).ok());
+  EXPECT_TRUE(ParseRule("-> +seed(a).", symbols_).ok());
+  // Constants everywhere: trivially safe.
+  EXPECT_TRUE(ParseRule("p(a) -> +q(b).", symbols_).ok());
+}
+
+TEST_F(AnalyzerTest, SafetyRejectsFreeHeadVariable) {
+  auto r = ParseRule("p(X) -> +q(Y).", symbols_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("'Y'"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, SafetyRejectsHeadVariableOnlyInNegation) {
+  // Y occurs in the body, but only under negation: still unsafe.
+  EXPECT_FALSE(ParseRule("p(X), !q(Y) -> +r(Y).", symbols_).ok());
+}
+
+TEST_F(AnalyzerTest, SafetyRejectsNegationOnlyVariable) {
+  EXPECT_FALSE(ParseRule("p(X), !q(X, Y) -> +r(X).", symbols_).ok());
+}
+
+TEST_F(AnalyzerTest, SafetyErrorNamesTheRule) {
+  auto program = ParseProgram("good: p(X) -> +q(X). bad: p(X) -> +q(Z).",
+                              symbols_);
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("bad"), std::string::npos);
+}
+
+TEST_F(AnalyzerTest, PotentiallyConflictingPredicates) {
+  Program program = MustProgram(R"(
+    a -> +p. b -> -p.
+    a -> +q.
+    a -> -r.
+  )");
+  ProgramAnalysis analysis = AnalyzeProgram(program);
+  ASSERT_EQ(analysis.potentially_conflicting_predicates.size(), 1u);
+  EXPECT_EQ(symbols_->PredicateName(
+                analysis.potentially_conflicting_predicates[0]),
+            "p");
+}
+
+TEST_F(AnalyzerTest, InsertersAndDeleters) {
+  Program program = MustProgram("a -> +p. b -> +p. c -> -p.");
+  ProgramAnalysis analysis = AnalyzeProgram(program);
+  PredicateId p = *symbols_->FindPredicate("p", 0);
+  EXPECT_EQ(analysis.inserters[p], (std::vector<int>{0, 1}));
+  EXPECT_EQ(analysis.deleters[p], (std::vector<int>{2}));
+}
+
+TEST_F(AnalyzerTest, RecursionDetection) {
+  EXPECT_FALSE(AnalyzeProgram(MustProgram("a -> +b. b -> +c.")).is_recursive);
+  EXPECT_TRUE(AnalyzeProgram(MustProgram("a -> +a.")).is_recursive);
+  EXPECT_TRUE(
+      AnalyzeProgram(MustProgram("a -> +b. b -> +c. c -> +a."))
+          .is_recursive);
+  // The canonical recursive program: transitive closure.
+  EXPECT_TRUE(AnalyzeProgram(MustProgram(R"(
+    edge(X, Y) -> +path(X, Y).
+    path(X, Y), edge(Y, Z) -> +path(X, Z).
+  )")).is_recursive);
+}
+
+TEST_F(AnalyzerTest, EventUsage) {
+  EXPECT_FALSE(AnalyzeProgram(MustProgram("p -> +q.")).uses_events);
+  EXPECT_TRUE(
+      AnalyzeProgram(MustProgram("+p(X) -> +q(X).")).uses_events);
+  EXPECT_TRUE(
+      AnalyzeProgram(MustProgram("-p(X) -> +q(X).")).uses_events);
+}
+
+TEST_F(AnalyzerTest, MaxRuleVariables) {
+  Program program = MustProgram(R"(
+    p(X) -> +q(X).
+    p(X), q(Y), r(Z) -> +s(X, Y, Z).
+  )");
+  EXPECT_EQ(AnalyzeProgram(program).max_rule_variables, 3);
+}
+
+TEST_F(AnalyzerTest, HeadsMayConflictVariableVsVariable) {
+  Program p = MustProgram("p(X) -> +q(X). r(Y) -> -q(Y).");
+  EXPECT_TRUE(HeadsMayConflict(p.rule(0), p.rule(1)));
+}
+
+TEST_F(AnalyzerTest, HeadsMayConflictConstantClash) {
+  Program p = MustProgram("s(X) -> +q(a). s(X) -> -q(b).");
+  EXPECT_FALSE(HeadsMayConflict(p.rule(0), p.rule(1)));
+}
+
+TEST_F(AnalyzerTest, HeadsMayConflictConstantVsVariable) {
+  Program p = MustProgram("s(X) -> +q(a). s(Y) -> -q(Y).");
+  EXPECT_TRUE(HeadsMayConflict(p.rule(0), p.rule(1)));
+}
+
+TEST_F(AnalyzerTest, HeadsMayConflictRepeatedVariables) {
+  // +q(X, X) unifies with -q(Y, Z) (take Y = Z) ...
+  Program p1 = MustProgram("s(X) -> +q(X, X). s(Y), t(Z) -> -q(Y, Z).");
+  EXPECT_TRUE(HeadsMayConflict(p1.rule(0), p1.rule(1)));
+  // ... but +q(X, X) does not unify with -q(a, b).
+  Program p2 = MustProgram("s(X) -> +q(X, X). s(Y) -> -q(a, b).");
+  EXPECT_FALSE(HeadsMayConflict(p2.rule(0), p2.rule(1)));
+}
+
+TEST_F(AnalyzerTest, HeadsMayConflictTransitiveConstantClash) {
+  // +q(X, X, a) vs -q(Y, b, Y): X=Y, X=b, Y=a -> clash through the chain.
+  Program p = MustProgram(
+      "s(X) -> +q(X, X, a). s(Y) -> -q(Y, b, Y).");
+  EXPECT_FALSE(HeadsMayConflict(p.rule(0), p.rule(1)));
+}
+
+TEST_F(AnalyzerTest, HeadsMayConflictDifferentPredicates) {
+  Program p = MustProgram("s(X) -> +q(X). s(X) -> -r(X).");
+  EXPECT_FALSE(HeadsMayConflict(p.rule(0), p.rule(1)));
+}
+
+TEST_F(AnalyzerTest, ConflictingRulePairsRefinePredicateLevel) {
+  Program p = MustProgram(R"(
+    a(X) -> +q(a).
+    b(X) -> +q(X).
+    c(X) -> -q(b).
+  )");
+  ProgramAnalysis analysis = AnalyzeProgram(p);
+  // Predicate-level: q is potentially conflicting.
+  ASSERT_EQ(analysis.potentially_conflicting_predicates.size(), 1u);
+  // Rule-level: only rule 1 (+q(X)) can actually meet rule 2 (-q(b));
+  // rule 0's +q(a) never can.
+  EXPECT_EQ(analysis.potentially_conflicting_rule_pairs,
+            (std::vector<std::pair<int, int>>{{1, 2}}));
+}
+
+TEST_F(AnalyzerTest, NoPairsWhenHeadsAreDisjoint) {
+  Program p = MustProgram("a -> +q(x). b -> -q(y).");
+  ProgramAnalysis analysis = AnalyzeProgram(p);
+  EXPECT_EQ(analysis.potentially_conflicting_predicates.size(), 1u);
+  EXPECT_TRUE(analysis.potentially_conflicting_rule_pairs.empty());
+}
+
+TEST_F(AnalyzerTest, EmptyProgram) {
+  Program program(symbols_);
+  ProgramAnalysis analysis = AnalyzeProgram(program);
+  EXPECT_TRUE(analysis.potentially_conflicting_predicates.empty());
+  EXPECT_FALSE(analysis.is_recursive);
+  EXPECT_FALSE(analysis.uses_events);
+  EXPECT_EQ(analysis.max_rule_variables, 0);
+}
+
+}  // namespace
+}  // namespace park

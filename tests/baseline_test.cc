@@ -1,0 +1,149 @@
+// The two baselines (claim C4 and the §4.1 strawman): where they agree
+// with PARK and where — by design — they diverge.
+
+#include "test_util.h"
+
+namespace park {
+namespace {
+
+using ::park::testing_util::MustParseDatabase;
+using ::park::testing_util::MustParseProgram;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest() : symbols_(MakeSymbolTable()) {}
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(BaselineTest, InflationaryOnPositiveDatalog) {
+  Program program = MustParseProgram(
+      "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+      symbols_);
+  Database db = MustParseDatabase("edge(a, b). edge(b, c).", symbols_);
+  auto result = InflationaryFixpoint(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->consistent);
+  EXPECT_EQ(result->database.ToString(),
+            "{edge(a, b), edge(b, c), path(a, b), path(a, c), path(b, c)}");
+  // Two productive Γ applications: base arcs, then the composed arc.
+  EXPECT_EQ(result->steps, 2u);
+}
+
+TEST_F(BaselineTest, InflationaryWithDeletionsButNoConflict) {
+  Program program = MustParseProgram("p -> -q. p -> +r.", symbols_);
+  Database db = MustParseDatabase("p. q.", symbols_);
+  auto result = InflationaryFixpoint(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->consistent);
+  EXPECT_EQ(result->database.ToString(), "{p, r}");
+}
+
+TEST_F(BaselineTest, InflationaryFlagsInconsistency) {
+  Program program = MustParseProgram("p -> +a. p -> -a.", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  auto result = InflationaryFixpoint(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->consistent);
+  // The database is left untouched when the fixpoint is inconsistent.
+  EXPECT_EQ(result->database.ToString(), "{p}");
+  EXPECT_EQ(result->final_literals,
+            (std::vector<std::string>{"p", "+a", "-a"}));
+}
+
+TEST_F(BaselineTest, InflationaryInflationaryNegationSemantics) {
+  // Inflationary negation: !q is evaluated against the CURRENT stage, so
+  // firing order matters and is stage-wise, exactly as in [6].
+  Program program = MustParseProgram("!q -> +r. p -> +q.", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  auto result = InflationaryFixpoint(program, db);
+  ASSERT_TRUE(result.ok());
+  // Stage 1 evaluates both bodies against D: !q holds, so +r is derived
+  // alongside +q; the inflationary semantics never retracts it.
+  EXPECT_EQ(result->database.ToString(), "{p, q, r}");
+}
+
+TEST_F(BaselineTest, InflationaryMaxStepsGuard) {
+  Program program = MustParseProgram(
+      "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+      symbols_);
+  std::string facts;
+  for (int i = 0; i < 30; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").";
+  }
+  Database db = MustParseDatabase(facts, symbols_);
+  auto result = InflationaryFixpoint(program, db, /*max_steps=*/2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BaselineTest, NaiveCancelMatchesParkWhenConflictFree) {
+  Program program = MustParseProgram("p -> +q. q -> +r.", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  auto naive = NaiveCancelSemantics(program, db);
+  ASSERT_TRUE(naive.ok());
+  auto park = Park(program, db);
+  ASSERT_TRUE(park.ok());
+  EXPECT_TRUE(naive->database.SameAtoms(park->database));
+  EXPECT_EQ(naive->cancelled_pairs, 0u);
+}
+
+TEST_F(BaselineTest, NaiveCancelKeepsStaleConsequences) {
+  // §4.1 P2: the naive semantics keeps `s` (derived from the cancelled
+  // +a) while PARK correctly drops it. This is THE motivating divergence.
+  Program program = MustParseProgram(R"(
+    p -> +q. p -> -a. q -> +a. !a -> +r. a -> +s.
+  )", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  auto naive = NaiveCancelSemantics(program, db);
+  ASSERT_TRUE(naive.ok());
+  auto park = Park(program, db);
+  ASSERT_TRUE(park.ok());
+  EXPECT_EQ(naive->database.ToString(), "{p, q, r, s}");
+  EXPECT_EQ(park->database.ToString(), "{p, q, r}");
+  EXPECT_FALSE(naive->database.SameAtoms(park->database));
+}
+
+TEST_F(BaselineTest, NaiveCancelLosesFalseConflictVictims) {
+  // §4.1 P3: the naive semantics cancels the FALSE conflict on `a` and
+  // loses the legitimate +a from rule 5.
+  Program program = MustParseProgram(R"(
+    p -> +q. p -> -q. q -> +a. q -> -a. p -> +a.
+  )", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  auto naive = NaiveCancelSemantics(program, db);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->database.ToString(), "{p}");
+  auto park = Park(program, db);
+  ASSERT_TRUE(park.ok());
+  EXPECT_EQ(park->database.ToString(), "{a, p}");
+}
+
+TEST_F(BaselineTest, NaiveCancelCountsPairs) {
+  Program program = MustParseProgram(R"(
+    p -> +x. p -> -x.
+    p -> +y. p -> -y.
+    p -> +z.
+  )", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  auto naive = NaiveCancelSemantics(program, db);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->cancelled_pairs, 2u);
+  EXPECT_EQ(naive->database.ToString(), "{p, z}");
+}
+
+TEST_F(BaselineTest, UnblockedFixpointExposesInterpretation) {
+  Program program = MustParseProgram("p -> +q. q -> -p.", symbols_);
+  Database db = MustParseDatabase("p.", symbols_);
+  size_t steps = 0;
+  auto interp = UnblockedFixpoint(program, db, 100, &steps);
+  ASSERT_TRUE(interp.ok());
+  EXPECT_EQ(steps, 2u);
+  EXPECT_TRUE(interp->HasPlus(ParseGroundAtom("q", symbols_).value()));
+  EXPECT_TRUE(interp->HasMinus(ParseGroundAtom("p", symbols_).value()));
+  EXPECT_TRUE(interp->IsConsistent());
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,159 @@
+// UpdateSet and the ECA entry points (PARK(D, P, U), P_U construction).
+
+#include "eca/update.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/printer.h"
+#include "test_util.h"
+
+namespace park {
+namespace {
+
+using ::park::testing_util::MustParseDatabase;
+using ::park::testing_util::MustParseProgram;
+
+class UpdateSetTest : public ::testing::Test {
+ protected:
+  UpdateSetTest() : symbols_(MakeSymbolTable()) {}
+
+  GroundAtom Atom(std::string_view text) {
+    return ParseGroundAtom(text, symbols_).value();
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(UpdateSetTest, AddAndContains) {
+  UpdateSet u;
+  u.AddInsert(Atom("p(a)")).AddDelete(Atom("q(b)"));
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_TRUE(u.Contains(ActionKind::kInsert, Atom("p(a)")));
+  EXPECT_FALSE(u.Contains(ActionKind::kDelete, Atom("p(a)")));
+  EXPECT_TRUE(u.Contains(ActionKind::kDelete, Atom("q(b)")));
+}
+
+TEST_F(UpdateSetTest, DuplicatesIgnored) {
+  UpdateSet u;
+  u.AddInsert(Atom("p(a)"));
+  u.AddInsert(Atom("p(a)"));
+  EXPECT_EQ(u.size(), 1u);
+  // +p(a) and -p(a) are distinct updates (a conflicting transaction).
+  u.AddDelete(Atom("p(a)"));
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST_F(UpdateSetTest, AddParsed) {
+  UpdateSet u;
+  ASSERT_TRUE(u.AddParsed("+q(b)", symbols_).ok());
+  ASSERT_TRUE(u.AddParsed("  -payroll(john, 5000) ", symbols_).ok());
+  EXPECT_EQ(u.ToString(*symbols_), "{+q(b), -payroll(john, 5000)}");
+  EXPECT_FALSE(u.AddParsed("q(b)", symbols_).ok());
+  EXPECT_FALSE(u.AddParsed("", symbols_).ok());
+  EXPECT_FALSE(u.AddParsed("+q(X)", symbols_).ok());
+}
+
+TEST_F(UpdateSetTest, ClearAndEmpty) {
+  UpdateSet u;
+  EXPECT_TRUE(u.empty());
+  u.AddInsert(Atom("p"));
+  EXPECT_FALSE(u.empty());
+  u.clear();
+  EXPECT_TRUE(u.empty());
+}
+
+class ProgramWithUpdatesTest : public ::testing::Test {
+ protected:
+  ProgramWithUpdatesTest() : symbols_(MakeSymbolTable()) {}
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(ProgramWithUpdatesTest, SeedsBecomeBodylessRules) {
+  Program program = MustParseProgram("p(X) -> +q(X).", symbols_);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("q(b)", symbols_).value()},
+      {ActionKind::kDelete, ParseGroundAtom("s(a)", symbols_).value()}};
+  auto extended = ProgramWithUpdates(program, updates);
+  ASSERT_TRUE(extended.ok());
+  ASSERT_EQ(extended->size(), 3u);
+  EXPECT_EQ(RuleToString(extended->rule(1), *symbols_), "-> +q(b).");
+  EXPECT_EQ(RuleToString(extended->rule(2), *symbols_), "-> -s(a).");
+  // The original program is untouched.
+  EXPECT_EQ(program.size(), 1u);
+}
+
+TEST_F(ProgramWithUpdatesTest, EmptyUpdatesIsPlainClone) {
+  Program program = MustParseProgram("p -> +q.", symbols_);
+  auto extended = ProgramWithUpdates(program, {});
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->size(), 1u);
+}
+
+TEST(EcaSemanticsTest, UpdateAloneAppliesWithoutRules) {
+  auto symbols = MakeSymbolTable();
+  Program program(symbols);
+  Database db = MustParseDatabase("p(a).", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("q(b)", symbols).value()},
+      {ActionKind::kDelete, ParseGroundAtom("p(a)", symbols).value()}};
+  auto result = Park(db, program, updates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->database.ToString(), "{q(b)}");
+}
+
+TEST(EcaSemanticsTest, ConflictingTransactionResolvedByPolicy) {
+  // +x and -x in the same transaction U: the two seed rules conflict and
+  // SELECT decides, exactly like any rule/rule conflict.
+  auto symbols = MakeSymbolTable();
+  Program program(symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("x", symbols).value()},
+      {ActionKind::kDelete, ParseGroundAtom("x", symbols).value()}};
+  auto inertia = Park(db, program, updates);
+  ASSERT_TRUE(inertia.ok());
+  EXPECT_EQ(inertia->database.ToString(), "{p}");  // x ∉ D stays absent
+
+  ParkOptions insert_wins;
+  insert_wins.policy = MakeAlwaysInsertPolicy();
+  auto forced = Park(db, program, updates, insert_wins);
+  ASSERT_TRUE(forced.ok());
+  EXPECT_EQ(forced->database.ToString(), "{p, x}");
+}
+
+TEST(EcaSemanticsTest, EventChainsAcrossRules) {
+  // A deletion event raised by a rule triggers another ECA rule, which
+  // triggers a third — a three-stage cascade.
+  constexpr char kProgram[] = R"(
+    r1: retire(X), emp(X) -> -emp(X).
+    r2: -emp(X) -> -badge(X).
+    r3: -badge(X) -> +offboarded(X).
+  )";
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kProgram, symbols);
+  Database db =
+      MustParseDatabase("emp(a). badge(a). emp(b). badge(b).", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("retire(a)", symbols).value()}};
+  auto result = Park(db, program, updates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->database.ToString(),
+            "{badge(b), emp(b), offboarded(a), retire(a)}");
+}
+
+TEST(EcaSemanticsTest, InsertEventDistinctFromPresence) {
+  // onboard fires only for the employee inserted in THIS transaction.
+  constexpr char kProgram[] = "+emp(X) -> +welcome(X).";
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kProgram, symbols);
+  Database db = MustParseDatabase("emp(old).", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("emp(new)", symbols).value()}};
+  auto result = Park(db, program, updates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->database.ToString(),
+            "{emp(new), emp(old), welcome(new)}");
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,96 @@
+// RuleGrounding identity/rendering and the logging control surface that the
+// rest of the engine relies on for diagnostics.
+
+#include "engine/rule_grounding.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+#include "util/logging.h"
+
+namespace park {
+namespace {
+
+class GroundingTest : public ::testing::Test {
+ protected:
+  GroundingTest() : symbols_(MakeSymbolTable()) {}
+
+  Program MustProgram(std::string_view text) {
+    auto program = ParseProgram(text, symbols_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program.ok() ? std::move(program).value()
+                        : Program(MakeSymbolTable());
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(GroundingTest, EqualityAndHashing) {
+  SymbolId a = symbols_->InternSymbol("a");
+  SymbolId b = symbols_->InternSymbol("b");
+  RuleGrounding g1(0, Tuple{Value::Symbol(a)});
+  RuleGrounding g2(0, Tuple{Value::Symbol(a)});
+  RuleGrounding g3(0, Tuple{Value::Symbol(b)});
+  RuleGrounding g4(1, Tuple{Value::Symbol(a)});
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(g1.Hash(), g2.Hash());
+  EXPECT_NE(g1, g3);
+  EXPECT_NE(g1, g4);
+  EXPECT_LT(g1, g4);  // rule index dominates
+  EXPECT_LT(g1, g3);  // then binding
+}
+
+TEST_F(GroundingTest, BlockedSetMembership) {
+  SymbolId a = symbols_->InternSymbol("a");
+  BlockedSet blocked;
+  EXPECT_TRUE(blocked.insert(RuleGrounding(2, Tuple{Value::Symbol(a)})).second);
+  EXPECT_FALSE(
+      blocked.insert(RuleGrounding(2, Tuple{Value::Symbol(a)})).second);
+  EXPECT_TRUE(blocked.contains(RuleGrounding(2, Tuple{Value::Symbol(a)})));
+  EXPECT_FALSE(blocked.contains(RuleGrounding(3, Tuple{Value::Symbol(a)})));
+}
+
+TEST_F(GroundingTest, RenderingUsesLabelsAndVariableNames) {
+  Program program = MustProgram(
+      "named: p(X, Y) -> +q(X, Y). p(A, B) -> +r(A, B).");
+  SymbolId a = symbols_->InternSymbol("a");
+  SymbolId b = symbols_->InternSymbol("b");
+  Tuple binding{Value::Symbol(a), Value::Symbol(b)};
+  EXPECT_EQ(RuleGrounding(0, binding).ToString(program, *symbols_),
+            "(named, [X <- a, Y <- b])");
+  // Unlabeled rules render by program position.
+  EXPECT_EQ(RuleGrounding(1, binding).ToString(program, *symbols_),
+            "(r#1, [A <- a, B <- b])");
+}
+
+TEST_F(GroundingTest, PropositionalRendering) {
+  Program program = MustProgram("r1: p -> +q.");
+  EXPECT_EQ(RuleGrounding(0, Tuple{}).ToString(program, *symbols_), "(r1)");
+}
+
+TEST(LoggingTest, MinLevelRoundTrip) {
+  LogLevel original = GetMinLogLevel();
+  LogLevel previous = SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(previous, original);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kError);
+  SetMinLogLevel(original);
+  EXPECT_EQ(GetMinLogLevel(), original);
+}
+
+TEST(LoggingTest, ChecksPassSilently) {
+  PARK_CHECK(true) << "never evaluated";
+  PARK_CHECK_EQ(1, 1);
+  PARK_CHECK_NE(1, 2);
+  PARK_CHECK_LT(1, 2);
+  PARK_CHECK_LE(1, 1);
+  PARK_CHECK_GT(2, 1);
+  PARK_CHECK_GE(2, 2);
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(PARK_CHECK(false) << "boom", "Check failed: false boom");
+  EXPECT_DEATH(PARK_CHECK_EQ(1, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace park

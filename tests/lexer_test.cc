@@ -1,0 +1,127 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace park {
+namespace {
+
+std::vector<TokenKind> Kinds(std::string_view input) {
+  auto tokens = LexAll(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  if (!tokens.ok()) return kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, IdentifiersVsVariables) {
+  auto tokens = LexAll("emp Emp _x _ eMp");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "emp");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kVariable);
+  EXPECT_EQ((*tokens)[3].text, "_");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, NotKeywordIsNegation) {
+  auto tokens = LexAll("not p");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kBang);
+  // But identifiers merely containing "not" are not special.
+  auto tokens2 = LexAll("nothing");
+  ASSERT_TRUE(tokens2.ok());
+  EXPECT_EQ((*tokens2)[0].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(Kinds("( ) [ ] , . : -> + - ! ="),
+            (std::vector<TokenKind>{
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kComma, TokenKind::kPeriod,
+                TokenKind::kColon, TokenKind::kArrow, TokenKind::kPlus,
+                TokenKind::kMinus, TokenKind::kBang, TokenKind::kEquals,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, ArrowVsMinus) {
+  EXPECT_EQ(Kinds("- -5"),
+            (std::vector<TokenKind>{TokenKind::kMinus, TokenKind::kMinus,
+                                    TokenKind::kInt, TokenKind::kEof}));
+  // '>' alone is an error; '->' is one token.
+  EXPECT_FALSE(LexAll(">").ok());
+  auto tokens = LexAll("a->b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kArrow);
+}
+
+TEST(LexerTest, Integers) {
+  auto tokens = LexAll("0 42 123456789");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 0);
+  EXPECT_EQ((*tokens)[1].int_value, 42);
+  EXPECT_EQ((*tokens)[2].int_value, 123456789);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = LexAll(R"("hello" "a \"b\"" "tab\tnl\n")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello");
+  EXPECT_EQ((*tokens)[1].text, "a \"b\"");
+  EXPECT_EQ((*tokens)[2].text, "tab\tnl\n");
+}
+
+TEST(LexerTest, StringErrors) {
+  EXPECT_FALSE(LexAll("\"unterminated").ok());
+  EXPECT_FALSE(LexAll("\"bad \\x escape\"").ok());
+  EXPECT_FALSE(LexAll("\"newline\nin string\"").ok());
+}
+
+TEST(LexerTest, Comments) {
+  EXPECT_EQ(Kinds("// line comment\np # hash\n% prolog\nq"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier,
+                                    TokenKind::kIdentifier, TokenKind::kEof}));
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = LexAll("p\n  q(X)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].column, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+  EXPECT_EQ((*tokens)[2].line, 2);  // '('
+  EXPECT_EQ((*tokens)[2].column, 4);
+}
+
+TEST(LexerTest, ErrorPositionIsReported) {
+  auto tokens = LexAll("p\n  @");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("2:3"), std::string::npos)
+      << tokens.status().ToString();
+}
+
+TEST(LexerTest, RealisticRule) {
+  EXPECT_EQ(
+      Kinds("r1: emp(X), !active(X) -> -payroll(X, S)."),
+      (std::vector<TokenKind>{
+          TokenKind::kIdentifier, TokenKind::kColon, TokenKind::kIdentifier,
+          TokenKind::kLParen, TokenKind::kVariable, TokenKind::kRParen,
+          TokenKind::kComma, TokenKind::kBang, TokenKind::kIdentifier,
+          TokenKind::kLParen, TokenKind::kVariable, TokenKind::kRParen,
+          TokenKind::kArrow, TokenKind::kMinus, TokenKind::kIdentifier,
+          TokenKind::kLParen, TokenKind::kVariable, TokenKind::kComma,
+          TokenKind::kVariable, TokenKind::kRParen, TokenKind::kPeriod,
+          TokenKind::kEof}));
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,263 @@
+#include "engine/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "lang/parser.h"
+
+namespace park {
+namespace {
+
+class MatcherTest : public ::testing::Test {
+ protected:
+  MatcherTest() : symbols_(MakeSymbolTable()) {}
+
+  Rule MustRule(std::string_view text) {
+    auto rule = ParseRule(text, symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    return rule.ok() ? std::move(rule).value() : Rule();
+  }
+
+  Database MustDb(std::string_view facts) {
+    return ParseDatabase(facts, symbols_).value();
+  }
+
+  /// Collects bindings rendered as "X=a,Y=b" (sorted for determinism).
+  std::vector<std::string> Matches(const Rule& rule,
+                                   const IInterpretation& interp) {
+    std::vector<std::string> out;
+    ForEachBodyMatch(rule, interp, [&](const Tuple& binding) {
+      std::string s;
+      for (int i = 0; i < binding.arity(); ++i) {
+        if (i > 0) s += ",";
+        s += rule.variable_names()[static_cast<size_t>(i)] + "=" +
+             binding[i].ToString(*symbols_);
+      }
+      out.push_back(s);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(MatcherTest, SinglePositiveLiteral) {
+  Database db = MustDb("p(a). p(b).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("p(X) -> +q(X).");
+  EXPECT_EQ(Matches(rule, interp),
+            (std::vector<std::string>{"X=a", "X=b"}));
+}
+
+TEST_F(MatcherTest, EmptyBodyYieldsOneEmptyMatch) {
+  Database db = MustDb("");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("-> +q(c).");
+  EXPECT_EQ(Matches(rule, interp), (std::vector<std::string>{""}));
+}
+
+TEST_F(MatcherTest, JoinAcrossLiterals) {
+  Database db = MustDb("edge(a, b). edge(b, c). edge(c, d).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("edge(X, Y), edge(Y, Z) -> +path(X, Z).");
+  EXPECT_EQ(Matches(rule, interp),
+            (std::vector<std::string>{"X=a,Y=b,Z=c", "X=b,Y=c,Z=d"}));
+}
+
+TEST_F(MatcherTest, RepeatedVariableWithinLiteral) {
+  Database db = MustDb("q(a, a). q(a, b). q(b, b).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("q(X, X) -> -q(X, X).");
+  EXPECT_EQ(Matches(rule, interp),
+            (std::vector<std::string>{"X=a", "X=b"}));
+}
+
+TEST_F(MatcherTest, ConstantsFilter) {
+  Database db = MustDb("q(a, a). q(b, a). q(b, c).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("q(X, a) -> -q(X, a).");
+  EXPECT_EQ(Matches(rule, interp),
+            (std::vector<std::string>{"X=a", "X=b"}));
+}
+
+TEST_F(MatcherTest, NegationFiltersBindings) {
+  Database db = MustDb("emp(a). emp(b). active(a).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("emp(X), !active(X) -> -emp(X).");
+  EXPECT_EQ(Matches(rule, interp), (std::vector<std::string>{"X=b"}));
+}
+
+TEST_F(MatcherTest, NegationFirstInSourceOrderStillWorks) {
+  Database db = MustDb("emp(a). emp(b). active(a).");
+  IInterpretation interp(&db);
+  // The planner must reorder: !active(X) cannot generate bindings.
+  Rule rule = MustRule("!active(X), emp(X) -> -emp(X).");
+  EXPECT_EQ(Matches(rule, interp), (std::vector<std::string>{"X=b"}));
+}
+
+TEST_F(MatcherTest, PositiveSeesBaseAndPlusWithoutDuplicates) {
+  Database db = MustDb("p(a).");
+  IInterpretation interp(&db);
+  RuleGrounding g(0, Tuple{});
+  interp.AddMarked(ActionKind::kInsert,
+                   ParseGroundAtom("p(a)", symbols_).value(), g);  // dup
+  interp.AddMarked(ActionKind::kInsert,
+                   ParseGroundAtom("p(b)", symbols_).value(), g);
+  Rule rule = MustRule("p(X) -> +q(X).");
+  EXPECT_EQ(Matches(rule, interp),
+            (std::vector<std::string>{"X=a", "X=b"}));
+}
+
+TEST_F(MatcherTest, MinusMarkDoesNotHidePositive) {
+  Database db = MustDb("p(a).");
+  IInterpretation interp(&db);
+  interp.AddMarked(ActionKind::kDelete,
+                   ParseGroundAtom("p(a)", symbols_).value(),
+                   RuleGrounding(0, Tuple{}));
+  Rule rule = MustRule("p(X) -> +q(X).");
+  // Pending deletion: p(a) still valid positively (paper §4.2).
+  EXPECT_EQ(Matches(rule, interp), (std::vector<std::string>{"X=a"}));
+}
+
+TEST_F(MatcherTest, EventInsertMatchesOnlyPlus) {
+  Database db = MustDb("r(a).");
+  IInterpretation interp(&db);
+  interp.AddMarked(ActionKind::kInsert,
+                   ParseGroundAtom("r(b)", symbols_).value(),
+                   RuleGrounding(0, Tuple{}));
+  Rule rule = MustRule("+r(X) -> -s(X).");
+  EXPECT_EQ(Matches(rule, interp), (std::vector<std::string>{"X=b"}));
+}
+
+TEST_F(MatcherTest, EventDeleteMatchesOnlyMinus) {
+  Database db = MustDb("r(a). r(b).");
+  IInterpretation interp(&db);
+  interp.AddMarked(ActionKind::kDelete,
+                   ParseGroundAtom("r(b)", symbols_).value(),
+                   RuleGrounding(0, Tuple{}));
+  Rule rule = MustRule("-r(X) -> +log(X).");
+  EXPECT_EQ(Matches(rule, interp), (std::vector<std::string>{"X=b"}));
+}
+
+TEST_F(MatcherTest, CartesianProduct) {
+  Database db = MustDb("p(a). p(b). p(c).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("p(X), p(Y) -> +q(X, Y).");
+  EXPECT_EQ(Matches(rule, interp).size(), 9u);
+}
+
+TEST_F(MatcherTest, AnonymousVariablesEnumerate) {
+  Database db = MustDb("q(a, b). q(a, c). q(d, e).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("q(X, _) -> +seen(X).");
+  // One match per tuple (the anonymous column is unconstrained).
+  EXPECT_EQ(Matches(rule, interp).size(), 3u);
+}
+
+TEST_F(MatcherTest, PlanPutsGroundFilterFirst) {
+  Rule rule = MustRule("p(X), q(a), r(X) -> +s(X).");
+  std::vector<int> order = PlanBodyOrder(rule);
+  // q(a) is fully bound from the start: scheduled first.
+  EXPECT_EQ(order[0], 1);
+}
+
+TEST_F(MatcherTest, PlanDefersNegationUntilBound) {
+  Rule rule = MustRule("!q(X), p(X) -> +s(X).");
+  std::vector<int> order = PlanBodyOrder(rule);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // p(X) binds X
+  EXPECT_EQ(order[1], 0);  // then the negation filters
+}
+
+TEST_F(MatcherTest, PlanPrefersMoreBoundLiterals) {
+  // After edge(X, Y) binds X and Y, edge(Y, Z) has one bound position
+  // while edge(W, V) has none: the planner must pick edge(Y, Z) next.
+  Rule rule = MustRule("edge(X, Y), edge(W, V), edge(Y, Z) -> +t(X, Z, W, V).");
+  std::vector<int> order = PlanBodyOrder(rule);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST_F(MatcherTest, NoMatchesOnEmptyRelation) {
+  Database db = MustDb("");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("p(X) -> +q(X).");
+  EXPECT_TRUE(Matches(rule, interp).empty());
+}
+
+/// Seeded enumeration helper for the semi-naive tests below.
+std::vector<std::string> SeededMatches(const Rule& rule,
+                                       const IInterpretation& interp,
+                                       int seed_index,
+                                       const GroundAtom& seed_atom,
+                                       const SymbolTable& symbols) {
+  std::vector<std::string> out;
+  ForEachBodyMatchSeeded(rule, interp, seed_index, seed_atom,
+                         [&](const Tuple& binding) {
+                           std::string s;
+                           for (int i = 0; i < binding.arity(); ++i) {
+                             if (i > 0) s += ",";
+                             s += binding[i].ToString(symbols);
+                           }
+                           out.push_back(s);
+                         });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_F(MatcherTest, SeededMatchBindsTheSeedLiteral) {
+  Database db = MustDb("edge(a, b). edge(b, c). edge(c, d).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("edge(X, Y), edge(Y, Z) -> +path(X, Z).");
+  // Seed literal 0 with edge(b, c): only X=b, Y=c completions.
+  auto seed = ParseGroundAtom("edge(b, c)", symbols_).value();
+  EXPECT_EQ(SeededMatches(rule, interp, 0, seed, *symbols_),
+            (std::vector<std::string>{"b,c,d"}));
+  // Seed literal 1 with the same atom: Y=b, Z=c, completions over X.
+  EXPECT_EQ(SeededMatches(rule, interp, 1, seed, *symbols_),
+            (std::vector<std::string>{"a,b,c"}));
+}
+
+TEST_F(MatcherTest, SeededMatchRejectsConstantMismatch) {
+  Database db = MustDb("q(a, a). p(a).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("q(X, a), p(X) -> +r(X).");
+  // Seed atom disagrees with the literal's constant second position.
+  auto wrong = ParseGroundAtom("q(a, b)", symbols_).value();
+  EXPECT_TRUE(SeededMatches(rule, interp, 0, wrong, *symbols_).empty());
+  auto right = ParseGroundAtom("q(a, a)", symbols_).value();
+  EXPECT_EQ(SeededMatches(rule, interp, 0, right, *symbols_),
+            (std::vector<std::string>{"a"}));
+}
+
+TEST_F(MatcherTest, SeededMatchRejectsRepeatedVariableMismatch) {
+  Database db = MustDb("");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("q(X, X) -> -q(X, X).");
+  auto mismatched = ParseGroundAtom("q(a, b)", symbols_).value();
+  EXPECT_TRUE(SeededMatches(rule, interp, 0, mismatched, *symbols_).empty());
+  auto matched = ParseGroundAtom("q(c, c)", symbols_).value();
+  EXPECT_EQ(SeededMatches(rule, interp, 0, matched, *symbols_),
+            (std::vector<std::string>{"c"}));
+}
+
+TEST_F(MatcherTest, SeededMatchOnNegatedLiteral) {
+  // Semi-naive seeds a negated literal with a new `-` mark: the binding
+  // comes from the deleted atom and the rest of the body filters.
+  Database db = MustDb("emp(a). emp(b). active(a). active(b).");
+  IInterpretation interp(&db);
+  interp.AddMarked(ActionKind::kDelete,
+                   ParseGroundAtom("active(b)", symbols_).value(),
+                   RuleGrounding(0, Tuple{}));
+  Rule rule = MustRule("emp(X), !active(X) -> -emp(X).");
+  auto seed = ParseGroundAtom("active(b)", symbols_).value();
+  EXPECT_EQ(SeededMatches(rule, interp, 1, seed, *symbols_),
+            (std::vector<std::string>{"b"}));
+}
+
+}  // namespace
+}  // namespace park

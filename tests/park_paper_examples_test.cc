@@ -1,0 +1,374 @@
+// Exact reproduction of every worked example in the paper (experiment ids
+// E1-E9 in DESIGN.md). Where the trace matters the tests compare the full
+// step-by-step i-interpretation history against the paper's listings.
+//
+// Rendering convention: interpretations are sorted unmarked-first, then
+// `+` marks, then `-` marks, each class alphabetically; the paper's set
+// notation is order-free, so this is only a canonicalization.
+
+#include "test_util.h"
+
+namespace park {
+namespace {
+
+using ::park::testing_util::MustPark;
+using ::park::testing_util::MustParseDatabase;
+using ::park::testing_util::MustParseProgram;
+using ::park::testing_util::ParkToString;
+
+ParkOptions FullTraceOptions(PolicyPtr policy = nullptr) {
+  ParkOptions options;
+  options.policy = std::move(policy);
+  options.trace_level = TraceLevel::kFull;
+  return options;
+}
+
+// --- E1: §4.1 program P1 under the principle of inertia ---
+
+constexpr char kP1[] = R"(
+  r1: p -> +q.
+  r2: p -> -a.
+  r3: q -> +a.
+)";
+
+TEST(PaperE1, P1FinalDatabase) {
+  // "Finally, we effectively apply the remaining non conflicting actions,
+  //  in our case, the unique action +q, getting the result database state
+  //  {p, q}."
+  EXPECT_EQ(ParkToString(kP1, "p."), "{p, q}");
+}
+
+TEST(PaperE1, P1TraceAndBlocked) {
+  ParkResult result = MustPark(kP1, "p.", FullTraceOptions());
+  auto history = result.trace.InterpretationHistory();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0], (std::vector<std::string>{"p", "+q", "-a"}));
+  // The conflicting step the paper shows as {p, +q, -a, +a}.
+  EXPECT_EQ(history[1], (std::vector<std::string>{"p", "+a", "+q", "-a"}));
+  // After blocking r3 the computation restarts and re-reaches {p, +q, -a}.
+  EXPECT_EQ(history[2], (std::vector<std::string>{"p", "+q", "-a"}));
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r3)"}));
+  EXPECT_EQ(result.stats.restarts, 1u);
+}
+
+// --- E2: §4.1 program P2 — stale derivations must be withdrawn ---
+
+constexpr char kP2[] = R"(
+  r1: p -> +q.
+  r2: p -> -a.
+  r3: q -> +a.
+  r4: !a -> +r.
+  r5: a -> +s.
+)";
+
+TEST(PaperE2, P2DesiredResult) {
+  // "The desired result database state is thus {p, q, r}" — and in
+  // particular NOT {p, q, r, s}, which the naive semantics produces.
+  EXPECT_EQ(ParkToString(kP2, "p."), "{p, q, r}");
+}
+
+TEST(PaperE2, P2NaiveBaselineGetsItWrong) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kP2, symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  auto naive = NaiveCancelSemantics(program, db);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  // "After effectively incorporating the updates, we get the result
+  //  database state {p, q, r, s}. But is this what we really want?"
+  EXPECT_EQ(naive->database.ToString(), "{p, q, r, s}");
+  EXPECT_EQ(naive->cancelled_pairs, 1u);
+  // The naive fixpoint the paper lists after step 3:
+  // {p, +q, -a, +r, +a, +s}.
+  EXPECT_EQ(naive->fixpoint_literals,
+            (std::vector<std::string>{"p", "+a", "+q", "+r", "+s", "-a"}));
+}
+
+TEST(PaperE2, P2Blocked) {
+  ParkResult result = MustPark(kP2, "p.", FullTraceOptions());
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r3)"}));
+  EXPECT_EQ(result.stats.restarts, 1u);
+}
+
+// --- E3: §4.1 program P3 — false conflicts must not materialize ---
+
+constexpr char kP3[] = R"(
+  r1: p -> +q.
+  r2: p -> -q.
+  r3: q -> +a.
+  r4: q -> -a.
+  r5: p -> +a.
+)";
+
+TEST(PaperE3, P3FalseConflictAvoided) {
+  // "The correct result is therefore {p, +a}, or, after incorporating the
+  //  updates, {p, a}."
+  EXPECT_EQ(ParkToString(kP3, "p."), "{a, p}");
+}
+
+TEST(PaperE3, P3TraceShowsOnlyTheRealConflict) {
+  ParkResult result = MustPark(kP3, "p.", FullTraceOptions());
+  // Only q is ever in conflict; a never becomes ambiguous because no
+  // consequence may be drawn from the ambiguous q.
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r1)"}));
+  auto history = result.trace.InterpretationHistory();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0],
+            (std::vector<std::string>{"p", "+a", "+q", "-q"}));
+  EXPECT_EQ(history[1], (std::vector<std::string>{"p", "+a", "-q"}));
+}
+
+TEST(PaperE3, P3NaiveBaselineCancelsTheFalseConflict) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kP3, symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  auto naive = NaiveCancelSemantics(program, db);
+  ASSERT_TRUE(naive.ok());
+  // The naive semantics sees the false ambiguity on `a` and cancels it,
+  // losing the +a that rule 5 legitimately derives.
+  EXPECT_EQ(naive->database.ToString(), "{p}");
+  EXPECT_EQ(naive->cancelled_pairs, 2u);
+}
+
+// --- E4: §4.2 irreflexive, transitivity-free graph ---
+
+constexpr char kGraph[] = R"(
+  r1: p(X), p(Y) -> +q(X, Y).
+  r2: q(X, X) -> -q(X, X).
+  r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).
+)";
+
+/// The paper's SELECT: "We decide to block all instances of rule r1 with
+/// x = y and those connecting a and c. In all other cases, the instances
+/// of r3 are blocked."
+PolicyPtr PaperGraphPolicy(const std::shared_ptr<SymbolTable>& symbols) {
+  SymbolId a = symbols->InternSymbol("a");
+  SymbolId c = symbols->InternSymbol("c");
+  return MakeLambdaPolicy(
+      "paper-graph",
+      [a, c](const PolicyContext&, const Conflict& conflict) -> Result<Vote> {
+        const Tuple& args = conflict.atom.args();
+        const Value& x = args[0];
+        const Value& y = args[1];
+        if (x == y) return Vote::kDelete;
+        bool connects_a_c =
+            (x == Value::Symbol(a) && y == Value::Symbol(c)) ||
+            (x == Value::Symbol(c) && y == Value::Symbol(a));
+        return connects_a_c ? Vote::kDelete : Vote::kInsert;
+      });
+}
+
+TEST(PaperE4, GraphExampleResult) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kGraph, symbols);
+  Database db = MustParseDatabase("p(a). p(b). p(c).", symbols);
+  ParkOptions options = FullTraceOptions(PaperGraphPolicy(symbols));
+  auto result = Park(program, db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // "PARK(P, D) = {p(a), p(b), p(c), q(a,b), q(b,a), q(b,c), q(c,b)}"
+  EXPECT_EQ(result->database.ToString(),
+            "{p(a), p(b), p(c), q(a, b), q(b, a), q(b, c), q(c, b)}");
+  // One conflict-resolution round resolves all nine conflicts.
+  EXPECT_EQ(result->stats.restarts, 1u);
+  EXPECT_EQ(result->stats.conflicts_resolved, 9u);
+  // Blocked: 5 instances of r1 (diagonal + the two a--c arcs) and 3
+  // instances of r3 for each of the 4 surviving arcs.
+  EXPECT_EQ(result->stats.blocked_instances, 17u);
+}
+
+TEST(PaperE4, GraphExampleFirstInterpretation) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kGraph, symbols);
+  Database db = MustParseDatabase("p(a). p(b). p(c).", symbols);
+  ParkOptions options = FullTraceOptions(PaperGraphPolicy(symbols));
+  auto result = Park(program, db, options);
+  ASSERT_TRUE(result.ok());
+  auto history = result->trace.InterpretationHistory();
+  ASSERT_GE(history.size(), 1u);
+  // I1: all nine q-arcs asserted.
+  EXPECT_EQ(history[0],
+            (std::vector<std::string>{
+                "p(a)", "p(b)", "p(c)", "+q(a, a)", "+q(a, b)", "+q(a, c)",
+                "+q(b, a)", "+q(b, b)", "+q(b, c)", "+q(c, a)", "+q(c, b)",
+                "+q(c, c)"}));
+}
+
+// --- E5: §4.3 first ECA example (conflict-free, event literal) ---
+
+constexpr char kEca1[] = R"(
+  r1: p(X) -> +q(X).
+  r2: q(X) -> +r(X).
+  r3: +r(X) -> -s(X).
+)";
+
+TEST(PaperE5, EcaExampleOne) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kEca1, symbols);
+  Database db = MustParseDatabase("p(a). s(a). s(b).", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert,
+       ParseGroundAtom("q(b)", symbols).value()}};
+  ParkOptions options = FullTraceOptions();
+  auto result = Park(db, program, updates, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // "PARK(D, P, U) = {p(a), q(a), q(b), r(a), r(b)}"
+  EXPECT_EQ(result->database.ToString(),
+            "{p(a), q(a), q(b), r(a), r(b)}");
+  auto history = result->trace.InterpretationHistory();
+  ASSERT_EQ(history.size(), 3u);
+  // I1 = {p(a), +q(a), +q(b), s(a), s(b)}
+  EXPECT_EQ(history[0],
+            (std::vector<std::string>{"p(a)", "s(a)", "s(b)", "+q(a)",
+                                      "+q(b)"}));
+  // I2 adds +r(a), +r(b)
+  EXPECT_EQ(history[1],
+            (std::vector<std::string>{"p(a)", "s(a)", "s(b)", "+q(a)",
+                                      "+q(b)", "+r(a)", "+r(b)"}));
+  // I3 adds -s(a), -s(b)
+  EXPECT_EQ(history[2],
+            (std::vector<std::string>{"p(a)", "s(a)", "s(b)", "+q(a)",
+                                      "+q(b)", "+r(a)", "+r(b)", "-s(a)",
+                                      "-s(b)"}));
+  EXPECT_EQ(result->stats.restarts, 0u);
+}
+
+// --- E6: §4.3 second ECA example (update/rule conflict, inertia) ---
+
+constexpr char kEca2[] = R"(
+  r1: q(X, a) -> -p(X, a).
+  r2: q(a, X) -> +r(a, X).
+  r3: +r(X, a) -> +p(X, a).
+)";
+
+TEST(PaperE6, EcaExampleTwo) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(kEca2, symbols);
+  Database db = MustParseDatabase("p(a, a). p(a, b). p(a, c).", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert,
+       ParseGroundAtom("q(a, a)", symbols).value()}};
+  ParkOptions options = FullTraceOptions();
+  auto result = Park(db, program, updates, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The paper prints the result as {p(a,a), p(a,b), p(a,c), r(a,a)};
+  // by its own I5 listing (which contains the transaction's q(a,a)) and
+  // the definition of incorp, q(a,a) belongs in the result as well — the
+  // paper's final line simply dropped it. See EXPERIMENTS.md E6.
+  EXPECT_EQ(result->database.ToString(),
+            "{p(a, a), p(a, b), p(a, c), q(a, a), r(a, a)}");
+  // The inconsistency is detected involving rules r1 and r3; inertia keeps
+  // p(a,a) (present in D), so the deleting side r1 is blocked.
+  EXPECT_EQ(result->blocked,
+            (std::vector<std::string>{"(r1, [X <- a])"}));
+  EXPECT_EQ(result->stats.restarts, 1u);
+
+  auto history = result->trace.InterpretationHistory();
+  // I1, I2, I3 (clash), then the restarted I4', I5', I6' (r3 refires
+  // consistently after r1 is blocked — one step more than the paper's
+  // listing, which stopped at I5 with both r1 and r3 blocked contrary to
+  // the formal definition of blocked(); the result database agrees).
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_EQ(history[0], (std::vector<std::string>{
+                            "p(a, a)", "p(a, b)", "p(a, c)", "+q(a, a)"}));
+  EXPECT_EQ(history[1],
+            (std::vector<std::string>{"p(a, a)", "p(a, b)", "p(a, c)",
+                                      "+q(a, a)", "+r(a, a)", "-p(a, a)"}));
+  EXPECT_EQ(history[2],
+            (std::vector<std::string>{"p(a, a)", "p(a, b)", "p(a, c)",
+                                      "+p(a, a)", "+q(a, a)", "+r(a, a)",
+                                      "-p(a, a)"}));
+}
+
+// --- E7: §5 example under the principle of inertia ---
+
+constexpr char kSection5[] = R"(
+  r1: p -> +a.
+  r2: p -> +q.
+  r3: a -> +b.
+  r4: a -> -q.
+  r5: b -> +q.
+)";
+
+TEST(PaperE7, Section5Inertia) {
+  ParkResult result = MustPark(kSection5, "p.", FullTraceOptions());
+  // "At this state the final fixpoint <{r2, r5}, {p, +a, -q, +b}> is
+  //  reached letting {p, a, b} be the new database instance."
+  EXPECT_EQ(result.database.ToString(), "{a, b, p}");
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r2)", "(r5)"}));
+
+  auto history = result.trace.InterpretationHistory();
+  ASSERT_EQ(history.size(), 7u);
+  EXPECT_EQ(history[0], (std::vector<std::string>{"p", "+a", "+q"}));
+  EXPECT_EQ(history[1],
+            (std::vector<std::string>{"p", "+a", "+b", "+q", "-q"}));
+  EXPECT_EQ(history[2], (std::vector<std::string>{"p", "+a"}));
+  EXPECT_EQ(history[3], (std::vector<std::string>{"p", "+a", "+b", "-q"}));
+  EXPECT_EQ(history[4],
+            (std::vector<std::string>{"p", "+a", "+b", "+q", "-q"}));
+  EXPECT_EQ(history[5], (std::vector<std::string>{"p", "+a"}));
+  EXPECT_EQ(history[6], (std::vector<std::string>{"p", "+a", "+b", "-q"}));
+  EXPECT_EQ(result.stats.restarts, 2u);
+}
+
+// --- E8: §5 counterintuitive-inertia example ---
+
+constexpr char kCounterintuitive[] = R"(
+  r1: a -> +b.
+  r2: a -> +d.
+  r3: b -> +c.
+  r4: b -> -d.
+  r5: c -> -b.
+)";
+
+TEST(PaperE8, Section5CounterintuitiveInertia) {
+  ParkResult result = MustPark(kCounterintuitive, "a.", FullTraceOptions());
+  // "The final result is {a} and differs from the expected — more
+  //  intuitive — {a, +d}."
+  EXPECT_EQ(result.database.ToString(), "{a}");
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r1)", "(r2)"}));
+  EXPECT_EQ(result.stats.restarts, 2u);
+}
+
+// --- E9: §5 example under rule priority ---
+
+TEST(PaperE9, Section5RulePriority) {
+  // "we assume that rule ri has priority i" — the default priority is the
+  // 1-based program position, so no annotations are needed.
+  ParkOptions options = FullTraceOptions(MakeRulePriorityPolicy());
+  ParkResult result = MustPark(kSection5, "p.", options);
+  // "resulting in the final database instance {p, a, b, q}"
+  EXPECT_EQ(result.database.ToString(), "{a, b, p, q}");
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r2)", "(r4)"}));
+
+  auto history = result.trace.InterpretationHistory();
+  ASSERT_EQ(history.size(), 8u);
+  EXPECT_EQ(history[0], (std::vector<std::string>{"p", "+a", "+q"}));
+  EXPECT_EQ(history[1],
+            (std::vector<std::string>{"p", "+a", "+b", "+q", "-q"}));
+  EXPECT_EQ(history[2], (std::vector<std::string>{"p", "+a"}));
+  EXPECT_EQ(history[3], (std::vector<std::string>{"p", "+a", "+b", "-q"}));
+  EXPECT_EQ(history[4],
+            (std::vector<std::string>{"p", "+a", "+b", "+q", "-q"}));
+  EXPECT_EQ(history[5], (std::vector<std::string>{"p", "+a"}));
+  EXPECT_EQ(history[6], (std::vector<std::string>{"p", "+a", "+b"}));
+  EXPECT_EQ(history[7], (std::vector<std::string>{"p", "+a", "+b", "+q"}));
+}
+
+TEST(PaperE9, ExplicitPriorityAnnotationsOverrideOrder) {
+  // Reversing the priorities via annotations flips the outcome of the
+  // first conflict: +q (now prio 4) beats -q (now prio 2).
+  constexpr char kReversed[] = R"(
+    r1 [prio=5]: p -> +a.
+    r2 [prio=4]: p -> +q.
+    r3 [prio=3]: a -> +b.
+    r4 [prio=2]: a -> -q.
+    r5 [prio=1]: b -> +q.
+  )";
+  ParkOptions options;
+  options.policy = MakeRulePriorityPolicy();
+  ParkResult result = MustPark(kReversed, "p.", options);
+  EXPECT_EQ(result.database.ToString(), "{a, b, p, q}");
+  EXPECT_EQ(result.blocked, (std::vector<std::string>{"(r4)"}));
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,302 @@
+// General behavior of the PARK evaluator beyond the paper's worked
+// examples: fixpoint behavior, recursion, options, error paths, statistics.
+
+#include "test_util.h"
+
+namespace park {
+namespace {
+
+using ::park::testing_util::MustPark;
+using ::park::testing_util::MustParseDatabase;
+using ::park::testing_util::MustParseProgram;
+using ::park::testing_util::ParkToString;
+
+TEST(ParkSemanticsTest, EmptyProgramIsIdentity) {
+  EXPECT_EQ(ParkToString("", "p(a). q(b)."), "{p(a), q(b)}");
+}
+
+TEST(ParkSemanticsTest, EmptyDatabaseEmptyProgram) {
+  EXPECT_EQ(ParkToString("", ""), "{}");
+}
+
+TEST(ParkSemanticsTest, RulesWithUnsatisfiedBodiesDoNothing) {
+  EXPECT_EQ(ParkToString("missing(X) -> +q(X).", "p(a)."), "{p(a)}");
+}
+
+TEST(ParkSemanticsTest, SimpleInsertAndDelete) {
+  EXPECT_EQ(ParkToString("p(X) -> +q(X). r(X) -> -p(X).",
+                         "p(a). r(a)."),
+            "{q(a), r(a)}");
+}
+
+TEST(ParkSemanticsTest, DeletingAbsentAtomIsNoop) {
+  EXPECT_EQ(ParkToString("p -> -ghost.", "p."), "{p}");
+}
+
+TEST(ParkSemanticsTest, InsertingPresentAtomIsNoop) {
+  EXPECT_EQ(ParkToString("p -> +p.", "p."), "{p}");
+}
+
+TEST(ParkSemanticsTest, TransitiveClosureRecursion) {
+  ParkResult result = MustPark(
+      "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+      "edge(a, b). edge(b, c). edge(c, d).");
+  EXPECT_EQ(result.database.ToString(),
+            "{edge(a, b), edge(b, c), edge(c, d), path(a, b), path(a, c), "
+            "path(a, d), path(b, c), path(b, d), path(c, d)}");
+  // Depth-3 path needs 3 strict Γ growth steps plus the closing check.
+  EXPECT_EQ(result.stats.gamma_steps, 3u);
+  EXPECT_EQ(result.stats.restarts, 0u);
+}
+
+TEST(ParkSemanticsTest, CyclicClosureTerminates) {
+  ParkResult result = MustPark(
+      "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+      "edge(a, b). edge(b, a).");
+  // All four ordered pairs are paths.
+  EXPECT_EQ(result.database.ToString(),
+            "{edge(a, b), edge(b, a), path(a, a), path(a, b), path(b, a), "
+            "path(b, b)}");
+}
+
+TEST(ParkSemanticsTest, NegationAsFailure) {
+  EXPECT_EQ(ParkToString("emp(X), !active(X) -> -emp(X).",
+                         "emp(a). emp(b). active(a)."),
+            "{active(a), emp(a)}");
+}
+
+TEST(ParkSemanticsTest, StatsArepopulated) {
+  ParkResult result = MustPark("p -> +a. p -> -a.", "p.");
+  EXPECT_EQ(result.stats.restarts, 1u);
+  EXPECT_EQ(result.stats.conflicts_resolved, 1u);
+  EXPECT_EQ(result.stats.policy_invocations, 1u);
+  EXPECT_EQ(result.stats.blocked_instances, 1u);
+}
+
+TEST(ParkSemanticsTest, MaxStepsGuard) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(
+      "edge(X, Y) -> +path(X, Y). path(X, Y), edge(Y, Z) -> +path(X, Z).",
+      symbols);
+  std::string facts;
+  for (int i = 0; i < 50; ++i) {
+    facts += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").";
+  }
+  Database db = MustParseDatabase(facts, symbols);
+  ParkOptions options;
+  options.max_steps = 3;
+  auto result = Park(program, db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParkSemanticsTest, AbstainingTopLevelPolicyAborts) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +a. p -> -a.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkOptions options;
+  options.policy = MakeSpecificityPolicy();  // ties on this conflict
+  auto result = Park(program, db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("abstained"), std::string::npos);
+}
+
+TEST(ParkSemanticsTest, PolicyErrorPropagates) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +a. p -> -a.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkOptions options;
+  options.policy = MakeLambdaPolicy(
+      "failing", [](const PolicyContext&, const Conflict&) -> Result<Vote> {
+        return InternalError("oracle offline");
+      });
+  auto result = Park(program, db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ParkSemanticsTest, InputDatabaseIsNotMutated) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p(X) -> -p(X). p(X) -> +q(X).",
+                                     symbols);
+  Database db = MustParseDatabase("p(a).", symbols);
+  auto result = Park(program, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(db.ToString(), "{p(a)}");
+  EXPECT_EQ(result->database.ToString(), "{q(a)}");
+}
+
+TEST(ParkSemanticsTest, DefaultPolicyIsInertia) {
+  // x ∈ D: the default policy must keep it.
+  EXPECT_EQ(ParkToString("p -> +x. p -> -x.", "p. x."), "{p, x}");
+  // x ∉ D: the default policy must drop it.
+  EXPECT_EQ(ParkToString("p -> +x. p -> -x.", "p."), "{p}");
+}
+
+TEST(ParkSemanticsTest, FirstConflictGranularityResolvesOneAtATime) {
+  constexpr char kTwoConflicts[] = R"(
+    p -> +x. p -> -x.
+    p -> +y. p -> -y.
+  )";
+  ParkOptions all;
+  ParkResult all_result = MustPark(kTwoConflicts, "p.", all);
+  EXPECT_EQ(all_result.stats.restarts, 1u);
+  EXPECT_EQ(all_result.stats.conflicts_resolved, 2u);
+
+  ParkOptions one;
+  one.block_granularity = BlockGranularity::kFirstConflictOnly;
+  ParkResult one_result = MustPark(kTwoConflicts, "p.", one);
+  EXPECT_EQ(one_result.stats.restarts, 2u);
+  EXPECT_EQ(one_result.stats.conflicts_resolved, 2u);
+  // Same final database either way.
+  EXPECT_TRUE(all_result.database.SameAtoms(one_result.database));
+}
+
+TEST(ParkSemanticsTest, BlockGranularityCanAffectBlockedSetSizeOnly) {
+  // The §4.2 remark: blocking all conflicts may block instances
+  // "unnecessarily". With first-conflict granularity on the graph
+  // example, later rounds may find some conflicts already gone.
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(R"(
+    r1: p(X), p(Y) -> +q(X, Y).
+    r2: q(X, X) -> -q(X, X).
+  )", symbols);
+  Database db = MustParseDatabase("p(a). p(b).", symbols);
+
+  ParkOptions all;
+  all.policy = MakeAlwaysDeletePolicy();
+  auto all_result = Park(program, db, all);
+  ASSERT_TRUE(all_result.ok());
+
+  ParkOptions one;
+  one.policy = MakeAlwaysDeletePolicy();
+  one.block_granularity = BlockGranularity::kFirstConflictOnly;
+  auto one_result = Park(program, db, one);
+  ASSERT_TRUE(one_result.ok());
+
+  EXPECT_TRUE(all_result->database.SameAtoms(one_result->database));
+  EXPECT_LE(one_result->stats.blocked_instances,
+            all_result->stats.blocked_instances);
+}
+
+TEST(ParkSemanticsTest, TraceLevelsControlDetail) {
+  ParkOptions none;
+  EXPECT_TRUE(MustPark("p -> +q.", "p.", none).trace.events().empty());
+
+  ParkOptions summary;
+  summary.trace_level = TraceLevel::kSummary;
+  ParkResult s = MustPark("p -> +a. p -> -a.", "p.", summary);
+  EXPECT_FALSE(s.trace.events().empty());
+  EXPECT_TRUE(s.trace.InterpretationHistory().empty());  // no snapshots
+
+  ParkOptions full;
+  full.trace_level = TraceLevel::kFull;
+  ParkResult f = MustPark("p -> +a. p -> -a.", "p.", full);
+  EXPECT_FALSE(f.trace.InterpretationHistory().empty());
+  EXPECT_FALSE(f.trace.ToString().empty());
+}
+
+TEST(ParkSemanticsTest, SeedRulesSurviveRestarts) {
+  // A transaction update must re-fire after a conflict restart (the whole
+  // point of modeling U as rules, §4.3).
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +a. p -> -a. p -> +keep.",
+                                     symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("u", symbols).value()}};
+  auto result = Park(db, program, updates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->database.ToString(), "{keep, p, u}");
+  EXPECT_EQ(result->stats.restarts, 1u);
+}
+
+TEST(ParkSemanticsTest, ConflictBetweenUpdateAndRule) {
+  // §4.3: "Conflicts may not only occur between rules but also between
+  // transaction updates and rules." Inertia decides per atom status in D.
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> -u.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("u", symbols).value()}};
+  auto result = Park(db, program, updates);
+  ASSERT_TRUE(result.ok());
+  // u ∉ D: inertia sides with the deleting rule; the update is overwritten
+  // (the paper explicitly allows a transaction's update to be overwritten).
+  EXPECT_EQ(result->database.ToString(), "{p}");
+}
+
+TEST(ParkSemanticsTest, UpdatesCanWinConflictsUnderPriority) {
+  // The same scenario, but a policy that prefers the seed rule: the
+  // "transaction updates cannot be overwritten" convention the paper says
+  // can be coded into the conflict resolution policy.
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> -u.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  std::vector<Update> updates{
+      {ActionKind::kInsert, ParseGroundAtom("u", symbols).value()}};
+  ParkOptions options;
+  // Seed rules are appended after all program rules, so the default
+  // position-based priority makes them win ties of the base program.
+  options.policy = MakeRulePriorityPolicy();
+  auto result = Park(db, program, updates, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->database.ToString(), "{p, u}");
+}
+
+TEST(ParkSemanticsTest, MultipleIndependentConflictsAllResolved) {
+  constexpr char kProgram[] = R"(
+    p -> +a. p -> -a.
+    p -> +b. q -> -b.
+    q -> +c. q -> -c.
+  )";
+  ParkResult result = MustPark(kProgram, "p. q. b.");
+  // Inertia: a ∉ D drops, b ∈ D stays, c ∉ D drops.
+  EXPECT_EQ(result.database.ToString(), "{b, p, q}");
+  EXPECT_EQ(result.stats.conflicts_resolved, 3u);
+}
+
+TEST(ParkSemanticsTest, ProvenanceExplainsResultAtoms) {
+  ParkOptions options;
+  options.record_provenance = true;
+  ParkResult result = MustPark(
+      "r1: p -> +q. r2: q -> +r. r3: p -> -gone.", "p. gone.", options);
+  ASSERT_EQ(result.provenance.size(), 3u);
+  EXPECT_EQ(result.provenance[0].atom, "+q");
+  EXPECT_EQ(result.provenance[0].derived_by,
+            (std::vector<std::string>{"(r1)"}));
+  EXPECT_EQ(result.provenance[1].atom, "+r");
+  EXPECT_EQ(result.provenance[1].derived_by,
+            (std::vector<std::string>{"(r2)"}));
+  EXPECT_EQ(result.provenance[2].atom, "-gone");
+  EXPECT_EQ(result.provenance[2].derived_by,
+            (std::vector<std::string>{"(r3)"}));
+}
+
+TEST(ParkSemanticsTest, ProvenanceListsEveryDeriver) {
+  ParkOptions options;
+  options.record_provenance = true;
+  ParkResult result =
+      MustPark("r1: p -> +q. r2: s -> +q.", "p. s.", options);
+  ASSERT_EQ(result.provenance.size(), 1u);
+  EXPECT_EQ(result.provenance[0].derived_by,
+            (std::vector<std::string>{"(r1)", "(r2)"}));
+}
+
+TEST(ParkSemanticsTest, ProvenanceOffByDefault) {
+  ParkResult result = MustPark("p -> +q.", "p.");
+  EXPECT_TRUE(result.provenance.empty());
+}
+
+TEST(ParkSemanticsTest, ProgramAndDatabaseMustShareSymbols) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +q.", symbols);
+  Database other_db(MakeSymbolTable());
+  EXPECT_DEATH((void)Park(program, other_db),
+               "must share a symbol table");
+}
+
+}  // namespace
+}  // namespace park

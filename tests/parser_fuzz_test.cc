@@ -1,0 +1,146 @@
+// Robustness: the parser must never crash or hang on arbitrary input —
+// every malformed input yields a Status. Deterministic pseudo-fuzz over
+// random byte strings, random token soups, and mutations of valid
+// programs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lang/parser.h"
+#include "util/random.h"
+
+namespace park {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t length = rng.Uniform(120);
+    std::string input;
+    input.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      input += static_cast<char>(rng.Uniform(96) + 32);  // printable ASCII
+    }
+    auto symbols = MakeSymbolTable();
+    auto program = ParseProgram(input, symbols);
+    auto db = ParseDatabase(input, symbols);
+    auto atom = ParseGroundAtom(input, symbols);
+    // No assertion on success — only that we got here without crashing
+    // and that failures carry messages.
+    if (!program.ok()) {
+      EXPECT_FALSE(program.status().message().empty());
+    }
+    if (!db.ok()) {
+      EXPECT_FALSE(db.status().message().empty());
+    }
+    (void)atom;
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kTokens[] = {
+      "p",  "q(",  ")",  "X",  ",",  ".",  "->", "+",   "-",  "!",
+      "[",  "]",   "=",  "42", ":",  "_",  "\"s\"", "not", "prio",
+      "r1", "(",   "-7",
+  };
+  Rng rng(GetParam() ^ 0x9999);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input;
+    size_t tokens = rng.Uniform(40);
+    for (size_t i = 0; i < tokens; ++i) {
+      input += kTokens[rng.Uniform(std::size(kTokens))];
+      input += " ";
+    }
+    auto symbols = MakeSymbolTable();
+    (void)ParseProgram(input, symbols);
+    (void)ParseDatabase(input, symbols);
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidProgramsNeverCrash) {
+  constexpr char kValid[] =
+      "r1 [prio=2]: emp(X), !active(X), payroll(X, S) -> -payroll(X, S). "
+      "audit: -payroll(X, S) -> +audit(X). "
+      "-> +seed(a, 1, \"x\").";
+  Rng rng(GetParam() ^ 0x4444);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input = kValid;
+    int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(input.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // flip a character
+          input[pos] = static_cast<char>(rng.Uniform(96) + 32);
+          break;
+        case 1:  // delete a character
+          input.erase(pos, 1);
+          break;
+        default:  // duplicate a chunk
+          input.insert(pos, input.substr(pos, rng.Uniform(8)));
+          break;
+      }
+    }
+    auto symbols = MakeSymbolTable();
+    auto program = ParseProgram(input, symbols);
+    if (program.ok()) {
+      // If the mutation stayed syntactically valid, the result must be a
+      // well-formed program (all rules safe — AddRule enforced it).
+      for (const Rule& rule : program->rules()) {
+        EXPECT_GE(rule.index(), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(ParserEdgeCaseTest, DeepNestingAndLongInputs) {
+  auto symbols = MakeSymbolTable();
+  // A very long but valid program.
+  std::string big;
+  for (int i = 0; i < 2000; ++i) {
+    big += "p" + std::to_string(i) + " -> +q" + std::to_string(i) + ".\n";
+  }
+  auto program = ParseProgram(big, symbols);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 2000u);
+
+  // An atom with many arguments.
+  std::string wide = "w(";
+  for (int i = 0; i < 500; ++i) {
+    if (i > 0) wide += ", ";
+    wide += "c" + std::to_string(i);
+  }
+  wide += ")";
+  auto atom = ParseGroundAtom(wide, symbols);
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->arity(), 500);
+}
+
+TEST(ParserEdgeCaseTest, UnterminatedConstructs) {
+  auto symbols = MakeSymbolTable();
+  EXPECT_FALSE(ParseProgram("p -> +q", symbols).ok());
+  EXPECT_FALSE(ParseProgram("p(", symbols).ok());
+  EXPECT_FALSE(ParseProgram("p(a", symbols).ok());
+  EXPECT_FALSE(ParseProgram("p(a,", symbols).ok());
+  EXPECT_FALSE(ParseProgram("lab [prio=", symbols).ok());
+  EXPECT_FALSE(ParseProgram("lab [prio=1", symbols).ok());
+  EXPECT_FALSE(ParseProgram("\"open string", symbols).ok());
+  EXPECT_FALSE(ParseProgram("p -> ", symbols).ok());
+  EXPECT_FALSE(ParseProgram("-> +", symbols).ok());
+}
+
+TEST(ParserEdgeCaseTest, CommentOnlyAndWhitespaceOnlyInputs) {
+  auto symbols = MakeSymbolTable();
+  EXPECT_EQ(ParseProgram("# nothing here\n% or here\n// either", symbols)
+                ->size(),
+            0u);
+  EXPECT_EQ(ParseDatabase("\n\t  \n", symbols)->size(), 0u);
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,241 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/printer.h"
+
+namespace park {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : symbols_(MakeSymbolTable()) {}
+
+  Rule MustRule(std::string_view text) {
+    auto rule = ParseRule(text, symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    return rule.ok() ? std::move(rule).value() : Rule();
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(ParserTest, SimplePropositionalRule) {
+  Rule rule = MustRule("p -> +q.");
+  EXPECT_EQ(rule.body().size(), 1u);
+  EXPECT_EQ(rule.body()[0].kind, LiteralKind::kPositive);
+  EXPECT_EQ(rule.head().action, ActionKind::kInsert);
+  EXPECT_EQ(rule.num_variables(), 0);
+  EXPECT_TRUE(rule.name().empty());
+}
+
+TEST_F(ParserTest, LabeledRule) {
+  Rule rule = MustRule("cleanup: p -> -q.");
+  EXPECT_EQ(rule.name(), "cleanup");
+  EXPECT_EQ(rule.head().action, ActionKind::kDelete);
+}
+
+TEST_F(ParserTest, PriorityAnnotation) {
+  EXPECT_EQ(MustRule("r [prio=7]: p -> +q.").priority(), 7);
+  EXPECT_EQ(MustRule("r2 [priority=3]: p -> +q.").priority(), 3);
+  EXPECT_EQ(MustRule("r3 [prio=-2]: p -> +q.").priority(), -2);
+  EXPECT_EQ(MustRule("[prio=9] p -> +q.").priority(), 9);
+  EXPECT_EQ(MustRule("p -> +q.").priority(), std::nullopt);
+}
+
+TEST_F(ParserTest, SourceAnnotation) {
+  EXPECT_EQ(MustRule("r [src=4]: p -> +q.").source(), 4);
+  EXPECT_EQ(MustRule("r2 [source=2]: p -> +q.").source(), 2);
+  EXPECT_EQ(MustRule("p -> +q.").source(), std::nullopt);
+  Rule both = MustRule("r3 [prio=1, src=2]: p -> +q.");
+  EXPECT_EQ(both.priority(), 1);
+  EXPECT_EQ(both.source(), 2);
+  EXPECT_FALSE(ParseRule("r [weight=1]: p -> +q.", symbols_).ok());
+}
+
+TEST_F(ParserTest, VariablesShareIndexes) {
+  Rule rule = MustRule("p(X), q(X, Y) -> +r(Y, X).");
+  EXPECT_EQ(rule.num_variables(), 2);
+  EXPECT_EQ(rule.variable_names(), (std::vector<std::string>{"X", "Y"}));
+  // Head terms: r(Y, X) — indexes 1 then 0.
+  EXPECT_EQ(rule.head().atom.terms[0].var_index(), 1);
+  EXPECT_EQ(rule.head().atom.terms[1].var_index(), 0);
+}
+
+TEST_F(ParserTest, AnonymousVariablesAreFresh) {
+  Rule rule = MustRule("p(_, _), q(X) -> +r(X).");
+  // Two `_` plus X = 3 variables.
+  EXPECT_EQ(rule.num_variables(), 3);
+  EXPECT_NE(rule.body()[0].atom.terms[0].var_index(),
+            rule.body()[0].atom.terms[1].var_index());
+}
+
+TEST_F(ParserTest, NegationForms) {
+  Rule bang = MustRule("p(X), !q(X) -> +r(X).");
+  EXPECT_EQ(bang.body()[1].kind, LiteralKind::kNegated);
+  Rule word = MustRule("p(X), not q(X) -> +r(X).");
+  EXPECT_EQ(word.body()[1].kind, LiteralKind::kNegated);
+}
+
+TEST_F(ParserTest, EventLiterals) {
+  Rule rule = MustRule("+r(X), -s(X), q(X) -> -t(X).");
+  EXPECT_EQ(rule.body()[0].kind, LiteralKind::kEventInsert);
+  EXPECT_EQ(rule.body()[1].kind, LiteralKind::kEventDelete);
+  EXPECT_EQ(rule.body()[2].kind, LiteralKind::kPositive);
+  EXPECT_TRUE(rule.HasEventLiterals());
+  EXPECT_FALSE(MustRule("p -> +q.").HasEventLiterals());
+}
+
+TEST_F(ParserTest, EmptyBodySeedRule) {
+  Rule rule = MustRule("-> +q(b).");
+  EXPECT_TRUE(rule.body().empty());
+  EXPECT_EQ(rule.head().action, ActionKind::kInsert);
+  EXPECT_TRUE(rule.head().atom.IsGround());
+}
+
+TEST_F(ParserTest, TermTypes) {
+  Rule rule = MustRule("p(alice, 42, -7, \"J. Doe\") -> +q.");
+  const auto& terms = rule.body()[0].atom.terms;
+  ASSERT_EQ(terms.size(), 4u);
+  EXPECT_TRUE(terms[0].constant().is_symbol());
+  EXPECT_EQ(terms[1].constant().int_value(), 42);
+  EXPECT_EQ(terms[2].constant().int_value(), -7);
+  EXPECT_TRUE(terms[3].constant().is_string());
+}
+
+TEST_F(ParserTest, ProgramParsingAssignsIndexes) {
+  auto program = ParseProgram("a -> +b. r2: b -> +c. c -> -a.", symbols_);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->size(), 3u);
+  EXPECT_EQ(program->rule(0).index(), 0);
+  EXPECT_EQ(program->rule(2).index(), 2);
+  EXPECT_EQ(program->FindRule("r2"), 1);
+  EXPECT_EQ(program->FindRule("nope"), std::nullopt);
+}
+
+TEST_F(ParserTest, DuplicateLabelRejected) {
+  auto program = ParseProgram("r: a -> +b. r: b -> +c.", symbols_);
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ParserTest, UnsafeHeadVariableRejected) {
+  auto rule = ParseRule("p(X) -> +q(X, Y).", symbols_);
+  EXPECT_FALSE(rule.ok());
+  EXPECT_NE(rule.status().message().find("unsafe"), std::string::npos);
+}
+
+TEST_F(ParserTest, UnsafeNegatedVariableRejected) {
+  auto rule = ParseRule("p(X), !q(Y) -> +r(X).", symbols_);
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST_F(ParserTest, EventLiteralBindsVariables) {
+  // Event literals count as binding occurrences for safety.
+  auto rule = ParseRule("+r(X) -> -s(X).", symbols_);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+}
+
+TEST_F(ParserTest, SyntaxErrorsCarryPositions) {
+  auto missing_period = ParseRule("p -> +q", symbols_);
+  EXPECT_FALSE(missing_period.ok());
+  auto bad_head = ParseRule("p -> q.", symbols_);
+  EXPECT_FALSE(bad_head.ok());
+  EXPECT_NE(bad_head.status().message().find("'+' or '-'"),
+            std::string::npos);
+  auto no_head = ParseRule("p -> .", symbols_);
+  EXPECT_FALSE(no_head.ok());
+  auto empty_args = ParseRule("p() -> +q.", symbols_);
+  EXPECT_FALSE(empty_args.ok());
+}
+
+TEST_F(ParserTest, DatabaseParsing) {
+  auto db = ParseDatabase("p(a). q(a, b). r. score(x, 10).", symbols_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->size(), 4u);
+  EXPECT_EQ(db->ToString(), "{p(a), q(a, b), r, score(x, 10)}");
+}
+
+TEST_F(ParserTest, DatabaseRejectsVariables) {
+  auto db = ParseDatabase("p(X).", symbols_);
+  EXPECT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("ground"), std::string::npos);
+}
+
+TEST_F(ParserTest, ParseFactsInto) {
+  Database db(symbols_);
+  ASSERT_TRUE(ParseFactsInto("p(a).", db).ok());
+  ASSERT_TRUE(ParseFactsInto("q(b).", db).ok());
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST_F(ParserTest, ParseGroundAtomHelper) {
+  auto atom = ParseGroundAtom("payroll(john, 5000)", symbols_);
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->ToString(*symbols_), "payroll(john, 5000)");
+  EXPECT_FALSE(ParseGroundAtom("p(X)", symbols_).ok());
+  EXPECT_FALSE(ParseGroundAtom("p(a) extra", symbols_).ok());
+}
+
+TEST_F(ParserTest, SamePredicateNameDifferentArity) {
+  auto program =
+      ParseProgram("p(X) -> +q(X). p(X, Y) -> +q(X, Y).", symbols_);
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program->rule(0).body()[0].atom.predicate,
+            program->rule(1).body()[0].atom.predicate);
+}
+
+TEST_F(ParserTest, RuleBuilderBasic) {
+  auto rule = RuleBuilder(symbols_)
+                  .Name("cleanup")
+                  .Priority(4)
+                  .When("emp", {"X"})
+                  .WhenNot("active", {"X"})
+                  .When("payroll", {"X", "S"})
+                  .Delete("payroll", {"X", "S"})
+                  .Build();
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->name(), "cleanup");
+  EXPECT_EQ(rule->priority(), 4);
+  EXPECT_EQ(rule->body().size(), 3u);
+  EXPECT_EQ(rule->num_variables(), 2);
+}
+
+TEST_F(ParserTest, RuleBuilderEvents) {
+  auto rule = RuleBuilder(symbols_)
+                  .OnDeleted("payroll", {"X", "S"})
+                  .Insert("audit", {"X"})
+                  .Build();
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body()[0].kind, LiteralKind::kEventDelete);
+}
+
+TEST_F(ParserTest, RuleBuilderErrors) {
+  // No head.
+  EXPECT_FALSE(RuleBuilder(symbols_).When("p", {}).Build().ok());
+  // Two heads.
+  EXPECT_FALSE(RuleBuilder(symbols_)
+                   .When("p", {})
+                   .Insert("q", {})
+                   .Delete("r", {})
+                   .Build()
+                   .ok());
+  // Unsafe.
+  EXPECT_FALSE(
+      RuleBuilder(symbols_).When("p", {"X"}).Insert("q", {"Y"}).Build().ok());
+}
+
+TEST_F(ParserTest, RuleBuilderMatchesParserOutput) {
+  auto built = RuleBuilder(symbols_)
+                   .Name("r")
+                   .When("p", {"X"})
+                   .Insert("q", {"X"})
+                   .Build();
+  ASSERT_TRUE(built.ok());
+  Rule parsed = MustRule("r: p(X) -> +q(X).");
+  EXPECT_EQ(RuleToString(*built, *symbols_),
+            RuleToString(parsed, *symbols_));
+}
+
+}  // namespace
+}  // namespace park

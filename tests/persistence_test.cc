@@ -1,0 +1,264 @@
+// Persistence: file round trips for databases and programs, the
+// transaction journal, and ActiveDatabase crash recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "park/park.h"
+
+namespace park {
+namespace {
+
+/// Unique-ish temp path per test; removed on fixture teardown.
+class PersistenceTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    std::string path = ::testing::TempDir() + "park_" +
+                       ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name() +
+                       "_" + name;
+    created_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : created_) {
+      std::remove(path.c_str());
+      std::remove((path + ".tmp").c_str());
+    }
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(PersistenceTest, DatabaseRoundTrip) {
+  auto symbols = MakeSymbolTable();
+  Database db = ParseDatabase(
+      "p(a). q(a, 7). r. name(x, \"J. \\\"Q\\\" Doe\").", symbols).value();
+  std::string path = TempPath("db.facts");
+  ASSERT_TRUE(WriteDatabaseFile(db, path).ok());
+
+  auto loaded = ReadDatabaseFile(path, symbols);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(db.SameAtoms(*loaded));
+}
+
+TEST_F(PersistenceTest, DatabaseLoadIntoFreshSymbolTable) {
+  auto symbols = MakeSymbolTable();
+  Database db = ParseDatabase("p(alpha). q(beta).", symbols).value();
+  std::string path = TempPath("db.facts");
+  ASSERT_TRUE(WriteDatabaseFile(db, path).ok());
+  // A different process would have a different symbol table.
+  auto fresh = ReadDatabaseFile(path, MakeSymbolTable());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->ToString(), db.ToString());
+}
+
+TEST_F(PersistenceTest, ProgramRoundTrip) {
+  auto symbols = MakeSymbolTable();
+  Program program = ParseProgram(R"(
+    r1 [prio=3]: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+    -payroll(X, S) -> +audit(X, S).
+    -> +seed(a).
+  )", symbols).value();
+  std::string path = TempPath("prog.rules");
+  ASSERT_TRUE(WriteProgramFile(program, path).ok());
+
+  auto loaded = ReadProgramFile(path, MakeSymbolTable());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ProgramToString(*loaded), ProgramToString(program));
+}
+
+TEST_F(PersistenceTest, ReadMissingFileIsNotFound) {
+  auto status = ReadDatabaseFile("/nonexistent/park.facts",
+                                 MakeSymbolTable()).status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistenceTest, JournalAppendAndReadAll) {
+  auto symbols = MakeSymbolTable();
+  std::string path = TempPath("journal");
+  {
+    auto journal = TransactionJournal::Open(path);
+    ASSERT_TRUE(journal.ok());
+    UpdateSet tx1;
+    ASSERT_TRUE(tx1.AddParsed("+q(b)", symbols).ok());
+    ASSERT_TRUE(tx1.AddParsed("-p(a)", symbols).ok());
+    ASSERT_TRUE(journal->Append(tx1, *symbols).ok());
+    UpdateSet tx2;
+    ASSERT_TRUE(tx2.AddParsed("+r(c)", symbols).ok());
+    ASSERT_TRUE(journal->Append(tx2, *symbols).ok());
+  }
+  auto records = TransactionJournal::ReadAll(path, symbols);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].ToString(*symbols), "{+q(b), -p(a)}");
+  EXPECT_EQ((*records)[1].ToString(*symbols), "{+r(c)}");
+}
+
+TEST_F(PersistenceTest, JournalMissingFileIsEmpty) {
+  auto records =
+      TransactionJournal::ReadAll(TempPath("never_created"),
+                                  MakeSymbolTable());
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(PersistenceTest, JournalTornTailIsIgnored) {
+  auto symbols = MakeSymbolTable();
+  std::string path = TempPath("journal");
+  {
+    std::ofstream out(path);
+    out << "begin\n+a(1)\ncommit\n"
+        << "begin\n+b(2)\n";  // crash before commit
+  }
+  auto records = TransactionJournal::ReadAll(path, symbols);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].ToString(*symbols), "{+a(1)}");
+}
+
+TEST_F(PersistenceTest, JournalTornRecordFollowedByBeginIsDropped) {
+  auto symbols = MakeSymbolTable();
+  std::string path = TempPath("journal");
+  {
+    std::ofstream out(path);
+    out << "begin\n+a(1)\nbegin\n+b(2)\ncommit\n";
+  }
+  auto records = TransactionJournal::ReadAll(path, symbols);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].ToString(*symbols), "{+b(2)}");
+}
+
+TEST_F(PersistenceTest, JournalMalformedUpdateIsAnError) {
+  std::string path = TempPath("journal");
+  {
+    std::ofstream out(path);
+    out << "begin\nnot_an_update\ncommit\n";
+  }
+  auto records = TransactionJournal::ReadAll(path, MakeSymbolTable());
+  EXPECT_FALSE(records.ok());
+}
+
+TEST_F(PersistenceTest, JournalLineOutsideRecordIsAnError) {
+  std::string path = TempPath("journal");
+  {
+    std::ofstream out(path);
+    out << "+a(1)\n";
+  }
+  auto records = TransactionJournal::ReadAll(path, MakeSymbolTable());
+  EXPECT_FALSE(records.ok());
+}
+
+constexpr char kRules[] = R"(
+  cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+  onboard: +emp(X) -> +active(X).
+)";
+
+TEST_F(PersistenceTest, ActiveDatabaseJournalRecovery) {
+  std::string journal_path = TempPath("journal");
+  std::string final_state;
+
+  {
+    // "Process 1": attach a journal and run some transactions.
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.AttachJournal(journal_path).ok());
+    EXPECT_TRUE(db.has_journal());
+
+    Transaction tx1 = db.Begin();
+    tx1.Insert("emp", {"ada"});
+    tx1.Insert("payroll", {"ada", "x"});
+    ASSERT_TRUE(std::move(tx1).Commit().ok());
+
+    Transaction tx2 = db.Begin();
+    tx2.Insert("emp", {"bob"});
+    ASSERT_TRUE(std::move(tx2).Commit().ok());
+
+    Transaction tx3 = db.Begin();
+    tx3.Delete("active", {"bob"});
+    ASSERT_TRUE(std::move(tx3).Commit().ok());
+
+    final_state = db.database().ToString();
+  }
+  {
+    // "Process 2": fresh instance, same rules, replay the journal.
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.RecoverFromJournal(journal_path).ok());
+    EXPECT_EQ(db.database().ToString(), final_state);
+    // And keep journaling from here.
+    ASSERT_TRUE(db.AttachJournal(journal_path).ok());
+    Transaction tx = db.Begin();
+    tx.Insert("emp", {"eve"});
+    ASSERT_TRUE(std::move(tx).Commit().ok());
+  }
+  {
+    // "Process 3": the journal now has four records.
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.RecoverFromJournal(journal_path).ok());
+    EXPECT_TRUE(db.Contains(
+        ParseGroundAtom("active(eve)", db.symbols()).value()));
+    EXPECT_NE(db.database().ToString(), final_state);
+  }
+}
+
+TEST_F(PersistenceTest, RecoverAfterAttachFails) {
+  ActiveDatabase db;
+  ASSERT_TRUE(db.AttachJournal(TempPath("journal")).ok());
+  EXPECT_EQ(db.RecoverFromJournal(TempPath("journal")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db.AttachJournal(TempPath("other")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, SnapshotSaveAndLoad) {
+  std::string snapshot_path = TempPath("snapshot.facts");
+  std::string state;
+  {
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.LoadFacts("emp(a). active(a). payroll(a, 100).").ok());
+    ASSERT_TRUE(db.Stabilize().ok());
+    ASSERT_TRUE(db.SaveSnapshot(snapshot_path).ok());
+    state = db.database().ToString();
+  }
+  {
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.LoadSnapshot(snapshot_path).ok());
+    EXPECT_EQ(db.database().ToString(), state);
+  }
+}
+
+TEST_F(PersistenceTest, SnapshotPlusJournalWorkflow) {
+  std::string snapshot_path = TempPath("snapshot.facts");
+  std::string journal_path = TempPath("journal");
+  std::string state_after_tx;
+  {
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.LoadFacts("emp(a). active(a).").ok());
+    ASSERT_TRUE(db.SaveSnapshot(snapshot_path).ok());
+    ASSERT_TRUE(db.AttachJournal(journal_path).ok());
+    Transaction tx = db.Begin();
+    tx.Insert("emp", {"b"});
+    ASSERT_TRUE(std::move(tx).Commit().ok());
+    state_after_tx = db.database().ToString();
+  }
+  {
+    ActiveDatabase db;
+    ASSERT_TRUE(db.LoadRules(kRules).ok());
+    ASSERT_TRUE(db.LoadSnapshot(snapshot_path).ok());
+    ASSERT_TRUE(db.RecoverFromJournal(journal_path).ok());
+    EXPECT_EQ(db.database().ToString(), state_after_tx);
+  }
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,78 @@
+#include "lang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace park {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  PrinterTest() : symbols_(MakeSymbolTable()) {}
+
+  std::string RoundTrip(std::string_view text) {
+    auto rule = ParseRule(text, symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    if (!rule.ok()) return "";
+    return RuleToString(*rule, *symbols_);
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+TEST_F(PrinterTest, CanonicalForms) {
+  EXPECT_EQ(RoundTrip("p->+q."), "p -> +q.");
+  EXPECT_EQ(RoundTrip("r1: p(X),!q(X)->-r(X)."),
+            "r1: p(X), !q(X) -> -r(X).");
+  EXPECT_EQ(RoundTrip("+e(X) , s(X)-> -t(X)."), "+e(X), s(X) -> -t(X).");
+  EXPECT_EQ(RoundTrip("->+q(b)."), "-> +q(b).");
+  EXPECT_EQ(RoundTrip("lab [prio=3]: p -> +q."), "lab [prio=3]: p -> +q.");
+  EXPECT_EQ(RoundTrip("[prio=2] p -> +q."), "[prio=2] p -> +q.");
+  EXPECT_EQ(RoundTrip("lab [prio=3, src=1]: p -> +q."),
+            "lab [prio=3, src=1]: p -> +q.");
+  EXPECT_EQ(RoundTrip("[src=7] p -> +q."), "[src=7] p -> +q.");
+}
+
+TEST_F(PrinterTest, TermRendering) {
+  EXPECT_EQ(RoundTrip("p(alice, X, 42, -1, \"s\") -> +q(X)."),
+            "p(alice, X, 42, -1, \"s\") -> +q(X).");
+}
+
+TEST_F(PrinterTest, NotKeywordNormalizesToBang) {
+  EXPECT_EQ(RoundTrip("p(X), not q(X) -> +r(X)."),
+            "p(X), !q(X) -> +r(X).");
+}
+
+TEST_F(PrinterTest, PrintedRuleReparsesIdentically) {
+  // Round-trip property: parse -> print -> parse -> print is a fixpoint.
+  const char* samples[] = {
+      "p -> +q.",
+      "r1: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).",
+      "r3: q(X, Y), q(X, Z), q(Z, Y) -> -q(X, Y).",
+      "+r(X), s(X) -> -s(X).",
+      "lab [prio=-7]: p(1, \"x\") -> +q(1).",
+      "-> -gone(a).",
+  };
+  for (const char* sample : samples) {
+    std::string once = RoundTrip(sample);
+    std::string twice = RoundTrip(once);
+    EXPECT_EQ(once, twice) << "sample: " << sample;
+  }
+}
+
+TEST_F(PrinterTest, ProgramToString) {
+  auto program = ParseProgram("a -> +b. r: b -> -a.", symbols_);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(ProgramToString(*program), "a -> +b.\nr: b -> -a.\n");
+}
+
+TEST_F(PrinterTest, AnonymousVariablePrinting) {
+  // Each `_` prints back as `_` (still parseable, stays anonymous).
+  std::string printed = RoundTrip("p(_, X) -> +q(X).");
+  EXPECT_EQ(printed, "p(_, X) -> +q(X).");
+  EXPECT_EQ(RoundTrip(printed), printed);
+}
+
+}  // namespace
+}  // namespace park

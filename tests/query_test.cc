@@ -1,0 +1,107 @@
+// The pattern-query API (lang/query.h).
+
+#include "lang/query.h"
+
+#include <gtest/gtest.h>
+
+#include "park/park.h"
+
+namespace park {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest()
+      : symbols_(MakeSymbolTable()),
+        db_(ParseDatabase(R"(
+              payroll(ada, 9000). payroll(bob, 6500). payroll(eve, 9000).
+              emp(ada). emp(bob). emp(eve).
+              edge(a, b). edge(b, b). edge(b, c).
+              flag.
+            )", symbols_).value()) {}
+
+  std::vector<std::string> Rows(std::string_view pattern) {
+    auto result = QueryDatabase(db_, pattern, symbols_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return {};
+    return result->ToStrings(*symbols_);
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+  Database db_;
+};
+
+TEST_F(QueryTest, AllVariables) {
+  EXPECT_EQ(Rows("payroll(X, S)"),
+            (std::vector<std::string>{"X=ada, S=9000", "X=bob, S=6500",
+                                      "X=eve, S=9000"}));
+}
+
+TEST_F(QueryTest, ConstantFilters) {
+  EXPECT_EQ(Rows("payroll(X, 9000)"),
+            (std::vector<std::string>{"X=ada", "X=eve"}));
+  EXPECT_EQ(Rows("payroll(bob, S)"),
+            (std::vector<std::string>{"S=6500"}));
+}
+
+TEST_F(QueryTest, GroundPatternActsAsExists) {
+  auto hit = QueryDatabase(db_, "payroll(ada, 9000)", symbols_);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->size(), 1u);
+  EXPECT_TRUE(hit->variable_names.empty());
+  auto miss = QueryDatabase(db_, "payroll(ada, 1)", symbols_);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+}
+
+TEST_F(QueryTest, RepeatedVariables) {
+  EXPECT_EQ(Rows("edge(X, X)"), (std::vector<std::string>{"X=b"}));
+}
+
+TEST_F(QueryTest, AnonymousVariablesNotReported) {
+  auto result = QueryDatabase(db_, "edge(X, _)", symbols_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->variable_names, (std::vector<std::string>{"X"}));
+  // edge(a,b), edge(b,b), edge(b,c) -> X ∈ {a, b} after dedup.
+  EXPECT_EQ(result->ToStrings(*symbols_),
+            (std::vector<std::string>{"X=a", "X=b"}));
+}
+
+TEST_F(QueryTest, ZeroAryPredicate) {
+  auto result = QueryDatabase(db_, "flag", symbols_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST_F(QueryTest, UnknownPredicateIsEmptyNotError) {
+  auto result = QueryDatabase(db_, "never(X)", symbols_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(QueryTest, ParseErrorsAreReported) {
+  EXPECT_FALSE(QueryDatabase(db_, "payroll(X,", symbols_).ok());
+  EXPECT_FALSE(QueryDatabase(db_, "", symbols_).ok());
+  EXPECT_FALSE(QueryDatabase(db_, "p(X) q(X)", symbols_).ok());
+}
+
+TEST_F(QueryTest, DatabaseMatchesHelper) {
+  EXPECT_TRUE(DatabaseMatches(db_, "emp(ada)", symbols_).value());
+  EXPECT_TRUE(DatabaseMatches(db_, "payroll(_, 9000)", symbols_).value());
+  EXPECT_FALSE(DatabaseMatches(db_, "emp(zed)", symbols_).value());
+}
+
+TEST_F(QueryTest, QueryAfterParkRun) {
+  auto program = ParseProgram(
+      "emp(X), !payroll(X, 9000) -> +underpaid(X).", symbols_);
+  ASSERT_TRUE(program.ok());
+  auto result = Park(*program, db_);
+  ASSERT_TRUE(result.ok());
+  auto rows = QueryDatabase(result->database, "underpaid(X)", symbols_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ToStrings(*symbols_),
+            (std::vector<std::string>{"X=bob"}));
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,139 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace park {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple{Value::Int(a), Value::Int(b)}; }
+
+TEST(RelationTest, InsertContainsErase) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(T2(1, 2)));
+  EXPECT_FALSE(rel.Insert(T2(1, 2)));  // duplicate
+  EXPECT_TRUE(rel.Contains(T2(1, 2)));
+  EXPECT_FALSE(rel.Contains(T2(2, 1)));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Erase(T2(1, 2)));
+  EXPECT_FALSE(rel.Erase(T2(1, 2)));
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(RelationTest, ForEachVisitsAll) {
+  Relation rel(2);
+  for (int i = 0; i < 10; ++i) rel.Insert(T2(i, i * i));
+  int count = 0;
+  rel.ForEach([&](const Tuple& t) {
+    EXPECT_EQ(t[1].int_value(), t[0].int_value() * t[0].int_value());
+    ++count;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(RelationTest, MatchingUnbound) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.Insert(T2(3, 4));
+  int count = 0;
+  rel.ForEachMatching({std::nullopt, std::nullopt},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(RelationTest, MatchingFirstColumnBound) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.Insert(T2(1, 3));
+  rel.Insert(T2(2, 3));
+  std::set<int64_t> seconds;
+  rel.ForEachMatching({Value::Int(1), std::nullopt}, [&](const Tuple& t) {
+    seconds.insert(t[1].int_value());
+  });
+  EXPECT_EQ(seconds, (std::set<int64_t>{2, 3}));
+}
+
+TEST(RelationTest, MatchingSecondColumnBound) {
+  Relation rel(2);
+  rel.Insert(T2(1, 3));
+  rel.Insert(T2(2, 3));
+  rel.Insert(T2(2, 4));
+  int count = 0;
+  rel.ForEachMatching({std::nullopt, Value::Int(3)},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(RelationTest, MatchingAllBoundIsExactLookup) {
+  Relation rel(2);
+  rel.Insert(T2(5, 6));
+  int count = 0;
+  rel.ForEachMatching({Value::Int(5), Value::Int(6)},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);
+  rel.ForEachMatching({Value::Int(5), Value::Int(7)},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);  // no extra hit
+}
+
+TEST(RelationTest, IndexStaysCoherentAcrossMutation) {
+  Relation rel(2);
+  rel.Insert(T2(1, 1));
+  // Force index creation on column 0.
+  int count = 0;
+  rel.ForEachMatching({Value::Int(1), std::nullopt},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);
+  // Mutate after the index exists; the index must track it.
+  rel.Insert(T2(1, 2));
+  rel.Erase(T2(1, 1));
+  count = 0;
+  rel.ForEachMatching({Value::Int(1), std::nullopt}, [&](const Tuple& t) {
+    EXPECT_EQ(t[1].int_value(), 2);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert(Tuple{}));
+  EXPECT_FALSE(rel.Insert(Tuple{}));
+  EXPECT_TRUE(rel.Contains(Tuple{}));
+  int count = 0;
+  rel.ForEachMatching({}, [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(RelationTest, CloneIsDeepAndIndexFree) {
+  Relation rel(1);
+  rel.Insert(Tuple{Value::Int(1)});
+  Relation copy = rel.Clone();
+  copy.Insert(Tuple{Value::Int(2)});
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+TEST(RelationTest, SortedTuples) {
+  Relation rel(1);
+  rel.Insert(Tuple{Value::Int(3)});
+  rel.Insert(Tuple{Value::Int(1)});
+  rel.Insert(Tuple{Value::Int(2)});
+  std::vector<Tuple> sorted = rel.SortedTuples();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0][0].int_value(), 1);
+  EXPECT_EQ(sorted[2][0].int_value(), 3);
+}
+
+TEST(RelationTest, LargeMatchViaIndex) {
+  Relation rel(2);
+  for (int i = 0; i < 1000; ++i) rel.Insert(T2(i % 10, i));
+  int count = 0;
+  rel.ForEachMatching({Value::Int(7), std::nullopt},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,127 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace park {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "invalid argument: bad rule");
+}
+
+TEST(StatusTest, OkConstructorDropsMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = NotFoundError("relation emp");
+  Status wrapped = s.WithContext("loading facts");
+  EXPECT_EQ(wrapped.code(), StatusCode::kNotFound);
+  EXPECT_EQ(wrapped.message(), "loading facts: relation emp");
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Half(int n) {
+  if (n % 2 != 0) return InvalidArgumentError("odd");
+  return n / 2;
+}
+
+Result<int> Quarter(int n) {
+  PARK_ASSIGN_OR_RETURN(int half, Half(n));
+  PARK_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+Status CheckEven(int n) {
+  PARK_RETURN_IF_ERROR(Half(n).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto inner_fail = Quarter(6);  // 6/2=3, 3 is odd
+  EXPECT_FALSE(inner_fail.ok());
+  EXPECT_EQ(inner_fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAborted), "aborted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource exhausted");
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,137 @@
+// ParkStepper: step-by-step Δ transitions agree with the batch evaluator.
+
+#include "core/stepper.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workload/conflict_gen.h"
+
+namespace park {
+namespace {
+
+using ::park::testing_util::MustParseDatabase;
+using ::park::testing_util::MustParseProgram;
+
+TEST(StepperTest, WalksTheSection5Example) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(
+      "r1: p -> +a. r2: p -> +q. r3: a -> +b. r4: a -> -q. r5: b -> +q.",
+      symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkStepper stepper(program, db);
+
+  // Step 1: Γ adds +a, +q.
+  auto s1 = stepper.Step();
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->kind, StepOutcome::Kind::kGamma);
+  EXPECT_EQ(s1->new_marks, 2u);
+  EXPECT_EQ(stepper.interpretation().ToString(), "{p, +a, +q}");
+
+  // Step 2: the q conflict; r2 blocked, restart.
+  auto s2 = stepper.Step();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->kind, StepOutcome::Kind::kResolution);
+  EXPECT_EQ(s2->newly_blocked, 1u);
+  ASSERT_EQ(s2->conflicts.size(), 1u);
+  EXPECT_NE(s2->conflicts[0].find("q:"), std::string::npos);
+  EXPECT_EQ(stepper.interpretation().ToString(), "{p}");
+
+  // Continue to completion.
+  auto final_db = stepper.Finish();
+  ASSERT_TRUE(final_db.ok());
+  EXPECT_EQ(final_db->ToString(), "{a, b, p}");
+  EXPECT_TRUE(stepper.done());
+  EXPECT_EQ(stepper.stats().restarts, 2u);
+}
+
+TEST(StepperTest, StepAfterFixpointIsFixpoint) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +q.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkStepper stepper(program, db);
+  ASSERT_TRUE(stepper.Step().ok());   // gamma
+  auto fix = stepper.Step();          // fixpoint
+  ASSERT_TRUE(fix.ok());
+  EXPECT_EQ(fix->kind, StepOutcome::Kind::kFixpoint);
+  EXPECT_TRUE(stepper.done());
+  auto again = stepper.Step();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->kind, StepOutcome::Kind::kFixpoint);
+}
+
+TEST(StepperTest, SnapshotsGrowPerTheorem41) {
+  Workload w = MakeConflictPairsWorkload(20, 0.4, 7);
+  ParkStepper stepper(w.program, w.database);
+  BiStructureSnapshot previous = stepper.Snapshot();
+  while (!stepper.done()) {
+    ASSERT_TRUE(stepper.Step().ok());
+    BiStructureSnapshot current = stepper.Snapshot();
+    EXPECT_TRUE(BiStructureLeq(previous, current));
+    previous = current;
+  }
+}
+
+TEST(StepperTest, FinishAgreesWithBatchEvaluator) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string rules;
+    std::string facts;
+    auto atom = [](int i) { return "a" + std::to_string(i); };
+    for (int i = 0; i < 8; ++i) {
+      if (rng.Bernoulli(0.5)) facts += atom(i) + ". ";
+    }
+    for (int r = 0; r < 14; ++r) {
+      rules += atom(static_cast<int>(rng.UniformInt(0, 7)));
+      rules += rng.Bernoulli(0.5) ? " -> +" : " -> -";
+      rules += atom(static_cast<int>(rng.UniformInt(0, 7)));
+      rules += ".\n";
+    }
+    auto symbols = MakeSymbolTable();
+    Program program = MustParseProgram(rules, symbols);
+    Database db = MustParseDatabase(facts, symbols);
+
+    auto batch = Park(program, db);
+    ASSERT_TRUE(batch.ok());
+    ParkStepper stepper(program, db);
+    auto stepped = stepper.Finish();
+    ASSERT_TRUE(stepped.ok());
+    EXPECT_TRUE(batch->database.SameAtoms(*stepped))
+        << "trial " << trial << ": " << batch->database.ToString()
+        << " vs " << stepped->ToString();
+    EXPECT_EQ(batch->stats.restarts, stepper.stats().restarts);
+    EXPECT_EQ(batch->stats.gamma_steps, stepper.stats().gamma_steps);
+  }
+}
+
+TEST(StepperTest, ErrorsMatchBatchSemantics) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +a. p -> -a.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkOptions options;
+  options.policy = MakeSpecificityPolicy();  // abstains on this tie
+  ParkStepper stepper(program, db, options);
+  auto outcome = stepper.Step();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kAborted);
+}
+
+TEST(StepperTest, MaxStepsGuard) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("a0 -> +a1. a1 -> +a2. a2 -> +a3.",
+                                     symbols);
+  Database db = MustParseDatabase("a0.", symbols);
+  ParkOptions options;
+  options.max_steps = 2;
+  ParkStepper stepper(program, db, options);
+  ASSERT_TRUE(stepper.Step().ok());
+  ASSERT_TRUE(stepper.Step().ok());
+  auto third = stepper.Step();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace park

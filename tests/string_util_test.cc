@@ -1,0 +1,72 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace park {
+namespace {
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, EmptyFields) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::string text = "p(a)|q(b)|r(c)";
+  EXPECT_EQ(Join(Split(text, '|'), "|"), text);
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nx y\r "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nothing"), "nothing");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("payroll", "pay"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("pay", "payroll"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("-17"), -17);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), 9223372036854775807LL);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_EQ(ParseInt64(""), std::nullopt);
+  EXPECT_EQ(ParseInt64("12x"), std::nullopt);
+  EXPECT_EQ(ParseInt64("x12"), std::nullopt);
+  EXPECT_EQ(ParseInt64("99999999999999999999999"), std::nullopt);
+}
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("%d:%s", 7, "x"), "7:x");
+  EXPECT_EQ(StrFormat("%.2f", 0.5), "0.50");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(FormatWithSeparatorsTest, Basic) {
+  EXPECT_EQ(FormatWithSeparators(0), "0");
+  EXPECT_EQ(FormatWithSeparators(999), "999");
+  EXPECT_EQ(FormatWithSeparators(1000), "1_000");
+  EXPECT_EQ(FormatWithSeparators(1234567), "1_234_567");
+  EXPECT_EQ(FormatWithSeparators(-1234), "-1_234");
+}
+
+}  // namespace
+}  // namespace park
