@@ -1,0 +1,117 @@
+// D — durability cost: commit throughput per JournalSyncMode (none /
+// flush / fsync-per-commit), the recovery time of a journal-heavy
+// directory, and how checkpointing bounds it. Quantifies the group-commit
+// cost the sync-mode knob trades against crash safety (docs/DURABILITY.md).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "park/park.h"
+
+namespace park {
+namespace {
+
+constexpr char kRules[] = R"(
+  onboard: +emp(X) -> +active(X).
+  cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+)";
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      std::filesystem::temp_directory_path() / ("park_bench_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ActiveDatabase::OpenParams Params(JournalSyncMode mode) {
+  ActiveDatabase::OpenParams params;
+  params.rules = kRules;
+  params.sync_mode = mode;
+  return params;
+}
+
+/// Commits per second under each sync mode; arg 0 selects the mode.
+void BM_CommitPerSyncMode(benchmark::State& state) {
+  const auto mode = static_cast<JournalSyncMode>(state.range(0));
+  const std::string dir = FreshDir("sync_mode");
+  int i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    auto db = ActiveDatabase::Open(dir, Params(mode));
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    state.ResumeTiming();
+    for (int tx_index = 0; tx_index < 32; ++tx_index) {
+      Transaction tx = db->Begin();
+      tx.Insert("emp", {"e" + std::to_string(i++)});
+      auto report = std::move(tx).Commit();
+      if (!report.ok()) {
+        state.SkipWithError(report.status().ToString().c_str());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CommitPerSyncMode)
+    ->Arg(static_cast<int>(JournalSyncMode::kNone))
+    ->Arg(static_cast<int>(JournalSyncMode::kFlush))
+    ->Arg(static_cast<int>(JournalSyncMode::kFsync))
+    ->Unit(benchmark::kMillisecond);
+
+/// Recovery (Open with replay) as the un-checkpointed journal grows.
+void BM_RecoveryAtJournalLength(benchmark::State& state) {
+  const int commits = static_cast<int>(state.range(0));
+  const std::string dir = FreshDir("recovery");
+  {
+    auto db = ActiveDatabase::Open(dir, Params(JournalSyncMode::kNone));
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    for (int i = 0; i < commits; ++i) {
+      Transaction tx = db->Begin();
+      tx.Insert("emp", {"e" + std::to_string(i)});
+      (void)std::move(tx).Commit();
+    }
+  }
+  for (auto _ : state) {
+    auto db = ActiveDatabase::Open(dir, Params(JournalSyncMode::kNone));
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    benchmark::DoNotOptimize(db->database());
+  }
+  state.counters["journal_records"] = static_cast<double>(commits);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryAtJournalLength)->RangeMultiplier(4)->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same history length, but checkpointed: recovery loads the snapshot
+/// instead of replaying — the flat line that justifies Checkpoint().
+void BM_RecoveryAfterCheckpoint(benchmark::State& state) {
+  const int commits = static_cast<int>(state.range(0));
+  const std::string dir = FreshDir("checkpointed");
+  {
+    auto db = ActiveDatabase::Open(dir, Params(JournalSyncMode::kNone));
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    for (int i = 0; i < commits; ++i) {
+      Transaction tx = db->Begin();
+      tx.Insert("emp", {"e" + std::to_string(i)});
+      (void)std::move(tx).Commit();
+    }
+    if (!db->Checkpoint().ok()) state.SkipWithError("checkpoint failed");
+  }
+  for (auto _ : state) {
+    auto db = ActiveDatabase::Open(dir, Params(JournalSyncMode::kNone));
+    if (!db.ok()) state.SkipWithError(db.status().ToString().c_str());
+    benchmark::DoNotOptimize(db->database());
+  }
+  state.counters["snapshot_atoms"] = static_cast<double>(2 * commits);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryAfterCheckpoint)->RangeMultiplier(4)->Range(16, 1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace park
+
+BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 //   --policy NAME      inertia (default) | priority | specificity |
 //                      insert | delete | random:<seed> | interactive
 //   --block-first      resolve one conflict per restart (§4.2 refinement)
+//   --max-steps N      abort evaluation after N Γ steps (default 1000000)
+//   --deadline-ms N    abort evaluation after N wall-clock milliseconds
 //   --trace            print the full fixpoint trace
 //   --provenance       print which rule instances derived each change
 //   --explain          print the parsed program, analysis, and body plans
@@ -103,8 +105,8 @@ void PrintExplain(const park::Program& program) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --rules FILE --facts FILE [--update ±atom]...\n"
-               "          [--policy NAME] [--block-first] [--trace]"
-               " [--explain]\n",
+               "          [--policy NAME] [--block-first] [--max-steps N]\n"
+               "          [--deadline-ms N] [--trace] [--explain]\n",
                argv0);
   return 1;
 }
@@ -120,6 +122,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool explain = false;
   bool provenance = false;
+  park::ParkOptions options;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -144,6 +147,26 @@ int main(int argc, char** argv) {
       policy_name = v;
     } else if (arg == "--block-first") {
       block_first = true;
+    } else if (arg == "--max-steps") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto steps = park::ParseInt64(v);
+      if (!steps.has_value() || *steps <= 0) {
+        std::fprintf(stderr, "--max-steps wants a positive integer, got"
+                             " '%s'\n", v);
+        return 1;
+      }
+      options.max_steps = static_cast<size_t>(*steps);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto deadline = park::ParseInt64(v);
+      if (!deadline.has_value() || *deadline <= 0) {
+        std::fprintf(stderr, "--deadline-ms wants a positive integer, got"
+                             " '%s'\n", v);
+        return 1;
+      }
+      options.deadline_ms = *deadline;
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--provenance") {
@@ -200,7 +223,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  park::ParkOptions options;
   options.policy = *policy;
   options.trace_level =
       trace ? park::TraceLevel::kFull : park::TraceLevel::kNone;

@@ -1,12 +1,28 @@
 #include "core/park_evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "util/string_util.h"
 
 namespace park {
 namespace {
+
+/// Checks the optional wall-clock budget. `start` is the evaluation's
+/// entry time; returns non-OK once the budget is spent.
+Status CheckDeadline(const ParkOptions& options,
+                     std::chrono::steady_clock::time_point start) {
+  if (options.deadline_ms <= 0) return Status::OK();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  if (elapsed < options.deadline_ms) return Status::OK();
+  return ResourceExhaustedError(StrFormat(
+      "PARK evaluation exceeded deadline_ms=%lld (elapsed %lld ms)",
+      static_cast<long long>(options.deadline_ms),
+      static_cast<long long>(elapsed)));
+}
 
 /// Renders I ∪ {Γ-derived marks} — the inconsistent interpretation the
 /// paper prints as a numbered step before resolving, never applied to I.
@@ -115,6 +131,7 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   DeltaState delta;
   DeltaAtoms delta_atoms;
   const GammaMode mode = options.gamma_mode;
+  const auto start_time = std::chrono::steady_clock::now();
   int step = 0;
 
   trace.RecordInitial(interp, step);
@@ -124,6 +141,7 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       return ResourceExhaustedError(StrFormat(
           "PARK evaluation exceeded max_steps=%zu", options.max_steps));
     }
+    PARK_RETURN_IF_ERROR(CheckDeadline(options, start_time));
     GammaResult gamma;
     switch (mode) {
       case GammaMode::kNaive:

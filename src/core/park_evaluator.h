@@ -68,6 +68,12 @@ struct ParkOptions {
   /// returns kResourceExhausted. PARK terminates on every input, so this
   /// only guards against misconfigured gigantic workloads.
   size_t max_steps = 1'000'000;
+  /// Wall-clock budget for one evaluation in milliseconds; 0 means
+  /// unlimited. Like max_steps this is a graceful-degradation guard: a
+  /// misconfigured gigantic workload returns kResourceExhausted instead
+  /// of running unbounded. Checked once per Γ step, so very large single
+  /// steps can overshoot the budget before being caught.
+  int64_t deadline_ms = 0;
   TraceLevel trace_level = TraceLevel::kNone;
   /// When set, ParkResult::provenance explains every surviving marked
   /// atom: which rule groundings derived it in the final round.

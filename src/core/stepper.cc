@@ -10,7 +10,8 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
       db_(db),
       options_(std::move(options)),
       policy_(options_.policy ? options_.policy : MakeInertiaPolicy()),
-      interp_(&db) {
+      interp_(&db),
+      start_time_(std::chrono::steady_clock::now()) {
   PARK_CHECK(program.symbols() == db.symbols())
       << "program and database must share a symbol table";
 }
@@ -20,6 +21,17 @@ Result<StepOutcome> ParkStepper::Step() {
   if (steps_taken_ >= options_.max_steps) {
     return ResourceExhaustedError(StrFormat(
         "PARK evaluation exceeded max_steps=%zu", options_.max_steps));
+  }
+  if (options_.deadline_ms > 0) {
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start_time_)
+                       .count();
+    if (elapsed >= options_.deadline_ms) {
+      return ResourceExhaustedError(StrFormat(
+          "PARK evaluation exceeded deadline_ms=%lld (elapsed %lld ms)",
+          static_cast<long long>(options_.deadline_ms),
+          static_cast<long long>(elapsed)));
+    }
   }
   ++steps_taken_;
 

@@ -9,6 +9,8 @@
 #ifndef PARK_CORE_STEPPER_H_
 #define PARK_CORE_STEPPER_H_
 
+#include <chrono>
+
 #include "core/park_evaluator.h"
 
 namespace park {
@@ -74,6 +76,9 @@ class ParkStepper {
   DeltaAtoms delta_atoms_;
   ParkStats stats_;
   size_t steps_taken_ = 0;
+  /// Construction time, against which options_.deadline_ms is checked
+  /// (the budget covers the whole stepped evaluation, like Park()'s).
+  std::chrono::steady_clock::time_point start_time_;
   bool done_ = false;
 };
 

@@ -2,8 +2,27 @@
 
 #include "lang/io.h"
 #include "lang/parser.h"
+#include "util/logging.h"
+#include "util/string_util.h"
 
 namespace park {
+
+namespace {
+
+// On-disk layout of a directory-mode database (see docs/DURABILITY.md).
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.facts";
+}
+std::string JournalPath(const std::string& dir) {
+  return dir + "/journal.log";
+}
+std::string CheckpointMarkerPath(const std::string& dir) {
+  return dir + "/checkpoint.pending";
+}
+
+constexpr char kSnapshotHeaderPrefix[] = "# park-snapshot last_seq=";
+
+}  // namespace
 
 ActiveDatabase::ActiveDatabase(std::shared_ptr<SymbolTable> symbols)
     : database_(symbols ? symbols : MakeSymbolTable()),
@@ -69,12 +88,189 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
   return report;
 }
 
-Status ActiveDatabase::AttachJournal(const std::string& path) {
+// --- crash-safe durability (directory mode) ------------------------------
+
+Result<uint64_t> ActiveDatabase::LoadSnapshotContents(
+    const std::string& contents, const std::string& path_for_errors) {
+  uint64_t snapshot_seq = 0;
+  if (StartsWith(contents, kSnapshotHeaderPrefix)) {
+    size_t eol = contents.find('\n');
+    std::string_view value(contents);
+    value.remove_prefix(sizeof(kSnapshotHeaderPrefix) - 1);
+    if (eol != std::string::npos) {
+      value = value.substr(0, eol - (sizeof(kSnapshotHeaderPrefix) - 1));
+    }
+    auto parsed = ParseInt64(Trim(value));
+    if (!parsed.has_value() || *parsed < 0) {
+      return DataLossError(StrFormat(
+          "%s: malformed snapshot header \"%.*s\"", path_for_errors.c_str(),
+          static_cast<int>(value.size()), value.data()));
+    }
+    snapshot_seq = static_cast<uint64_t>(*parsed);
+  }
+  // The header is a `#` comment, which the fact parser skips, so the
+  // whole contents parse as one fact file.
+  Status status = ParseFactsInto(contents, database_);
+  if (!status.ok()) {
+    return status.WithContext(
+        StrFormat("loading snapshot %s", path_for_errors.c_str()));
+  }
+  return snapshot_seq;
+}
+
+Result<ActiveDatabase> ActiveDatabase::Open(const std::string& dir,
+                                            OpenParams params) {
+  Env* env = params.env != nullptr ? params.env : Env::Default();
+
+  ActiveDatabase db(params.symbols);
+  if (!params.rules.empty()) {
+    Status status = db.LoadRules(params.rules);
+    if (!status.ok()) return status.WithContext("installing rules");
+  }
+  if (params.policy != nullptr) db.SetPolicy(std::move(params.policy));
+
+  Status status = env->CreateDir(dir);
+  if (!status.ok()) {
+    return status.WithContext("creating database directory");
+  }
+
+  const std::string snapshot_path = SnapshotPath(dir);
+  const std::string journal_path = JournalPath(dir);
+  const std::string marker_path = CheckpointMarkerPath(dir);
+
+  // 1. Sweep up after an interrupted Checkpoint. The sequence numbers in
+  //    the snapshot and journal make any half-finished checkpoint state
+  //    consistent; the marker and temp file are just debris.
+  if (env->FileExists(marker_path)) {
+    PARK_LOG(kWarning) << "database " << dir
+                       << ": previous checkpoint was interrupted; "
+                          "recovering from snapshot + journal";
+    status = env->RemoveFile(marker_path);
+    if (!status.ok()) {
+      return status.WithContext("removing stale checkpoint marker");
+    }
+  }
+  status = env->RemoveFile(snapshot_path + ".tmp");
+  if (!status.ok()) {
+    return status.WithContext("removing stale snapshot temp file");
+  }
+
+  // 2. Load the snapshot, if any, and its last_seq watermark.
+  uint64_t snapshot_seq = 0;
+  auto snapshot = env->ReadFileToString(snapshot_path);
+  if (snapshot.ok()) {
+    PARK_ASSIGN_OR_RETURN(
+        snapshot_seq, db.LoadSnapshotContents(*snapshot, snapshot_path));
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status().WithContext("reading snapshot");
+  }
+
+  // 3. Replay journal records newer than the snapshot through the normal
+  //    commit path. Records at or below the watermark are already folded
+  //    into the snapshot (a checkpoint interrupted before truncation
+  //    leaves exactly such records behind).
+  PARK_ASSIGN_OR_RETURN(
+      std::vector<JournalRecord> records,
+      TransactionJournal::ReadRecords(journal_path, db.symbols(), env));
+  uint64_t last_seq = snapshot_seq;
+  for (const JournalRecord& record : records) {
+    if (record.seq <= snapshot_seq) continue;
+    auto report = db.CommitUpdates(record.updates);
+    if (!report.ok()) {
+      return report.status().WithContext(StrFormat(
+          "replaying journal record %llu",
+          static_cast<unsigned long long>(record.seq)));
+    }
+    last_seq = record.seq;
+  }
+
+  // 4. Attach the journal for new commits, numbering from where the
+  //    recovered history ends.
+  JournalOptions journal_options;
+  journal_options.env = env;
+  journal_options.sync_mode = params.sync_mode;
+  journal_options.first_seq = last_seq + 1;
+  PARK_ASSIGN_OR_RETURN(TransactionJournal journal,
+                        TransactionJournal::Open(journal_path,
+                                                 journal_options));
+  db.journal_.emplace(std::move(journal));
+  db.dir_ = dir;
+  db.env_ = env;
+  db.sync_mode_ = params.sync_mode;
+  return db;
+}
+
+Status ActiveDatabase::Checkpoint() {
+  if (dir_.empty() || !journal_.has_value()) {
+    return FailedPreconditionError(
+        "Checkpoint requires a database opened with ActiveDatabase::Open");
+  }
+  Env* env = env_;
+  const std::string snapshot_path = SnapshotPath(dir_);
+  const std::string journal_path = JournalPath(dir_);
+  const std::string marker_path = CheckpointMarkerPath(dir_);
+  const uint64_t seq = journal_->last_seq();
+
+  // 1. Drop a marker so an interrupted checkpoint is visible (and its
+  //    debris swept) on the next Open. Written directly, not atomically:
+  //    a torn marker is still a marker.
+  {
+    PARK_ASSIGN_OR_RETURN(
+        std::unique_ptr<WritableFile> marker,
+        env->NewWritableFile(marker_path, Env::WriteMode::kTruncate));
+    PARK_RETURN_IF_ERROR(marker->Append(StrFormat(
+        "last_seq=%llu\n", static_cast<unsigned long long>(seq))));
+    PARK_RETURN_IF_ERROR(marker->Sync());
+    PARK_RETURN_IF_ERROR(marker->Close());
+  }
+
+  // 2. Write the snapshot with the watermark header, fsynced, then
+  //    atomically renamed into place. From the moment the rename lands,
+  //    recovery skips journal records <= seq, so the journal can be
+  //    truncated (or left behind by a crash) without double-applying.
+  std::string contents = StrFormat(
+      "%s%llu\n", kSnapshotHeaderPrefix,
+      static_cast<unsigned long long>(seq));
+  for (const std::string& atom : database_.SortedAtomStrings()) {
+    contents += atom;
+    contents += ".\n";
+  }
+  PARK_RETURN_IF_ERROR(
+      AtomicWriteFile(env, contents, snapshot_path, /*sync=*/true)
+          .WithContext("writing checkpoint snapshot"));
+
+  // 3. Truncate the journal: close the handle, remove the file, reopen
+  //    numbering from seq + 1. If the removal fails the old records
+  //    simply stay behind — the watermark already makes them inert.
+  journal_.reset();
+  Status removed = env->RemoveFile(journal_path);
+  if (!removed.ok()) {
+    PARK_LOG(kWarning) << "checkpoint: could not truncate journal "
+                       << journal_path << ": " << removed.ToString();
+  }
+  JournalOptions journal_options;
+  journal_options.env = env;
+  journal_options.sync_mode = sync_mode_;
+  journal_options.first_seq = seq + 1;
+  PARK_ASSIGN_OR_RETURN(
+      TransactionJournal journal,
+      TransactionJournal::Open(journal_path, journal_options));
+  journal_.emplace(std::move(journal));
+
+  // 4. Checkpoint complete; retire the marker.
+  return env->RemoveFile(marker_path)
+      .WithContext("removing checkpoint marker");
+}
+
+// --- durability (single-file mode) ---------------------------------------
+
+Status ActiveDatabase::AttachJournal(const std::string& path,
+                                     const JournalOptions& options) {
   if (journal_.has_value()) {
     return FailedPreconditionError("a journal is already attached");
   }
   PARK_ASSIGN_OR_RETURN(TransactionJournal journal,
-                        TransactionJournal::Open(path));
+                        TransactionJournal::Open(path, options));
   journal_.emplace(std::move(journal));
   return Status::OK();
 }

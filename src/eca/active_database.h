@@ -12,6 +12,13 @@
 //   auto tx = db.Begin();
 //   tx.Insert("emp", {"jane"});
 //   auto report = std::move(tx).Commit();
+//
+// Durable example (crash-safe; see docs/DURABILITY.md):
+//   park::ActiveDatabase::OpenParams params;
+//   params.rules = "...";
+//   auto db = park::ActiveDatabase::Open("/var/lib/park/payroll", params);
+//   ... std::move(tx).Commit() ...   // journaled
+//   db->Checkpoint();                // snapshot + journal truncation
 
 #ifndef PARK_ECA_ACTIVE_DATABASE_H_
 #define PARK_ECA_ACTIVE_DATABASE_H_
@@ -55,6 +62,7 @@ class ActiveDatabase {
   }
   void SetTraceLevel(TraceLevel level) { options_.trace_level = level; }
   const ParkOptions& options() const { return options_; }
+  ParkOptions& mutable_options() { return options_; }
 
   // --- data ---
 
@@ -82,12 +90,63 @@ class ActiveDatabase {
   /// database to a rule-consistent state.
   Result<CommitReport> Stabilize();
 
-  // --- durability ---
+  // --- crash-safe durability (directory mode) ---
+
+  /// Configuration for Open. The rules and policy must be the same on
+  /// every Open of a directory: journal replay re-runs PARK, and the
+  /// semantics' determinism (paper §3) only pins down the recovered state
+  /// when the program and SELECT policy match the original run.
+  struct OpenParams {
+    /// Program text installed before recovery (may be empty).
+    std::string rules;
+    /// SELECT policy; null means the principle of inertia.
+    PolicyPtr policy;
+    /// Symbol table to share; null creates a fresh one.
+    std::shared_ptr<SymbolTable> symbols;
+    /// Filesystem to use; null means Env::Default().
+    Env* env = nullptr;
+    /// Durability of each commit's journal record.
+    JournalSyncMode sync_mode = JournalSyncMode::kFsync;
+  };
+
+  /// Opens (or creates) the durable database living in directory `dir`:
+  /// loads the snapshot if one exists, replays every journal record newer
+  /// than the snapshot through the normal commit path, then attaches the
+  /// journal for new commits. Each failure point returns a typed Status
+  /// (kDataLoss for mid-journal corruption, kInternal for I/O damage,
+  /// parse errors verbatim); a torn journal tail is truncated and logged,
+  /// and artifacts of an interrupted Checkpoint are cleaned up.
+  static Result<ActiveDatabase> Open(const std::string& dir,
+                                     OpenParams params);
+  static Result<ActiveDatabase> Open(const std::string& dir) {
+    return Open(dir, OpenParams());
+  }
+
+  /// Writes the current instance as a snapshot and truncates the journal,
+  /// bounding recovery time. Crash-safe at every step: the snapshot
+  /// carries the sequence number of the last committed transaction, so
+  /// recovery never double-applies journal records older than the
+  /// snapshot, whichever of the two files a crash leaves behind.
+  /// Requires a database opened with Open().
+  Status Checkpoint();
+
+  /// Directory of a database opened with Open(); empty otherwise.
+  const std::string& dir() const { return dir_; }
+
+  /// Sequence number of the newest durable transaction (0 if none or no
+  /// journal is attached).
+  uint64_t durable_seq() const {
+    return journal_.has_value() ? journal_->last_seq() : 0;
+  }
+
+  // --- durability (single-file mode, no checkpointing) ---
 
   /// Attaches a redo journal: every subsequent successful commit is
-  /// appended to `path` (created if absent). Recovery order on restart:
-  /// LoadSnapshot (optional), RecoverFromJournal, then AttachJournal.
-  Status AttachJournal(const std::string& path);
+  /// appended to `path` (created if absent; a torn tail from a previous
+  /// crash is truncated away). Recovery order on restart: LoadSnapshot
+  /// (optional), RecoverFromJournal, then AttachJournal.
+  Status AttachJournal(const std::string& path,
+                       const JournalOptions& options = {});
   bool has_journal() const { return journal_.has_value(); }
 
   /// Replays every committed record of the journal at `path` through the
@@ -96,7 +155,8 @@ class ActiveDatabase {
   /// before AttachJournal; fails if a journal is already attached.
   Status RecoverFromJournal(const std::string& path);
 
-  /// Writes the current instance as a fact-file snapshot (atomic).
+  /// Writes the current instance as a fact-file snapshot (atomic and
+  /// fsynced before the rename).
   Status SaveSnapshot(const std::string& path) const;
 
   /// Bulk-loads a fact-file snapshot into the stored instance (no rules
@@ -109,10 +169,21 @@ class ActiveDatabase {
   /// Shared commit path: PARK(D, P, U) then swap in the result.
   Result<CommitReport> CommitUpdates(const UpdateSet& updates);
 
+  /// Parses snapshot contents: an optional "# park-snapshot last_seq=N"
+  /// header line followed by a fact file. Returns the header's sequence
+  /// number (0 when absent) after bulk-loading the facts.
+  Result<uint64_t> LoadSnapshotContents(const std::string& contents,
+                                        const std::string& path_for_errors);
+
   Database database_;
   Program program_;
   ParkOptions options_;
   std::optional<TransactionJournal> journal_;
+
+  // Directory mode (set by Open).
+  std::string dir_;
+  Env* env_ = nullptr;
+  JournalSyncMode sync_mode_ = JournalSyncMode::kFlush;
 };
 
 }  // namespace park

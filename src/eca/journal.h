@@ -1,36 +1,77 @@
-// TransactionJournal: an append-only, human-readable write-ahead log of
-// committed transactions, giving ActiveDatabase durability across process
-// restarts: snapshot + journal replay reconstructs the exact state,
-// because the PARK semantics is deterministic (paper §3, "Unambiguous
-// Semantics") given the same policy.
+// TransactionJournal: an append-only, checksummed, human-readable
+// write-ahead log of committed transactions, giving ActiveDatabase
+// durability across process restarts: snapshot + journal replay
+// reconstructs the exact state, because the PARK semantics is
+// deterministic (paper §3, "Unambiguous Semantics") given the same policy.
 //
 // Record format (text, one update per line):
 //
-//   begin
+//   begin 7
 //   +q(b)
 //   -payroll(ada, 9000)
-//   commit
+//   commit 7 crc=1f2e3d4c
 //
-// A record is only acted on during recovery if its `commit` line made it
-// to disk; a torn trailing record (crash mid-append) is ignored.
+// `7` is the record's sequence number (strictly consecutive within a
+// journal; the first record of a journal may start anywhere, which is how
+// a checkpoint-truncated journal resumes). The footer's crc is the
+// CRC-32 of "<seq>\n" plus every update line including its newline, so a
+// record is accepted during recovery only if its commit footer made it to
+// disk intact.
+//
+// Recovery semantics (see docs/DURABILITY.md):
+//   - a torn or corrupt TAIL (crash mid-append) is dropped and truncated;
+//   - corruption in the MIDDLE of the journal (valid records follow the
+//     damage) is kDataLoss — committed transactions would be lost, so
+//     recovery refuses to guess;
+//   - a missing journal file is a fresh journal; any other read failure
+//     (permissions, path is a directory) is a real error, never silently
+//     treated as empty.
 
 #ifndef PARK_ECA_JOURNAL_H_
 #define PARK_ECA_JOURNAL_H_
 
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "eca/update.h"
+#include "util/env.h"
 
 namespace park {
+
+/// How hard Append pushes each record toward the platter.
+enum class JournalSyncMode {
+  kNone,   // leave the record in OS/user buffers (fastest, weakest)
+  kFlush,  // flush to the OS: survives process crash, not power loss
+  kFsync,  // fsync per commit: survives power loss (group-commit cost)
+};
+
+struct JournalOptions {
+  /// Filesystem to use; null means Env::Default().
+  Env* env = nullptr;
+  JournalSyncMode sync_mode = JournalSyncMode::kFlush;
+  /// Sequence number of the first record if the journal is empty or
+  /// missing (an existing journal resumes after its last record). A
+  /// checkpoint at sequence S reopens the journal with first_seq = S + 1.
+  uint64_t first_seq = 1;
+};
+
+/// One committed record as read back from disk.
+struct JournalRecord {
+  uint64_t seq = 0;
+  UpdateSet updates;
+};
 
 /// Append handle for a journal file. Move-only; closes on destruction.
 class TransactionJournal {
  public:
-  /// Opens `path` for appending, creating it if absent.
-  static Result<TransactionJournal> Open(const std::string& path);
+  /// Opens `path` for appending, creating it if absent. An existing file
+  /// is scanned first: a torn tail is truncated away (logged), mid-file
+  /// corruption is kDataLoss, and appending resumes after the last valid
+  /// record's sequence number.
+  static Result<TransactionJournal> Open(const std::string& path,
+                                         JournalOptions options = {});
 
   TransactionJournal(TransactionJournal&& other) noexcept;
   TransactionJournal& operator=(TransactionJournal&& other) noexcept;
@@ -38,24 +79,56 @@ class TransactionJournal {
   TransactionJournal& operator=(const TransactionJournal&) = delete;
   ~TransactionJournal();
 
-  /// Appends one committed transaction record and flushes it to the OS.
+  /// Appends one committed transaction record and applies the configured
+  /// sync mode. On success last_seq() advances to the record's number.
   Status Append(const UpdateSet& updates, const SymbolTable& symbols);
 
   const std::string& path() const { return path_; }
 
+  /// Sequence number of the newest durable record; first_seq - 1 when
+  /// the journal has none (so a checkpointed journal reports the
+  /// checkpoint's sequence).
+  uint64_t last_seq() const { return next_seq_ - 1; }
+
+  JournalSyncMode sync_mode() const { return options_.sync_mode; }
+
   /// Parses every complete record in `path`. A missing file yields an
-  /// empty list (a fresh journal); a torn trailing record is skipped; a
-  /// malformed line inside a committed record is an error.
+  /// empty list (a fresh journal); a torn or corrupt trailing record is
+  /// skipped (and reported via `torn_tail` when non-null); corruption
+  /// followed by further valid records is kDataLoss; an unreadable file
+  /// is an error, never an empty journal.
+  static Result<std::vector<JournalRecord>> ReadRecords(
+      const std::string& path,
+      const std::shared_ptr<SymbolTable>& symbols, Env* env = nullptr,
+      bool* torn_tail = nullptr);
+
+  /// ReadRecords with the sequence numbers stripped.
   static Result<std::vector<UpdateSet>> ReadAll(
       const std::string& path,
       const std::shared_ptr<SymbolTable>& symbols);
 
  private:
-  TransactionJournal(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  TransactionJournal(std::string path, JournalOptions options,
+                     std::unique_ptr<WritableFile> file, uint64_t next_seq,
+                     uint64_t durable_bytes)
+      : path_(std::move(path)), options_(options), file_(std::move(file)),
+        next_seq_(next_seq), durable_bytes_(durable_bytes) {}
+
+  /// Closes the current file handle, logging (not swallowing) a failed
+  /// final flush/close — used by the destructor and move-assignment,
+  /// which have no way to return the Status.
+  void CloseLogged();
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  JournalOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t next_seq_ = 1;
+  /// Bytes of complete records on disk — the truncation point that heals
+  /// the file after a failed (possibly torn) append.
+  uint64_t durable_bytes_ = 0;
+  /// Set when a failed append could not be healed by truncation; the
+  /// journal then refuses further appends (the file may be torn).
+  bool broken_ = false;
 };
 
 }  // namespace park

@@ -1,61 +1,38 @@
 #include "storage/io.h"
 
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
-
-#include "util/string_util.h"
+#include "util/env.h"
 
 namespace park {
 
 Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return NotFoundError(StrFormat("cannot open %s: %s", path.c_str(),
-                                   std::strerror(errno)));
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
-    return InternalError(StrFormat("read error on %s", path.c_str()));
-  }
-  return buffer.str();
+  return Env::Default()->ReadFileToString(path);
 }
 
 Status WriteStringToFile(const std::string& contents,
                          const std::string& path) {
-  std::string temp_path = path + ".tmp";
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return InternalError(StrFormat("cannot open %s for writing: %s",
-                                     temp_path.c_str(),
-                                     std::strerror(errno)));
-    }
-    out << contents;
-    out.flush();
-    if (!out) {
-      return InternalError(
-          StrFormat("write error on %s", temp_path.c_str()));
-    }
-  }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    return InternalError(StrFormat("rename %s -> %s failed: %s",
-                                   temp_path.c_str(), path.c_str(),
-                                   std::strerror(errno)));
-  }
-  return Status::OK();
+  return WriteStringToFile(contents, path, Env::Default(), /*sync=*/false);
 }
 
-Status WriteDatabaseFile(const Database& db, const std::string& path) {
+Status WriteStringToFile(const std::string& contents,
+                         const std::string& path, Env* env, bool sync) {
+  return AtomicWriteFile(env, contents, path, sync);
+}
+
+Status WriteDatabaseFile(const Database& db, const std::string& path,
+                         Env* env, bool sync) {
   std::string contents;
   for (const std::string& atom : db.SortedAtomStrings()) {
     contents += atom;
     contents += ".\n";
   }
-  return WriteStringToFile(contents, path);
+  return WriteStringToFile(contents, path, env, sync);
+}
+
+Status WriteDatabaseFile(const Database& db, const std::string& path) {
+  // Snapshots default to a durable write: the temp file is fsynced
+  // before the rename, so a crash leaves either the old or the new
+  // snapshot, never a torn or empty one.
+  return WriteDatabaseFile(db, path, Env::Default(), /*sync=*/true);
 }
 
 }  // namespace park

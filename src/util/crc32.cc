@@ -1,0 +1,32 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace park {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeCrc32Table();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  for (unsigned char byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace park

@@ -1,0 +1,186 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace park {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  Status (*make)(std::string) =
+      (err == ENOENT) ? NotFoundError : InternalError;
+  return make(StrFormat("%s %s: %s", op, path.c_str(),
+                        std::strerror(err)));
+}
+
+/// Unbuffered fd-backed writable file. Unbuffered (no stdio layer) so a
+/// fault-injecting wrapper sees every byte exactly once and a torn write
+/// lands exactly where the wrapper put it.
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return FailedPreconditionError("file is closed");
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_, errno);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    // Writes go straight to the OS; nothing is buffered here.
+    if (fd_ < 0) return FailedPreconditionError("file is closed");
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return FailedPreconditionError("file is closed");
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close", path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+    flags |= (mode == WriteMode::kTruncate) ? O_TRUNC : O_APPEND;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, fd));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string contents;
+    char buffer[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buffer, sizeof buffer);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // Read failures on an open file are damage, never "missing".
+        Status status = InternalError(StrFormat(
+            "read %s: %s", path.c_str(), std::strerror(errno)));
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      contents.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return contents;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat", path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from,
+                    const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return InternalError(StrFormat("rename %s -> %s: %s", from.c_str(),
+                                     to.c_str(), std::strerror(errno)));
+    }
+    return SyncParentDir(to);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return InternalError(StrFormat("remove %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", path, errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status SyncParentDir(const std::string& path) {
+    size_t slash = path.find_last_of('/');
+    std::string dir = (slash == std::string::npos)
+                          ? std::string(".")
+                          : path.substr(0, slash == 0 ? 1 : slash);
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open dir", dir, errno);
+    Status status;
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync dir", dir, errno);
+    ::close(fd);
+    return status;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status AtomicWriteFile(Env* env, const std::string& contents,
+                       const std::string& path, bool sync) {
+  const std::string temp_path = path + ".tmp";
+  PARK_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      env->NewWritableFile(temp_path, Env::WriteMode::kTruncate));
+  PARK_RETURN_IF_ERROR(file->Append(contents));
+  if (sync) PARK_RETURN_IF_ERROR(file->Sync());
+  PARK_RETURN_IF_ERROR(file->Close());
+  return env->RenameFile(temp_path, path);
+}
+
+}  // namespace park

@@ -1,0 +1,93 @@
+// Env: the pluggable filesystem boundary of the park library.
+//
+// Every byte the library persists (journal appends, snapshot writes,
+// checkpoint renames) flows through an Env, so durability code can be
+// exercised against a FaultInjectingEnv (fault_env.h) that fails, tears,
+// or "crashes" at an arbitrary I/O operation — the foundation of the
+// crash-point recovery tests.
+//
+// Env::Default() is a process-wide POSIX implementation. Error mapping
+// is part of the contract: a missing file is kNotFound, everything else
+// (permissions, EISDIR, short reads) is kInternal, so callers can treat
+// "fresh file" and "damaged file" differently.
+
+#ifndef PARK_UTIL_ENV_H_
+#define PARK_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace park {
+
+/// A sequential write handle. Append goes to a user-space buffer or the
+/// OS page cache; Flush pushes to the OS; Sync makes the bytes durable
+/// (fsync). Close implies Flush. Destruction closes silently — callers
+/// that care about the final flush must Close() explicitly.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Filesystem primitives. All paths are as the OS sees them; no
+/// interpretation happens here.
+class Env {
+ public:
+  enum class WriteMode {
+    kTruncate,  // start from an empty file
+    kAppend,    // keep existing contents, write at the end
+  };
+
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing. Creates the file if absent.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) = 0;
+
+  /// Reads the whole file. kNotFound iff the file does not exist
+  /// (ENOENT); any other failure — permission denied, path is a
+  /// directory, read error — is kInternal.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Returns the file's size in bytes; kNotFound if it does not exist.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from`, then fsyncs the parent
+  /// directory of `to` so the rename itself is durable.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  /// Removes `path`. Removing a file that does not exist is OK (the
+  /// desired postcondition already holds).
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (used to drop a torn journal tail).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Creates `path` as a directory; an already-existing directory is OK.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// The POSIX Env. Never null; do not delete.
+  static Env* Default();
+};
+
+/// Writes `contents` to `path` atomically: writes `path + ".tmp"`,
+/// optionally fsyncs it, then renames it over `path`. With `sync` set the
+/// data survives a crash at any point (the old or the new contents are
+/// visible, never a mix).
+Status AtomicWriteFile(Env* env, const std::string& contents,
+                       const std::string& path, bool sync);
+
+}  // namespace park
+
+#endif  // PARK_UTIL_ENV_H_

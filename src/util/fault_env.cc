@@ -1,0 +1,148 @@
+#include "util/fault_env.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace park {
+
+/// Wraps a base WritableFile so appends/flushes/syncs/closes are charged
+/// against the owning env's fault plan.
+class FaultInjectingWritableFile final : public WritableFile {
+ public:
+  FaultInjectingWritableFile(FaultInjectingEnv* env,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override;
+  Status Flush() override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base, FaultPlan plan)
+    : base_(base), plan_(plan) {}
+
+Status FaultInjectingEnv::ChargeOp(const char* op) {
+  if (crashed_) {
+    return InternalError(
+        StrFormat("injected crash: %s after simulated process death", op));
+  }
+  const int64_t index = op_count_++;
+  if (index != plan_.fault_at) return Status::OK();
+  if (plan_.kind == FaultPlan::Kind::kCrash) crashed_ = true;
+  return InternalError(
+      StrFormat("injected fault at I/O op #%lld (%s)",
+                static_cast<long long>(index), op));
+}
+
+Status FaultInjectingEnv::ChargeAppend(size_t payload_size,
+                                       size_t* torn_bytes) {
+  *torn_bytes = 0;
+  if (crashed_) {
+    return InternalError(
+        "injected crash: append after simulated process death");
+  }
+  const int64_t index = op_count_++;
+  if (index != plan_.fault_at) {
+    *torn_bytes = payload_size;
+    return Status::OK();
+  }
+  if (plan_.kind == FaultPlan::Kind::kCrash) crashed_ = true;
+  if (plan_.kind != FaultPlan::Kind::kFailOp) {
+    *torn_bytes = payload_size *
+                  static_cast<size_t>(plan_.torn_write_percent) / 100;
+  }
+  return InternalError(
+      StrFormat("injected fault at I/O op #%lld (append, %zu/%zu bytes "
+                "persisted)",
+                static_cast<long long>(index), *torn_bytes, payload_size));
+}
+
+Status FaultInjectingWritableFile::Append(std::string_view data) {
+  size_t torn_bytes = 0;
+  Status status = env_->ChargeAppend(data.size(), &torn_bytes);
+  if (status.ok()) return base_->Append(data);
+  if (torn_bytes > 0) {
+    // Persist the torn prefix, then report the failure. A real torn
+    // write leaves the prefix on disk; recovery must cope with it.
+    base_->Append(data.substr(0, torn_bytes));
+    base_->Flush();
+  }
+  return status;
+}
+
+Status FaultInjectingWritableFile::Flush() {
+  PARK_RETURN_IF_ERROR(env_->ChargeOp("flush"));
+  return base_->Flush();
+}
+
+Status FaultInjectingWritableFile::Sync() {
+  PARK_RETURN_IF_ERROR(env_->ChargeOp("sync"));
+  return base_->Sync();
+}
+
+Status FaultInjectingWritableFile::Close() {
+  PARK_RETURN_IF_ERROR(env_->ChargeOp("close"));
+  return base_->Close();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, WriteMode mode) {
+  PARK_RETURN_IF_ERROR(ChargeOp("open"));
+  PARK_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                        base_->NewWritableFile(path, mode));
+  return std::unique_ptr<WritableFile>(
+      new FaultInjectingWritableFile(this, std::move(base)));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFileToString(
+    const std::string& path) {
+  // Reads are not charged (crash consistency is about writes), but a
+  // crashed process cannot read either.
+  if (crashed_) {
+    return InternalError(
+        "injected crash: read after simulated process death");
+  }
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return !crashed_ && base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingEnv::FileSize(const std::string& path) {
+  if (crashed_) {
+    return InternalError(
+        "injected crash: stat after simulated process death");
+  }
+  return base_->FileSize(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  PARK_RETURN_IF_ERROR(ChargeOp("rename"));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  PARK_RETURN_IF_ERROR(ChargeOp("remove"));
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  PARK_RETURN_IF_ERROR(ChargeOp("truncate"));
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  PARK_RETURN_IF_ERROR(ChargeOp("mkdir"));
+  return base_->CreateDir(path);
+}
+
+}  // namespace park

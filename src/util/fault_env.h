@@ -1,0 +1,81 @@
+// FaultInjectingEnv: an Env decorator that makes I/O fail on demand.
+//
+// Every mutating operation (open-for-write, append, flush, sync, close,
+// rename, remove, truncate, mkdir) is numbered in program order. A
+// FaultPlan picks one index and a failure kind:
+//
+//   kFailOp     — that one operation returns kInternal; later ops succeed
+//                 (a transient fault the caller is expected to surface).
+//   kShortWrite — if the operation is an Append, only a prefix of the
+//                 data reaches the file before the error; later ops
+//                 succeed (a disk-full / short-write fault).
+//   kCrash      — the operation fails (an Append tears, persisting only a
+//                 prefix) and EVERY subsequent operation fails too: the
+//                 process is "dead" from that point on. Recovery is then
+//                 exercised by re-reading the directory with a clean Env.
+//
+// Iterating kCrash over every index 0..op_count() simulates a crash at
+// every syscall of a workload — the crash-point harness in
+// tests/crash_point_test.cc.
+
+#ifndef PARK_UTIL_FAULT_ENV_H_
+#define PARK_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+
+#include "util/env.h"
+
+namespace park {
+
+struct FaultPlan {
+  enum class Kind { kFailOp, kShortWrite, kCrash };
+
+  /// Index of the first faulty operation; -1 injects nothing (the env is
+  /// then a pure pass-through that still counts operations).
+  int64_t fault_at = -1;
+  Kind kind = Kind::kCrash;
+  /// For kShortWrite / kCrash: the fraction of an Append's payload that
+  /// still reaches the file, in percent. 50 tears mid-record; 0 loses the
+  /// write entirely; 100 persists it fully before "crashing".
+  int torn_write_percent = 50;
+};
+
+class FaultInjectingEnv final : public Env {
+ public:
+  /// Wraps `base` (not owned; typically Env::Default()).
+  explicit FaultInjectingEnv(Env* base, FaultPlan plan = {});
+
+  /// Mutating operations observed so far (faulted ones included).
+  int64_t op_count() const { return op_count_; }
+  /// True once a kCrash fault has fired; all later calls fail.
+  bool crashed() const { return crashed_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, WriteMode mode) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectingWritableFile;
+
+  /// Charges one operation. Returns non-OK if this op must fail (and
+  /// flips crashed_ for kCrash plans).
+  Status ChargeOp(const char* op);
+  /// Like ChargeOp but for appends: when the fault fires with a tearing
+  /// kind, `*torn_bytes` is set to how many payload bytes to persist.
+  Status ChargeAppend(size_t payload_size, size_t* torn_bytes);
+
+  Env* base_;
+  FaultPlan plan_;
+  int64_t op_count_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace park
+
+#endif  // PARK_UTIL_FAULT_ENV_H_

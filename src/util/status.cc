@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kAborted:
       return "aborted";
+    case StatusCode::kDataLoss:
+      return "data loss";
   }
   return "unknown";
 }
@@ -76,6 +78,9 @@ Status UnimplementedError(std::string message) {
 }
 Status AbortedError(std::string message) {
   return Status(StatusCode::kAborted, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 }  // namespace park

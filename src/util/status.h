@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal,          // Invariant violation that was recoverable.
   kUnimplemented,     // Feature intentionally not available.
   kAborted,           // Operation gave up (e.g. policy made no progress).
+  kDataLoss,          // Unrecoverable corruption of persisted state.
 };
 
 /// Returns the canonical lower-case name of `code` ("ok", "invalid
@@ -84,6 +85,7 @@ Status ResourceExhaustedError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status AbortedError(std::string message);
+Status DataLossError(std::string message);
 
 /// A value of type `T`, or the Status explaining why it is absent.
 /// `Result` is movable; it is copyable iff `T` is.

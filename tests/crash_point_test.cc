@@ -1,0 +1,245 @@
+// Crash-point recovery harness: runs a scripted durable workload
+// (Open → commit → commit → Checkpoint → commit) against a
+// FaultInjectingEnv that simulates a process crash at I/O operation k —
+// for EVERY k the workload performs — then recovers the directory with a
+// healthy Env and asserts the recovered instance is exactly a committed
+// prefix of the history.
+//
+// The acceptance band per crash point is [acked, attempted]:
+//   - with JournalSyncMode::kFsync every ACKED commit is durable, so the
+//     recovered state must contain at least the acked prefix;
+//   - the commit in flight at the crash may ALSO survive (its record was
+//     fully written but the ack never reached the caller — e.g. the crash
+//     hit the fsync after a complete write, or tore at 100%), so exactly
+//     one more commit is allowed, never fewer and never a partial one.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "park/park.h"
+#include "util/fault_env.h"
+
+namespace park {
+namespace {
+
+constexpr char kRules[] = R"(
+  onboard: +emp(X) -> +active(X).
+  cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+)";
+
+ActiveDatabase::OpenParams Params(Env* env) {
+  ActiveDatabase::OpenParams params;
+  params.rules = kRules;
+  params.env = env;
+  params.sync_mode = JournalSyncMode::kFsync;
+  return params;
+}
+
+constexpr int kCommits = 3;
+/// The checkpoint runs after this many commits have been acked.
+constexpr int kCheckpointAfter = 2;
+
+/// Commit number `step` (0-based) of the scripted history.
+Status ScriptedCommit(ActiveDatabase& db, int step) {
+  Transaction tx = db.Begin();
+  switch (step) {
+    case 0:
+      tx.Insert("emp", {"ada"});
+      tx.Insert("payroll", {"ada", "x"});
+      break;
+    case 1:
+      tx.Insert("emp", {"bob"});
+      break;
+    case 2:
+      tx.Delete("active", {"ada"});  // cleanup fires: -payroll(ada, x)
+      break;
+    default:
+      return InvalidArgumentError("no such step");
+  }
+  return std::move(tx).Commit().status();
+}
+
+struct WorkloadRun {
+  /// Commits acknowledged (Commit returned OK) before the first failure.
+  int acked = 0;
+  /// acked, plus one if a commit was in flight when the failure hit.
+  int attempted = 0;
+};
+
+/// Runs the scripted workload through `env`, stopping at the first
+/// failure the way a crashing process would.
+WorkloadRun RunWorkload(Env* env, const std::string& dir) {
+  WorkloadRun run;
+  auto db = ActiveDatabase::Open(dir, Params(env));
+  if (!db.ok()) return run;
+  for (int step = 0; step < kCommits; ++step) {
+    run.attempted = step + 1;
+    if (!ScriptedCommit(*db, step).ok()) return run;
+    run.acked = step + 1;
+    if (step + 1 == kCheckpointAfter && !db->Checkpoint().ok()) return run;
+  }
+  return run;
+}
+
+/// states[k] = the instance after the first k commits, from a fault-free
+/// reference run (the checkpoint never changes the logical state).
+std::vector<std::string> ReferenceStates(const std::string& dir) {
+  std::vector<std::string> states;
+  auto db = ActiveDatabase::Open(dir, Params(Env::Default()));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  states.push_back(db->database().ToString());
+  for (int step = 0; step < kCommits; ++step) {
+    EXPECT_TRUE(ScriptedCommit(*db, step).ok());
+    std::string before_checkpoint = db->database().ToString();
+    if (step + 1 == kCheckpointAfter) {
+      EXPECT_TRUE(db->Checkpoint().ok());
+      EXPECT_EQ(db->database().ToString(), before_checkpoint);
+    }
+    states.push_back(db->database().ToString());
+  }
+  return states;
+}
+
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "park_crash_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(base_);
+    std::filesystem::create_directories(base_);
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  std::string Dir(const std::string& name) const {
+    return base_ + "/" + name;
+  }
+
+  std::string base_;
+};
+
+TEST_F(CrashPointTest, RecoveryIsExactAtEveryIoOperation) {
+  const std::vector<std::string> expected = ReferenceStates(Dir("reference"));
+  ASSERT_EQ(expected.size(), static_cast<size_t>(kCommits) + 1);
+
+  // Count the workload's I/O operations with a pass-through fault env.
+  int64_t total_ops = 0;
+  {
+    FaultInjectingEnv counter(Env::Default());
+    WorkloadRun run = RunWorkload(&counter, Dir("count"));
+    ASSERT_EQ(run.acked, kCommits);
+    ASSERT_FALSE(counter.crashed());
+    total_ops = counter.op_count();
+  }
+  ASSERT_GT(total_ops, 10) << "workload too small to be interesting";
+
+  for (int64_t crash_at = 0; crash_at < total_ops; ++crash_at) {
+    SCOPED_TRACE("crash at I/O op " + std::to_string(crash_at));
+    const std::string dir = Dir("crash_" + std::to_string(crash_at));
+
+    FaultPlan plan;
+    plan.fault_at = crash_at;
+    plan.kind = FaultPlan::Kind::kCrash;
+    // Cycle the tear point so appends die empty, mid-record, and fully
+    // written (the record-complete-but-unacked case).
+    plan.torn_write_percent = static_cast<int>(crash_at % 3) * 50;
+    FaultInjectingEnv fault_env(Env::Default(), plan);
+    WorkloadRun run = RunWorkload(&fault_env, dir);
+    ASSERT_TRUE(fault_env.crashed());
+    ASSERT_LE(run.acked, run.attempted);
+
+    // Recover with a healthy filesystem, as a restarted process would.
+    auto recovered = ActiveDatabase::Open(dir, Params(Env::Default()));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const std::string state = recovered->database().ToString();
+    const bool acked_prefix = state == expected[run.acked];
+    const bool inflight_prefix =
+        run.attempted > run.acked && state == expected[run.attempted];
+    EXPECT_TRUE(acked_prefix || inflight_prefix)
+        << "recovered \"" << state << "\" after " << run.acked
+        << " acked / " << run.attempted << " attempted commit(s); wanted \""
+        << expected[run.acked] << "\""
+        << (run.attempted > run.acked
+                ? " or \"" + expected[run.attempted] + "\""
+                : "");
+
+    // The recovered database must be fully usable: one more durable
+    // commit, with the rules firing.
+    Transaction tx = recovered->Begin();
+    tx.Insert("emp", {"eve"});
+    auto report = std::move(tx).Commit();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(recovered->Contains(
+        ParseGroundAtom("active(eve)", recovered->symbols()).value()));
+  }
+}
+
+TEST_F(CrashPointTest, CrashDuringRecoveryIsItselfRecoverable) {
+  // Crash the workload mid-flight, then crash the RECOVERY at every one
+  // of ITS I/O operations; a final healthy recovery must still land on a
+  // committed prefix. Recovery mutates the directory (torn-tail
+  // truncation, debris sweeping), so each round restores the original
+  // post-crash directory image first.
+  const std::vector<std::string> expected = ReferenceStates(Dir("reference"));
+
+  int64_t total_ops = 0;
+  {
+    FaultInjectingEnv counter(Env::Default());
+    RunWorkload(&counter, Dir("count"));
+    total_ops = counter.op_count();
+  }
+
+  const std::string dir = Dir("db");
+  FaultPlan plan;
+  plan.fault_at = total_ops / 2;  // mid-workload, after some commits
+  plan.kind = FaultPlan::Kind::kCrash;
+  plan.torn_write_percent = 50;
+  FaultInjectingEnv fault_env(Env::Default(), plan);
+  const WorkloadRun run = RunWorkload(&fault_env, dir);
+  ASSERT_TRUE(fault_env.crashed());
+
+  const std::string backup = Dir("backup");
+  std::filesystem::copy(dir, backup);
+  auto restore = [&] {
+    std::filesystem::remove_all(dir);
+    std::filesystem::copy(backup, dir);
+  };
+
+  // Recovery's own op count, measured on a copy of the crashed image.
+  int64_t recovery_ops = 0;
+  {
+    restore();
+    FaultInjectingEnv counter(Env::Default());
+    auto db = ActiveDatabase::Open(dir, Params(&counter));
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    recovery_ops = counter.op_count();
+  }
+  ASSERT_GT(recovery_ops, 0);
+
+  for (int64_t crash_at = 0; crash_at < recovery_ops; ++crash_at) {
+    SCOPED_TRACE("recovery crash at I/O op " + std::to_string(crash_at));
+    restore();
+    FaultPlan recovery_plan;
+    recovery_plan.fault_at = crash_at;
+    recovery_plan.kind = FaultPlan::Kind::kCrash;
+    recovery_plan.torn_write_percent = 50;
+    FaultInjectingEnv crashing(Env::Default(), recovery_plan);
+    // The interrupted recovery may fail or (if the crash only hit its
+    // final ops) succeed; either way the on-disk image must still
+    // recover cleanly afterwards.
+    auto interrupted = ActiveDatabase::Open(dir, Params(&crashing));
+
+    auto recovered = ActiveDatabase::Open(dir, Params(Env::Default()));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const std::string state = recovered->database().ToString();
+    EXPECT_TRUE(state == expected[run.acked] ||
+                (run.attempted > run.acked &&
+                 state == expected[run.attempted]))
+        << "recovered \"" << state << "\"";
+  }
+}
+
+}  // namespace
+}  // namespace park

@@ -1,6 +1,9 @@
 // Corner cases of the semantics, including the two documented completions
 // of the paper's definitions (DESIGN.md §2) and adversarial policies.
 
+#include <chrono>
+#include <thread>
+
 #include "test_util.h"
 
 namespace park {
@@ -209,6 +212,38 @@ TEST(ParkCornerTest, ResultIsAFixpointRerunningChangesNothing) {
         << "program " << i << ": " << once->database.ToString() << " vs "
         << twice->database.ToString();
   }
+}
+
+TEST(ParkCornerTest, DeadlineExceededIsResourceExhausted) {
+  // The wall-clock budget is checked once per Γ step, so a policy that
+  // burns 20ms resolving the first conflict guarantees the next step
+  // finds the 1ms budget spent — deterministic without a slow workload.
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +x. p -> -x.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkOptions options;
+  options.deadline_ms = 1;
+  options.policy = MakeLambdaPolicy(
+      "sleepy", [](const PolicyContext&, const Conflict&) -> Result<Vote> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return Vote::kInsert;
+      });
+  auto result = Park(program, db, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().ToString().find("deadline_ms"),
+            std::string::npos);
+}
+
+TEST(ParkCornerTest, GenerousDeadlineDoesNotInterfere) {
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +x. p -> -x.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkOptions options;
+  options.deadline_ms = 600000;
+  auto result = Park(program, db, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->database.ToString(), "{p}");  // inertia: x ∉ D
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "park/park.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
 
 namespace park {
 namespace {
@@ -107,38 +109,56 @@ TEST_F(PersistenceTest, JournalMissingFileIsEmpty) {
   EXPECT_TRUE(records->empty());
 }
 
+// Renders one journal record in the on-disk format with a correct CRC
+// footer (mirrors TransactionJournal::Append; kept in sync by the
+// round-trip tests).
+std::string MakeRecord(uint64_t seq,
+                       const std::vector<std::string>& update_lines) {
+  std::string payload = std::to_string(seq) + "\n";
+  for (const std::string& line : update_lines) payload += line + "\n";
+  std::string record = "begin " + std::to_string(seq) + "\n";
+  for (const std::string& line : update_lines) record += line + "\n";
+  record += "commit " + std::to_string(seq) + " " +
+            StrFormat("crc=%08x", Crc32(payload)) + "\n";
+  return record;
+}
+
 TEST_F(PersistenceTest, JournalTornTailIsIgnored) {
   auto symbols = MakeSymbolTable();
   std::string path = TempPath("journal");
   {
     std::ofstream out(path);
-    out << "begin\n+a(1)\ncommit\n"
-        << "begin\n+b(2)\n";  // crash before commit
+    out << MakeRecord(1, {"+a(1)"})
+        << "begin 2\n+b(2)\n";  // crash before the commit footer
   }
   auto records = TransactionJournal::ReadAll(path, symbols);
-  ASSERT_TRUE(records.ok());
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
   ASSERT_EQ(records->size(), 1u);
   EXPECT_EQ((*records)[0].ToString(*symbols), "{+a(1)}");
 }
 
-TEST_F(PersistenceTest, JournalTornRecordFollowedByBeginIsDropped) {
+TEST_F(PersistenceTest, JournalTornRecordFollowedByValidOneIsDataLoss) {
+  // A torn record in the MIDDLE of the journal means committed bytes
+  // vanished; recovery must refuse rather than silently skip it.
   auto symbols = MakeSymbolTable();
   std::string path = TempPath("journal");
   {
     std::ofstream out(path);
-    out << "begin\n+a(1)\nbegin\n+b(2)\ncommit\n";
+    out << "begin 1\n+a(1)\n" << MakeRecord(2, {"+b(2)"});
   }
   auto records = TransactionJournal::ReadAll(path, symbols);
-  ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].ToString(*symbols), "{+b(2)}");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kDataLoss);
 }
 
 TEST_F(PersistenceTest, JournalMalformedUpdateIsAnError) {
+  // The CRC is valid, so the bytes are what the writer wrote — a
+  // non-update line inside a committed record is a real error, not
+  // damage to be skipped.
   std::string path = TempPath("journal");
   {
     std::ofstream out(path);
-    out << "begin\nnot_an_update\ncommit\n";
+    out << MakeRecord(1, {"not_an_update"});
   }
   auto records = TransactionJournal::ReadAll(path, MakeSymbolTable());
   EXPECT_FALSE(records.ok());
@@ -151,7 +171,8 @@ TEST_F(PersistenceTest, JournalLineOutsideRecordIsAnError) {
     out << "+a(1)\n";
   }
   auto records = TransactionJournal::ReadAll(path, MakeSymbolTable());
-  EXPECT_FALSE(records.ok());
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kDataLoss);
 }
 
 constexpr char kRules[] = R"(

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "test_util.h"
 #include "util/random.h"
 #include "util/string_util.h"
@@ -131,6 +134,23 @@ TEST(StepperTest, MaxStepsGuard) {
   auto third = stepper.Step();
   ASSERT_FALSE(third.ok());
   EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StepperTest, DeadlineIsCheckedAgainstConstructionTime) {
+  // The budget covers the whole stepped evaluation, so sleeping past it
+  // between construction and the first Step() already exhausts it.
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram("p -> +a.", symbols);
+  Database db = MustParseDatabase("p.", symbols);
+  ParkOptions options;
+  options.deadline_ms = 1;
+  ParkStepper stepper(program, db, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  auto step = stepper.Step();
+  ASSERT_FALSE(step.ok());
+  EXPECT_EQ(step.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(step.status().ToString().find("deadline_ms"),
+            std::string::npos);
 }
 
 }  // namespace
