@@ -1,0 +1,165 @@
+// P1 — parallel Γ scaling: wall-clock for the same fixpoint computation
+// at 1/2/4/8 evaluation threads, with an in-bench bit-identity check
+// (every multi-threaded run must reproduce the single-threaded database
+// and step counts exactly, or the bench aborts). Emits BENCH_parallel.json
+// with per-config times, speedups, and pool stats.
+//
+//   bench_parallel [output.json]     (default: BENCH_parallel.json)
+//
+// Speedups only materialize on multi-core hosts; hardware_concurrency is
+// recorded in the JSON so a 1-core container's flat curve is explainable.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "park/park.h"
+#include "util/string_util.h"
+#include "workload/graph_gen.h"
+#include "workload/payroll_gen.h"
+
+namespace park {
+namespace {
+
+struct BenchCase {
+  std::string name;
+  Workload workload;
+};
+
+struct ConfigResult {
+  int threads = 1;
+  double best_ms = 0;
+  double speedup = 1.0;
+  size_t gamma_steps = 0;
+  size_t parallel_sections = 0;
+  size_t parallel_tasks = 0;
+};
+
+ParkResult RunOnce(const Workload& w, int threads, double* elapsed_ms) {
+  ParkOptions options;
+  options.num_threads = threads;
+  options.gamma_mode = GammaMode::kSemiNaive;
+  auto start = std::chrono::steady_clock::now();
+  auto result = Park(w.program, w.database, options);
+  auto end = std::chrono::steady_clock::now();
+  PARK_CHECK(result.ok()) << result.status().ToString();
+  *elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return std::move(*result);
+}
+
+std::vector<ConfigResult> RunCase(const BenchCase& bench, int repetitions) {
+  std::vector<ConfigResult> configs;
+  std::string reference_db;
+  size_t reference_steps = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    ConfigResult config;
+    config.threads = threads;
+    double best = -1;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      double ms = 0;
+      ParkResult result = RunOnce(bench.workload, threads, &ms);
+      if (best < 0 || ms < best) best = ms;
+      std::string db = result.database.ToString();
+      if (threads == 1 && rep == 0) {
+        reference_db = db;
+        reference_steps = result.stats.gamma_steps;
+      }
+      // The whole point: parallelism must be bit-identical, every run.
+      PARK_CHECK(db == reference_db)
+          << bench.name << ": " << threads
+          << "-thread database differs from the sequential result";
+      PARK_CHECK(result.stats.gamma_steps == reference_steps)
+          << bench.name << ": " << threads
+          << "-thread run took a different number of steps";
+      config.gamma_steps = result.stats.gamma_steps;
+      config.parallel_sections = result.stats.parallel_sections;
+      config.parallel_tasks = result.stats.parallel_tasks;
+    }
+    config.best_ms = best;
+    config.speedup = configs.empty() ? 1.0 : configs[0].best_ms / best;
+    configs.push_back(config);
+    std::printf("  %-28s threads=%d  %8.2f ms  speedup %.2fx\n",
+                bench.name.c_str(), threads, best, config.speedup);
+  }
+  return configs;
+}
+
+std::string ToJson(
+    const std::vector<std::pair<std::string, std::vector<ConfigResult>>>&
+        results) {
+  std::string json = "{\n";
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += "  \"bit_identical\": true,\n";
+  json += "  \"cases\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    json += StrFormat("    {\"name\": \"%s\", \"configs\": [\n",
+                      results[i].first.c_str());
+    const auto& configs = results[i].second;
+    for (size_t j = 0; j < configs.size(); ++j) {
+      const ConfigResult& c = configs[j];
+      json += StrFormat(
+          "      {\"threads\": %d, \"best_ms\": %.3f, \"speedup\": %.3f,"
+          " \"gamma_steps\": %zu, \"parallel_sections\": %zu,"
+          " \"parallel_tasks\": %zu}%s\n",
+          c.threads, c.best_ms, c.speedup, c.gamma_steps,
+          c.parallel_sections, c.parallel_tasks,
+          j + 1 < configs.size() ? "," : "");
+    }
+    json += StrFormat("    ]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+
+  std::vector<BenchCase> cases;
+  {
+    BenchCase c{"closure_random_1024", MakeTransitiveClosureWorkload(
+                                           GraphShape::kRandom, 256, 1024,
+                                           /*seed=*/17)};
+    cases.push_back(std::move(c));
+  }
+  {
+    PayrollParams params;
+    params.num_employees = 16384;
+    params.inactive_fraction = 0.1;
+    params.seed = 23;
+    BenchCase c{"payroll_16384", MakePayrollWorkload(params)};
+    cases.push_back(std::move(c));
+  }
+  {
+    BenchCase c{"closure_path_512", MakeTransitiveClosureWorkload(
+                                        GraphShape::kPath, 512, 511,
+                                        /*seed=*/1)};
+    cases.push_back(std::move(c));
+  }
+
+  std::printf("bench_parallel: %u hardware thread(s)\n",
+              std::thread::hardware_concurrency());
+  std::vector<std::pair<std::string, std::vector<ConfigResult>>> results;
+  for (const BenchCase& bench : cases) {
+    results.emplace_back(bench.name, RunCase(bench, /*repetitions=*/3));
+  }
+
+  std::string json = ToJson(results);
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace park
+
+int main(int argc, char** argv) { return park::Main(argc, argv); }

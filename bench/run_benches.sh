@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs every benchmark with machine-readable JSON output so BENCH_*.json
+# trajectories can be tracked across commits.
+#
+#   bench/run_benches.sh [build-dir] [output-dir]
+#
+# Defaults: build-dir = ./build, output-dir = current directory. Each
+# google-benchmark binary writes BENCH_<name>.json via --benchmark_out;
+# bench_parallel and bench_paper_examples manage their own output formats.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found (build first: cmake -B ${build_dir} && cmake --build ${build_dir})" >&2
+  exit 1
+fi
+mkdir -p "${out_dir}"
+
+gbenches=(
+  bench_scaling_db
+  bench_scaling_rules
+  bench_determinism
+  bench_vs_baselines
+  bench_policies
+  bench_conflict_density
+  bench_recursion
+  bench_eca
+  bench_block_granularity
+  bench_gamma_mode
+  bench_substrate
+  bench_durability
+)
+
+for name in "${gbenches[@]}"; do
+  bin="${bench_dir}/${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip ${name}: not built" >&2
+    continue
+  fi
+  echo "== ${name}"
+  "${bin}" --benchmark_out="${out_dir}/BENCH_${name#bench_}.json" \
+           --benchmark_out_format=json
+done
+
+if [[ -x "${bench_dir}/bench_parallel" ]]; then
+  echo "== bench_parallel"
+  "${bench_dir}/bench_parallel" "${out_dir}/BENCH_parallel.json"
+fi
+
+echo "JSON written to ${out_dir}/BENCH_*.json"

@@ -11,6 +11,8 @@
 //   --block-first      resolve one conflict per restart (§4.2 refinement)
 //   --max-steps N      abort evaluation after N Γ steps (default 1000000)
 //   --deadline-ms N    abort evaluation after N wall-clock milliseconds
+//   --threads N        Γ evaluation threads (default 1 = sequential;
+//                      0 = one per hardware thread); results identical
 //   --trace            print the full fixpoint trace
 //   --provenance       print which rule instances derived each change
 //   --explain          print the parsed program, analysis, and body plans
@@ -106,7 +108,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --rules FILE --facts FILE [--update ±atom]...\n"
                "          [--policy NAME] [--block-first] [--max-steps N]\n"
-               "          [--deadline-ms N] [--trace] [--explain]\n",
+               "          [--deadline-ms N] [--threads N] [--trace]\n"
+               "          [--explain]\n",
                argv0);
   return 1;
 }
@@ -167,6 +170,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       options.deadline_ms = *deadline;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      auto threads = park::ParseInt64(v);
+      if (!threads.has_value() || *threads < 0) {
+        std::fprintf(stderr, "--threads wants a non-negative integer, got"
+                             " '%s'\n", v);
+        return 1;
+      }
+      options.num_threads = static_cast<int>(*threads);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--provenance") {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <set>
 
 #include "util/string_util.h"
@@ -131,6 +132,12 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   DeltaState delta;
   DeltaAtoms delta_atoms;
   const GammaMode mode = options.gamma_mode;
+  const int num_threads = ResolveNumThreads(options.num_threads);
+  std::optional<ParallelGamma> parallel_state;
+  if (num_threads > 1) parallel_state.emplace(program, num_threads);
+  ParallelGamma* parallel =
+      parallel_state.has_value() ? &*parallel_state : nullptr;
+  stats.num_threads = static_cast<size_t>(num_threads);
   const auto start_time = std::chrono::steady_clock::now();
   int step = 0;
 
@@ -145,13 +152,15 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     GammaResult gamma;
     switch (mode) {
       case GammaMode::kNaive:
-        gamma = ComputeGamma(program, blocked, interp);
+        gamma = ComputeGamma(program, blocked, interp, parallel);
         break;
       case GammaMode::kDeltaFiltered:
-        gamma = ComputeGammaFiltered(program, blocked, interp, delta);
+        gamma = ComputeGammaFiltered(program, blocked, interp, delta,
+                                     parallel);
         break;
       case GammaMode::kSemiNaive:
-        gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms);
+        gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms,
+                                      parallel);
         break;
     }
     stats.rule_evaluations += gamma.rules_evaluated;
@@ -189,7 +198,7 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     // firable instance on each side, which a delta-driven evaluation may
     // have skipped — so recompute the full Γ before building them.
     if (mode != GammaMode::kNaive) {
-      gamma = ComputeGamma(program, blocked, interp);
+      gamma = ComputeGamma(program, blocked, interp, parallel);
       stats.rule_evaluations += gamma.rules_evaluated;
     }
     ++step;
@@ -255,6 +264,10 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   }
 
   stats.blocked_instances = blocked.size();
+  if (parallel != nullptr) {
+    stats.parallel_sections = parallel->pool().sections_run();
+    stats.parallel_tasks = parallel->pool().tasks_executed();
+  }
   ParkResult result{interp.Incorporate(), stats, std::move(trace),
                     RenderBlocked(blocked, program), {}};
   if (options.record_provenance) {

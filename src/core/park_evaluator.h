@@ -78,6 +78,11 @@ struct ParkOptions {
   /// When set, ParkResult::provenance explains every surviving marked
   /// atom: which rule groundings derived it in the final round.
   bool record_provenance = false;
+  /// Threads used to evaluate Γ. 1 (default) is the sequential path; 0
+  /// means one per hardware thread; N > 1 runs body matching on a pool of
+  /// N threads. Results are bit-identical across all settings — parallel
+  /// Γ preserves PARK's determinism (see docs/PARALLELISM.md).
+  int num_threads = 1;
 };
 
 /// Counters describing one evaluation.
@@ -89,6 +94,10 @@ struct ParkStats {
   size_t derived_marks = 0;       // marked-atom insertions (all rounds)
   size_t policy_invocations = 0;  // SELECT calls
   size_t rule_evaluations = 0;    // rule-body matchings across all steps
+  // Parallel-Γ counters (see ParkOptions::num_threads).
+  size_t num_threads = 1;         // resolved thread count for the run
+  size_t parallel_sections = 0;   // Γ evaluations fanned out on the pool
+  size_t parallel_tasks = 0;      // matching tasks queued across sections
 };
 
 /// Why one update survived into the result: the marked atom (with its

@@ -14,6 +14,9 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
       start_time_(std::chrono::steady_clock::now()) {
   PARK_CHECK(program.symbols() == db.symbols())
       << "program and database must share a symbol table";
+  int num_threads = ResolveNumThreads(options_.num_threads);
+  stats_.num_threads = static_cast<size_t>(num_threads);
+  if (num_threads > 1) parallel_.emplace(program_, num_threads);
 }
 
 Result<StepOutcome> ParkStepper::Step() {
@@ -36,20 +39,26 @@ Result<StepOutcome> ParkStepper::Step() {
   ++steps_taken_;
 
   const GammaMode mode = options_.gamma_mode;
+  ParallelGamma* parallel = parallel_.has_value() ? &*parallel_ : nullptr;
   GammaResult gamma;
   switch (mode) {
     case GammaMode::kNaive:
-      gamma = ComputeGamma(program_, blocked_, interp_);
+      gamma = ComputeGamma(program_, blocked_, interp_, parallel);
       break;
     case GammaMode::kDeltaFiltered:
-      gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_);
+      gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_,
+                                   parallel);
       break;
     case GammaMode::kSemiNaive:
       gamma = ComputeGammaSemiNaive(program_, blocked_, interp_,
-                                    delta_atoms_);
+                                    delta_atoms_, parallel);
       break;
   }
   stats_.rule_evaluations += gamma.rules_evaluated;
+  if (parallel != nullptr) {
+    stats_.parallel_sections = parallel->pool().sections_run();
+    stats_.parallel_tasks = parallel->pool().tasks_executed();
+  }
 
   if (gamma.consistent) {
     if (gamma.newly_marked == 0) {
@@ -79,7 +88,7 @@ Result<StepOutcome> ParkStepper::Step() {
 
   // Resolution transition: same logic as the batch evaluator.
   if (mode != GammaMode::kNaive) {
-    gamma = ComputeGamma(program_, blocked_, interp_);
+    gamma = ComputeGamma(program_, blocked_, interp_, parallel);
     stats_.rule_evaluations += gamma.rules_evaluated;
   }
   std::vector<Conflict> conflicts = BuildConflicts(gamma, interp_);

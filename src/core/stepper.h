@@ -10,6 +10,7 @@
 #define PARK_CORE_STEPPER_H_
 
 #include <chrono>
+#include <optional>
 
 #include "core/park_evaluator.h"
 
@@ -70,6 +71,8 @@ class ParkStepper {
   const Database& db_;
   ParkOptions options_;
   PolicyPtr policy_;
+  /// Engaged iff options_.num_threads resolves to > 1.
+  std::optional<ParallelGamma> parallel_;
   IInterpretation interp_;
   BlockedSet blocked_;
   DeltaState delta_;

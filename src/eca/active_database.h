@@ -60,6 +60,12 @@ class ActiveDatabase {
   void SetBlockGranularity(BlockGranularity granularity) {
     options_.block_granularity = granularity;
   }
+  /// Threads for Γ evaluation at commit (see ParkOptions::num_threads;
+  /// 0 = hardware concurrency, 1 = sequential). Results are identical
+  /// either way, so replay/recovery is unaffected by this knob.
+  void SetNumThreads(int num_threads) {
+    options_.num_threads = num_threads;
+  }
   void SetTraceLevel(TraceLevel level) { options_.trace_level = level; }
   const ParkOptions& options() const { return options_; }
   ParkOptions& mutable_options() { return options_; }

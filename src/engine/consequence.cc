@@ -37,25 +37,104 @@ void AnalyzeDerivations(const IInterpretation& interp, GammaResult& result) {
   result.consistent = result.clashing_atoms.empty();
 }
 
+/// Appends every firable, non-blocked grounding of `rule` to `out`.
 void MatchRule(const Rule& rule, const BlockedSet& blocked,
-               const IInterpretation& interp, GammaResult& result) {
+               const IInterpretation& interp, std::vector<Derivation>& out) {
   ForEachBodyMatch(rule, interp, [&](const Tuple& binding) {
     RuleGrounding grounding(rule.index(), binding);
     if (blocked.contains(grounding)) return;
     GroundAtom head = rule.head().atom.Ground(binding.values());
-    result.derivations.push_back(Derivation{
+    out.push_back(Derivation{
         std::move(grounding), rule.head().action, std::move(head)});
   });
-  ++result.rules_evaluated;
+}
+
+/// Builds the index for every (predicate, column) of `columns` whose
+/// relation exists in `db` (later-created relations can't be probed in
+/// this section: matching only reads what exists now).
+void PrewarmDatabase(const Database& db,
+                     const IndexRequirements::ColumnsByPredicate& columns) {
+  for (const auto& [pred, cols] : columns) {
+    if (const Relation* rel = db.GetRelation(pred)) {
+      for (int c : cols) rel->BuildIndex(c);
+    }
+  }
+}
+
+/// RAII guard for a parallel read-only matching section: builds every
+/// index the program's plans can probe, then freezes I's three databases
+/// so a missed prewarm fails loudly instead of racing on a lazy build.
+class FrozenInterpretation {
+ public:
+  FrozenInterpretation(const IInterpretation& interp,
+                       const IndexRequirements& requirements)
+      : interp_(interp) {
+    PrewarmDatabase(interp_.base(), requirements.base);
+    PrewarmDatabase(interp_.plus(), requirements.plus);
+    PrewarmDatabase(interp_.minus(), requirements.minus);
+    interp_.base().FreezeIndexes();
+    interp_.plus().FreezeIndexes();
+    interp_.minus().FreezeIndexes();
+  }
+
+  ~FrozenInterpretation() {
+    interp_.base().ThawIndexes();
+    interp_.plus().ThawIndexes();
+    interp_.minus().ThawIndexes();
+  }
+
+  FrozenInterpretation(const FrozenInterpretation&) = delete;
+  FrozenInterpretation& operator=(const FrozenInterpretation&) = delete;
+
+ private:
+  const IInterpretation& interp_;
+};
+
+/// Fans rule matching out over the pool, one task per rule in `rules`,
+/// then concatenates the per-rule buffers in rule order — exactly the
+/// order the sequential loop produces.
+void MatchRulesParallel(const std::vector<const Rule*>& rules,
+                        const BlockedSet& blocked,
+                        const IInterpretation& interp,
+                        ParallelGamma& parallel,
+                        std::vector<Derivation>& out) {
+  std::vector<std::vector<Derivation>> buffers(rules.size());
+  {
+    FrozenInterpretation frozen(interp, parallel.requirements());
+    parallel.pool().ParallelFor(rules.size(), [&](size_t i) {
+      MatchRule(*rules[i], blocked, interp, buffers[i]);
+    });
+  }
+  size_t total = 0;
+  for (const auto& buffer : buffers) total += buffer.size();
+  out.reserve(out.size() + total);
+  for (auto& buffer : buffers) {
+    for (Derivation& d : buffer) out.push_back(std::move(d));
+  }
 }
 
 }  // namespace
 
+ParallelGamma::ParallelGamma(const Program& program, int num_threads)
+    : requirements_(CollectIndexRequirements(program)),
+      pool_(num_threads) {}
+
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
-                         const IInterpretation& interp) {
+                         const IInterpretation& interp,
+                         ParallelGamma* parallel) {
   GammaResult result;
-  for (const Rule& rule : program.rules()) {
-    MatchRule(rule, blocked, interp, result);
+  if (parallel != nullptr && program.size() > 1) {
+    std::vector<const Rule*> rules;
+    rules.reserve(program.size());
+    for (const Rule& rule : program.rules()) rules.push_back(&rule);
+    MatchRulesParallel(rules, blocked, interp, *parallel,
+                       result.derivations);
+    result.rules_evaluated = rules.size();
+  } else {
+    for (const Rule& rule : program.rules()) {
+      MatchRule(rule, blocked, interp, result.derivations);
+      ++result.rules_evaluated;
+    }
   }
   AnalyzeDerivations(interp, result);
   return result;
@@ -90,12 +169,23 @@ bool RuleIsAffected(const Rule& rule, const DeltaState& delta) {
 GammaResult ComputeGammaFiltered(const Program& program,
                                  const BlockedSet& blocked,
                                  const IInterpretation& interp,
-                                 const DeltaState& delta) {
+                                 const DeltaState& delta,
+                                 ParallelGamma* parallel) {
   GammaResult result;
+  std::vector<const Rule*> affected;
+  affected.reserve(program.size());
   for (const Rule& rule : program.rules()) {
-    if (!RuleIsAffected(rule, delta)) continue;
-    MatchRule(rule, blocked, interp, result);
+    if (RuleIsAffected(rule, delta)) affected.push_back(&rule);
   }
+  if (parallel != nullptr && affected.size() > 1) {
+    MatchRulesParallel(affected, blocked, interp, *parallel,
+                       result.derivations);
+  } else {
+    for (const Rule* rule : affected) {
+      MatchRule(*rule, blocked, interp, result.derivations);
+    }
+  }
+  result.rules_evaluated = affected.size();
   AnalyzeDerivations(interp, result);
   return result;
 }
@@ -103,24 +193,23 @@ GammaResult ComputeGammaFiltered(const Program& program,
 GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const BlockedSet& blocked,
                                   const IInterpretation& interp,
-                                  const DeltaAtoms& delta) {
-  if (delta.initial) return ComputeGamma(program, blocked, interp);
+                                  const DeltaAtoms& delta,
+                                  ParallelGamma* parallel) {
+  if (delta.initial) return ComputeGamma(program, blocked, interp, parallel);
 
-  GammaResult result;
-  std::unordered_set<RuleGrounding, RuleGroundingHash> seen;
+  // Enumerate the (rule, seed literal, seed atom) completions to run.
+  // Listing them up front (in the same nested order the sequential loop
+  // uses) is what lets the parallel path merge per-task buffers back into
+  // the exact sequential derivation order.
+  struct SeedTask {
+    const Rule* rule;
+    int literal;
+    const GroundAtom* atom;
+  };
+  std::vector<SeedTask> tasks;
+  size_t rules_evaluated = 0;
   for (const Rule& rule : program.rules()) {
     bool evaluated = false;
-    auto complete_seed = [&](int literal_index, const GroundAtom& atom) {
-      ForEachBodyMatchSeeded(
-          rule, interp, literal_index, atom, [&](const Tuple& binding) {
-            RuleGrounding grounding(rule.index(), binding);
-            if (blocked.contains(grounding)) return;
-            if (!seen.insert(grounding).second) return;  // multi-seeded
-            GroundAtom head = rule.head().atom.Ground(binding.values());
-            result.derivations.push_back(Derivation{
-                std::move(grounding), rule.head().action, std::move(head)});
-          });
-    };
     for (size_t i = 0; i < rule.body().size(); ++i) {
       const BodyLiteral& lit = rule.body()[i];
       const std::vector<GroundAtom>* source = nullptr;
@@ -136,11 +225,56 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
       }
       for (const GroundAtom& atom : *source) {
         if (atom.predicate() != lit.atom.predicate) continue;
-        complete_seed(static_cast<int>(i), atom);
+        tasks.push_back(SeedTask{&rule, static_cast<int>(i), &atom});
         evaluated = true;
       }
     }
-    if (evaluated) ++result.rules_evaluated;
+    if (evaluated) ++rules_evaluated;
+  }
+
+  GammaResult result;
+  result.rules_evaluated = rules_evaluated;
+
+  auto run_task = [&](const SeedTask& task, std::vector<Derivation>& out) {
+    ForEachBodyMatchSeeded(
+        *task.rule, interp, task.literal, *task.atom,
+        [&](const Tuple& binding) {
+          RuleGrounding grounding(task.rule->index(), binding);
+          if (blocked.contains(grounding)) return;
+          GroundAtom head = task.rule->head().atom.Ground(binding.values());
+          out.push_back(Derivation{std::move(grounding),
+                                   task.rule->head().action,
+                                   std::move(head)});
+        });
+  };
+
+  // A grounding reachable from several seeds is derived once. Sequential
+  // and parallel paths both keep the FIRST occurrence in task order, so
+  // the surviving list is identical.
+  std::unordered_set<RuleGrounding, RuleGroundingHash> seen;
+  auto merge_deduped = [&](std::vector<Derivation>& buffer) {
+    for (Derivation& d : buffer) {
+      if (!seen.insert(d.grounding).second) continue;  // multi-seeded
+      result.derivations.push_back(std::move(d));
+    }
+  };
+
+  if (parallel != nullptr && tasks.size() > 1) {
+    std::vector<std::vector<Derivation>> buffers(tasks.size());
+    {
+      FrozenInterpretation frozen(interp, parallel->requirements());
+      parallel->pool().ParallelFor(tasks.size(), [&](size_t i) {
+        run_task(tasks[i], buffers[i]);
+      });
+    }
+    for (auto& buffer : buffers) merge_deduped(buffer);
+  } else {
+    std::vector<Derivation> buffer;
+    for (const SeedTask& task : tasks) {
+      buffer.clear();
+      run_task(task, buffer);
+      merge_deduped(buffer);
+    }
   }
   AnalyzeDerivations(interp, result);
   return result;

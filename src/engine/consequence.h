@@ -5,6 +5,18 @@
 // mutating I. The Δ operator then either applies the derivations (the
 // consistent case) or hands them to conflict construction (the
 // inconsistent case).
+//
+// All three Γ evaluators optionally run on a thread pool (see
+// ParallelGamma below). Parallel evaluation is an implementation detail,
+// never a semantic one: matching is read-only (the storage layer's lazy
+// index builds are hoisted out and the relations frozen for the section),
+// every task writes into its own buffer, and the buffers are merged in
+// task order — which is exactly the sequential enumeration order (rules
+// in program order; (rule, literal, seed-atom) triples in nested loop
+// order). The resulting derivation list, and hence every downstream
+// artifact (traces, conflicts, provenance, the fixpoint itself), is
+// bit-identical to the sequential engine's. docs/PARALLELISM.md spells
+// out the argument.
 
 #ifndef PARK_ENGINE_CONSEQUENCE_H_
 #define PARK_ENGINE_CONSEQUENCE_H_
@@ -14,6 +26,7 @@
 
 #include "engine/interpretation.h"
 #include "engine/matcher.h"
+#include "util/thread_pool.h"
 
 namespace park {
 
@@ -47,9 +60,31 @@ struct GammaResult {
   size_t rules_evaluated = 0;
 };
 
-/// Evaluates Γ(P,B)(I) as a derivation list; does not modify `interp`.
+/// Shared state for parallel Γ evaluation: the worker pool plus the
+/// per-program index-prewarm plan. One evaluation (a Park() call or a
+/// ParkStepper) owns at most one and threads it through every
+/// ComputeGamma* call; passing nullptr selects the sequential path.
+class ParallelGamma {
+ public:
+  /// `num_threads` must be >= 2 (1 thread IS the sequential path; callers
+  /// simply don't construct a ParallelGamma for it). The index
+  /// requirements are planned once here, from `program`'s body plans.
+  ParallelGamma(const Program& program, int num_threads);
+
+  int num_threads() const { return pool_.num_threads(); }
+  ThreadPool& pool() { return pool_; }
+  const IndexRequirements& requirements() const { return requirements_; }
+
+ private:
+  IndexRequirements requirements_;
+  ThreadPool pool_;
+};
+
+/// Evaluates Γ(P,B)(I) as a derivation list; does not modify `interp`
+/// (with `parallel`, rule matching fans out over the pool).
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
-                         const IInterpretation& interp);
+                         const IInterpretation& interp,
+                         ParallelGamma* parallel = nullptr);
 
 /// Applies `derivations` to `interp` (AddMarked + provenance). The caller
 /// must have checked `consistent`. Returns the number of marked atoms that
@@ -92,7 +127,8 @@ bool RuleIsAffected(const Rule& rule, const DeltaState& delta);
 GammaResult ComputeGammaFiltered(const Program& program,
                                  const BlockedSet& blocked,
                                  const IInterpretation& interp,
-                                 const DeltaState& delta);
+                                 const DeltaState& delta,
+                                 ParallelGamma* parallel = nullptr);
 
 /// ApplyDerivations variant that also records, into `next_delta`, which
 /// predicates gained new marks (for the next filtered step).
@@ -128,11 +164,13 @@ struct DeltaAtoms {
 
 /// Γ(P,B)(I) as the set of seed-completions of `delta`. With
 /// `delta.initial`, identical to ComputeGamma. Derivations are
-/// duplicate-free.
+/// duplicate-free. With `parallel`, the (rule, seed) completions fan out
+/// over the pool.
 GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const BlockedSet& blocked,
                                   const IInterpretation& interp,
-                                  const DeltaAtoms& delta);
+                                  const DeltaAtoms& delta,
+                                  ParallelGamma* parallel = nullptr);
 
 /// ApplyDerivations variant recording the newly marked atoms themselves.
 size_t ApplyDerivationsTrackedAtoms(

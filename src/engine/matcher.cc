@@ -40,14 +40,23 @@ int CountBoundPositions(const AtomPattern& atom,
 class BodyMatcher {
  public:
   BodyMatcher(const Rule& rule, const IInterpretation& interp,
-              const std::function<void(const Tuple&)>& fn,
+              FunctionRef<void(const Tuple&)> fn,
               const std::vector<int>& order)
       : rule_(rule),
         interp_(interp),
         fn_(fn),
         order_(order),
         binding_(static_cast<size_t>(rule.num_variables())),
-        bound_(static_cast<size_t>(rule.num_variables()), false) {}
+        bound_(static_cast<size_t>(rule.num_variables()), false),
+        scratch_(order.size()) {
+    // Per-literal pattern buffers, sized once here instead of a fresh
+    // heap-backed TuplePattern per EnumerateCandidates call.
+    for (size_t step = 0; step < order_.size(); ++step) {
+      const AtomPattern& atom =
+          rule_.body()[static_cast<size_t>(order_[step])].atom;
+      scratch_[step].resize(atom.terms.size());
+    }
+  }
 
   void Run() { Extend(0); }
 
@@ -105,16 +114,17 @@ class BodyMatcher {
     return GroundAtom(atom.predicate, std::move(args));
   }
 
-  TuplePattern PatternFor(const AtomPattern& atom) const {
-    TuplePattern pattern;
-    pattern.reserve(atom.terms.size());
-    for (const Term& t : atom.terms) {
+  /// Refreshes this step's scratch pattern from the current binding.
+  const TuplePattern& FillPattern(const AtomPattern& atom, size_t step) {
+    TuplePattern& pattern = scratch_[step];
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
       if (t.is_constant()) {
-        pattern.push_back(t.constant());
+        pattern[i] = t.constant();
       } else if (bound_[static_cast<size_t>(t.var_index())]) {
-        pattern.push_back(binding_[static_cast<size_t>(t.var_index())]);
+        pattern[i] = binding_[static_cast<size_t>(t.var_index())];
       } else {
-        pattern.push_back(std::nullopt);
+        pattern[i] = std::nullopt;
       }
     }
     return pattern;
@@ -147,7 +157,7 @@ class BodyMatcher {
   }
 
   void EnumerateCandidates(const BodyLiteral& lit, size_t step) {
-    TuplePattern pattern = PatternFor(lit.atom);
+    const TuplePattern& pattern = FillPattern(lit.atom, step);
     PredicateId pred = lit.atom.predicate;
     switch (lit.kind) {
       case LiteralKind::kPositive: {
@@ -202,10 +212,12 @@ class BodyMatcher {
 
   const Rule& rule_;
   const IInterpretation& interp_;
-  const std::function<void(const Tuple&)>& fn_;
+  FunctionRef<void(const Tuple&)> fn_;
   const std::vector<int>& order_;
   std::vector<Value> binding_;
   std::vector<bool> bound_;
+  // scratch_[step] is the reusable query pattern for order_[step].
+  std::vector<TuplePattern> scratch_;
 };
 
 }  // namespace
@@ -267,14 +279,75 @@ std::vector<int> PlanBodyOrderImpl(const Rule& rule, int pre_bound) {
   return order;
 }
 
+/// Appends `column` for `pred` into `columns` (deduplicated; a predicate
+/// has at most `arity` distinct probe columns, so linear scan is fine).
+void AddRequirement(IndexRequirements::ColumnsByPredicate& columns,
+                    PredicateId pred, int column) {
+  std::vector<int>& cols = columns[pred];
+  if (std::find(cols.begin(), cols.end(), column) == cols.end()) {
+    cols.push_back(column);
+  }
+}
+
+/// Walks one plan exactly as BodyMatcher will, recording for every
+/// generator literal the first bound pattern position — the column
+/// ForEachMatching's index probe uses. Boundness of a pattern position at
+/// a given plan step is static (constants, plus variables bound by
+/// earlier literals of the plan), which is what makes the prewarm exact.
+void CollectFromPlan(const Rule& rule, const std::vector<int>& order,
+                     std::vector<bool> bound, IndexRequirements& out) {
+  const auto& body = rule.body();
+  for (int idx : order) {
+    const BodyLiteral& lit = body[static_cast<size_t>(idx)];
+    if (!FullyBound(lit.atom, bound)) {
+      // This literal reaches EnumerateCandidates. Its pattern has at
+      // least one unbound position (an unbound variable), so the
+      // all-bound exact-match fast path does not apply; if it also has a
+      // bound position, ForEachMatching probes that column's index.
+      int first_bound = -1;
+      for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
+        const Term& t = lit.atom.terms[i];
+        if (t.is_constant() ||
+            bound[static_cast<size_t>(t.var_index())]) {
+          first_bound = static_cast<int>(i);
+          break;
+        }
+      }
+      if (first_bound >= 0) {
+        switch (lit.kind) {
+          case LiteralKind::kPositive:
+            AddRequirement(out.base, lit.atom.predicate, first_bound);
+            AddRequirement(out.plus, lit.atom.predicate, first_bound);
+            break;
+          case LiteralKind::kEventInsert:
+            AddRequirement(out.plus, lit.atom.predicate, first_bound);
+            break;
+          case LiteralKind::kEventDelete:
+            AddRequirement(out.minus, lit.atom.predicate, first_bound);
+            break;
+          case LiteralKind::kNegated:
+            PARK_CHECK(false) << "negated literal scheduled unbound";
+        }
+      }
+    }
+    for (const Term& t : lit.atom.terms) {
+      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<int> PlanBodyOrder(const Rule& rule) {
   return PlanBodyOrderImpl(rule, /*pre_bound=*/-1);
 }
 
+std::vector<int> PlanBodyOrderSeeded(const Rule& rule, int seed_index) {
+  return PlanBodyOrderImpl(rule, seed_index);
+}
+
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
-                      const std::function<void(const Tuple& binding)>& fn) {
+                      FunctionRef<void(const Tuple& binding)> fn) {
   std::vector<int> order = PlanBodyOrder(rule);
   BodyMatcher matcher(rule, interp, fn, order);
   matcher.Run();
@@ -282,10 +355,32 @@ void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
 
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
-                            const std::function<void(const Tuple&)>& fn) {
-  std::vector<int> order = PlanBodyOrderImpl(rule, seed_index);
+                            FunctionRef<void(const Tuple&)> fn) {
+  std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
   BodyMatcher matcher(rule, interp, fn, order);
   matcher.RunSeeded(rule.body()[static_cast<size_t>(seed_index)], seed_atom);
+}
+
+IndexRequirements CollectIndexRequirements(const Program& program) {
+  IndexRequirements out;
+  for (const Rule& rule : program.rules()) {
+    size_t num_vars = static_cast<size_t>(rule.num_variables());
+    CollectFromPlan(rule, PlanBodyOrder(rule),
+                    std::vector<bool>(num_vars, false), out);
+    // Every literal can be a delta seed under semi-naive evaluation
+    // (positive/+event literals via new + marks, negated/-event via new
+    // - marks), each inducing its own plan with the seed's variables
+    // pre-bound.
+    for (size_t s = 0; s < rule.body().size(); ++s) {
+      std::vector<bool> bound(num_vars, false);
+      for (const Term& t : rule.body()[s].atom.terms) {
+        if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+      }
+      CollectFromPlan(rule, PlanBodyOrderSeeded(rule, static_cast<int>(s)),
+                      std::move(bound), out);
+    }
+  }
+  return out;
 }
 
 }  // namespace park

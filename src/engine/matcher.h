@@ -6,14 +6,22 @@
 // the storage layer's column indexes are used), then enumerates matches by
 // backtracking. Negated literals are only ever evaluated once fully bound —
 // guaranteed possible by the safety conditions.
+//
+// Matching never mutates the interpretation, with one historical exception:
+// the storage layer's lazy column-index build. For parallel Γ evaluation,
+// CollectIndexRequirements computes — from the same plans the matcher will
+// execute — exactly which (predicate, column) indexes any match of the
+// program can probe, so the evaluator can build them up front and freeze
+// the relations for the duration of the parallel section.
 
 #ifndef PARK_ENGINE_MATCHER_H_
 #define PARK_ENGINE_MATCHER_H_
 
-#include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/interpretation.h"
+#include "util/function_ref.h"
 
 namespace park {
 
@@ -22,12 +30,17 @@ namespace park {
 /// `rule` is valid in `interp`. A rule with an empty body yields exactly
 /// one (empty) binding. `fn` must not mutate `interp`.
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
-                      const std::function<void(const Tuple& binding)>& fn);
+                      FunctionRef<void(const Tuple& binding)> fn);
 
 /// Returns the body-literal evaluation order the matcher would use for
 /// `rule` (indexes into rule.body()). Exposed for tests and for the
 /// EXPLAIN output of the parkcli tool.
 std::vector<int> PlanBodyOrder(const Rule& rule);
+
+/// The order used when literal `seed_index` is pre-bound by a delta seed
+/// (it is excluded from the returned order). Exposed for the index
+/// prewarm pass and tests.
+std::vector<int> PlanBodyOrderSeeded(const Rule& rule, int seed_index);
 
 /// Semi-naive building block: enumerates the matches of `rule` in which
 /// body literal `seed_index` is grounded by exactly `seed_atom`. The
@@ -37,7 +50,24 @@ std::vector<int> PlanBodyOrder(const Rule& rule);
 /// literal valid (it came from the engine's delta of new marks).
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
-                            const std::function<void(const Tuple&)>& fn);
+                            FunctionRef<void(const Tuple&)> fn);
+
+/// The column indexes that evaluating a program's bodies can probe, per
+/// predicate, split by which part of the i-interpretation the matcher
+/// reads them from (kPositive literals probe base AND plus; +event plus;
+/// -event minus; negated literals are never generators). Derived from the
+/// same plans the matcher executes — both the unseeded plan and every
+/// possible seeded plan — so it is exact, not an over-approximation of a
+/// different planner.
+struct IndexRequirements {
+  using ColumnsByPredicate =
+      std::unordered_map<PredicateId, std::vector<int>>;
+  ColumnsByPredicate base;
+  ColumnsByPredicate plus;
+  ColumnsByPredicate minus;
+};
+
+IndexRequirements CollectIndexRequirements(const Program& program);
 
 }  // namespace park
 

@@ -77,6 +77,14 @@ void Database::ForEach(
   }
 }
 
+void Database::FreezeIndexes() const {
+  for (const auto& [pred, rel] : relations_) rel.FreezeIndexes();
+}
+
+void Database::ThawIndexes() const {
+  for (const auto& [pred, rel] : relations_) rel.ThawIndexes();
+}
+
 std::vector<std::string> Database::SortedAtomStrings() const {
   std::vector<std::string> out;
   out.reserve(total_atoms_);

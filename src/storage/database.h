@@ -65,6 +65,13 @@ class Database {
   /// Invokes `fn` for every atom, in unspecified order.
   void ForEach(const std::function<void(const GroundAtom&)>& fn) const;
 
+  /// Freezes (resp. thaws) every relation for a read-only parallel
+  /// section — see Relation::FreezeIndexes. Relations created after a
+  /// freeze are unfrozen, so freezing must happen after the database has
+  /// reached the state the parallel readers will see.
+  void FreezeIndexes() const;
+  void ThawIndexes() const;
+
   /// All atoms as sorted, rendered strings — deterministic; used in tests
   /// and tools.
   std::vector<std::string> SortedAtomStrings() const;

@@ -14,6 +14,7 @@ Relation Relation::Clone() const {
 
 bool Relation::Insert(const Tuple& t) {
   PARK_CHECK_EQ(t.arity(), arity_) << "arity mismatch on insert";
+  PARK_CHECK(!frozen_) << "Insert on a frozen relation";
   auto [it, inserted] = tuples_.insert(t);
   if (!inserted) return false;
   const Tuple* stored = &*it;
@@ -26,6 +27,7 @@ bool Relation::Insert(const Tuple& t) {
 }
 
 bool Relation::Erase(const Tuple& t) {
+  PARK_CHECK(!frozen_) << "Erase on a frozen relation";
   auto it = tuples_.find(t);
   if (it == tuples_.end()) return false;
   const Tuple* stored = &*it;
@@ -44,7 +46,7 @@ bool Relation::Erase(const Tuple& t) {
   return true;
 }
 
-void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
+void Relation::ForEach(FunctionRef<void(const Tuple&)> fn) const {
   for (const Tuple& t : tuples_) fn(t);
 }
 
@@ -57,11 +59,20 @@ bool Relation::Matches(const Tuple& t, const TuplePattern& pattern) {
 }
 
 void Relation::EnsureIndex(int column) const {
+  if (static_cast<size_t>(column) < indexes_.size() &&
+      indexes_[static_cast<size_t>(column)].has_value()) {
+    return;
+  }
+  // A missing index inside a frozen (parallel, read-only) section means
+  // the prewarm pass under-approximated the plans — fail loudly rather
+  // than race on the lazy build.
+  PARK_CHECK(!frozen_)
+      << "lazy index build for column " << column
+      << " on a frozen relation (prewarm missed this column)";
   if (static_cast<size_t>(column) >= indexes_.size()) {
     indexes_.resize(static_cast<size_t>(arity_));
   }
   auto& index = indexes_[static_cast<size_t>(column)];
-  if (index.has_value()) return;
   index.emplace();
   index->reserve(tuples_.size());
   for (const Tuple& t : tuples_) {
@@ -69,9 +80,14 @@ void Relation::EnsureIndex(int column) const {
   }
 }
 
-void Relation::ForEachMatching(
-    const TuplePattern& pattern,
-    const std::function<void(const Tuple&)>& fn) const {
+void Relation::BuildIndex(int column) const {
+  PARK_CHECK_LT(column, arity_) << "BuildIndex column out of range";
+  PARK_CHECK(!frozen_) << "BuildIndex on a frozen relation";
+  EnsureIndex(column);
+}
+
+void Relation::ForEachMatching(const TuplePattern& pattern,
+                               FunctionRef<void(const Tuple&)> fn) const {
   PARK_CHECK_EQ(static_cast<int>(pattern.size()), arity_)
       << "pattern arity mismatch";
   int bound_column = -1;

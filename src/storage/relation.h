@@ -8,13 +8,13 @@
 #ifndef PARK_STORAGE_RELATION_H_
 #define PARK_STORAGE_RELATION_H_
 
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "storage/tuple.h"
+#include "util/function_ref.h"
 
 namespace park {
 
@@ -22,7 +22,16 @@ namespace park {
 /// "any value". Used as the query form for Relation::ForEachMatching.
 using TuplePattern = std::vector<std::optional<Value>>;
 
-/// Tuple set with on-demand column indexes. Not thread-safe.
+/// Tuple set with on-demand column indexes.
+///
+/// Thread safety: mutation is single-threaded, but read-only access from
+/// many threads is supported via index freezing. The lazy index build in
+/// ForEachMatching mutates under `const`, so a concurrent reader could
+/// observe a half-built index; the parallel Γ evaluator therefore calls
+/// BuildIndex for every column its plans will probe and then
+/// FreezeIndexes() before fanning out. While frozen, any operation that
+/// would mutate the relation — a lazy index build included — fails loudly
+/// instead of racing.
 class Relation {
  public:
   explicit Relation(int arity) : arity_(arity) {}
@@ -33,7 +42,8 @@ class Relation {
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
 
-  /// Deep copy without the indexes (they rebuild on demand).
+  /// Deep copy without the indexes (they rebuild on demand) and without
+  /// the frozen flag.
   Relation Clone() const;
 
   int arity() const { return arity_; }
@@ -41,23 +51,41 @@ class Relation {
   bool empty() const { return tuples_.empty(); }
 
   /// Inserts `t`; returns true if the tuple was not already present.
-  /// `t.arity()` must equal the relation arity.
+  /// `t.arity()` must equal the relation arity. Must not be frozen.
   bool Insert(const Tuple& t);
 
-  /// Removes `t`; returns true if it was present.
+  /// Removes `t`; returns true if it was present. Must not be frozen.
   bool Erase(const Tuple& t);
 
   bool Contains(const Tuple& t) const { return tuples_.contains(t); }
 
   /// Invokes `fn` for every tuple, in unspecified order. `fn` must not
   /// mutate this relation.
-  void ForEach(const std::function<void(const Tuple&)>& fn) const;
+  void ForEach(FunctionRef<void(const Tuple&)> fn) const;
 
   /// Invokes `fn` for every tuple consistent with `pattern` (same arity;
   /// bound positions must match exactly). Uses the most selective column
-  /// index among bound positions, building it on first use.
+  /// index among bound positions, building it on first use — unless the
+  /// relation is frozen, in which case the index must already exist.
   void ForEachMatching(const TuplePattern& pattern,
-                       const std::function<void(const Tuple&)>& fn) const;
+                       FunctionRef<void(const Tuple&)> fn) const;
+
+  /// Builds the hash index for `column` now (no-op if already built).
+  /// This is the explicit prewarm used before a frozen parallel section;
+  /// `const` because indexes are caches, like the lazy build.
+  void BuildIndex(int column) const;
+
+  bool HasIndex(int column) const {
+    return static_cast<size_t>(column) < indexes_.size() &&
+           indexes_[static_cast<size_t>(column)].has_value();
+  }
+
+  /// Enters read-only mode: concurrent ForEach/ForEachMatching/Contains
+  /// are safe, and any attempted mutation (Insert, Erase, lazy index
+  /// build) aborts with a check failure instead of racing.
+  void FreezeIndexes() const { frozen_ = true; }
+  void ThawIndexes() const { frozen_ = false; }
+  bool frozen() const { return frozen_; }
 
   /// All tuples, sorted — for deterministic printing and diffs.
   std::vector<Tuple> SortedTuples() const;
@@ -74,6 +102,7 @@ class Relation {
   std::unordered_set<Tuple, TupleHash> tuples_;
   // indexes_[c] is built lazily; nullopt means "not built".
   mutable std::vector<std::optional<ColumnIndex>> indexes_;
+  mutable bool frozen_ = false;
 };
 
 }  // namespace park

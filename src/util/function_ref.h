@@ -1,0 +1,54 @@
+// FunctionRef: a non-owning, trivially copyable reference to a callable —
+// two words (object pointer + trampoline), no heap, no virtual dispatch.
+//
+// The engine's hot path invokes a callback once per candidate tuple; with
+// std::function each level of the callback chain costs a type-erased heap
+// object and an indirect call through it. FunctionRef keeps the single
+// indirect call but removes the allocation and the double indirection, and
+// lets the compiler inline the trampoline when the callee is visible.
+//
+// Lifetime rule: a FunctionRef must not outlive the callable it was built
+// from. All uses in this codebase pass it down a synchronous call chain,
+// which is exactly the safe pattern.
+
+#ifndef PARK_UTIL_FUNCTION_REF_H_
+#define PARK_UTIL_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace park {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites keep passing lambdas unchanged.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace park
+
+#endif  // PARK_UTIL_FUNCTION_REF_H_

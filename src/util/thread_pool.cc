@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace park {
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  PARK_CHECK_GE(num_threads, 1) << "a pool needs at least the caller";
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunSection(FunctionRef<void(size_t)> fn, size_t n,
+                            size_t chunk) {
+  while (true) {
+    size_t begin = cursor_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) return;
+    size_t end = begin + chunk < n ? begin + chunk : n;
+    for (size_t i = begin; i < end; ++i) fn(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    FunctionRef<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    size_t chunk = 1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = const_cast<FunctionRef<void(size_t)>*>(section_fn_);
+      n = section_n_;
+      chunk = section_chunk_;
+    }
+    RunSection(*fn, n, chunk);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, FunctionRef<void(size_t)> fn,
+                             size_t chunk) {
+  if (chunk == 0) chunk = 1;
+  ++sections_run_;
+  tasks_executed_ += n;
+  if (n == 0) return;
+  if (workers_.empty()) {
+    RunSection(fn, n, chunk);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    section_fn_ = &fn;
+    section_n_ = n;
+    section_chunk_ = chunk;
+    cursor_.store(0, std::memory_order_relaxed);
+    workers_pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunSection(fn, n, chunk);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
+  section_fn_ = nullptr;
+}
+
+}  // namespace park

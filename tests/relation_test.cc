@@ -135,5 +135,68 @@ TEST(RelationTest, LargeMatchViaIndex) {
   EXPECT_EQ(count, 100);
 }
 
+TEST(RelationTest, PrewarmedIndexServesMatchesWhileFrozen) {
+  Relation rel(2);
+  for (int i = 0; i < 20; ++i) rel.Insert(T2(i % 4, i));
+  rel.BuildIndex(0);
+  EXPECT_TRUE(rel.HasIndex(0));
+  EXPECT_FALSE(rel.HasIndex(1));
+  rel.FreezeIndexes();
+  EXPECT_TRUE(rel.frozen());
+  // Matching on the prewarmed column is fine while frozen.
+  int count = 0;
+  rel.ForEachMatching({Value::Int(3), std::nullopt},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 5);
+  // Fully-bound and fully-unbound scans never need an index.
+  count = 0;
+  rel.ForEachMatching({Value::Int(1), Value::Int(1)},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 1);
+  count = 0;
+  rel.ForEach([&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 20);
+  rel.ThawIndexes();
+  EXPECT_FALSE(rel.frozen());
+}
+
+TEST(RelationDeathTest, LazyIndexBuildWhileFrozenDies) {
+  // The parallel Γ path relies on this check: a missed prewarm must abort
+  // loudly rather than race on a lazily-built index.
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.FreezeIndexes();
+  EXPECT_DEATH(rel.ForEachMatching({std::nullopt, Value::Int(2)},
+                                   [](const Tuple&) {}),
+               "frozen");
+}
+
+TEST(RelationDeathTest, MutationWhileFrozenDies) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.FreezeIndexes();
+  EXPECT_DEATH(rel.Insert(T2(3, 4)), "frozen");
+  EXPECT_DEATH(rel.Erase(T2(1, 2)), "frozen");
+}
+
+TEST(RelationDeathTest, ExplicitBuildWhileFrozenDies) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.FreezeIndexes();
+  EXPECT_DEATH(rel.BuildIndex(0), "frozen");
+}
+
+TEST(RelationTest, ThawReenablesLazyBuildsAndMutation) {
+  Relation rel(2);
+  rel.Insert(T2(1, 2));
+  rel.FreezeIndexes();
+  rel.ThawIndexes();
+  rel.Insert(T2(1, 3));
+  int count = 0;
+  rel.ForEachMatching({Value::Int(1), std::nullopt},
+                      [&](const Tuple&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
 }  // namespace
 }  // namespace park

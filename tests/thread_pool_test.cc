@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace park {
+namespace {
+
+TEST(ResolveNumThreadsTest, PositivePassesThrough) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+}
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkedCoversEverything) {
+  ThreadPool pool(3);
+  for (size_t chunk : {1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(
+        hits.size(),
+        [&](size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+        chunk);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk=" << chunk;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinySections) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "no indexes to run"; });
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ManyConsecutiveSections) {
+  // The coordinator reuses the same workers across sections; a generation
+  // bug would lose or double-run tasks.
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  int64_t expected = 0;
+  for (int round = 0; round < 200; ++round) {
+    size_t n = static_cast<size_t>(round % 17);
+    pool.ParallelFor(n, [&](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i) + 1);
+    });
+    expected += static_cast<int64_t>(n) * (static_cast<int64_t>(n) + 1) / 2;
+  }
+  EXPECT_EQ(sum.load(), expected);
+  EXPECT_EQ(pool.sections_run(), 200u);
+}
+
+TEST(ThreadPoolTest, TaskCounterAccumulates) {
+  ThreadPool pool(2);
+  pool.ParallelFor(10, [](size_t) {});
+  pool.ParallelFor(5, [](size_t) {});
+  EXPECT_EQ(pool.tasks_executed(), 15u);
+  EXPECT_EQ(pool.sections_run(), 2u);
+}
+
+TEST(ThreadPoolTest, MorekThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace park
