@@ -2,7 +2,12 @@
 // at 1/2/4/8 evaluation threads, with an in-bench bit-identity check
 // (every multi-threaded run must reproduce the single-threaded database
 // and step counts exactly, or the bench aborts). Emits BENCH_parallel.json
-// with per-config times, speedups, and pool stats.
+// with per-config times, speedups, and pool stats, including the
+// intra-rule slice counters (sliced_units / slices) that show how much of
+// the speedup came from splitting single rules rather than running rules
+// side by side. The skew_single_rule case is the slicing showcase: one
+// join rule dominates the section, so without slicing extra threads
+// cannot help at all.
 //
 //   bench_parallel [output.json]     (default: BENCH_parallel.json)
 //
@@ -35,7 +40,41 @@ struct ConfigResult {
   size_t gamma_steps = 0;
   size_t parallel_sections = 0;
   size_t parallel_tasks = 0;
+  size_t parallel_sliced_units = 0;
+  size_t parallel_slices = 0;
 };
+
+/// Intra-rule skew: one join rule owns essentially all the work while two
+/// satellite rules stay trivial. Per-rule task generation alone would
+/// serialize the section on the big rule; only candidate slicing lets
+/// extra threads bite.
+Workload MakeSkewWorkload(int num_nodes, int num_edges, uint64_t seed) {
+  Workload w(MakeSymbolTable());
+  w.program = ParseProgram(
+                  "big: edge(X, Y), edge(Y, Z) -> +hop(X, Z).\n"
+                  "t1: seed(X) -> +seen(X).\n"
+                  "t2: seen(X), hop(X, X) -> +selfloop(X).\n",
+                  w.symbols)
+                  .value();
+  uint64_t state = seed * 2654435761u + 1;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < num_edges; ++i) {
+    int64_t a = static_cast<int64_t>(next() % num_nodes);
+    int64_t b = static_cast<int64_t>(next() % num_nodes);
+    w.database.Insert(IntAtom2(w.symbols, "edge", a, b));
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    w.database.Insert(IntAtom(w.symbols, "seed", i));
+  }
+  w.description = StrFormat("skew join, %d nodes / %d edges", num_nodes,
+                            num_edges);
+  return w;
+}
 
 ParkResult RunOnce(const Workload& w, int threads, double* elapsed_ms) {
   ParkOptions options;
@@ -77,12 +116,17 @@ std::vector<ConfigResult> RunCase(const BenchCase& bench, int repetitions) {
       config.gamma_steps = result.stats.gamma_steps;
       config.parallel_sections = result.stats.parallel_sections;
       config.parallel_tasks = result.stats.parallel_tasks;
+      config.parallel_sliced_units = result.stats.parallel_sliced_units;
+      config.parallel_slices = result.stats.parallel_slices;
     }
     config.best_ms = best;
     config.speedup = configs.empty() ? 1.0 : configs[0].best_ms / best;
     configs.push_back(config);
-    std::printf("  %-28s threads=%d  %8.2f ms  speedup %.2fx\n",
-                bench.name.c_str(), threads, best, config.speedup);
+    std::printf(
+        "  %-28s threads=%d  %8.2f ms  speedup %.2fx  "
+        "(%zu unit(s) sliced into %zu)\n",
+        bench.name.c_str(), threads, best, config.speedup,
+        config.parallel_sliced_units, config.parallel_slices);
   }
   return configs;
 }
@@ -104,10 +148,11 @@ std::string ToJson(
       json += StrFormat(
           "      {\"threads\": %d, \"best_ms\": %.3f, \"speedup\": %.3f,"
           " \"gamma_steps\": %zu, \"parallel_sections\": %zu,"
-          " \"parallel_tasks\": %zu}%s\n",
+          " \"parallel_tasks\": %zu, \"parallel_sliced_units\": %zu,"
+          " \"parallel_slices\": %zu}%s\n",
           c.threads, c.best_ms, c.speedup, c.gamma_steps,
-          c.parallel_sections, c.parallel_tasks,
-          j + 1 < configs.size() ? "," : "");
+          c.parallel_sections, c.parallel_tasks, c.parallel_sliced_units,
+          c.parallel_slices, j + 1 < configs.size() ? "," : "");
     }
     json += StrFormat("    ]}%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -137,6 +182,12 @@ int Main(int argc, char** argv) {
     BenchCase c{"closure_path_512", MakeTransitiveClosureWorkload(
                                         GraphShape::kPath, 512, 511,
                                         /*seed=*/1)};
+    cases.push_back(std::move(c));
+  }
+  {
+    BenchCase c{"skew_single_rule",
+                MakeSkewWorkload(/*num_nodes=*/512, /*num_edges=*/8192,
+                                 /*seed=*/41)};
     cases.push_back(std::move(c));
   }
 

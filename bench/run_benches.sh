@@ -45,6 +45,10 @@ for name in "${gbenches[@]}"; do
            --benchmark_out_format=json
 done
 
+# bench_parallel covers inter-rule scaling AND the skew_single_rule case,
+# whose speedup comes entirely from intra-rule candidate slicing; its JSON
+# records hardware_concurrency plus per-config parallel_sliced_units /
+# parallel_slices so a flat curve on a small host is explainable.
 if [[ -x "${bench_dir}/bench_parallel" ]]; then
   echo "== bench_parallel"
   "${bench_dir}/bench_parallel" "${out_dir}/BENCH_parallel.json"

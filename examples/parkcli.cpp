@@ -13,16 +13,21 @@
 //   --deadline-ms N    abort evaluation after N wall-clock milliseconds
 //   --threads N        Γ evaluation threads (default 1 = sequential;
 //                      0 = one per hardware thread); results identical
+//   --min-slice-size N smallest per-slice candidate count for intra-rule
+//                      parallelism (default 256); results identical
 //   --trace            print the full fixpoint trace
 //   --provenance       print which rule instances derived each change
 //   --explain          print the parsed program, analysis, and body plans
 //
 // Exit status: 0 on success, 1 on any error.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -108,10 +113,27 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --rules FILE --facts FILE [--update ±atom]...\n"
                "          [--policy NAME] [--block-first] [--max-steps N]\n"
-               "          [--deadline-ms N] [--threads N] [--trace]\n"
-               "          [--explain]\n",
+               "          [--deadline-ms N] [--threads N]\n"
+               "          [--min-slice-size N] [--trace] [--explain]\n",
                argv0);
   return 1;
+}
+
+/// Parses integer flag `flag` from text `v` and range-checks it against
+/// [min, max] — int64 parses that would silently narrow (e.g. a --threads
+/// value overflowing int) are rejected with a clear error instead.
+bool ParseIntFlag(const char* flag, const char* v, int64_t min, int64_t max,
+                  int64_t* out) {
+  auto parsed = park::ParseInt64(v);
+  if (!parsed.has_value() || *parsed < min || *parsed > max) {
+    std::fprintf(stderr,
+                 "%s wants an integer in [%lld, %lld], got '%s'\n", flag,
+                 static_cast<long long>(min), static_cast<long long>(max),
+                 v);
+    return false;
+  }
+  *out = *parsed;
+  return true;
 }
 
 }  // namespace
@@ -153,33 +175,40 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-steps") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      auto steps = park::ParseInt64(v);
-      if (!steps.has_value() || *steps <= 0) {
-        std::fprintf(stderr, "--max-steps wants a positive integer, got"
-                             " '%s'\n", v);
-        return 1;
-      }
-      options.max_steps = static_cast<size_t>(*steps);
+      int64_t steps = 0;
+      // size_t can be narrower than int64 (32-bit hosts); bound by both.
+      int64_t max = static_cast<int64_t>(
+          std::min<uint64_t>(std::numeric_limits<size_t>::max(),
+                             std::numeric_limits<int64_t>::max()));
+      if (!ParseIntFlag("--max-steps", v, 1, max, &steps)) return 1;
+      options.max_steps = static_cast<size_t>(steps);
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      auto deadline = park::ParseInt64(v);
-      if (!deadline.has_value() || *deadline <= 0) {
-        std::fprintf(stderr, "--deadline-ms wants a positive integer, got"
-                             " '%s'\n", v);
+      int64_t deadline = 0;
+      if (!ParseIntFlag("--deadline-ms", v, 1,
+                        std::numeric_limits<int64_t>::max(), &deadline)) {
         return 1;
       }
-      options.deadline_ms = *deadline;
+      options.deadline_ms = deadline;
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      auto threads = park::ParseInt64(v);
-      if (!threads.has_value() || *threads < 0) {
-        std::fprintf(stderr, "--threads wants a non-negative integer, got"
-                             " '%s'\n", v);
+      int64_t threads = 0;
+      if (!ParseIntFlag("--threads", v, 0,
+                        std::numeric_limits<int>::max(), &threads)) {
         return 1;
       }
-      options.num_threads = static_cast<int>(*threads);
+      options.num_threads = static_cast<int>(threads);
+    } else if (arg == "--min-slice-size") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      int64_t slice = 0;
+      int64_t max = static_cast<int64_t>(
+          std::min<uint64_t>(std::numeric_limits<size_t>::max(),
+                             std::numeric_limits<int64_t>::max()));
+      if (!ParseIntFlag("--min-slice-size", v, 0, max, &slice)) return 1;
+      options.min_slice_size = static_cast<size_t>(slice);
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--provenance") {

@@ -134,7 +134,9 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   const GammaMode mode = options.gamma_mode;
   const int num_threads = ResolveNumThreads(options.num_threads);
   std::optional<ParallelGamma> parallel_state;
-  if (num_threads > 1) parallel_state.emplace(program, num_threads);
+  if (num_threads > 1) {
+    parallel_state.emplace(program, num_threads, options.min_slice_size);
+  }
   ParallelGamma* parallel =
       parallel_state.has_value() ? &*parallel_state : nullptr;
   stats.num_threads = static_cast<size_t>(num_threads);
@@ -267,6 +269,8 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   if (parallel != nullptr) {
     stats.parallel_sections = parallel->pool().sections_run();
     stats.parallel_tasks = parallel->pool().tasks_executed();
+    stats.parallel_sliced_units = parallel->sliced_units();
+    stats.parallel_slices = parallel->slice_tasks();
   }
   ParkResult result{interp.Incorporate(), stats, std::move(trace),
                     RenderBlocked(blocked, program), {}};

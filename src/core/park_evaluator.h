@@ -80,9 +80,16 @@ struct ParkOptions {
   bool record_provenance = false;
   /// Threads used to evaluate Γ. 1 (default) is the sequential path; 0
   /// means one per hardware thread; N > 1 runs body matching on a pool of
-  /// N threads. Results are bit-identical across all settings — parallel
-  /// Γ preserves PARK's determinism (see docs/PARALLELISM.md).
+  /// N threads (clamped to 4x hardware concurrency). Results are
+  /// bit-identical across all settings — parallel Γ preserves PARK's
+  /// determinism (see docs/PARALLELISM.md).
   int num_threads = 1;
+  /// Intra-rule parallelism granularity: the smallest first-literal
+  /// candidate count one slice of a rule's (or Δ-seed's) work may carry.
+  /// Rules below 2x this stay one task; 0 behaves as 1 (finest slicing).
+  /// Only consulted when num_threads resolves to > 1, and never affects
+  /// results — only how the identical work is partitioned.
+  size_t min_slice_size = kDefaultMinSliceSize;
 };
 
 /// Counters describing one evaluation.
@@ -94,10 +101,16 @@ struct ParkStats {
   size_t derived_marks = 0;       // marked-atom insertions (all rounds)
   size_t policy_invocations = 0;  // SELECT calls
   size_t rule_evaluations = 0;    // rule-body matchings across all steps
-  // Parallel-Γ counters (see ParkOptions::num_threads).
+  // Parallel-Γ counters (see ParkOptions::num_threads). `parallel_tasks`
+  // counts pool tasks, which with intra-rule slicing can exceed the
+  // number of rules/seeds evaluated: a skewed unit contributes one task
+  // per slice.
   size_t num_threads = 1;         // resolved thread count for the run
-  size_t parallel_sections = 0;   // Γ evaluations fanned out on the pool
+  size_t parallel_sections = 0;   // non-empty Γ fan-outs on the pool
   size_t parallel_tasks = 0;      // matching tasks queued across sections
+  // Intra-rule slicing counters (see ParkOptions::min_slice_size).
+  size_t parallel_sliced_units = 0;  // rules/Δ-seeds split into slices
+  size_t parallel_slices = 0;        // slice tasks those splits produced
 };
 
 /// Why one update survived into the result: the marked atom (with its

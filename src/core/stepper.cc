@@ -16,7 +16,9 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
       << "program and database must share a symbol table";
   int num_threads = ResolveNumThreads(options_.num_threads);
   stats_.num_threads = static_cast<size_t>(num_threads);
-  if (num_threads > 1) parallel_.emplace(program_, num_threads);
+  if (num_threads > 1) {
+    parallel_.emplace(program_, num_threads, options_.min_slice_size);
+  }
 }
 
 Result<StepOutcome> ParkStepper::Step() {
@@ -58,6 +60,8 @@ Result<StepOutcome> ParkStepper::Step() {
   if (parallel != nullptr) {
     stats_.parallel_sections = parallel->pool().sections_run();
     stats_.parallel_tasks = parallel->pool().tasks_executed();
+    stats_.parallel_sliced_units = parallel->sliced_units();
+    stats_.parallel_slices = parallel->slice_tasks();
   }
 
   if (gamma.consistent) {

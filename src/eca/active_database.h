@@ -66,6 +66,12 @@ class ActiveDatabase {
   void SetNumThreads(int num_threads) {
     options_.num_threads = num_threads;
   }
+  /// Smallest first-literal candidate count one intra-rule slice may
+  /// carry when Γ runs parallel (see ParkOptions::min_slice_size). A pure
+  /// partitioning knob: results and replay are unaffected.
+  void SetMinSliceSize(size_t min_slice_size) {
+    options_.min_slice_size = min_slice_size;
+  }
   void SetTraceLevel(TraceLevel level) { options_.trace_level = level; }
   const ParkOptions& options() const { return options_; }
   ParkOptions& mutable_options() { return options_; }

@@ -37,16 +37,66 @@ void AnalyzeDerivations(const IInterpretation& interp, GammaResult& result) {
   result.consistent = result.clashing_atoms.empty();
 }
 
-/// Appends every firable, non-blocked grounding of `rule` to `out`.
+/// Appends every firable, non-blocked grounding of `rule` (restricted to
+/// first-literal candidates in `slice`; full slice = whole rule) to `out`.
 void MatchRule(const Rule& rule, const BlockedSet& blocked,
-               const IInterpretation& interp, std::vector<Derivation>& out) {
-  ForEachBodyMatch(rule, interp, [&](const Tuple& binding) {
+               const IInterpretation& interp, std::vector<Derivation>& out,
+               CandidateSlice slice = CandidateSlice{}) {
+  ForEachBodyMatch(rule, interp, slice, [&](const Tuple& binding) {
     RuleGrounding grounding(rule.index(), binding);
     if (blocked.contains(grounding)) return;
     GroundAtom head = rule.head().atom.Ground(binding.values());
     out.push_back(Derivation{
         std::move(grounding), rule.head().action, std::move(head)});
   });
+}
+
+// --- Intra-rule slicing policy ---
+//
+// A unit (one rule, or one (rule, Δ-seed) pair) is split into candidate
+// slices only when splitting can pay for the counting pass: the section
+// must not already have ample units to fill the pool, and the unit's
+// first-literal candidate stream must be big enough that every slice
+// carries at least min_slice_size candidates. The resulting partition
+// NEVER affects the merged derivation list (slices of a unit concatenate
+// back to the unit's sequential enumeration), so any policy change here
+// is a pure performance knob.
+
+/// Slice-task fan-out cap per unit, in multiples of the pool size; also
+/// the unit-count threshold above which sections skip slicing entirely.
+constexpr size_t kSlicesPerThread = 4;
+
+/// True if a section with `units` tasks should consider splitting them.
+bool ShouldConsiderSlicing(size_t units, int threads) {
+  return units < kSlicesPerThread * static_cast<size_t>(threads);
+}
+
+/// Number of slices for a unit with `candidates` stream tuples.
+size_t NumSlicesFor(size_t candidates, size_t min_slice_size, int threads) {
+  if (min_slice_size == 0) min_slice_size = 1;
+  size_t by_size = candidates / min_slice_size;
+  size_t cap = kSlicesPerThread * static_cast<size_t>(threads);
+  size_t n = by_size < cap ? by_size : cap;
+  return n < 2 ? 1 : n;
+}
+
+/// Appends the `num_slices`-way partition of [0, candidates) for `unit`.
+/// The last slice is open-ended (kSliceEnd) so coverage never depends on
+/// the counted total.
+template <typename Task>
+void AppendSliceTasks(size_t unit, size_t candidates, size_t num_slices,
+                      std::vector<Task>& out) {
+  if (num_slices <= 1) {
+    out.push_back(Task{unit, CandidateSlice{}});
+    return;
+  }
+  for (size_t s = 0; s < num_slices; ++s) {
+    CandidateSlice slice;
+    slice.begin = candidates * s / num_slices;
+    slice.end = s + 1 == num_slices ? CandidateSlice::kSliceEnd
+                                    : candidates * (s + 1) / num_slices;
+    out.push_back(Task{unit, slice});
+  }
 }
 
 /// Builds the index for every (predicate, column) of `columns` whose
@@ -90,19 +140,49 @@ class FrozenInterpretation {
   const IInterpretation& interp_;
 };
 
-/// Fans rule matching out over the pool, one task per rule in `rules`,
-/// then concatenates the per-rule buffers in rule order — exactly the
-/// order the sequential loop produces.
+/// Fans rule matching out over the pool as a flat (rule, slice) task
+/// list — skewed rules are split into candidate slices — then
+/// concatenates the per-task buffers in task order: rules in program
+/// order, slices of one rule in ordinal order. That is exactly the order
+/// the sequential loop produces.
 void MatchRulesParallel(const std::vector<const Rule*>& rules,
                         const BlockedSet& blocked,
                         const IInterpretation& interp,
                         ParallelGamma& parallel,
                         std::vector<Derivation>& out) {
-  std::vector<std::vector<Derivation>> buffers(rules.size());
+  struct RuleSliceTask {
+    size_t unit;  // index into `rules`
+    CandidateSlice slice;
+  };
+  std::vector<RuleSliceTask> tasks;
+  tasks.reserve(rules.size());
+  std::vector<std::vector<Derivation>> buffers;
   {
     FrozenInterpretation frozen(interp, parallel.requirements());
-    parallel.pool().ParallelFor(rules.size(), [&](size_t i) {
-      MatchRule(*rules[i], blocked, interp, buffers[i]);
+    const int threads = parallel.num_threads();
+    if (ShouldConsiderSlicing(rules.size(), threads)) {
+      size_t sliced_units = 0;
+      size_t slice_tasks = 0;
+      for (size_t i = 0; i < rules.size(); ++i) {
+        size_t candidates = CountFirstLiteralCandidates(*rules[i], interp);
+        size_t num_slices =
+            NumSlicesFor(candidates, parallel.min_slice_size(), threads);
+        if (num_slices > 1) {
+          ++sliced_units;
+          slice_tasks += num_slices;
+        }
+        AppendSliceTasks(i, candidates, num_slices, tasks);
+      }
+      parallel.RecordSlicing(sliced_units, slice_tasks);
+    } else {
+      for (size_t i = 0; i < rules.size(); ++i) {
+        tasks.push_back(RuleSliceTask{i, CandidateSlice{}});
+      }
+    }
+    buffers.resize(tasks.size());
+    parallel.pool().ParallelFor(tasks.size(), [&](size_t i) {
+      MatchRule(*rules[tasks[i].unit], blocked, interp, buffers[i],
+                tasks[i].slice);
     });
   }
   size_t total = 0;
@@ -115,15 +195,18 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
 
 }  // namespace
 
-ParallelGamma::ParallelGamma(const Program& program, int num_threads)
+ParallelGamma::ParallelGamma(const Program& program, int num_threads,
+                             size_t min_slice_size)
     : requirements_(CollectIndexRequirements(program)),
+      min_slice_size_(min_slice_size),
       pool_(num_threads) {}
 
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
                          ParallelGamma* parallel) {
   GammaResult result;
-  if (parallel != nullptr && program.size() > 1) {
+  // Even a one-rule program fans out: intra-rule slicing can split it.
+  if (parallel != nullptr && program.size() > 0) {
     std::vector<const Rule*> rules;
     rules.reserve(program.size());
     for (const Rule& rule : program.rules()) rules.push_back(&rule);
@@ -177,7 +260,7 @@ GammaResult ComputeGammaFiltered(const Program& program,
   for (const Rule& rule : program.rules()) {
     if (RuleIsAffected(rule, delta)) affected.push_back(&rule);
   }
-  if (parallel != nullptr && affected.size() > 1) {
+  if (parallel != nullptr && !affected.empty()) {
     MatchRulesParallel(affected, blocked, interp, *parallel,
                        result.derivations);
   } else {
@@ -235,9 +318,10 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
   GammaResult result;
   result.rules_evaluated = rules_evaluated;
 
-  auto run_task = [&](const SeedTask& task, std::vector<Derivation>& out) {
+  auto run_task = [&](const SeedTask& task, std::vector<Derivation>& out,
+                      CandidateSlice slice = CandidateSlice{}) {
     ForEachBodyMatchSeeded(
-        *task.rule, interp, task.literal, *task.atom,
+        *task.rule, interp, task.literal, *task.atom, slice,
         [&](const Tuple& binding) {
           RuleGrounding grounding(task.rule->index(), binding);
           if (blocked.contains(grounding)) return;
@@ -259,12 +343,46 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     }
   };
 
-  if (parallel != nullptr && tasks.size() > 1) {
-    std::vector<std::vector<Derivation>> buffers(tasks.size());
+  if (parallel != nullptr && !tasks.empty()) {
+    // Second task level: a seed whose remaining candidate stream is large
+    // splits into (rule, Δ-seed, slice) tasks. The flattened order is
+    // (seed in nested-loop order, slice in ordinal order), so replaying
+    // the cross-seed grounding dedup over the buffers in task order keeps
+    // first-occurrence-in-sequential-order exactly.
+    struct SeedSliceTask {
+      size_t unit;  // index into `tasks`
+      CandidateSlice slice;
+    };
+    std::vector<SeedSliceTask> slice_tasks;
+    slice_tasks.reserve(tasks.size());
+    std::vector<std::vector<Derivation>> buffers;
     {
       FrozenInterpretation frozen(interp, parallel->requirements());
-      parallel->pool().ParallelFor(tasks.size(), [&](size_t i) {
-        run_task(tasks[i], buffers[i]);
+      const int threads = parallel->num_threads();
+      if (ShouldConsiderSlicing(tasks.size(), threads)) {
+        size_t sliced_units = 0;
+        size_t new_slice_tasks = 0;
+        for (size_t i = 0; i < tasks.size(); ++i) {
+          size_t candidates = CountFirstLiteralCandidatesSeeded(
+              *tasks[i].rule, interp, tasks[i].literal, *tasks[i].atom);
+          size_t num_slices =
+              NumSlicesFor(candidates, parallel->min_slice_size(), threads);
+          if (num_slices > 1) {
+            ++sliced_units;
+            new_slice_tasks += num_slices;
+          }
+          AppendSliceTasks(i, candidates, num_slices, slice_tasks);
+        }
+        parallel->RecordSlicing(sliced_units, new_slice_tasks);
+      } else {
+        for (size_t i = 0; i < tasks.size(); ++i) {
+          slice_tasks.push_back(SeedSliceTask{i, CandidateSlice{}});
+        }
+      }
+      buffers.resize(slice_tasks.size());
+      parallel->pool().ParallelFor(slice_tasks.size(), [&](size_t i) {
+        run_task(tasks[slice_tasks[i].unit], buffers[i],
+                 slice_tasks[i].slice);
       });
     }
     for (auto& buffer : buffers) merge_deduped(buffer);

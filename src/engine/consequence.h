@@ -13,10 +13,17 @@
 // every task writes into its own buffer, and the buffers are merged in
 // task order — which is exactly the sequential enumeration order (rules
 // in program order; (rule, literal, seed-atom) triples in nested loop
-// order). The resulting derivation list, and hence every downstream
-// artifact (traces, conflicts, provenance, the fixpoint itself), is
-// bit-identical to the sequential engine's. docs/PARALLELISM.md spells
-// out the argument.
+// order; candidate slices of one unit in ordinal order). The resulting
+// derivation list, and hence every downstream artifact (traces,
+// conflicts, provenance, the fixpoint itself), is bit-identical to the
+// sequential engine's. docs/PARALLELISM.md spells out the argument.
+//
+// Task generation is two-level: a unit is a rule (ComputeGamma /
+// ComputeGammaFiltered) or a (rule, Δ-seed) pair (ComputeGammaSemiNaive),
+// and a unit whose first-literal candidate stream is large enough (see
+// ParkOptions::min_slice_size) is split into [begin, end) candidate
+// slices, each its own pool task — so a single skewed rule no longer
+// serializes its whole section.
 
 #ifndef PARK_ENGINE_CONSEQUENCE_H_
 #define PARK_ENGINE_CONSEQUENCE_H_
@@ -60,6 +67,12 @@ struct GammaResult {
   size_t rules_evaluated = 0;
 };
 
+/// Default for ParkOptions::min_slice_size / ParallelGamma: small enough
+/// that a genuinely skewed rule (thousands of candidates) splits, large
+/// enough that tiny rules stay one task and the per-unit counting pass
+/// stays in the noise.
+inline constexpr size_t kDefaultMinSliceSize = 256;
+
 /// Shared state for parallel Γ evaluation: the worker pool plus the
 /// per-program index-prewarm plan. One evaluation (a Park() call or a
 /// ParkStepper) owns at most one and threads it through every
@@ -69,14 +82,31 @@ class ParallelGamma {
   /// `num_threads` must be >= 2 (1 thread IS the sequential path; callers
   /// simply don't construct a ParallelGamma for it). The index
   /// requirements are planned once here, from `program`'s body plans.
-  ParallelGamma(const Program& program, int num_threads);
+  /// `min_slice_size` is the smallest first-literal candidate count one
+  /// intra-rule slice may carry (0 behaves as 1).
+  ParallelGamma(const Program& program, int num_threads,
+                size_t min_slice_size = kDefaultMinSliceSize);
 
   int num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
   const IndexRequirements& requirements() const { return requirements_; }
+  size_t min_slice_size() const { return min_slice_size_; }
+
+  /// Intra-rule slicing counters, accumulated across sections by the
+  /// coordinator (never from worker threads): how many units (rules or
+  /// Δ-seeds) were split, and how many slice tasks the splits produced.
+  uint64_t sliced_units() const { return sliced_units_; }
+  uint64_t slice_tasks() const { return slice_tasks_; }
+  void RecordSlicing(size_t units, size_t slices) {
+    sliced_units_ += units;
+    slice_tasks_ += slices;
+  }
 
  private:
   IndexRequirements requirements_;
+  size_t min_slice_size_;
+  uint64_t sliced_units_ = 0;
+  uint64_t slice_tasks_ = 0;
   ThreadPool pool_;
 };
 

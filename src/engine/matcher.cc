@@ -60,33 +60,99 @@ class BodyMatcher {
 
   void Run() { Extend(0); }
 
+  /// Restricts enumeration to first-literal candidates with ordinals in
+  /// `slice` (see CandidateSlice in matcher.h). Must be set before Run /
+  /// RunSeeded. A full slice is a no-op.
+  void SetSlice(CandidateSlice slice) {
+    slicing_ = !slice.IsFull();
+    slice_ = slice;
+  }
+
   /// Pre-binds the variables of `seed_literal` against `seed_atom` (its
   /// validity is the caller's guarantee), then enumerates the remaining
   /// plan. Returns without calling the callback if constants or repeated
   /// variables disagree with the atom.
   void RunSeeded(const BodyLiteral& seed_literal,
                  const GroundAtom& seed_atom) {
+    if (BindSeed(seed_literal, seed_atom)) Extend(0);
+  }
+
+  /// Binds the seed literal's variables from `seed_atom`; false means the
+  /// atom disagrees with the literal's constants or repeated variables
+  /// (no matches exist).
+  bool BindSeed(const BodyLiteral& seed_literal,
+                const GroundAtom& seed_atom) {
     const AtomPattern& pattern = seed_literal.atom;
-    if (pattern.predicate != seed_atom.predicate()) return;
+    if (pattern.predicate != seed_atom.predicate()) return false;
     for (size_t i = 0; i < pattern.terms.size(); ++i) {
       const Term& term = pattern.terms[i];
       const Value& value = seed_atom.args()[static_cast<int>(i)];
       if (term.is_constant()) {
-        if (term.constant() != value) return;
+        if (term.constant() != value) return false;
         continue;
       }
       size_t var = static_cast<size_t>(term.var_index());
       if (bound_[var]) {
-        if (binding_[var] != value) return;  // repeated variable mismatch
+        if (binding_[var] != value) return false;  // repeated var mismatch
       } else {
         binding_[var] = value;
         bound_[var] = true;
       }
     }
-    Extend(0);
+    return true;
+  }
+
+  /// Size of the candidate stream the plan's first literal draws from in
+  /// the current bound state (raw: the positive-literal base/plus dedup
+  /// skip is applied per candidate at enumeration time, after ordinal
+  /// assignment, so it does not affect the count). 0 means unsliceable.
+  size_t CountSliceCandidates() {
+    if (order_.empty()) return 0;
+    const BodyLiteral& lit =
+        rule_.body()[static_cast<size_t>(order_[0])];
+    if (FullyBound(lit.atom, bound_) || !IsBindingKind(lit.kind)) return 0;
+    const TuplePattern& pattern = FillPattern(lit.atom, 0);
+    size_t n = 0;
+    auto count = [&n](const Tuple&) { ++n; };
+    PredicateId pred = lit.atom.predicate;
+    switch (lit.kind) {
+      case LiteralKind::kPositive: {
+        if (const Relation* base = interp_.base().GetRelation(pred)) {
+          base->ForEachMatching(pattern, count);
+        }
+        if (const Relation* plus = interp_.plus().GetRelation(pred)) {
+          plus->ForEachMatching(pattern, count);
+        }
+        break;
+      }
+      case LiteralKind::kEventInsert: {
+        if (const Relation* plus = interp_.plus().GetRelation(pred)) {
+          plus->ForEachMatching(pattern, count);
+        }
+        break;
+      }
+      case LiteralKind::kEventDelete: {
+        if (const Relation* minus = interp_.minus().GetRelation(pred)) {
+          minus->ForEachMatching(pattern, count);
+        }
+        break;
+      }
+      case LiteralKind::kNegated:
+        break;  // unreachable: !IsBindingKind handled above
+    }
+    return n;
   }
 
  private:
+  /// Ordinal gate for intra-rule slicing: every candidate the first plan
+  /// literal draws gets the next stream ordinal; only ordinals inside the
+  /// slice are expanded. Later steps are never gated.
+  bool ClaimCandidate(size_t step) {
+    if (step != 0 || !slicing_) return true;
+    size_t ordinal = ordinal_++;
+    return ordinal >= slice_.begin && ordinal < slice_.end;
+  }
+
   void Extend(size_t step) {
     if (step == order_.size()) {
       Emit();
@@ -163,15 +229,19 @@ class BodyMatcher {
       case LiteralKind::kPositive: {
         // Valid sources: unmarked base atoms and +marked atoms. An atom in
         // both would be enumerated twice; skip base duplicates in the plus
-        // scan.
+        // scan. The slice ordinal is claimed BEFORE the dedup skip so the
+        // stream count is a property of the stores alone.
         const Relation* base = interp_.base().GetRelation(pred);
         if (base != nullptr) {
-          base->ForEachMatching(
-              pattern, [&](const Tuple& t) { TryTuple(lit.atom, t, step); });
+          base->ForEachMatching(pattern, [&](const Tuple& t) {
+            if (!ClaimCandidate(step)) return;
+            TryTuple(lit.atom, t, step);
+          });
         }
         const Relation* plus = interp_.plus().GetRelation(pred);
         if (plus != nullptr) {
           plus->ForEachMatching(pattern, [&](const Tuple& t) {
+            if (!ClaimCandidate(step)) return;
             if (base != nullptr && base->Contains(t)) return;
             TryTuple(lit.atom, t, step);
           });
@@ -181,16 +251,20 @@ class BodyMatcher {
       case LiteralKind::kEventInsert: {
         const Relation* plus = interp_.plus().GetRelation(pred);
         if (plus != nullptr) {
-          plus->ForEachMatching(
-              pattern, [&](const Tuple& t) { TryTuple(lit.atom, t, step); });
+          plus->ForEachMatching(pattern, [&](const Tuple& t) {
+            if (!ClaimCandidate(step)) return;
+            TryTuple(lit.atom, t, step);
+          });
         }
         return;
       }
       case LiteralKind::kEventDelete: {
         const Relation* minus = interp_.minus().GetRelation(pred);
         if (minus != nullptr) {
-          minus->ForEachMatching(
-              pattern, [&](const Tuple& t) { TryTuple(lit.atom, t, step); });
+          minus->ForEachMatching(pattern, [&](const Tuple& t) {
+            if (!ClaimCandidate(step)) return;
+            TryTuple(lit.atom, t, step);
+          });
         }
         return;
       }
@@ -218,6 +292,10 @@ class BodyMatcher {
   std::vector<bool> bound_;
   // scratch_[step] is the reusable query pattern for order_[step].
   std::vector<TuplePattern> scratch_;
+  // Intra-rule slicing state (SetSlice / ClaimCandidate).
+  bool slicing_ = false;
+  CandidateSlice slice_;
+  size_t ordinal_ = 0;
 };
 
 }  // namespace
@@ -353,12 +431,53 @@ void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
   matcher.Run();
 }
 
+void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
+                      CandidateSlice slice,
+                      FunctionRef<void(const Tuple& binding)> fn) {
+  std::vector<int> order = PlanBodyOrder(rule);
+  BodyMatcher matcher(rule, interp, fn, order);
+  matcher.SetSlice(slice);
+  matcher.Run();
+}
+
+size_t CountFirstLiteralCandidates(const Rule& rule,
+                                   const IInterpretation& interp) {
+  std::vector<int> order = PlanBodyOrder(rule);
+  auto noop = [](const Tuple&) {};
+  BodyMatcher matcher(rule, interp, noop, order);
+  return matcher.CountSliceCandidates();
+}
+
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
                             FunctionRef<void(const Tuple&)> fn) {
   std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
   BodyMatcher matcher(rule, interp, fn, order);
   matcher.RunSeeded(rule.body()[static_cast<size_t>(seed_index)], seed_atom);
+}
+
+void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
+                            int seed_index, const GroundAtom& seed_atom,
+                            CandidateSlice slice,
+                            FunctionRef<void(const Tuple&)> fn) {
+  std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
+  BodyMatcher matcher(rule, interp, fn, order);
+  matcher.SetSlice(slice);
+  matcher.RunSeeded(rule.body()[static_cast<size_t>(seed_index)], seed_atom);
+}
+
+size_t CountFirstLiteralCandidatesSeeded(const Rule& rule,
+                                         const IInterpretation& interp,
+                                         int seed_index,
+                                         const GroundAtom& seed_atom) {
+  std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
+  auto noop = [](const Tuple&) {};
+  BodyMatcher matcher(rule, interp, noop, order);
+  if (!matcher.BindSeed(rule.body()[static_cast<size_t>(seed_index)],
+                        seed_atom)) {
+    return 0;
+  }
+  return matcher.CountSliceCandidates();
 }
 
 IndexRequirements CollectIndexRequirements(const Program& program) {

@@ -17,6 +17,8 @@
 #ifndef PARK_ENGINE_MATCHER_H_
 #define PARK_ENGINE_MATCHER_H_
 
+#include <cstddef>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +32,45 @@ namespace park {
 /// `rule` is valid in `interp`. A rule with an empty body yields exactly
 /// one (empty) binding. `fn` must not mutate `interp`.
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
+                      FunctionRef<void(const Tuple& binding)> fn);
+
+// --- Candidate-range slicing (intra-rule parallelism) ---
+//
+// The first planned literal of a rule (the seed/scan literal) draws its
+// candidate tuples from a deterministic stream: the relation scan or index
+// probe order of the stores it reads (base then plus for positive
+// literals). Assigning each candidate an ordinal in that stream lets the
+// parallel evaluator split ONE rule's work into [begin, end) slices whose
+// per-slice match lists, concatenated in slice order, are byte-identical
+// to the unsliced enumeration — the stream order is stable as long as the
+// relations are not mutated, which the frozen parallel section guarantees.
+
+/// A sub-range of the first planned literal's candidate ordinals.
+/// `kSliceEnd` as `end` means "through the last candidate" (the final
+/// slice uses it so coverage never depends on the counted total).
+struct CandidateSlice {
+  static constexpr size_t kSliceEnd = std::numeric_limits<size_t>::max();
+  size_t begin = 0;
+  size_t end = kSliceEnd;
+
+  bool IsFull() const { return begin == 0 && end == kSliceEnd; }
+};
+
+/// Number of candidate tuples the first planned literal of `rule` would
+/// draw from its stream(s) in `interp` (before any dedup or binding
+/// checks). Returns 0 when the rule is not sliceable — empty body, or a
+/// first plan literal that is fully bound and therefore a constant-time
+/// filter rather than a generator. Callers treat 0 as "run unsliced".
+size_t CountFirstLiteralCandidates(const Rule& rule,
+                                   const IInterpretation& interp);
+
+/// Sliced variant of ForEachBodyMatch: enumerates only the matches rooted
+/// at first-literal candidates with ordinals in `slice`. Concatenating the
+/// outputs of a partition of [0, CountFirstLiteralCandidates(...)) in
+/// slice order reproduces the unsliced output exactly. A full slice is
+/// identical to the unsliced overload (including for unsliceable rules).
+void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
+                      CandidateSlice slice,
                       FunctionRef<void(const Tuple& binding)> fn);
 
 /// Returns the body-literal evaluation order the matcher would use for
@@ -50,6 +91,23 @@ std::vector<int> PlanBodyOrderSeeded(const Rule& rule, int seed_index);
 /// literal valid (it came from the engine's delta of new marks).
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
+                            FunctionRef<void(const Tuple&)> fn);
+
+/// CountFirstLiteralCandidates for the seeded plan: candidates of the
+/// first literal scheduled AFTER the seed pre-binding. Returns 0 when the
+/// seeded rule is unsliceable (no remaining generator literal, or the
+/// seed atom already fails the seed literal's constants / repeated
+/// variables, in which case there are no matches at all).
+size_t CountFirstLiteralCandidatesSeeded(const Rule& rule,
+                                         const IInterpretation& interp,
+                                         int seed_index,
+                                         const GroundAtom& seed_atom);
+
+/// Sliced variant of ForEachBodyMatchSeeded, with the same concatenation
+/// guarantee as the sliced ForEachBodyMatch.
+void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
+                            int seed_index, const GroundAtom& seed_atom,
+                            CandidateSlice slice,
                             FunctionRef<void(const Tuple&)> fn);
 
 /// The column indexes that evaluating a program's bodies can probe, per

@@ -5,9 +5,17 @@
 namespace park {
 
 int ResolveNumThreads(int requested) {
-  if (requested > 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  int hardware = hw == 0 ? 1 : static_cast<int>(hw);
+  if (requested <= 0) return hardware;
+  int max_threads = 4 * hardware;
+  if (requested > max_threads) {
+    PARK_LOG(kWarning) << "num_threads=" << requested << " exceeds 4x "
+                       << "hardware_concurrency (" << hardware
+                       << "); clamping to " << max_threads;
+    return max_threads;
+  }
+  return requested;
 }
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -65,11 +73,16 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n, FunctionRef<void(size_t)> fn,
                              size_t chunk) {
   if (chunk == 0) chunk = 1;
+  if (n == 0) return;  // empty sections run (and count) nothing
+  bool expected = false;
+  PARK_CHECK(in_parallel_for_.compare_exchange_strong(expected, true))
+      << "re-entrant ThreadPool::ParallelFor (a task body called back "
+         "into its own pool; nested sections are not supported)";
   ++sections_run_;
   tasks_executed_ += n;
-  if (n == 0) return;
   if (workers_.empty()) {
     RunSection(fn, n, chunk);
+    in_parallel_for_.store(false);
     return;
   }
   {
@@ -86,6 +99,7 @@ void ThreadPool::ParallelFor(size_t n, FunctionRef<void(size_t)> fn,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
   section_fn_ = nullptr;
+  in_parallel_for_.store(false);
 }
 
 }  // namespace park

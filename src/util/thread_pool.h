@@ -10,7 +10,10 @@
 //
 // Concurrency contract: only one thread may call ParallelFor at a time
 // (the PARK evaluators are single-coordinator by construction). The task
-// body must not call back into the same pool.
+// body must not call back into the same pool — the Γ evaluator flattens
+// its two-level (unit, slice) work into ONE task list per section
+// precisely so sections never nest; ParallelFor enforces this with a
+// PARK_CHECK against re-entry.
 
 #ifndef PARK_UTIL_THREAD_POOL_H_
 #define PARK_UTIL_THREAD_POOL_H_
@@ -27,7 +30,11 @@
 namespace park {
 
 /// Resolves a user-facing thread-count knob: 0 means "one per hardware
-/// thread" (at least 1), anything else is taken literally (floored at 1).
+/// thread" (at least 1); positive values are taken literally up to a cap
+/// of 4x the hardware concurrency — oversubscribing beyond that only adds
+/// scheduler pressure, so larger requests are clamped with a logged
+/// warning instead of spawning thousands of workers. Negative values
+/// behave like 0.
 int ResolveNumThreads(int requested);
 
 class ThreadPool {
@@ -49,12 +56,14 @@ class ThreadPool {
   /// Invokes `fn(i)` exactly once for every i in [0, n), distributed over
   /// the pool in chunks of `chunk` consecutive indexes, and blocks until
   /// all invocations have returned. `fn` must be safe to call from
-  /// multiple threads concurrently.
+  /// multiple threads concurrently, and must not call ParallelFor on this
+  /// pool again (checked: re-entry aborts instead of deadlocking).
   void ParallelFor(size_t n, FunctionRef<void(size_t)> fn,
                    size_t chunk = 1);
 
   /// Cumulative number of indexes processed by ParallelFor calls and the
-  /// number of sections run — the evaluator surfaces these in ParkStats.
+  /// number of non-empty (n > 0) sections run — the evaluator surfaces
+  /// these in ParkStats. Sections that fan out no work count nothing.
   uint64_t tasks_executed() const { return tasks_executed_; }
   uint64_t sections_run() const { return sections_run_; }
 
@@ -80,6 +89,9 @@ class ThreadPool {
   size_t section_chunk_ = 1;
   int workers_pending_ = 0;
   std::atomic<size_t> cursor_{0};
+  // Re-entrancy guard for ParallelFor (atomic: a worker task calling back
+  // in would race a plain flag before it aborted).
+  std::atomic<bool> in_parallel_for_{false};
 
   uint64_t tasks_executed_ = 0;
   uint64_t sections_run_ = 0;

@@ -259,5 +259,142 @@ TEST_F(MatcherTest, SeededMatchOnNegatedLiteral) {
             (std::vector<std::string>{"b"}));
 }
 
+// --- Candidate slicing (intra-rule parallelism building blocks) ---
+
+class MatcherSliceTest : public MatcherTest {
+ protected:
+  /// Bindings of one slice, in enumeration order (NOT sorted: slicing is
+  /// about preserving the stream order).
+  std::vector<std::string> SliceMatches(const Rule& rule,
+                                        const IInterpretation& interp,
+                                        CandidateSlice slice) {
+    std::vector<std::string> out;
+    ForEachBodyMatch(rule, interp, slice, [&](const Tuple& binding) {
+      out.push_back(Render(rule, binding));
+    });
+    return out;
+  }
+
+  std::vector<std::string> FullMatches(const Rule& rule,
+                                       const IInterpretation& interp) {
+    std::vector<std::string> out;
+    ForEachBodyMatch(rule, interp, [&](const Tuple& binding) {
+      out.push_back(Render(rule, binding));
+    });
+    return out;
+  }
+
+  std::string Render(const Rule& rule, const Tuple& binding) {
+    std::string s;
+    for (int i = 0; i < binding.arity(); ++i) {
+      if (i > 0) s += ",";
+      s += rule.variable_names()[static_cast<size_t>(i)] + "=" +
+           binding[i].ToString(*symbols_);
+    }
+    return s;
+  }
+};
+
+TEST_F(MatcherSliceTest, SliceConcatenationEqualsFullEnumeration) {
+  Database db = MustDb(
+      "e(a, b). e(b, c). e(c, d). e(d, a). e(a, c). e(b, d). e(c, a).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("e(X, Y), e(Y, Z) -> +r(X, Z).");
+  size_t candidates = CountFirstLiteralCandidates(rule, interp);
+  EXPECT_EQ(candidates, 7u);
+  std::vector<std::string> full = FullMatches(rule, interp);
+  // Every partition of the ordinal space must concatenate back to the
+  // full enumeration, in order, for any slice boundaries.
+  for (size_t cut1 = 0; cut1 <= candidates; ++cut1) {
+    for (size_t cut2 = cut1; cut2 <= candidates; ++cut2) {
+      std::vector<std::string> merged =
+          SliceMatches(rule, interp, CandidateSlice{0, cut1});
+      std::vector<std::string> mid =
+          SliceMatches(rule, interp, CandidateSlice{cut1, cut2});
+      std::vector<std::string> last = SliceMatches(
+          rule, interp, CandidateSlice{cut2, CandidateSlice::kSliceEnd});
+      merged.insert(merged.end(), mid.begin(), mid.end());
+      merged.insert(merged.end(), last.begin(), last.end());
+      EXPECT_EQ(merged, full) << "cuts at " << cut1 << "," << cut2;
+    }
+  }
+}
+
+TEST_F(MatcherSliceTest, FullSliceMatchesUnslicedOverload) {
+  Database db = MustDb("p(a). p(b). p(c).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("p(X), !q(X) -> +q(X).");
+  EXPECT_EQ(SliceMatches(rule, interp, CandidateSlice{}),
+            FullMatches(rule, interp));
+}
+
+TEST_F(MatcherSliceTest, CountsBaseAndPlusStreams) {
+  // Positive literals draw from base AND plus; the count is raw (the
+  // base-duplicate skip happens per candidate, after ordinal claim).
+  Database db = MustDb("p(a). p(b).");
+  IInterpretation interp(&db);
+  RuleGrounding g(0, Tuple{});
+  interp.AddMarked(ActionKind::kInsert,
+                   ParseGroundAtom("p(c)", symbols_).value(), g);
+  interp.AddMarked(ActionKind::kInsert,
+                   ParseGroundAtom("p(a)", symbols_).value(), g);  // dup
+  Rule rule = MustRule("p(X) -> +q(X).");
+  EXPECT_EQ(CountFirstLiteralCandidates(rule, interp), 4u);
+  // The duplicate is still enumerated exactly once across any partition.
+  std::vector<std::string> merged;
+  for (size_t i = 0; i < 4; ++i) {
+    auto part = SliceMatches(rule, interp, CandidateSlice{i, i + 1});
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(merged, FullMatches(rule, interp));
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST_F(MatcherSliceTest, UnsliceableRulesReportZero) {
+  Database db = MustDb("p(a).");
+  IInterpretation interp(&db);
+  // Empty body: nothing to slice.
+  EXPECT_EQ(CountFirstLiteralCandidates(MustRule("-> +q(c)."), interp), 0u);
+  // Fully ground first literal: a constant-time filter, not a generator.
+  EXPECT_EQ(CountFirstLiteralCandidates(MustRule("p(a) -> +q(c)."), interp),
+            0u);
+}
+
+TEST_F(MatcherSliceTest, SeededSlicesConcatenate) {
+  Database db = MustDb("e(a, b). e(b, c). e(b, d). e(b, f). e(c, a).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("e(X, Y), e(Y, Z) -> +r(X, Z).");
+  GroundAtom seed = ParseGroundAtom("e(a, b)", symbols_).value();
+  // Seeding literal 0 with e(a, b) binds X=a, Y=b; literal 1's stream is
+  // the index probe for e(b, _).
+  size_t candidates =
+      CountFirstLiteralCandidatesSeeded(rule, interp, 0, seed);
+  EXPECT_EQ(candidates, 3u);
+  std::vector<std::string> full;
+  ForEachBodyMatchSeeded(rule, interp, 0, seed, [&](const Tuple& b) {
+    full.push_back(Render(rule, b));
+  });
+  EXPECT_EQ(full.size(), 3u);
+  std::vector<std::string> merged;
+  for (size_t i = 0; i < candidates; ++i) {
+    CandidateSlice slice{i, i + 1 == candidates ? CandidateSlice::kSliceEnd
+                                                : i + 1};
+    ForEachBodyMatchSeeded(rule, interp, 0, seed, slice,
+                           [&](const Tuple& b) {
+                             merged.push_back(Render(rule, b));
+                           });
+  }
+  EXPECT_EQ(merged, full);
+}
+
+TEST_F(MatcherSliceTest, SeededCountZeroOnSeedMismatch) {
+  Database db = MustDb("e(a, b).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("e(X, X), e(X, Y) -> +r(X, Y).");
+  GroundAtom seed = ParseGroundAtom("e(a, b)", symbols_).value();
+  // Seed literal requires a repeated variable; e(a, b) cannot bind it.
+  EXPECT_EQ(CountFirstLiteralCandidatesSeeded(rule, interp, 0, seed), 0u);
+}
+
 }  // namespace
 }  // namespace park

@@ -36,14 +36,18 @@ struct RunOutcome {
 
 RunOutcome RunWithThreads(const Program& program, const Database& db,
                           GammaMode mode, int num_threads,
-                          PolicyPtr policy = nullptr) {
+                          PolicyPtr policy = nullptr,
+                          size_t min_slice_size = kDefaultMinSliceSize,
+                          ParkStats* stats_out = nullptr) {
   ParkOptions options;
   options.gamma_mode = mode;
   options.policy = std::move(policy);
   options.trace_level = TraceLevel::kFull;
   options.record_provenance = true;
   options.num_threads = num_threads;
+  options.min_slice_size = min_slice_size;
   auto result = Park(program, db, options);
+  if (result.ok() && stats_out != nullptr) *stats_out = result->stats;
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   if (!result.ok()) return {};
   RunOutcome outcome;
@@ -184,6 +188,105 @@ TEST(ParallelOracleTest, ParallelStatsAreReported) {
   ASSERT_TRUE(sequential.ok());
   EXPECT_EQ(sequential->stats.num_threads, 1u);
   EXPECT_EQ(sequential->stats.parallel_sections, 0u);
+}
+
+// --- Intra-rule slicing oracle ---
+//
+// A skewed program: ONE join rule dominates the candidate space (every
+// `edge` tuple seeds it) next to a couple of tiny rules, so intra-rule
+// slicing is what parallelizes the section. Swept over min_slice_size
+// (1 = finest slicing, 7 = odd uneven partitions, default = tuned) and
+// thread counts; every combination must be bit-identical to the
+// sequential run in databases, traces, blocked sets, and provenance.
+
+Workload MakeSkewedJoinWorkload() {
+  auto symbols = MakeSymbolTable();
+  std::string facts;
+  // A dense-ish random digraph: ~3 out-edges per node over 40 nodes.
+  Rng rng(91);
+  for (int n = 0; n < 40; ++n) {
+    for (int e = 0; e < 3; ++e) {
+      facts += StrFormat("edge(n%d, n%d). ", n,
+                         static_cast<int>(rng.UniformInt(0, 39)));
+    }
+  }
+  facts += "flag. ";
+  Workload w(symbols);
+  w.program = MustParseProgram(
+      // The skewed rule: first literal scans every edge tuple.
+      "big: edge(X, Y), edge(Y, Z) -> +hop(X, Z).\n"
+      // Tiny satellites, including a conflict so restarts are exercised.
+      "t1: flag -> +mark.\n"
+      "t2: mark -> -flag.\n"
+      "t3: edge(X, X) -> -hop(X, X).\n",
+      symbols);
+  w.database = MustParseDatabase(facts, symbols);
+  return w;
+}
+
+TEST(ParallelOracleTest, SkewedRuleSlicingAgrees) {
+  Workload w = MakeSkewedJoinWorkload();
+  for (GammaMode mode : {GammaMode::kNaive, GammaMode::kDeltaFiltered,
+                         GammaMode::kSemiNaive}) {
+    SCOPED_TRACE(ModeName(mode));
+    RunOutcome sequential = RunWithThreads(w.program, w.database, mode, 1);
+    for (size_t min_slice_size : {size_t{1}, size_t{7},
+                                  kDefaultMinSliceSize}) {
+      for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE(StrFormat("threads=%d min_slice_size=%zu", threads,
+                               min_slice_size));
+        RunOutcome sliced = RunWithThreads(w.program, w.database, mode,
+                                           threads, nullptr,
+                                           min_slice_size);
+        EXPECT_EQ(sequential.database, sliced.database);
+        EXPECT_EQ(sequential.blocked, sliced.blocked);
+        EXPECT_EQ(sequential.restarts, sliced.restarts);
+        EXPECT_EQ(sequential.gamma_steps, sliced.gamma_steps);
+        EXPECT_EQ(sequential.rule_evaluations, sliced.rule_evaluations);
+        EXPECT_EQ(sequential.history, sliced.history);
+        EXPECT_EQ(sequential.provenance, sliced.provenance);
+      }
+    }
+  }
+}
+
+TEST(ParallelOracleTest, SkewedRuleActuallySlices) {
+  // With fine slicing, the dominant rule must split: more slice tasks
+  // than rule evaluations in at least one section, surfaced in ParkStats.
+  Workload w = MakeSkewedJoinWorkload();
+  ParkStats stats;
+  RunWithThreads(w.program, w.database, GammaMode::kNaive, 4, nullptr,
+                 /*min_slice_size=*/1, &stats);
+  EXPECT_GT(stats.parallel_sliced_units, 0u);
+  EXPECT_GT(stats.parallel_slices, stats.parallel_sliced_units);
+  // Slice tasks inflate the pool task count past the units evaluated.
+  EXPECT_GT(stats.parallel_tasks, stats.rule_evaluations);
+  // Conservative default: a tiny workload with a large min_slice_size
+  // must NOT slice.
+  ParkStats unsliced;
+  RunWithThreads(w.program, w.database, GammaMode::kNaive, 4, nullptr,
+                 /*min_slice_size=*/100000, &unsliced);
+  EXPECT_EQ(unsliced.parallel_sliced_units, 0u);
+  EXPECT_EQ(unsliced.parallel_slices, 0u);
+}
+
+TEST(ParallelOracleTest, SingleRuleProgramFansOut) {
+  // Pre-slicing, a one-rule program never used the pool at all; now its
+  // candidate space is what gets split.
+  auto symbols = MakeSymbolTable();
+  std::string facts;
+  for (int i = 0; i < 64; ++i) {
+    facts += StrFormat("p(c%d, c%d). ", i, (i * 7) % 64);
+  }
+  Program program =
+      MustParseProgram("r: p(X, Y), p(Y, Z) -> +q(X, Z).", symbols);
+  Database db = MustParseDatabase(facts, symbols);
+  ExpectThreadCountsAgree(program, db);
+  ParkStats stats;
+  RunWithThreads(program, db, GammaMode::kNaive, 2, nullptr,
+                 /*min_slice_size=*/1, &stats);
+  EXPECT_GT(stats.parallel_sections, 0u);
+  EXPECT_GT(stats.parallel_slices, 0u);
 }
 
 // Random programs in the style of gamma_mode_test: propositional rules

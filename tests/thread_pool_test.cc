@@ -4,18 +4,34 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace park {
 namespace {
 
-TEST(ResolveNumThreadsTest, PositivePassesThrough) {
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+TEST(ResolveNumThreadsTest, PositivePassesThroughUpToCap) {
   EXPECT_EQ(ResolveNumThreads(1), 1);
-  EXPECT_EQ(ResolveNumThreads(7), 7);
+  int cap = 4 * HardwareThreads();
+  EXPECT_EQ(ResolveNumThreads(cap), cap);
 }
 
 TEST(ResolveNumThreadsTest, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(ResolveNumThreads(0), 1);
+}
+
+TEST(ResolveNumThreadsTest, AbsurdRequestsAreClamped) {
+  // Anything past 4x the hardware would only oversubscribe the scheduler;
+  // the resolver clamps (with a warning) instead of spawning thousands of
+  // workers.
+  int cap = 4 * HardwareThreads();
+  EXPECT_EQ(ResolveNumThreads(cap + 1), cap);
+  EXPECT_EQ(ResolveNumThreads(100000), cap);
 }
 
 TEST(ThreadPoolTest, SingleThreadRunsInline) {
@@ -58,19 +74,22 @@ TEST(ThreadPoolTest, EmptyAndTinySections) {
 
 TEST(ThreadPoolTest, ManyConsecutiveSections) {
   // The coordinator reuses the same workers across sections; a generation
-  // bug would lose or double-run tasks.
+  // bug would lose or double-run tasks. Rounds where round % 17 == 0 fan
+  // out no work and therefore must not count as sections.
   ThreadPool pool(4);
   std::atomic<int64_t> sum{0};
   int64_t expected = 0;
+  uint64_t non_empty = 0;
   for (int round = 0; round < 200; ++round) {
     size_t n = static_cast<size_t>(round % 17);
     pool.ParallelFor(n, [&](size_t i) {
       sum.fetch_add(static_cast<int64_t>(i) + 1);
     });
     expected += static_cast<int64_t>(n) * (static_cast<int64_t>(n) + 1) / 2;
+    if (n > 0) ++non_empty;
   }
   EXPECT_EQ(sum.load(), expected);
-  EXPECT_EQ(pool.sections_run(), 200u);
+  EXPECT_EQ(pool.sections_run(), non_empty);
 }
 
 TEST(ThreadPoolTest, TaskCounterAccumulates) {
@@ -79,6 +98,35 @@ TEST(ThreadPoolTest, TaskCounterAccumulates) {
   pool.ParallelFor(5, [](size_t) {});
   EXPECT_EQ(pool.tasks_executed(), 15u);
   EXPECT_EQ(pool.sections_run(), 2u);
+}
+
+TEST(ThreadPoolTest, EmptySectionsCountNothing) {
+  // Regression: ParallelFor used to bump sections_run_ (and add n == 0 to
+  // tasks_executed_) before its early return, so ParkStats reported
+  // parallel sections that fanned out no work.
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) {});
+  EXPECT_EQ(pool.sections_run(), 0u);
+  EXPECT_EQ(pool.tasks_executed(), 0u);
+  pool.ParallelFor(3, [](size_t) {});
+  pool.ParallelFor(0, [](size_t) {});
+  EXPECT_EQ(pool.sections_run(), 1u);
+  EXPECT_EQ(pool.tasks_executed(), 3u);
+}
+
+TEST(ThreadPoolReentryDeathTest, NestedParallelForAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // A task body calling back into its own pool would deadlock workers on
+  // the inner section; the flattened two-level Γ task list must never
+  // nest sections, and the pool checks loudly.
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(4, [&](size_t) {
+          pool.ParallelFor(1, [](size_t) {});
+        });
+      },
+      "re-entrant");
 }
 
 TEST(ThreadPoolTest, MorekThreadsThanWork) {
