@@ -1,0 +1,59 @@
+// Shared JSON envelope for the self-managed benchmark binaries
+// (bench_parallel, bench_paper_examples — the ones not built on
+// google-benchmark's --benchmark_out). Every BENCH_*.json they write
+// starts with the same two fields so downstream tooling
+// (tools/check_stats_schema.py, trajectory scripts) can dispatch on one
+// schema tag instead of sniffing shapes:
+//
+//   {
+//     "schema": "park-bench-parallel-v1",
+//     "hardware_concurrency": 8,
+//     ...benchmark-specific fields...
+//   }
+
+#ifndef PARK_BENCH_BENCH_JSON_H_
+#define PARK_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "util/json.h"
+
+namespace park {
+namespace bench {
+
+/// Opens the envelope object and writes the common fields. The caller
+/// appends its own fields and closes the object:
+///
+///   JsonWriter w = bench::BeginBenchJson("park-bench-parallel-v1");
+///   w.Key("cases").BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   bench::WriteBenchJson(path, std::move(w).str());
+inline JsonWriter BeginBenchJson(const char* schema) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String(schema);
+  w.Key("hardware_concurrency").UInt(std::thread::hardware_concurrency());
+  return w;
+}
+
+/// Writes `json` plus a trailing newline to `path`. Returns false (with
+/// a message on stderr) if the file cannot be written.
+inline bool WriteBenchJson(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  bool ok = std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "error closing %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace park
+
+#endif  // PARK_BENCH_BENCH_JSON_H_

@@ -3,6 +3,13 @@
 // the result this implementation computes, whether they agree, and the
 // wall time. E6 is expected to differ by exactly the q(a,a) the paper's
 // final line dropped (see EXPERIMENTS.md).
+//
+//   bench_paper_examples [output.json]
+//
+// With an argument, the rows are also written as JSON (schema
+// park-bench-paper-examples-v1, shared envelope in bench_json.h) so the
+// paper-fidelity record rides the same BENCH_*.json trajectory as the
+// performance benches.
 
 #include <chrono>
 #include <cstdio>
@@ -10,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "park/park.h"
 
 namespace park {
@@ -122,7 +130,7 @@ PolicyPtr GraphPolicy(const std::shared_ptr<SymbolTable>& symbols) {
 }  // namespace
 }  // namespace park
 
-int main() {
+int main(int argc, char** argv) {
   using namespace park;  // NOLINT — bench driver
   std::vector<ExampleRow> rows;
 
@@ -204,5 +212,26 @@ int main() {
   std::printf("%s\n%d/%zu examples match the paper\n",
               std::string(110, '-').c_str(),
               static_cast<int>(rows.size()) - mismatches, rows.size());
+
+  if (argc > 1) {
+    JsonWriter w = bench::BeginBenchJson("park-bench-paper-examples-v1");
+    w.Key("matches").Int(static_cast<int>(rows.size()) - mismatches);
+    w.Key("total").UInt(rows.size());
+    w.Key("cases").BeginArray();
+    for (const ExampleRow& row : rows) {
+      w.BeginObject();
+      w.Key("id").String(row.id);
+      w.Key("description").String(row.description);
+      w.Key("match").Bool(row.Matches());
+      w.Key("time_us").Double(row.micros);
+      w.Key("computed").String(row.computed);
+      if (!row.note.empty()) w.Key("note").String(row.note);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    if (!bench::WriteBenchJson(argv[1], std::move(w).str())) return 1;
+    std::printf("wrote %s\n", argv[1]);
+  }
   return mismatches == 0 ? 0 : 1;
 }

@@ -9,17 +9,23 @@
 // join rule dominates the section, so without slicing extra threads
 // cannot help at all.
 //
-//   bench_parallel [output.json]     (default: BENCH_parallel.json)
+//   bench_parallel [--smoke] [output.json]   (default: BENCH_parallel.json)
+//
+// --smoke shrinks the workloads and the thread sweep so CI can exercise
+// the full path (including the JSON schema) in a couple of seconds; the
+// timings of a smoke run are meaningless and the JSON says so.
 //
 // Speedups only materialize on multi-core hosts; hardware_concurrency is
 // recorded in the JSON so a 1-core container's flat curve is explainable.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "park/park.h"
 #include "util/string_util.h"
 #include "workload/graph_gen.h"
@@ -89,11 +95,13 @@ ParkResult RunOnce(const Workload& w, int threads, double* elapsed_ms) {
   return std::move(*result);
 }
 
-std::vector<ConfigResult> RunCase(const BenchCase& bench, int repetitions) {
+std::vector<ConfigResult> RunCase(const BenchCase& bench,
+                                  const std::vector<int>& thread_sweep,
+                                  int repetitions) {
   std::vector<ConfigResult> configs;
   std::string reference_db;
   size_t reference_steps = 0;
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : thread_sweep) {
     ConfigResult config;
     config.threads = threads;
     double best = -1;
@@ -133,79 +141,99 @@ std::vector<ConfigResult> RunCase(const BenchCase& bench, int repetitions) {
 
 std::string ToJson(
     const std::vector<std::pair<std::string, std::vector<ConfigResult>>>&
-        results) {
-  std::string json = "{\n";
-  json += StrFormat("  \"hardware_concurrency\": %u,\n",
-                    std::thread::hardware_concurrency());
-  json += "  \"bit_identical\": true,\n";
-  json += "  \"cases\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    json += StrFormat("    {\"name\": \"%s\", \"configs\": [\n",
-                      results[i].first.c_str());
-    const auto& configs = results[i].second;
-    for (size_t j = 0; j < configs.size(); ++j) {
-      const ConfigResult& c = configs[j];
-      json += StrFormat(
-          "      {\"threads\": %d, \"best_ms\": %.3f, \"speedup\": %.3f,"
-          " \"gamma_steps\": %zu, \"parallel_sections\": %zu,"
-          " \"parallel_tasks\": %zu, \"parallel_sliced_units\": %zu,"
-          " \"parallel_slices\": %zu}%s\n",
-          c.threads, c.best_ms, c.speedup, c.gamma_steps,
-          c.parallel_sections, c.parallel_tasks, c.parallel_sliced_units,
-          c.parallel_slices, j + 1 < configs.size() ? "," : "");
+        results,
+    bool smoke) {
+  JsonWriter w = bench::BeginBenchJson("park-bench-parallel-v1");
+  w.Key("smoke").Bool(smoke);
+  w.Key("bit_identical").Bool(true);
+  w.Key("cases").BeginArray();
+  for (const auto& [name, configs] : results) {
+    w.BeginObject();
+    w.Key("name").String(name);
+    w.Key("configs").BeginArray();
+    for (const ConfigResult& c : configs) {
+      w.BeginObject();
+      w.Key("threads").Int(c.threads);
+      w.Key("best_ms").Double(c.best_ms);
+      w.Key("speedup").Double(c.speedup);
+      w.Key("gamma_steps").UInt(c.gamma_steps);
+      w.Key("parallel_sections").UInt(c.parallel_sections);
+      w.Key("parallel_tasks").UInt(c.parallel_tasks);
+      w.Key("parallel_sliced_units").UInt(c.parallel_sliced_units);
+      w.Key("parallel_slices").UInt(c.parallel_slices);
+      w.EndObject();
     }
-    json += StrFormat("    ]}%s\n", i + 1 < results.size() ? "," : "");
+    w.EndArray();
+    w.EndObject();
   }
-  json += "  ]\n}\n";
-  return json;
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).str();
 }
 
 int Main(int argc, char** argv) {
-  std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // Smoke mode exists for CI: same code path and JSON schema, workloads
+  // an order of magnitude smaller, and a thread sweep short enough for a
+  // shared two-core runner.
+  const int closure_edges = smoke ? 128 : 1024;
+  const int closure_nodes = smoke ? 64 : 256;
+  const int payroll_employees = smoke ? 1024 : 16384;
+  const int path_nodes = smoke ? 64 : 512;
+  const int skew_edges = smoke ? 1024 : 8192;
+  const std::vector<int> thread_sweep =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const int repetitions = smoke ? 1 : 3;
 
   std::vector<BenchCase> cases;
   {
-    BenchCase c{"closure_random_1024", MakeTransitiveClosureWorkload(
-                                           GraphShape::kRandom, 256, 1024,
-                                           /*seed=*/17)};
+    BenchCase c{"closure_random_1024",
+                MakeTransitiveClosureWorkload(GraphShape::kRandom,
+                                              closure_nodes, closure_edges,
+                                              /*seed=*/17)};
     cases.push_back(std::move(c));
   }
   {
     PayrollParams params;
-    params.num_employees = 16384;
+    params.num_employees = payroll_employees;
     params.inactive_fraction = 0.1;
     params.seed = 23;
     BenchCase c{"payroll_16384", MakePayrollWorkload(params)};
     cases.push_back(std::move(c));
   }
   {
-    BenchCase c{"closure_path_512", MakeTransitiveClosureWorkload(
-                                        GraphShape::kPath, 512, 511,
-                                        /*seed=*/1)};
+    BenchCase c{"closure_path_512",
+                MakeTransitiveClosureWorkload(GraphShape::kPath, path_nodes,
+                                              path_nodes - 1,
+                                              /*seed=*/1)};
     cases.push_back(std::move(c));
   }
   {
     BenchCase c{"skew_single_rule",
-                MakeSkewWorkload(/*num_nodes=*/512, /*num_edges=*/8192,
+                MakeSkewWorkload(/*num_nodes=*/512, skew_edges,
                                  /*seed=*/41)};
     cases.push_back(std::move(c));
   }
 
-  std::printf("bench_parallel: %u hardware thread(s)\n",
-              std::thread::hardware_concurrency());
+  std::printf("bench_parallel: %u hardware thread(s)%s\n",
+              std::thread::hardware_concurrency(),
+              smoke ? " [smoke mode: timings meaningless]" : "");
   std::vector<std::pair<std::string, std::vector<ConfigResult>>> results;
   for (const BenchCase& bench : cases) {
-    results.emplace_back(bench.name, RunCase(bench, /*repetitions=*/3));
+    results.emplace_back(bench.name,
+                         RunCase(bench, thread_sweep, repetitions));
   }
 
-  std::string json = ToJson(results);
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
+  if (!bench::WriteBenchJson(out_path, ToJson(results, smoke))) return 1;
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -48,10 +48,18 @@ done
 # bench_parallel covers inter-rule scaling AND the skew_single_rule case,
 # whose speedup comes entirely from intra-rule candidate slicing; its JSON
 # records hardware_concurrency plus per-config parallel_sliced_units /
-# parallel_slices so a flat curve on a small host is explainable.
+# parallel_slices so a flat curve on a small host is explainable. It
+# shares the park-bench-*-v1 envelope (bench/bench_json.h) with
+# bench_paper_examples; both are validated by tools/check_stats_schema.py.
 if [[ -x "${bench_dir}/bench_parallel" ]]; then
   echo "== bench_parallel"
   "${bench_dir}/bench_parallel" "${out_dir}/BENCH_parallel.json"
+fi
+
+# Paper-fidelity record (E1-E9) in the same JSON envelope.
+if [[ -x "${bench_dir}/bench_paper_examples" ]]; then
+  echo "== bench_paper_examples"
+  "${bench_dir}/bench_paper_examples" "${out_dir}/BENCH_paper_examples.json"
 fi
 
 echo "JSON written to ${out_dir}/BENCH_*.json"

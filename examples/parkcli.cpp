@@ -14,7 +14,14 @@
 //   --threads N        Γ evaluation threads (default 1 = sequential;
 //                      0 = one per hardware thread); results identical
 //   --min-slice-size N smallest per-slice candidate count for intra-rule
-//                      parallelism (default 256); results identical
+//                      parallelism (default 256, min 1); results identical
+//   --stats-json FILE  write evaluation stats (park-stats-v1 JSON,
+//                      ParkStats::ToJson) to FILE; "-" means stdout
+//                      (the human-readable report then moves to stderr
+//                      so stdout stays parseable). Implies phase-timing
+//                      collection.
+//   --observe          stream run-observer events (TracingObserver) to
+//                      stderr as evaluation progresses
 //   --trace            print the full fixpoint trace
 //   --provenance       print which rule instances derived each change
 //   --explain          print the parsed program, analysis, and body plans
@@ -114,7 +121,8 @@ int Usage(const char* argv0) {
                "usage: %s --rules FILE --facts FILE [--update ±atom]...\n"
                "          [--policy NAME] [--block-first] [--max-steps N]\n"
                "          [--deadline-ms N] [--threads N]\n"
-               "          [--min-slice-size N] [--trace] [--explain]\n",
+               "          [--min-slice-size N] [--stats-json FILE]\n"
+               "          [--observe] [--trace] [--explain]\n",
                argv0);
   return 1;
 }
@@ -143,7 +151,9 @@ int main(int argc, char** argv) {
   std::string facts_path;
   std::vector<std::string> update_texts;
   std::string policy_name = "inertia";
+  std::string stats_json_path;
   bool block_first = false;
+  bool observe = false;
   bool trace = false;
   bool explain = false;
   bool provenance = false;
@@ -207,8 +217,14 @@ int main(int argc, char** argv) {
       int64_t max = static_cast<int64_t>(
           std::min<uint64_t>(std::numeric_limits<size_t>::max(),
                              std::numeric_limits<int64_t>::max()));
-      if (!ParseIntFlag("--min-slice-size", v, 0, max, &slice)) return 1;
+      if (!ParseIntFlag("--min-slice-size", v, 1, max, &slice)) return 1;
       options.min_slice_size = static_cast<size_t>(slice);
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      stats_json_path = v;
+    } else if (arg == "--observe") {
+      observe = true;
     } else if (arg == "--trace") {
       trace = true;
     } else if (arg == "--provenance") {
@@ -272,6 +288,17 @@ int main(int argc, char** argv) {
       block_first ? park::BlockGranularity::kFirstConflictOnly
                   : park::BlockGranularity::kAllConflicts;
   options.record_provenance = provenance;
+  options.collect_timings = !stats_json_path.empty();
+  park::TracingObserver tracer(std::cerr, symbols.get());
+  if (observe) options.observer = &tracer;
+
+  {
+    park::Status status = park::ValidateOptions(options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
 
   auto result = park::Park(*db, *program, updates.updates(), options);
   if (!result.ok()) {
@@ -280,30 +307,51 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // `--stats-json -` reserves stdout for the JSON document; the
+  // human-readable report moves to stderr so stdout stays parseable.
+  std::FILE* report = stats_json_path == "-" ? stderr : stdout;
   if (trace) {
-    std::printf("trace:\n%s\n", result->trace.ToString().c_str());
+    std::fprintf(report, "trace:\n%s\n", result->trace.ToString().c_str());
   }
-  std::printf("result: %s\n", result->database.ToString().c_str());
+  std::fprintf(report, "result: %s\n",
+               result->database.ToString().c_str());
   if (!result->blocked.empty()) {
-    std::printf("blocked:");
+    std::fprintf(report, "blocked:");
     for (const std::string& b : result->blocked) {
-      std::printf(" %s", b.c_str());
+      std::fprintf(report, " %s", b.c_str());
     }
-    std::printf("\n");
+    std::fprintf(report, "\n");
   }
   if (provenance) {
-    std::printf("provenance:\n");
+    std::fprintf(report, "provenance:\n");
     for (const park::AtomProvenance& entry : result->provenance) {
-      std::printf("  %-24s <-", entry.atom.c_str());
+      std::fprintf(report, "  %-24s <-", entry.atom.c_str());
       for (const std::string& g : entry.derived_by) {
-        std::printf(" %s", g.c_str());
+        std::fprintf(report, " %s", g.c_str());
       }
-      std::printf("\n");
+      std::fprintf(report, "\n");
     }
   }
-  std::printf(
+  std::fprintf(
+      report,
       "stats: %zu step(s), %zu restart(s), %zu conflict(s) resolved\n",
       result->stats.gamma_steps, result->stats.restarts,
       result->stats.conflicts_resolved);
+  if (!stats_json_path.empty()) {
+    std::string json = result->stats.ToJson();
+    json += '\n';
+    if (stats_json_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(stats_json_path,
+                        std::ios::binary | std::ios::trunc);
+      out << json;
+      if (!out) {
+        std::fprintf(stderr, "cannot write --stats-json file: %s\n",
+                     stats_json_path.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }

@@ -5,10 +5,21 @@
 #include <optional>
 #include <set>
 
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace park {
 namespace {
+
+const char* GammaModeName(GammaMode mode) {
+  switch (mode) {
+    case GammaMode::kNaive: return "naive";
+    case GammaMode::kDeltaFiltered: return "delta_filtered";
+    case GammaMode::kSemiNaive: return "semi_naive";
+  }
+  return "unknown";
+}
 
 /// Checks the optional wall-clock budget. `start` is the evaluation's
 /// entry time; returns non-OK once the budget is spent.
@@ -98,6 +109,66 @@ std::vector<std::string> RenderBlocked(const BlockedSet& blocked,
 
 }  // namespace
 
+Status ValidateOptions(const ParkOptions& options) {
+  if (options.num_threads < 0) {
+    return InvalidArgumentError(StrFormat(
+        "num_threads must be >= 0 (0 = one per hardware thread), got %d",
+        options.num_threads));
+  }
+  if (options.min_slice_size == 0) {
+    return InvalidArgumentError(
+        "min_slice_size must be >= 1 (1 = finest intra-rule slicing)");
+  }
+  if (options.max_steps == 0) {
+    return InvalidArgumentError("max_steps must be >= 1");
+  }
+  if (options.deadline_ms < 0) {
+    return InvalidArgumentError(StrFormat(
+        "deadline_ms must be >= 0 (0 = unlimited), got %lld",
+        static_cast<long long>(options.deadline_ms)));
+  }
+  return Status::OK();
+}
+
+std::string ParkStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("park-stats-v1");
+  w.Key("counters").BeginObject();
+  w.Key("gamma_steps").UInt(gamma_steps);
+  w.Key("restarts").UInt(restarts);
+  w.Key("conflicts_resolved").UInt(conflicts_resolved);
+  w.Key("blocked_instances").UInt(blocked_instances);
+  w.Key("derived_marks").UInt(derived_marks);
+  w.Key("policy_invocations").UInt(policy_invocations);
+  w.Key("rule_evaluations").UInt(rule_evaluations);
+  w.EndObject();
+  w.Key("parallel").BeginObject();
+  w.Key("num_threads").UInt(num_threads);
+  w.Key("sections").UInt(parallel_sections);
+  w.Key("tasks").UInt(parallel_tasks);
+  w.Key("sliced_units").UInt(parallel_sliced_units);
+  w.Key("slices").UInt(parallel_slices);
+  w.Key("max_queue_depth").UInt(parallel_max_queue_depth);
+  w.Key("mean_task_latency_ns")
+      .UInt(parallel_tasks == 0 ? 0
+                                : timings.pool_busy_ns / parallel_tasks);
+  w.EndObject();
+  w.Key("timings").BeginObject();
+  w.Key("collected").Bool(timings.collected);
+  w.Key("total_ns").UInt(timings.total_ns);
+  w.Key("gamma_ns").UInt(timings.gamma_ns);
+  w.Key("apply_ns").UInt(timings.apply_ns);
+  w.Key("conflict_ns").UInt(timings.conflict_ns);
+  w.Key("policy_ns").UInt(timings.policy_ns);
+  w.Key("parallel_match_ns").UInt(timings.parallel_match_ns);
+  w.Key("parallel_merge_ns").UInt(timings.parallel_merge_ns);
+  w.Key("pool_busy_ns").UInt(timings.pool_busy_ns);
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).str();
+}
+
 Result<Program> ProgramWithUpdates(const Program& program,
                                    const std::vector<Update>& updates) {
   Program extended = program.Clone();
@@ -140,10 +211,19 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   ParallelGamma* parallel =
       parallel_state.has_value() ? &*parallel_state : nullptr;
   stats.num_threads = static_cast<size_t>(num_threads);
+  ObserverHook observer(options.observer);
+  const bool timed = options.collect_timings;
+  stats.timings.collected = timed;
+  if (timed && parallel != nullptr) parallel->EnableTiming();
+  const int64_t run_start_ns = timed ? MonotonicNanos() : 0;
   const auto start_time = std::chrono::steady_clock::now();
   int step = 0;
 
   trace.RecordInitial(interp, step);
+  observer.Notify([&](RunObserver& o) {
+    o.OnRunStart(RunStartInfo{program.size(), num_threads,
+                              GammaModeName(mode)});
+  });
 
   while (true) {
     if (static_cast<size_t>(step) >= options.max_steps) {
@@ -151,6 +231,8 @@ Result<ParkResult> Park(const Program& program, const Database& db,
           "PARK evaluation exceeded max_steps=%zu", options.max_steps));
     }
     PARK_RETURN_IF_ERROR(CheckDeadline(options, start_time));
+    observer.Notify([&](RunObserver& o) { o.OnStepStart(step); });
+    int64_t gamma_start_ns = timed ? MonotonicNanos() : 0;
     GammaResult gamma;
     switch (mode) {
       case GammaMode::kNaive:
@@ -165,14 +247,25 @@ Result<ParkResult> Park(const Program& program, const Database& db,
                                       parallel);
         break;
     }
+    if (timed) {
+      stats.timings.gamma_ns +=
+          static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
+    }
     stats.rule_evaluations += gamma.rules_evaluated;
+    observer.Notify([&](RunObserver& o) {
+      o.OnGammaSection(GammaSectionInfo{
+          step, gamma.rules_evaluated, gamma.derivations.size(),
+          gamma.newly_marked, gamma.consistent});
+    });
 
     if (gamma.consistent) {
       if (gamma.newly_marked == 0) {
         // Γ(P,B)(I) = I: the bi-structure is a fixpoint of Δ.
         trace.RecordFixpoint(interp, step);
+        observer.Notify([&](RunObserver& o) { o.OnFixpoint(step); });
         break;
       }
+      int64_t apply_start_ns = timed ? MonotonicNanos() : 0;
       switch (mode) {
         case GammaMode::kNaive:
           stats.derived_marks += ApplyDerivations(gamma.derivations, interp);
@@ -185,6 +278,10 @@ Result<ParkResult> Park(const Program& program, const Database& db,
           stats.derived_marks += ApplyDerivationsTrackedAtoms(
               gamma.derivations, interp, delta_atoms);
           break;
+      }
+      if (timed) {
+        stats.timings.apply_ns +=
+            static_cast<uint64_t>(MonotonicNanos() - apply_start_ns);
       }
       ++stats.gamma_steps;
       ++step;
@@ -200,8 +297,18 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     // firable instance on each side, which a delta-driven evaluation may
     // have skipped — so recompute the full Γ before building them.
     if (mode != GammaMode::kNaive) {
+      gamma_start_ns = timed ? MonotonicNanos() : 0;
       gamma = ComputeGamma(program, blocked, interp, parallel);
+      if (timed) {
+        stats.timings.gamma_ns +=
+            static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
+      }
       stats.rule_evaluations += gamma.rules_evaluated;
+      observer.Notify([&](RunObserver& o) {
+        o.OnGammaSection(GammaSectionInfo{
+            step, gamma.rules_evaluated, gamma.derivations.size(),
+            gamma.newly_marked, gamma.consistent});
+      });
     }
     ++step;
     if (trace.level() == TraceLevel::kFull) {
@@ -210,6 +317,7 @@ Result<ParkResult> Park(const Program& program, const Database& db,
                                 *program.symbols()),
           step);
     }
+    const int64_t conflict_start_ns = timed ? MonotonicNanos() : 0;
     std::vector<Conflict> conflicts = BuildConflicts(gamma, interp);
     if (options.block_granularity == BlockGranularity::kFirstConflictOnly &&
         conflicts.size() > 1) {
@@ -230,7 +338,12 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     std::vector<std::string> resolution_notes;
     for (const Conflict& conflict : conflicts) {
       ++stats.policy_invocations;
+      const int64_t policy_start_ns = timed ? MonotonicNanos() : 0;
       PARK_ASSIGN_OR_RETURN(Vote vote, policy->Select(context, conflict));
+      if (timed) {
+        stats.timings.policy_ns +=
+            static_cast<uint64_t>(MonotonicNanos() - policy_start_ns);
+      }
       if (vote == Vote::kAbstain) {
         return AbortedError(StrFormat(
             "policy '%s' abstained on conflict over %s; wrap it in a "
@@ -239,6 +352,8 @@ Result<ParkResult> Park(const Program& program, const Database& db,
             conflict.atom.ToString(*program.symbols()).c_str()));
       }
       ++stats.conflicts_resolved;
+      observer.Notify(
+          [&](RunObserver& o) { o.OnPolicyDecision(conflict, vote); });
       const std::vector<RuleGrounding>& losing =
           vote == Vote::kInsert ? conflict.deleters : conflict.inserters;
       for (const RuleGrounding& g : losing) {
@@ -251,6 +366,14 @@ Result<ParkResult> Park(const Program& program, const Database& db,
             losing.size()));
       }
     }
+    observer.Notify([&](RunObserver& o) {
+      o.OnConflictRound(ConflictRoundInfo{stats.restarts, conflicts.size(),
+                                          newly_blocked});
+    });
+    if (timed) {
+      stats.timings.conflict_ns +=
+          static_cast<uint64_t>(MonotonicNanos() - conflict_start_ns);
+    }
     if (newly_blocked == 0) {
       return AbortedError(
           "conflict resolution made no progress (no new blocked "
@@ -261,6 +384,8 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     delta.Reset();
     delta_atoms.Reset();
     ++stats.restarts;
+    observer.Notify(
+        [&](RunObserver& o) { o.OnRestart(stats.restarts); });
     trace.RecordRestart(step);
     trace.RecordInitial(interp, step);
   }
@@ -271,7 +396,16 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     stats.parallel_tasks = parallel->pool().tasks_executed();
     stats.parallel_sliced_units = parallel->sliced_units();
     stats.parallel_slices = parallel->slice_tasks();
+    stats.parallel_max_queue_depth = parallel->pool().max_section_tasks();
+    stats.timings.parallel_match_ns = parallel->match_ns();
+    stats.timings.parallel_merge_ns = parallel->merge_ns();
+    stats.timings.pool_busy_ns = parallel->pool().busy_ns();
   }
+  if (timed) {
+    stats.timings.total_ns =
+        static_cast<uint64_t>(MonotonicNanos() - run_start_ns);
+  }
+  observer.Notify([&](RunObserver& o) { o.OnRunEnd(stats); });
   ParkResult result{interp.Incorporate(), stats, std::move(trace),
                     RenderBlocked(blocked, program), {}};
   if (options.record_provenance) {

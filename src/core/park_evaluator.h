@@ -11,6 +11,7 @@
 #ifndef PARK_CORE_PARK_EVALUATOR_H_
 #define PARK_CORE_PARK_EVALUATOR_H_
 
+#include "core/observer.h"
 #include "core/policy.h"
 #include "core/trace.h"
 
@@ -86,10 +87,49 @@ struct ParkOptions {
   int num_threads = 1;
   /// Intra-rule parallelism granularity: the smallest first-literal
   /// candidate count one slice of a rule's (or Δ-seed's) work may carry.
-  /// Rules below 2x this stay one task; 0 behaves as 1 (finest slicing).
-  /// Only consulted when num_threads resolves to > 1, and never affects
-  /// results — only how the identical work is partitioned.
+  /// Rules below 2x this stay one task; ValidateOptions requires >= 1
+  /// (1 = finest slicing). Only consulted when num_threads resolves to
+  /// > 1, and never affects results — only how the identical work is
+  /// partitioned.
   size_t min_slice_size = kDefaultMinSliceSize;
+  /// Observation hooks at the loop's structural points (see
+  /// core/observer.h). Not owned; must outlive the evaluation. Null means
+  /// no observation (each hook site is then a single branch). A free
+  /// knob: observers receive read-only views and cannot change results —
+  /// a throwing observer is detached and logged, never propagated.
+  RunObserver* observer = nullptr;
+  /// Collect wall-clock phase timings into ParkStats::timings. Off by
+  /// default: when on, the evaluator reads the clock a few times per Γ
+  /// step (and the thread pool once per section); when off, the cost is
+  /// one branch per step and every timing field stays 0.
+  bool collect_timings = false;
+};
+
+/// Validates an options bundle before use. Rejects (kInvalidArgument):
+/// negative num_threads, min_slice_size == 0, max_steps == 0, negative
+/// deadline_ms. ActiveDatabase::Configure and parkcli call this at the
+/// boundary; the commit path re-checks as a backstop against direct
+/// mutation through deprecated accessors.
+Status ValidateOptions(const ParkOptions& options);
+
+/// Wall-clock decomposition of one evaluation, collected only when
+/// ParkOptions::collect_timings is set (every field stays 0 otherwise;
+/// `collected` says which case this is). All values are nanoseconds of
+/// coordinator wall time; phases overlap-free except as noted.
+struct PhaseTimings {
+  bool collected = false;
+  uint64_t total_ns = 0;           // whole evaluation, entry to result
+  uint64_t gamma_ns = 0;           // Γ sections (incl. conflict recompute)
+  uint64_t apply_ns = 0;           // ApplyDerivations* after consistent Γ
+  uint64_t conflict_ns = 0;        // conflict build + policy loop
+  uint64_t policy_ns = 0;          // SELECT calls (subset of conflict_ns)
+  // Parallel split of gamma_ns (0 on sequential runs): time inside the
+  // pool fan-out vs. concatenating the per-task buffers afterwards.
+  uint64_t parallel_match_ns = 0;  // inside ThreadPool::ParallelFor
+  uint64_t parallel_merge_ns = 0;  // slice-ordered buffer merge
+  /// The pool's own section clock (ThreadPool::busy_ns); divided by
+  /// parallel_tasks it bounds mean task latency from above.
+  uint64_t pool_busy_ns = 0;
 };
 
 /// Counters describing one evaluation.
@@ -111,6 +151,21 @@ struct ParkStats {
   // Intra-rule slicing counters (see ParkOptions::min_slice_size).
   size_t parallel_sliced_units = 0;  // rules/Δ-seeds split into slices
   size_t parallel_slices = 0;        // slice tasks those splits produced
+  /// Largest single ParallelFor section of the run — the peak "queue
+  /// depth" the pool saw (0 on sequential runs).
+  size_t parallel_max_queue_depth = 0;
+  /// Phase timers (see ParkOptions::collect_timings).
+  PhaseTimings timings;
+
+  /// Renders the documented stats schema (docs/OBSERVABILITY.md):
+  ///   {"schema": "park-stats-v1",
+  ///    "counters": {...},   // deterministic: identical across threads
+  ///    "parallel": {...},   // partitioning-dependent pool counters
+  ///    "timings": {"collected": bool, <phase>_ns...}}
+  /// The "counters" object is invariant across num_threads /
+  /// min_slice_size settings (asserted in stats_invariance_test);
+  /// "parallel" and "timings" are explicitly not.
+  std::string ToJson() const;
 };
 
 /// Why one update survived into the result: the marked atom (with its

@@ -1,8 +1,21 @@
 #include "core/stepper.h"
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace park {
+namespace {
+
+const char* StepperGammaModeName(GammaMode mode) {
+  switch (mode) {
+    case GammaMode::kNaive: return "naive";
+    case GammaMode::kDeltaFiltered: return "delta_filtered";
+    case GammaMode::kSemiNaive: return "semi_naive";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 ParkStepper::ParkStepper(const Program& program, const Database& db,
                          ParkOptions options)
@@ -11,14 +24,34 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
       options_(std::move(options)),
       policy_(options_.policy ? options_.policy : MakeInertiaPolicy()),
       interp_(&db),
+      observer_(options_.observer),
       start_time_(std::chrono::steady_clock::now()) {
   PARK_CHECK(program.symbols() == db.symbols())
       << "program and database must share a symbol table";
   int num_threads = ResolveNumThreads(options_.num_threads);
   stats_.num_threads = static_cast<size_t>(num_threads);
+  stats_.timings.collected = options_.collect_timings;
   if (num_threads > 1) {
     parallel_.emplace(program_, num_threads, options_.min_slice_size);
+    if (options_.collect_timings) parallel_->EnableTiming();
   }
+  if (options_.collect_timings) run_start_ns_ = MonotonicNanos();
+  observer_.Notify([&](RunObserver& o) {
+    o.OnRunStart(RunStartInfo{program_.size(), num_threads,
+                              StepperGammaModeName(options_.gamma_mode)});
+  });
+}
+
+void ParkStepper::RefreshParallelStats() {
+  if (!parallel_.has_value()) return;
+  stats_.parallel_sections = parallel_->pool().sections_run();
+  stats_.parallel_tasks = parallel_->pool().tasks_executed();
+  stats_.parallel_sliced_units = parallel_->sliced_units();
+  stats_.parallel_slices = parallel_->slice_tasks();
+  stats_.parallel_max_queue_depth = parallel_->pool().max_section_tasks();
+  stats_.timings.parallel_match_ns = parallel_->match_ns();
+  stats_.timings.parallel_merge_ns = parallel_->merge_ns();
+  stats_.timings.pool_busy_ns = parallel_->pool().busy_ns();
 }
 
 Result<StepOutcome> ParkStepper::Step() {
@@ -38,10 +71,14 @@ Result<StepOutcome> ParkStepper::Step() {
           static_cast<long long>(elapsed)));
     }
   }
+  const int step_number = static_cast<int>(steps_taken_);
   ++steps_taken_;
+  observer_.Notify([&](RunObserver& o) { o.OnStepStart(step_number); });
+  const bool timed = options_.collect_timings;
 
   const GammaMode mode = options_.gamma_mode;
   ParallelGamma* parallel = parallel_.has_value() ? &*parallel_ : nullptr;
+  int64_t gamma_start_ns = timed ? MonotonicNanos() : 0;
   GammaResult gamma;
   switch (mode) {
     case GammaMode::kNaive:
@@ -56,22 +93,33 @@ Result<StepOutcome> ParkStepper::Step() {
                                     delta_atoms_, parallel);
       break;
   }
-  stats_.rule_evaluations += gamma.rules_evaluated;
-  if (parallel != nullptr) {
-    stats_.parallel_sections = parallel->pool().sections_run();
-    stats_.parallel_tasks = parallel->pool().tasks_executed();
-    stats_.parallel_sliced_units = parallel->sliced_units();
-    stats_.parallel_slices = parallel->slice_tasks();
+  if (timed) {
+    stats_.timings.gamma_ns +=
+        static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
   }
+  stats_.rule_evaluations += gamma.rules_evaluated;
+  RefreshParallelStats();
+  observer_.Notify([&](RunObserver& o) {
+    o.OnGammaSection(GammaSectionInfo{
+        step_number, gamma.rules_evaluated, gamma.derivations.size(),
+        gamma.newly_marked, gamma.consistent});
+  });
 
   if (gamma.consistent) {
     if (gamma.newly_marked == 0) {
       done_ = true;
       stats_.blocked_instances = blocked_.size();
+      if (timed) {
+        stats_.timings.total_ns =
+            static_cast<uint64_t>(MonotonicNanos() - run_start_ns_);
+      }
+      observer_.Notify([&](RunObserver& o) { o.OnFixpoint(step_number); });
+      observer_.Notify([&](RunObserver& o) { o.OnRunEnd(stats_); });
       return StepOutcome{};  // kFixpoint
     }
     StepOutcome outcome;
     outcome.kind = StepOutcome::Kind::kGamma;
+    int64_t apply_start_ns = timed ? MonotonicNanos() : 0;
     switch (mode) {
       case GammaMode::kNaive:
         outcome.new_marks = ApplyDerivations(gamma.derivations, interp_);
@@ -85,6 +133,10 @@ Result<StepOutcome> ParkStepper::Step() {
             gamma.derivations, interp_, delta_atoms_);
         break;
     }
+    if (timed) {
+      stats_.timings.apply_ns +=
+          static_cast<uint64_t>(MonotonicNanos() - apply_start_ns);
+    }
     stats_.derived_marks += outcome.new_marks;
     ++stats_.gamma_steps;
     return outcome;
@@ -92,9 +144,21 @@ Result<StepOutcome> ParkStepper::Step() {
 
   // Resolution transition: same logic as the batch evaluator.
   if (mode != GammaMode::kNaive) {
+    gamma_start_ns = timed ? MonotonicNanos() : 0;
     gamma = ComputeGamma(program_, blocked_, interp_, parallel);
+    if (timed) {
+      stats_.timings.gamma_ns +=
+          static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
+    }
     stats_.rule_evaluations += gamma.rules_evaluated;
+    RefreshParallelStats();
+    observer_.Notify([&](RunObserver& o) {
+      o.OnGammaSection(GammaSectionInfo{
+          step_number, gamma.rules_evaluated, gamma.derivations.size(),
+          gamma.newly_marked, gamma.consistent});
+    });
   }
+  const int64_t conflict_start_ns = timed ? MonotonicNanos() : 0;
   std::vector<Conflict> conflicts = BuildConflicts(gamma, interp_);
   if (options_.block_granularity == BlockGranularity::kFirstConflictOnly &&
       conflicts.size() > 1) {
@@ -107,7 +171,12 @@ Result<StepOutcome> ParkStepper::Step() {
                         static_cast<int>(stats_.restarts)};
   for (const Conflict& conflict : conflicts) {
     ++stats_.policy_invocations;
+    const int64_t policy_start_ns = timed ? MonotonicNanos() : 0;
     PARK_ASSIGN_OR_RETURN(Vote vote, policy_->Select(context, conflict));
+    if (timed) {
+      stats_.timings.policy_ns +=
+          static_cast<uint64_t>(MonotonicNanos() - policy_start_ns);
+    }
     if (vote == Vote::kAbstain) {
       return AbortedError(StrFormat(
           "policy '%s' abstained on conflict over %s",
@@ -115,6 +184,8 @@ Result<StepOutcome> ParkStepper::Step() {
           conflict.atom.ToString(*program_.symbols()).c_str()));
     }
     ++stats_.conflicts_resolved;
+    observer_.Notify(
+        [&](RunObserver& o) { o.OnPolicyDecision(conflict, vote); });
     outcome.conflicts.push_back(
         conflict.ToString(program_, *program_.symbols()));
     const std::vector<RuleGrounding>& losing =
@@ -122,6 +193,14 @@ Result<StepOutcome> ParkStepper::Step() {
     for (const RuleGrounding& g : losing) {
       if (blocked_.insert(g).second) ++outcome.newly_blocked;
     }
+  }
+  observer_.Notify([&](RunObserver& o) {
+    o.OnConflictRound(ConflictRoundInfo{
+        stats_.restarts, conflicts.size(), outcome.newly_blocked});
+  });
+  if (timed) {
+    stats_.timings.conflict_ns +=
+        static_cast<uint64_t>(MonotonicNanos() - conflict_start_ns);
   }
   if (outcome.newly_blocked == 0) {
     return AbortedError(
@@ -131,6 +210,7 @@ Result<StepOutcome> ParkStepper::Step() {
   delta_.Reset();
   delta_atoms_.Reset();
   ++stats_.restarts;
+  observer_.Notify([&](RunObserver& o) { o.OnRestart(stats_.restarts); });
   return outcome;
 }
 

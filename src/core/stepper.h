@@ -67,6 +67,9 @@ class ParkStepper {
   Result<Database> Finish();
 
  private:
+  /// Folds the parallel pool's counters and clocks into stats_.
+  void RefreshParallelStats();
+
   const Program& program_;
   const Database& db_;
   ParkOptions options_;
@@ -78,10 +81,15 @@ class ParkStepper {
   DeltaState delta_;
   DeltaAtoms delta_atoms_;
   ParkStats stats_;
+  /// Exception-isolating view of options_.observer (see core/observer.h);
+  /// OnRunStart fires at construction, OnRunEnd when the fixpoint lands.
+  ObserverHook observer_;
   size_t steps_taken_ = 0;
   /// Construction time, against which options_.deadline_ms is checked
   /// (the budget covers the whole stepped evaluation, like Park()'s).
   std::chrono::steady_clock::time_point start_time_;
+  /// Construction time on the timings clock (options_.collect_timings).
+  int64_t run_start_ns_ = 0;
   bool done_ = false;
 };
 

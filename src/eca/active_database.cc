@@ -3,6 +3,7 @@
 #include "lang/io.h"
 #include "lang/parser.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace park {
@@ -43,6 +44,13 @@ Status ActiveDatabase::AddRule(Rule rule) {
   return program_.AddRule(std::move(rule));
 }
 
+Status ActiveDatabase::Configure(ParkOptions options) {
+  PARK_RETURN_IF_ERROR(
+      ValidateOptions(options).WithContext("ActiveDatabase::Configure"));
+  options_ = std::move(options);
+  return Status::OK();
+}
+
 Status ActiveDatabase::LoadFacts(std::string_view facts_text) {
   return ParseFactsInto(facts_text, database_);
 }
@@ -63,9 +71,20 @@ Result<CommitReport> ActiveDatabase::Stabilize() {
 }
 
 Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
+  // Backstop for options installed around Configure() (direct writes via
+  // mutable_options() or the deprecated setters): an invalid bundle fails
+  // here, before any evaluation, instead of misbehaving mid-commit.
+  PARK_RETURN_IF_ERROR(
+      ValidateOptions(options_).WithContext("ActiveDatabase options"));
+  ObserverHook observer(options_.observer);
+  const int64_t commit_start_ns = MonotonicNanos();
+  observer.Notify(
+      [&](RunObserver& o) { o.OnCommitStart(updates.updates().size()); });
+
   PARK_ASSIGN_OR_RETURN(
       ParkResult park,
       Park(database_, program_, updates.updates(), options_));
+  const int64_t evaluated_ns = MonotonicNanos();
 
   CommitReport report;
   Database::Diff diff = park.database.DiffWith(database_);
@@ -79,12 +98,30 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
   // column indexes of untouched relations stay warm for the next commit.
   for (const GroundAtom& atom : report.inserted) database_.Insert(atom);
   for (const GroundAtom& atom : report.deleted) database_.Erase(atom);
+  const int64_t applied_ns = MonotonicNanos();
   if (journal_.has_value()) {
     // Redo-log semantics: the record is written only for transactions
     // that actually committed. An append failure is surfaced (the
     // in-memory commit stands, but callers must know durability was lost).
     PARK_RETURN_IF_ERROR(journal_->Append(updates, *symbols()));
+    report.journal_seq = journal_->last_seq();
+    report.timings.journal_ns =
+        static_cast<uint64_t>(MonotonicNanos() - applied_ns);
+    report.timings.journal_sync_ns = journal_->last_sync_ns();
+    observer.Notify(
+        [&](RunObserver& o) { o.OnJournalAppend(report.journal_seq); });
   }
+  report.timings.evaluate_ns =
+      static_cast<uint64_t>(evaluated_ns - commit_start_ns);
+  report.timings.apply_ns = static_cast<uint64_t>(applied_ns - evaluated_ns);
+  report.timings.total_ns =
+      static_cast<uint64_t>(MonotonicNanos() - commit_start_ns);
+  observer.Notify([&](RunObserver& o) {
+    o.OnCommitEnd(CommitEndInfo{updates.updates().size(),
+                                report.inserted.size(),
+                                report.deleted.size(), report.stats.restarts,
+                                report.journal_seq});
+  });
   return report;
 }
 
@@ -127,7 +164,17 @@ Result<ActiveDatabase> ActiveDatabase::Open(const std::string& dir,
     Status status = db.LoadRules(params.rules);
     if (!status.ok()) return status.WithContext("installing rules");
   }
-  if (params.policy != nullptr) db.SetPolicy(std::move(params.policy));
+  // Install the options bundle through the validated path; the legacy
+  // top-level policy field wins over options.policy when both are set.
+  if (params.policy != nullptr) {
+    params.options.policy = std::move(params.policy);
+  }
+  {
+    Status configured = db.Configure(std::move(params.options));
+    if (!configured.ok()) {
+      return configured.WithContext("validating OpenParams");
+    }
+  }
 
   Status status = env->CreateDir(dir);
   if (!status.ok()) {
@@ -258,8 +305,11 @@ Status ActiveDatabase::Checkpoint() {
   journal_.emplace(std::move(journal));
 
   // 4. Checkpoint complete; retire the marker.
-  return env->RemoveFile(marker_path)
-      .WithContext("removing checkpoint marker");
+  PARK_RETURN_IF_ERROR(env->RemoveFile(marker_path)
+                           .WithContext("removing checkpoint marker"));
+  ObserverHook observer(options_.observer);
+  observer.Notify([&](RunObserver& o) { o.OnCheckpoint(seq); });
+  return Status::OK();
 }
 
 // --- durability (single-file mode) ---------------------------------------

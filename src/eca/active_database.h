@@ -55,25 +55,48 @@ class ActiveDatabase {
 
   // --- policy / options ---
 
-  /// Sets the SELECT policy used at commit (default: inertia).
+  /// Installs a complete evaluation-options bundle after validating it
+  /// (ValidateOptions in core/park_evaluator.h). This is THE way to
+  /// configure an ActiveDatabase; the Set* methods below survive as thin
+  /// wrappers for source compatibility. On rejection the previous options
+  /// are left untouched and a kInvalidArgument status names the bad knob.
+  ///
+  /// Two kinds of knobs live in ParkOptions (see docs/OBSERVABILITY.md):
+  ///   - replay-stable: policy, block_granularity, gamma_mode — these pin
+  ///     down WHICH database a commit produces, so they must match across
+  ///     journal replays of the same directory;
+  ///   - free: num_threads, min_slice_size, trace_level, observer,
+  ///     collect_timings — performance/observability only; results are
+  ///     bit-identical whatever they are set to.
+  Status Configure(ParkOptions options);
+
+  /// DEPRECATED — prefer Configure(). Sets the SELECT policy used at
+  /// commit (default: inertia).
   void SetPolicy(PolicyPtr policy) { options_.policy = std::move(policy); }
+  /// DEPRECATED — prefer Configure().
   void SetBlockGranularity(BlockGranularity granularity) {
     options_.block_granularity = granularity;
   }
-  /// Threads for Γ evaluation at commit (see ParkOptions::num_threads;
-  /// 0 = hardware concurrency, 1 = sequential). Results are identical
-  /// either way, so replay/recovery is unaffected by this knob.
+  /// DEPRECATED — prefer Configure(). Threads for Γ evaluation at commit
+  /// (see ParkOptions::num_threads; 0 = hardware concurrency,
+  /// 1 = sequential). Results are identical either way, so
+  /// replay/recovery is unaffected by this knob.
   void SetNumThreads(int num_threads) {
     options_.num_threads = num_threads;
   }
-  /// Smallest first-literal candidate count one intra-rule slice may
-  /// carry when Γ runs parallel (see ParkOptions::min_slice_size). A pure
-  /// partitioning knob: results and replay are unaffected.
+  /// DEPRECATED — prefer Configure(). Smallest first-literal candidate
+  /// count one intra-rule slice may carry when Γ runs parallel (see
+  /// ParkOptions::min_slice_size). A pure partitioning knob: results and
+  /// replay are unaffected.
   void SetMinSliceSize(size_t min_slice_size) {
     options_.min_slice_size = min_slice_size;
   }
+  /// DEPRECATED — prefer Configure().
   void SetTraceLevel(TraceLevel level) { options_.trace_level = level; }
   const ParkOptions& options() const { return options_; }
+  /// DEPRECATED — prefer Configure(). Mutations made through this
+  /// reference bypass validation; CommitUpdates re-validates as a
+  /// backstop, so an invalid bundle fails at the next commit instead.
   ParkOptions& mutable_options() { return options_; }
 
   // --- data ---
@@ -104,14 +127,18 @@ class ActiveDatabase {
 
   // --- crash-safe durability (directory mode) ---
 
-  /// Configuration for Open. The rules and policy must be the same on
+  /// Configuration for Open. The rules and the replay-stable options
+  /// (options.policy, options.block_granularity) must be the same on
   /// every Open of a directory: journal replay re-runs PARK, and the
   /// semantics' determinism (paper §3) only pins down the recovered state
-  /// when the program and SELECT policy match the original run.
+  /// when the program and SELECT policy match the original run. The free
+  /// knobs (options.num_threads, options.min_slice_size, observer,
+  /// collect_timings) may differ per Open without affecting recovery.
   struct OpenParams {
     /// Program text installed before recovery (may be empty).
     std::string rules;
-    /// SELECT policy; null means the principle of inertia.
+    /// DEPRECATED — prefer options.policy. When non-null this wins over
+    /// options.policy (old callers keep their behavior).
     PolicyPtr policy;
     /// Symbol table to share; null creates a fresh one.
     std::shared_ptr<SymbolTable> symbols;
@@ -119,6 +146,10 @@ class ActiveDatabase {
     Env* env = nullptr;
     /// Durability of each commit's journal record.
     JournalSyncMode sync_mode = JournalSyncMode::kFsync;
+    /// Full evaluation-options bundle, installed via Configure() (i.e.
+    /// validated) before replay, so recovery itself runs with the
+    /// configured threads/policy/trace settings.
+    ParkOptions options;
   };
 
   /// Opens (or creates) the durable database living in directory `dir`:

@@ -5,6 +5,7 @@
 
 #include "util/crc32.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace park {
@@ -337,11 +338,15 @@ Status TransactionJournal::Append(const UpdateSet& updates,
                       static_cast<unsigned long long>(seq), crc);
 
   Status status = file_->Append(record);
+  last_sync_ns_ = 0;
   if (status.ok() && options_.sync_mode != JournalSyncMode::kNone) {
+    const int64_t sync_start_ns = MonotonicNanos();
     status = file_->Flush();
-  }
-  if (status.ok() && options_.sync_mode == JournalSyncMode::kFsync) {
-    status = file_->Sync();
+    if (status.ok() && options_.sync_mode == JournalSyncMode::kFsync) {
+      status = file_->Sync();
+    }
+    last_sync_ns_ =
+        static_cast<uint64_t>(MonotonicNanos() - sync_start_ns);
   }
   if (!status.ok()) {
     // The record may be torn on disk. Try to heal the file so a later

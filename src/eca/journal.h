@@ -92,6 +92,13 @@ class TransactionJournal {
 
   JournalSyncMode sync_mode() const { return options_.sync_mode; }
 
+  /// Wall time the most recent successful Append spent inside the
+  /// configured flush/fsync (0 under JournalSyncMode::kNone) — the
+  /// observability layer's "how much of the commit was the disk" number
+  /// (CommitTimings::journal_sync_ns). Always measured: commits are
+  /// milliseconds-scale, two clock reads are noise.
+  uint64_t last_sync_ns() const { return last_sync_ns_; }
+
   /// Parses every complete record in `path`. A missing file yields an
   /// empty list (a fresh journal); a torn or corrupt trailing record is
   /// skipped (and reported via `torn_tail` when non-null); corruption
@@ -129,6 +136,7 @@ class TransactionJournal {
   /// Set when a failed append could not be healed by truncation; the
   /// journal then refuses further appends (the file may be torn).
   bool broken_ = false;
+  uint64_t last_sync_ns_ = 0;
 };
 
 }  // namespace park

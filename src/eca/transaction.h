@@ -10,6 +10,18 @@ namespace park {
 
 class ActiveDatabase;
 
+/// Wall-clock decomposition of one commit's pipeline. Always collected —
+/// a commit is macro-scale work, so the handful of clock reads is noise
+/// (the *intra-evaluation* phase timers stay behind
+/// ParkOptions::collect_timings; see CommitReport::stats.timings).
+struct CommitTimings {
+  uint64_t total_ns = 0;
+  uint64_t evaluate_ns = 0;      // the PARK(D, P, U) fixpoint
+  uint64_t apply_ns = 0;         // diff + in-place instance update
+  uint64_t journal_ns = 0;       // journal append, incl. sync
+  uint64_t journal_sync_ns = 0;  // flush/fsync portion of journal_ns
+};
+
 /// What a commit did. The commit is atomic: either the whole report
 /// applies or (on error) nothing changed.
 struct CommitReport {
@@ -20,6 +32,11 @@ struct CommitReport {
   ParkStats stats;
   /// Full trace at the ActiveDatabase's configured trace level.
   Trace trace;
+  /// Commit-pipeline phase times (evaluate / apply / journal / sync).
+  CommitTimings timings;
+  /// Journal sequence number of this commit's record; 0 when the
+  /// database has no journal attached.
+  uint64_t journal_seq = 0;
 };
 
 /// A pending set of updates against an ActiveDatabase. Move-only; commit

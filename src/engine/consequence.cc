@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace park {
 namespace {
 
@@ -180,16 +182,28 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
       }
     }
     buffers.resize(tasks.size());
+    const int64_t match_start =
+        parallel.timing_enabled() ? MonotonicNanos() : 0;
     parallel.pool().ParallelFor(tasks.size(), [&](size_t i) {
       MatchRule(*rules[tasks[i].unit], blocked, interp, buffers[i],
                 tasks[i].slice);
     });
+    if (parallel.timing_enabled()) {
+      parallel.RecordMatchNs(
+          static_cast<uint64_t>(MonotonicNanos() - match_start));
+    }
   }
+  const int64_t merge_start =
+      parallel.timing_enabled() ? MonotonicNanos() : 0;
   size_t total = 0;
   for (const auto& buffer : buffers) total += buffer.size();
   out.reserve(out.size() + total);
   for (auto& buffer : buffers) {
     for (Derivation& d : buffer) out.push_back(std::move(d));
+  }
+  if (parallel.timing_enabled()) {
+    parallel.RecordMergeNs(
+        static_cast<uint64_t>(MonotonicNanos() - merge_start));
   }
 }
 
@@ -380,12 +394,24 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
         }
       }
       buffers.resize(slice_tasks.size());
+      const int64_t match_start =
+          parallel->timing_enabled() ? MonotonicNanos() : 0;
       parallel->pool().ParallelFor(slice_tasks.size(), [&](size_t i) {
         run_task(tasks[slice_tasks[i].unit], buffers[i],
                  slice_tasks[i].slice);
       });
+      if (parallel->timing_enabled()) {
+        parallel->RecordMatchNs(
+            static_cast<uint64_t>(MonotonicNanos() - match_start));
+      }
     }
+    const int64_t merge_start =
+        parallel->timing_enabled() ? MonotonicNanos() : 0;
     for (auto& buffer : buffers) merge_deduped(buffer);
+    if (parallel->timing_enabled()) {
+      parallel->RecordMergeNs(
+          static_cast<uint64_t>(MonotonicNanos() - merge_start));
+    }
   } else {
     std::vector<Derivation> buffer;
     for (const SeedTask& task : tasks) {

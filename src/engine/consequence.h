@@ -102,11 +102,30 @@ class ParallelGamma {
     slice_tasks_ += slices;
   }
 
+  /// Enables wall-clock instrumentation of the parallel sections (see
+  /// ParkOptions::collect_timings): fan-out time vs. merge time, plus the
+  /// pool's own busy clock. Off by default; when off the accessors
+  /// return 0 and the sections read no clocks.
+  void EnableTiming() {
+    timing_enabled_ = true;
+    pool_.set_collect_timing(true);
+  }
+  bool timing_enabled() const { return timing_enabled_; }
+  /// Coordinator wall time inside pool fan-outs / merging the per-task
+  /// buffers back into sequential order, across all sections so far.
+  uint64_t match_ns() const { return match_ns_; }
+  uint64_t merge_ns() const { return merge_ns_; }
+  void RecordMatchNs(uint64_t ns) { match_ns_ += ns; }
+  void RecordMergeNs(uint64_t ns) { merge_ns_ += ns; }
+
  private:
   IndexRequirements requirements_;
   size_t min_slice_size_;
   uint64_t sliced_units_ = 0;
   uint64_t slice_tasks_ = 0;
+  bool timing_enabled_ = false;
+  uint64_t match_ns_ = 0;
+  uint64_t merge_ns_ = 0;
   ThreadPool pool_;
 };
 

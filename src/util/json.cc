@@ -1,0 +1,162 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace park {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::Prepare() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value goes right after "key": on the same line
+  }
+  if (stack_.empty()) return;  // the root value
+  PARK_CHECK(!stack_.back())
+      << "JsonWriter: values inside an object need a Key() first";
+  if (has_elements_.back()) out_ += ',';
+  out_ += '\n';
+  Indent();
+  has_elements_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prepare();
+  out_ += '{';
+  stack_.push_back(true);
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  PARK_CHECK(!stack_.empty() && stack_.back())
+      << "JsonWriter: EndObject without matching BeginObject";
+  bool had_elements = has_elements_.back();
+  stack_.pop_back();
+  has_elements_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prepare();
+  out_ += '[';
+  stack_.push_back(false);
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  PARK_CHECK(!stack_.empty() && !stack_.back())
+      << "JsonWriter: EndArray without matching BeginArray";
+  bool had_elements = has_elements_.back();
+  stack_.pop_back();
+  has_elements_.pop_back();
+  if (had_elements) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  PARK_CHECK(!stack_.empty() && stack_.back() && !pending_key_)
+      << "JsonWriter: Key() is only valid directly inside an object";
+  if (has_elements_.back()) out_ += ',';
+  out_ += '\n';
+  Indent();
+  has_elements_.back() = true;
+  out_ += '"';
+  out_ += JsonEscape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  Prepare();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  Prepare();
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  Prepare();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  Prepare();
+  // JSON has no NaN/Inf; clamp to null rather than emit garbage.
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    out_ += StrFormat("%.6g", value);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Prepare();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prepare();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  Prepare();
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::str() && {
+  PARK_CHECK(stack_.empty())
+      << "JsonWriter: document finished with unclosed containers";
+  return std::move(out_);
+}
+
+}  // namespace park

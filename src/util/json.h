@@ -1,0 +1,78 @@
+// JsonWriter: a minimal append-only JSON emitter.
+//
+// The observability layer (ParkStats::ToJson, MetricsRegistry::ToJson,
+// the bench binaries) emits machine-readable JSON that external tooling
+// parses (tools/check_stats_schema.py, the CI schema gate), so the
+// emission must be structurally correct — balanced braces, quoted keys,
+// escaped strings, no trailing commas — which hand-rolled StrFormat
+// concatenation cannot guarantee. JsonWriter tracks nesting and comma
+// state so call sites only state the shape:
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("steps").UInt(stats.gamma_steps);
+//   w.Key("cases").BeginArray();
+//   for (...) { w.BeginObject(); ... w.EndObject(); }
+//   w.EndArray();
+//   w.EndObject();
+//   std::string json = std::move(w).str();
+//
+// Not a parser, not streaming, no pretty-printing knobs beyond a fixed
+// two-space indent: just enough for the repo's export formats.
+
+#ifndef PARK_UTIL_JSON_H_
+#define PARK_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace park {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX.
+std::string JsonEscape(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next call must emit its value.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Splices `json` in verbatim as one value — for embedding an already
+  /// rendered document (e.g. ParkStats::ToJson inside a bench envelope).
+  /// The caller vouches that `json` is itself well-formed.
+  JsonWriter& RawValue(std::string_view json);
+
+  /// Finishes and returns the document. All containers must be closed.
+  std::string str() &&;
+
+ private:
+  /// Emits the separator/indent owed before a new value or key.
+  void Prepare();
+  void Indent();
+
+  std::string out_;
+  /// One entry per open container: true for objects, false for arrays.
+  std::vector<bool> stack_;
+  /// Whether the current container already holds an element.
+  std::vector<bool> has_elements_;
+  /// A Key() was just written; the next value follows on the same line.
+  bool pending_key_ = false;
+};
+
+}  // namespace park
+
+#endif  // PARK_UTIL_JSON_H_

@@ -1,0 +1,78 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "util/json.h"
+
+namespace park {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+MetricsRegistry::Counter* MetricsRegistry::GetCounter(
+    std::string_view name) {
+  std::string key(name);
+  auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return it->second;
+  counters_.push_back(Counter{key, 0});
+  Counter* slot = &counters_.back();
+  counter_index_.emplace(std::move(key), slot);
+  return slot;
+}
+
+MetricsRegistry::Timer* MetricsRegistry::GetTimer(std::string_view name) {
+  std::string key(name);
+  auto it = timer_index_.find(key);
+  if (it != timer_index_.end()) return it->second;
+  timers_.push_back(Timer{key, 0, 0});
+  Timer* slot = &timers_.back();
+  timer_index_.emplace(std::move(key), slot);
+  return slot;
+}
+
+void MetricsRegistry::Reset() {
+  for (Counter& c : counters_) c.value = 0;
+  for (Timer& t : timers_) {
+    t.count = 0;
+    t.total_ns = 0;
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::vector<const Counter*> counters;
+  counters.reserve(counters_.size());
+  for (const Counter& c : counters_) counters.push_back(&c);
+  std::sort(counters.begin(), counters.end(),
+            [](const Counter* a, const Counter* b) {
+              return a->name < b->name;
+            });
+  std::vector<const Timer*> timers;
+  timers.reserve(timers_.size());
+  for (const Timer& t : timers_) timers.push_back(&t);
+  std::sort(timers.begin(), timers.end(),
+            [](const Timer* a, const Timer* b) { return a->name < b->name; });
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const Counter* c : counters) w.Key(c->name).UInt(c->value);
+  w.EndObject();
+  w.Key("timers").BeginObject();
+  for (const Timer* t : timers) {
+    w.Key(t->name).BeginObject();
+    w.Key("count").UInt(t->count);
+    w.Key("total_ns").UInt(t->total_ns);
+    w.Key("mean_ns").UInt(t->mean_ns());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+}  // namespace park

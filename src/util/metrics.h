@@ -1,0 +1,117 @@
+// MetricsRegistry: named monotonic counters and phase timers for the
+// observability layer (docs/OBSERVABILITY.md).
+//
+// Design constraints, in order:
+//   1. Near-zero overhead when disabled. The hot paths (the Γ loop, the
+//      commit pipeline) touch metrics through pre-resolved handles —
+//      plain pointers to the counter/timer slots — so the per-event cost
+//      is one add. Timers additionally gate their clock reads on the
+//      registry's enabled flag: a disabled ScopedPhaseTimer is two
+//      branches and no clock call.
+//   2. Stable handles. Slots live in a deque; registering more metrics
+//      never invalidates previously handed-out pointers.
+//   3. One export format. ToJson() renders {"counters": {...},
+//      "timers": {...}} with timers reporting count/total_ns/mean_ns,
+//      the same shape tools/check_stats_schema.py validates.
+//
+// Thread model: registration and export are coordinator-only; Counter::
+// Add and PhaseTimer recording are NOT internally synchronized. The PARK
+// evaluators are single-coordinator by construction (workers fill
+// per-task buffers, the coordinator merges), so all metric writes happen
+// on the coordinating thread. A registry shared across threads needs
+// external ordering, exactly like ParkStats itself.
+
+#ifndef PARK_UTIL_METRICS_H_
+#define PARK_UTIL_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace park {
+
+/// Monotonic wall clock, nanoseconds since an arbitrary epoch.
+int64_t MonotonicNanos();
+
+class MetricsRegistry {
+ public:
+  struct Counter {
+    std::string name;
+    uint64_t value = 0;
+
+    void Add(uint64_t delta = 1) { value += delta; }
+  };
+
+  struct Timer {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+
+    void Record(uint64_t ns) {
+      ++count;
+      total_ns += ns;
+    }
+    uint64_t mean_ns() const { return count == 0 ? 0 : total_ns / count; }
+  };
+
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// When disabled, counters still count (an add is cheaper than a
+  /// branch-and-skip would be worth) but timers skip their clock reads.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Finds or registers a counter/timer. The returned handle stays valid
+  /// for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Timer* GetTimer(std::string_view name);
+
+  /// Zeroes every value; registrations (and handles) survive.
+  void Reset();
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_timers() const { return timers_.size(); }
+
+  /// {"counters": {name: value, ...},
+  ///  "timers": {name: {"count": c, "total_ns": t, "mean_ns": m}, ...}}
+  /// Names are sorted so the export is deterministic.
+  std::string ToJson() const;
+
+ private:
+  bool enabled_;
+  std::deque<Counter> counters_;
+  std::deque<Timer> timers_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Timer*> timer_index_;
+};
+
+/// RAII phase timer. Null-safe: with a null timer (or one whose registry
+/// is disabled, when the caller resolved the handle conditionally), both
+/// the constructor and destructor reduce to a pointer test.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(MetricsRegistry::Timer* timer)
+      : timer_(timer), start_ns_(timer ? MonotonicNanos() : 0) {}
+
+  ~ScopedPhaseTimer() {
+    if (timer_ != nullptr) {
+      timer_->Record(static_cast<uint64_t>(MonotonicNanos() - start_ns_));
+    }
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  MetricsRegistry::Timer* timer_;
+  int64_t start_ns_;
+};
+
+}  // namespace park
+
+#endif  // PARK_UTIL_METRICS_H_

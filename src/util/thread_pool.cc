@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace park {
 
@@ -80,8 +81,13 @@ void ThreadPool::ParallelFor(size_t n, FunctionRef<void(size_t)> fn,
          "into its own pool; nested sections are not supported)";
   ++sections_run_;
   tasks_executed_ += n;
+  if (n > max_section_tasks_) max_section_tasks_ = n;
+  const int64_t start_ns = collect_timing_ ? MonotonicNanos() : 0;
   if (workers_.empty()) {
     RunSection(fn, n, chunk);
+    if (collect_timing_) {
+      busy_ns_ += static_cast<uint64_t>(MonotonicNanos() - start_ns);
+    }
     in_parallel_for_.store(false);
     return;
   }
@@ -99,6 +105,9 @@ void ThreadPool::ParallelFor(size_t n, FunctionRef<void(size_t)> fn,
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
   section_fn_ = nullptr;
+  if (collect_timing_) {
+    busy_ns_ += static_cast<uint64_t>(MonotonicNanos() - start_ns);
+  }
   in_parallel_for_.store(false);
 }
 

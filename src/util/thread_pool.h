@@ -67,6 +67,22 @@ class ThreadPool {
   uint64_t tasks_executed() const { return tasks_executed_; }
   uint64_t sections_run() const { return sections_run_; }
 
+  /// Largest single section (peak queue depth) so far. Tracked always:
+  /// one compare per section.
+  size_t max_section_tasks() const { return max_section_tasks_; }
+
+  /// When enabled, ParallelFor accumulates its wall time (two clock reads
+  /// per section — the observability layer's pool-busy / mean-task-latency
+  /// metrics). Off by default; flip only from the coordinator thread
+  /// between sections.
+  void set_collect_timing(bool collect) { collect_timing_ = collect; }
+  uint64_t busy_ns() const { return busy_ns_; }
+  /// Mean wall time a section spent per task while timing was enabled —
+  /// an upper bound on mean task latency (workers may idle at the tail).
+  uint64_t mean_task_latency_ns() const {
+    return tasks_executed_ == 0 ? 0 : busy_ns_ / tasks_executed_;
+  }
+
  private:
   void WorkerLoop();
   /// Pulls chunks off the shared cursor until the current section is
@@ -95,6 +111,9 @@ class ThreadPool {
 
   uint64_t tasks_executed_ = 0;
   uint64_t sections_run_ = 0;
+  size_t max_section_tasks_ = 0;
+  bool collect_timing_ = false;
+  uint64_t busy_ns_ = 0;
 };
 
 }  // namespace park

@@ -1,0 +1,139 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "util/json.h"
+
+namespace park {
+namespace {
+
+TEST(MetricsRegistryTest, GetCounterFindsOrRegisters) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter* a = registry.GetCounter("park.a");
+  EXPECT_EQ(a->value, 0u);
+  a->Add();
+  a->Add(41);
+  EXPECT_EQ(a->value, 42u);
+  // Same name, same slot.
+  EXPECT_EQ(registry.GetCounter("park.a"), a);
+  EXPECT_EQ(registry.num_counters(), 1u);
+}
+
+TEST(MetricsRegistryTest, HandlesSurviveFurtherRegistration) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter* first = registry.GetCounter("first");
+  // Force enough registrations that a vector-backed store would have
+  // reallocated under the first handle.
+  for (int i = 0; i < 1000; ++i) {
+    registry.GetCounter("c" + std::to_string(i));
+  }
+  first->Add(7);
+  EXPECT_EQ(registry.GetCounter("first")->value, 7u);
+  EXPECT_EQ(registry.num_counters(), 1001u);
+}
+
+TEST(MetricsRegistryTest, TimerRecordsAndAverages) {
+  MetricsRegistry registry;
+  MetricsRegistry::Timer* t = registry.GetTimer("park.phase");
+  EXPECT_EQ(t->mean_ns(), 0u);  // no division by zero
+  t->Record(100);
+  t->Record(300);
+  EXPECT_EQ(t->count, 2u);
+  EXPECT_EQ(t->total_ns, 400u);
+  EXPECT_EQ(t->mean_ns(), 200u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter* c = registry.GetCounter("c");
+  MetricsRegistry::Timer* t = registry.GetTimer("t");
+  c->Add(5);
+  t->Record(5);
+  registry.Reset();
+  EXPECT_EQ(c->value, 0u);
+  EXPECT_EQ(t->count, 0u);
+  EXPECT_EQ(t->total_ns, 0u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+TEST(MetricsRegistryTest, ToJsonSortsNamesAndReportsTimers) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetTimer("t")->Record(10);
+  std::string json = registry.ToJson();
+  // alpha sorts before zeta regardless of registration order.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ns\": 10"), std::string::npos);
+}
+
+TEST(ScopedPhaseTimerTest, RecordsOneSample) {
+  MetricsRegistry registry;
+  MetricsRegistry::Timer* t = registry.GetTimer("scoped");
+  { ScopedPhaseTimer timer(t); }
+  EXPECT_EQ(t->count, 1u);
+}
+
+TEST(ScopedPhaseTimerTest, NullTimerIsSafe) {
+  // The disabled-metrics idiom: callers resolve the handle conditionally
+  // and pass null; construction and destruction must be no-ops.
+  ScopedPhaseTimer timer(nullptr);
+}
+
+TEST(MonotonicNanosTest, IsMonotonic) {
+  int64_t a = MonotonicNanos();
+  int64_t b = MonotonicNanos();
+  EXPECT_LE(a, b);
+}
+
+// --- JsonWriter (the substrate every ToJson rides on) ---
+
+TEST(JsonWriterTest, NestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("n").Int(-3);
+  w.Key("u").UInt(7);
+  w.Key("s").String("hi");
+  w.Key("list").BeginArray();
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  std::string json = std::move(w).str();
+  EXPECT_EQ(json,
+            "{\n  \"n\": -3,\n  \"u\": 7,\n  \"s\": \"hi\",\n"
+            "  \"list\": [\n    true,\n    null\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\nd");
+  w.EndObject();
+  std::string json = std::move(w).str();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteDoubleBecomesNull) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("d").Double(std::numeric_limits<double>::infinity());
+  w.EndObject();
+  EXPECT_NE(std::move(w).str().find("null"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, ControlCharacters) {
+  EXPECT_EQ(JsonEscape("\x01"), "\\u0001");
+  EXPECT_EQ(JsonEscape("\t"), "\\t");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,103 @@
+// The park-stats-v1 contract: everything under "counters" is a property
+// of the computation, not of the machine — identical whatever
+// num_threads or min_slice_size is set to. Only the "parallel" and
+// "timings" sections may differ between configurations. This is the
+// machine-checked form of the schema's invariance promise
+// (docs/OBSERVABILITY.md), on top of the bit-identical-database oracle
+// in parallel_oracle_test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/park_evaluator.h"
+#include "workload/graph_gen.h"
+
+namespace park {
+namespace {
+
+/// The "counters" object of a park-stats-v1 document (emission order is
+/// fixed: counters, then parallel, then timings).
+std::string CountersSection(const std::string& json) {
+  size_t begin = json.find("\"counters\"");
+  size_t end = json.find("\"parallel\"");
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  return json.substr(begin, end - begin);
+}
+
+TEST(StatsInvarianceTest, CountersIdenticalAcrossThreadCounts) {
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kRandom,
+                                             /*num_nodes=*/64,
+                                             /*num_edges=*/256, /*seed=*/7);
+  for (GammaMode mode : {GammaMode::kNaive, GammaMode::kDeltaFiltered,
+                         GammaMode::kSemiNaive}) {
+    ParkOptions sequential;
+    sequential.gamma_mode = mode;
+    sequential.num_threads = 1;
+    sequential.collect_timings = true;
+    auto ref = Park(w.program, w.database, sequential);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    const std::string ref_counters = CountersSection(ref->stats.ToJson());
+
+    ParkOptions parallel = sequential;
+    parallel.num_threads = 4;
+    parallel.min_slice_size = 16;  // force slicing into the picture
+    auto par = Park(w.program, w.database, parallel);
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    const std::string json = par->stats.ToJson();
+
+    EXPECT_EQ(CountersSection(json), ref_counters)
+        << "gamma mode " << static_cast<int>(mode)
+        << ": counters must not depend on the thread count";
+    // The parallel section, by contrast, must reflect the configuration.
+    EXPECT_EQ(par->stats.num_threads, 4u);
+    EXPECT_GT(par->stats.parallel_sections, 0u);
+    EXPECT_NE(json.find("\"num_threads\": 4"), std::string::npos);
+  }
+}
+
+TEST(StatsInvarianceTest, FieldLevelCountersMatchToo) {
+  // Belt and braces for the JSON comparison above: the underlying struct
+  // fields agree one by one, so a future ToJson refactor cannot silently
+  // weaken the check.
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kPath,
+                                             /*num_nodes=*/48,
+                                             /*num_edges=*/47, /*seed=*/3);
+  ParkOptions a;
+  a.num_threads = 1;
+  ParkOptions b;
+  b.num_threads = 4;
+  auto ra = Park(w.program, w.database, a);
+  auto rb = Park(w.program, w.database, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->stats.gamma_steps, rb->stats.gamma_steps);
+  EXPECT_EQ(ra->stats.restarts, rb->stats.restarts);
+  EXPECT_EQ(ra->stats.conflicts_resolved, rb->stats.conflicts_resolved);
+  EXPECT_EQ(ra->stats.blocked_instances, rb->stats.blocked_instances);
+  EXPECT_EQ(ra->stats.derived_marks, rb->stats.derived_marks);
+  EXPECT_EQ(ra->stats.policy_invocations, rb->stats.policy_invocations);
+  EXPECT_EQ(ra->stats.rule_evaluations, rb->stats.rule_evaluations);
+}
+
+TEST(StatsInvarianceTest, TimingsAbsentUnlessRequested) {
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kPath,
+                                             /*num_nodes=*/16,
+                                             /*num_edges=*/15, /*seed=*/1);
+  auto result = Park(w.program, w.database, ParkOptions());
+  ASSERT_TRUE(result.ok());
+  // collect_timings defaults off: no clock was read, the JSON says so.
+  EXPECT_FALSE(result->stats.timings.collected);
+  EXPECT_EQ(result->stats.timings.total_ns, 0u);
+  EXPECT_NE(result->stats.ToJson().find("\"collected\": false"),
+            std::string::npos);
+}
+
+TEST(StatsInvarianceTest, ToJsonCarriesSchemaTag) {
+  ParkStats stats;
+  std::string json = stats.ToJson();
+  EXPECT_EQ(json.find("{\n  \"schema\": \"park-stats-v1\""), 0u);
+}
+
+}  // namespace
+}  // namespace park

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validates the JSON documents the PARK observability layer emits.
+
+Usage:
+    tools/check_stats_schema.py FILE [FILE...]
+
+Each FILE is dispatched on its "schema" tag:
+
+  park-stats-v1                -- ParkStats::ToJson (parkcli --stats-json)
+  park-bench-parallel-v1       -- bench_parallel
+  park-bench-paper-examples-v1 -- bench_paper_examples
+
+Exit status 0 iff every file parses and matches its schema. The checker
+is deliberately stdlib-only (json + sys) so it runs on a bare CI image;
+it checks structure and types, not values (CI passes a --smoke run whose
+timings are meaningless).
+
+The authoritative schema documentation lives in docs/OBSERVABILITY.md;
+keep the two in sync — stats_invariance_test.cc pins the C++ emitter to
+the same shape.
+"""
+
+import json
+import sys
+
+# Required key -> type(s) for each object in the document. `int` also
+# accepts bools in Python; guard explicitly.
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v):
+    return _is_int(v) or isinstance(v, float)
+
+
+def _check_keys(errors, where, obj, spec, allow_extra=False):
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: expected object, got {type(obj).__name__}")
+        return
+    for key, pred, desc in spec:
+        if key not in obj:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not pred(obj[key]):
+            errors.append(f"{where}.{key}: expected {desc}, "
+                          f"got {json.dumps(obj[key])[:40]}")
+    if not allow_extra:
+        known = {key for key, _, _ in spec}
+        for key in obj:
+            if key not in known:
+                errors.append(f"{where}: unexpected key '{key}'")
+
+
+PARK_STATS_COUNTERS = [
+    "gamma_steps", "restarts", "conflicts_resolved", "blocked_instances",
+    "derived_marks", "policy_invocations", "rule_evaluations",
+]
+PARK_STATS_PARALLEL = [
+    "num_threads", "sections", "tasks", "sliced_units", "slices",
+    "max_queue_depth", "mean_task_latency_ns",
+]
+PARK_STATS_TIMINGS = [
+    "total_ns", "gamma_ns", "apply_ns", "conflict_ns", "policy_ns",
+    "parallel_match_ns", "parallel_merge_ns", "pool_busy_ns",
+]
+
+
+def check_park_stats(errors, doc):
+    _check_keys(errors, "$", doc, [
+        ("schema", lambda v: v == "park-stats-v1", '"park-stats-v1"'),
+        ("counters", lambda v: isinstance(v, dict), "object"),
+        ("parallel", lambda v: isinstance(v, dict), "object"),
+        ("timings", lambda v: isinstance(v, dict), "object"),
+    ])
+    if not isinstance(doc, dict):
+        return
+    _check_keys(errors, "$.counters", doc.get("counters", {}),
+                [(k, _is_int, "integer") for k in PARK_STATS_COUNTERS])
+    _check_keys(errors, "$.parallel", doc.get("parallel", {}),
+                [(k, _is_int, "integer") for k in PARK_STATS_PARALLEL])
+    timings_spec = [("collected", lambda v: isinstance(v, bool), "bool")]
+    timings_spec += [(k, _is_int, "integer") for k in PARK_STATS_TIMINGS]
+    _check_keys(errors, "$.timings", doc.get("timings", {}), timings_spec)
+
+
+BENCH_CONFIG_SPEC = [
+    ("threads", _is_int, "integer"),
+    ("best_ms", _is_num, "number"),
+    ("speedup", _is_num, "number"),
+    ("gamma_steps", _is_int, "integer"),
+    ("parallel_sections", _is_int, "integer"),
+    ("parallel_tasks", _is_int, "integer"),
+    ("parallel_sliced_units", _is_int, "integer"),
+    ("parallel_slices", _is_int, "integer"),
+]
+
+
+def check_bench_parallel(errors, doc):
+    _check_keys(errors, "$", doc, [
+        ("schema", lambda v: v == "park-bench-parallel-v1",
+         '"park-bench-parallel-v1"'),
+        ("hardware_concurrency", _is_int, "integer"),
+        ("smoke", lambda v: isinstance(v, bool), "bool"),
+        ("bit_identical", lambda v: v is True, "true"),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        where = f"$.cases[{i}]"
+        _check_keys(errors, where, case, [
+            ("name", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("configs", lambda v: isinstance(v, list) and v,
+             "non-empty array"),
+        ])
+        if not isinstance(case, dict):
+            continue
+        for j, config in enumerate(case.get("configs") or []):
+            _check_keys(errors, f"{where}.configs[{j}]", config,
+                        BENCH_CONFIG_SPEC)
+
+
+def check_bench_paper_examples(errors, doc):
+    _check_keys(errors, "$", doc, [
+        ("schema", lambda v: v == "park-bench-paper-examples-v1",
+         '"park-bench-paper-examples-v1"'),
+        ("hardware_concurrency", _is_int, "integer"),
+        ("matches", _is_int, "integer"),
+        ("total", _is_int, "integer"),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        _check_keys(errors, f"$.cases[{i}]", case, [
+            ("id", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("description", lambda v: isinstance(v, str), "string"),
+            ("match", lambda v: isinstance(v, bool), "bool"),
+            ("time_us", _is_num, "number"),
+            ("computed", lambda v: isinstance(v, str), "string"),
+        ], allow_extra=True)  # optional "note"
+
+
+CHECKERS = {
+    "park-stats-v1": check_park_stats,
+    "park-bench-parallel-v1": check_bench_parallel,
+    "park-bench-paper-examples-v1": check_bench_paper_examples,
+}
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"cannot parse: {e}"]
+    if not isinstance(doc, dict) or "schema" not in doc:
+        return ["document has no top-level \"schema\" tag"]
+    checker = CHECKERS.get(doc["schema"])
+    if checker is None:
+        return [f"unknown schema {doc['schema']!r} "
+                f"(known: {', '.join(sorted(CHECKERS))})"]
+    errors = []
+    checker(errors, doc)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
