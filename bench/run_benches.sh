@@ -6,8 +6,14 @@
 #
 # Defaults: build-dir = ./build, output-dir = current directory. Each
 # google-benchmark binary writes BENCH_<name>.json via --benchmark_out;
-# bench_parallel and bench_paper_examples manage their own output formats.
-set -euo pipefail
+# bench_parallel, bench_planner and bench_paper_examples manage their own
+# output formats.
+#
+# Every bench is attempted even if an earlier one fails; a failing bench's
+# partial JSON is removed (a truncated BENCH_*.json must never pass for a
+# real data point) and the script exits non-zero with a summary of the
+# failures.
+set -uo pipefail
 
 build_dir="${1:-build}"
 out_dir="${2:-.}"
@@ -18,6 +24,20 @@ if [[ ! -d "${bench_dir}" ]]; then
   exit 1
 fi
 mkdir -p "${out_dir}"
+
+failed=()
+
+# run_bench <name> <json-path> <argv...>
+run_bench() {
+  local name="$1" json="$2"
+  shift 2
+  echo "== ${name}"
+  if ! "$@"; then
+    echo "FAIL ${name} (exit $?)" >&2
+    rm -f "${json}"
+    failed+=("${name}")
+  fi
+}
 
 gbenches=(
   bench_scaling_db
@@ -40,9 +60,9 @@ for name in "${gbenches[@]}"; do
     echo "skip ${name}: not built" >&2
     continue
   fi
-  echo "== ${name}"
-  "${bin}" --benchmark_out="${out_dir}/BENCH_${name#bench_}.json" \
-           --benchmark_out_format=json
+  json="${out_dir}/BENCH_${name#bench_}.json"
+  run_bench "${name}" "${json}" \
+    "${bin}" --benchmark_out="${json}" --benchmark_out_format=json
 done
 
 # bench_parallel covers inter-rule scaling AND the skew_single_rule case,
@@ -50,16 +70,27 @@ done
 # records hardware_concurrency plus per-config parallel_sliced_units /
 # parallel_slices so a flat curve on a small host is explainable. It
 # shares the park-bench-*-v1 envelope (bench/bench_json.h) with
-# bench_paper_examples; both are validated by tools/check_stats_schema.py.
+# bench_paper_examples and bench_planner; all are validated by
+# tools/check_stats_schema.py.
 if [[ -x "${bench_dir}/bench_parallel" ]]; then
-  echo "== bench_parallel"
-  "${bench_dir}/bench_parallel" "${out_dir}/BENCH_parallel.json"
+  run_bench bench_parallel "${out_dir}/BENCH_parallel.json" \
+    "${bench_dir}/bench_parallel" "${out_dir}/BENCH_parallel.json"
+fi
+
+# Cost-based planner vs the static heuristic (skewed and control cases).
+if [[ -x "${bench_dir}/bench_planner" ]]; then
+  run_bench bench_planner "${out_dir}/BENCH_planner.json" \
+    "${bench_dir}/bench_planner" "${out_dir}/BENCH_planner.json"
 fi
 
 # Paper-fidelity record (E1-E9) in the same JSON envelope.
 if [[ -x "${bench_dir}/bench_paper_examples" ]]; then
-  echo "== bench_paper_examples"
-  "${bench_dir}/bench_paper_examples" "${out_dir}/BENCH_paper_examples.json"
+  run_bench bench_paper_examples "${out_dir}/BENCH_paper_examples.json" \
+    "${bench_dir}/bench_paper_examples" "${out_dir}/BENCH_paper_examples.json"
 fi
 
+if ((${#failed[@]} > 0)); then
+  echo "error: ${#failed[@]} bench(es) failed: ${failed[*]}" >&2
+  exit 1
+fi
 echo "JSON written to ${out_dir}/BENCH_*.json"

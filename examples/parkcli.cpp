@@ -15,6 +15,9 @@
 //                      0 = one per hardware thread); results identical
 //   --min-slice-size N smallest per-slice candidate count for intra-rule
 //                      parallelism (default 256, min 1); results identical
+//   --planner NAME     cost (default) | heuristic — how rule bodies are
+//                      ordered for matching (docs/PLANNER.md). The match
+//                      set is identical; derivation order may differ
 //   --stats-json FILE  write evaluation stats (park-stats-v1 JSON,
 //                      ParkStats::ToJson) to FILE; "-" means stdout
 //                      (the human-readable report then moves to stderr
@@ -24,7 +27,11 @@
 //                      stderr as evaluation progresses
 //   --trace            print the full fixpoint trace
 //   --provenance       print which rule instances derived each change
-//   --explain          print the parsed program, analysis, and body plans
+//   --explain          print the parsed program and analysis to stdout,
+//                      and each rule's chosen plan — literal order, probe
+//                      column per literal, estimated cardinalities — to
+//                      stderr before the run (replans during the run
+//                      stream through --observe)
 //
 // Exit status: 0 on success, 1 on any error.
 
@@ -81,7 +88,13 @@ park::Result<park::PolicyPtr> MakePolicy(const std::string& name) {
       "interactive)");
 }
 
-void PrintExplain(const park::Program& program) {
+/// The --explain dump. Program text and analysis go to stdout; the plan
+/// dump goes to STDERR (like --observe's live replan lines) so piping the
+/// result leaves stdout clean. Plans are compiled against the initial
+/// database's statistics — the same plans the evaluation starts with;
+/// drift replans during the run surface via --observe.
+void PrintExplain(const park::Program& program, const park::Database& db,
+                  park::PlannerMode planner_mode) {
   std::printf("program (%zu rule(s)):\n", program.size());
   std::printf("%s", park::ProgramToString(program).c_str());
   park::ProgramAnalysis analysis = park::AnalyzeProgram(program);
@@ -107,12 +120,16 @@ void PrintExplain(const park::Program& program) {
        analysis.potentially_conflicting_rule_pairs) {
     std::printf(" (#%d,#%d)", inserter, deleter);
   }
-  std::printf("\n\nbody evaluation plans:\n");
+  std::printf("\n");
+  park::IInterpretation interp(&db);
+  std::fprintf(stderr, "body evaluation plans (%s):\n",
+               planner_mode == park::PlannerMode::kCostBased ? "cost-based"
+                                                             : "heuristic");
   for (const park::Rule& rule : program.rules()) {
-    std::vector<int> order = park::PlanBodyOrder(rule);
-    std::printf("  rule #%d:", rule.index());
-    for (int i : order) std::printf(" %d", i);
-    std::printf("\n");
+    park::CompiledPlan plan =
+        park::CompilePlan(rule, /*seed_index=*/-1, planner_mode, &interp);
+    std::fprintf(stderr, "  %s\n",
+                 park::ExplainPlanLine(park::ExplainPlan(plan)).c_str());
   }
 }
 
@@ -121,7 +138,8 @@ int Usage(const char* argv0) {
                "usage: %s --rules FILE --facts FILE [--update ±atom]...\n"
                "          [--policy NAME] [--block-first] [--max-steps N]\n"
                "          [--deadline-ms N] [--threads N]\n"
-               "          [--min-slice-size N] [--stats-json FILE]\n"
+               "          [--min-slice-size N] [--planner cost|heuristic]\n"
+               "          [--stats-json FILE]\n"
                "          [--observe] [--trace] [--explain]\n",
                argv0);
   return 1;
@@ -219,6 +237,18 @@ int main(int argc, char** argv) {
                              std::numeric_limits<int64_t>::max()));
       if (!ParseIntFlag("--min-slice-size", v, 1, max, &slice)) return 1;
       options.min_slice_size = static_cast<size_t>(slice);
+    } else if (arg == "--planner") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "cost") == 0) {
+        options.planner_mode = park::PlannerMode::kCostBased;
+      } else if (std::strcmp(v, "heuristic") == 0) {
+        options.planner_mode = park::PlannerMode::kHeuristic;
+      } else {
+        std::fprintf(stderr,
+                     "--planner wants 'cost' or 'heuristic', got '%s'\n", v);
+        return 1;
+      }
     } else if (arg == "--stats-json") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -263,7 +293,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (explain) PrintExplain(*program);
+  if (explain) PrintExplain(*program, *db, options.planner_mode);
 
   park::UpdateSet updates;
   for (const std::string& text : update_texts) {

@@ -42,6 +42,10 @@ void TracingObserver::OnGammaSection(const GammaSectionInfo& info) {
        << (info.consistent ? " consistent" : " INCONSISTENT") << "\n";
 }
 
+void TracingObserver::OnPlanCompiled(const PlanExplanation& explanation) {
+  out_ << "[park] " << ExplainPlanLine(explanation) << "\n";
+}
+
 void TracingObserver::OnPolicyDecision(const Conflict& conflict,
                                        Vote vote) {
   out_ << "[park]   select " << VoteToString(vote);

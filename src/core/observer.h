@@ -36,7 +36,8 @@
 
 namespace park {
 
-struct ParkStats;  // core/park_evaluator.h (which includes this header)
+struct ParkStats;        // core/park_evaluator.h (which includes this header)
+struct PlanExplanation;  // engine/matcher.h
 
 /// Static facts about one evaluation, delivered once at run start.
 struct RunStartInfo {
@@ -90,6 +91,13 @@ class RunObserver {
   /// and resolution rounds), matching the step numbering in traces.
   virtual void OnStepStart(int step) { (void)step; }
   virtual void OnGammaSection(const GammaSectionInfo& info) { (void)info; }
+  /// The join planner compiled (or, after statistics drift, recompiled) a
+  /// rule or Δ-seeded rule variant into a match plan. Fires on the
+  /// coordinating thread, before the plan's first execution. Render with
+  /// ExplainPlanLine (engine/matcher.h).
+  virtual void OnPlanCompiled(const PlanExplanation& explanation) {
+    (void)explanation;
+  }
   /// One policy decision inside a conflict round. `conflict` is the live
   /// object — render it eagerly if kept beyond the callback.
   virtual void OnPolicyDecision(const Conflict& conflict, Vote vote) {
@@ -156,6 +164,7 @@ class TracingObserver : public RunObserver {
   void OnRunStart(const RunStartInfo& info) override;
   void OnStepStart(int step) override;
   void OnGammaSection(const GammaSectionInfo& info) override;
+  void OnPlanCompiled(const PlanExplanation& explanation) override;
   void OnPolicyDecision(const Conflict& conflict, Vote vote) override;
   void OnConflictRound(const ConflictRoundInfo& info) override;
   void OnRestart(size_t restart) override;

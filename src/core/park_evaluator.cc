@@ -21,6 +21,14 @@ const char* GammaModeName(GammaMode mode) {
   return "unknown";
 }
 
+const char* PlannerModeName(PlannerMode mode) {
+  switch (mode) {
+    case PlannerMode::kHeuristic: return "heuristic";
+    case PlannerMode::kCostBased: return "cost_based";
+  }
+  return "unknown";
+}
+
 /// Checks the optional wall-clock budget. `start` is the evaluation's
 /// entry time; returns non-OK once the budget is spent.
 Status CheckDeadline(const ParkOptions& options,
@@ -154,6 +162,14 @@ std::string ParkStats::ToJson() const {
       .UInt(parallel_tasks == 0 ? 0
                                 : timings.pool_busy_ns / parallel_tasks);
   w.EndObject();
+  w.Key("planner").BeginObject();
+  w.Key("mode").String(PlannerModeName(planner_mode));
+  w.Key("plans_compiled").UInt(plans_compiled);
+  w.Key("cache_hits").UInt(plan_cache_hits);
+  w.Key("replans").UInt(plan_replans);
+  w.Key("estimated_rows").UInt(planner_estimated_rows);
+  w.Key("actual_rows").UInt(planner_actual_rows);
+  w.EndObject();
   w.Key("timings").BeginObject();
   w.Key("collected").Bool(timings.collected);
   w.Key("total_ns").UInt(timings.total_ns);
@@ -211,7 +227,15 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   ParallelGamma* parallel =
       parallel_state.has_value() ? &*parallel_state : nullptr;
   stats.num_threads = static_cast<size_t>(num_threads);
+  stats.planner_mode = options.planner_mode;
   ObserverHook observer(options.observer);
+  PlanCache plans(program, options.planner_mode);
+  if (options.observer != nullptr) {
+    plans.set_compile_listener([&](const PlanExplanation& explanation) {
+      observer.Notify(
+          [&](RunObserver& o) { o.OnPlanCompiled(explanation); });
+    });
+  }
   const bool timed = options.collect_timings;
   stats.timings.collected = timed;
   if (timed && parallel != nullptr) parallel->EnableTiming();
@@ -236,15 +260,15 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     GammaResult gamma;
     switch (mode) {
       case GammaMode::kNaive:
-        gamma = ComputeGamma(program, blocked, interp, parallel);
+        gamma = ComputeGamma(program, blocked, interp, parallel, &plans);
         break;
       case GammaMode::kDeltaFiltered:
         gamma = ComputeGammaFiltered(program, blocked, interp, delta,
-                                     parallel);
+                                     parallel, &plans);
         break;
       case GammaMode::kSemiNaive:
         gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms,
-                                      parallel);
+                                      parallel, &plans);
         break;
     }
     if (timed) {
@@ -298,7 +322,7 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     // have skipped — so recompute the full Γ before building them.
     if (mode != GammaMode::kNaive) {
       gamma_start_ns = timed ? MonotonicNanos() : 0;
-      gamma = ComputeGamma(program, blocked, interp, parallel);
+      gamma = ComputeGamma(program, blocked, interp, parallel, &plans);
       if (timed) {
         stats.timings.gamma_ns +=
             static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
@@ -391,6 +415,11 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   }
 
   stats.blocked_instances = blocked.size();
+  stats.plans_compiled = plans.plans_compiled();
+  stats.plan_cache_hits = plans.cache_hits();
+  stats.plan_replans = plans.replans();
+  stats.planner_estimated_rows = plans.estimated_rows();
+  stats.planner_actual_rows = plans.actual_rows();
   if (parallel != nullptr) {
     stats.parallel_sections = parallel->pool().sections_run();
     stats.parallel_tasks = parallel->pool().tasks_executed();

@@ -92,6 +92,16 @@ struct ParkOptions {
   /// > 1, and never affects results — only how the identical work is
   /// partitioned.
   size_t min_slice_size = kDefaultMinSliceSize;
+  /// How rule bodies are ordered for matching (see docs/PLANNER.md).
+  /// kCostBased (default) compiles each rule — and each Δ-seeded variant —
+  /// once into a plan ordered by live storage statistics, recompiling only
+  /// when the consulted stores drift; kHeuristic uses the legacy static
+  /// greedy order. REPLAY-STABLE, not free: the match SET is identical in
+  /// both modes (planner_oracle_test), but the enumeration ORDER differs,
+  /// and order feeds policies, traces, and provenance. For a fixed mode
+  /// (and fixed other options) results are bit-identical across runs and
+  /// thread counts.
+  PlannerMode planner_mode = PlannerMode::kCostBased;
   /// Observation hooks at the loop's structural points (see
   /// core/observer.h). Not owned; must outlive the evaluation. Null means
   /// no observation (each hook site is then a single branch). A free
@@ -154,6 +164,19 @@ struct ParkStats {
   /// Largest single ParallelFor section of the run — the peak "queue
   /// depth" the pool saw (0 on sequential runs).
   size_t parallel_max_queue_depth = 0;
+  // Join-planner counters (see ParkOptions::planner_mode and
+  // docs/PLANNER.md). Deterministic for a fixed configuration and
+  // invariant across thread counts: the coordinator fetches plans and
+  // accumulates rows in unit order on both the sequential and parallel
+  // paths (asserted in planner_oracle_test).
+  PlannerMode planner_mode = PlannerMode::kCostBased;
+  size_t plans_compiled = 0;   // plan compilations, replans included
+  size_t plan_cache_hits = 0;  // Get() calls served from the cache
+  size_t plan_replans = 0;     // recompiles triggered by stats drift
+  /// Σ estimated first-step stream rows across evaluation units vs. the Σ
+  /// of actually enumerated stream rows — the cost model's calibration.
+  size_t planner_estimated_rows = 0;
+  size_t planner_actual_rows = 0;
   /// Phase timers (see ParkOptions::collect_timings).
   PhaseTimings timings;
 
@@ -161,10 +184,12 @@ struct ParkStats {
   ///   {"schema": "park-stats-v1",
   ///    "counters": {...},   // deterministic: identical across threads
   ///    "parallel": {...},   // partitioning-dependent pool counters
+  ///    "planner": {...},    // join-planner counters (deterministic)
   ///    "timings": {"collected": bool, <phase>_ns...}}
   /// The "counters" object is invariant across num_threads /
   /// min_slice_size settings (asserted in stats_invariance_test);
-  /// "parallel" and "timings" are explicitly not.
+  /// "parallel" and "timings" are explicitly not. "planner" is invariant
+  /// across thread counts but does depend on planner_mode / gamma_mode.
   std::string ToJson() const;
 };
 

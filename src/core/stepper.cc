@@ -23,6 +23,7 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
       db_(db),
       options_(std::move(options)),
       policy_(options_.policy ? options_.policy : MakeInertiaPolicy()),
+      plans_(program, options_.planner_mode),
       interp_(&db),
       observer_(options_.observer),
       start_time_(std::chrono::steady_clock::now()) {
@@ -30,10 +31,17 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
       << "program and database must share a symbol table";
   int num_threads = ResolveNumThreads(options_.num_threads);
   stats_.num_threads = static_cast<size_t>(num_threads);
+  stats_.planner_mode = options_.planner_mode;
   stats_.timings.collected = options_.collect_timings;
   if (num_threads > 1) {
     parallel_.emplace(program_, num_threads, options_.min_slice_size);
     if (options_.collect_timings) parallel_->EnableTiming();
+  }
+  if (options_.observer != nullptr) {
+    plans_.set_compile_listener([this](const PlanExplanation& explanation) {
+      observer_.Notify(
+          [&](RunObserver& o) { o.OnPlanCompiled(explanation); });
+    });
   }
   if (options_.collect_timings) run_start_ns_ = MonotonicNanos();
   observer_.Notify([&](RunObserver& o) {
@@ -52,6 +60,14 @@ void ParkStepper::RefreshParallelStats() {
   stats_.timings.parallel_match_ns = parallel_->match_ns();
   stats_.timings.parallel_merge_ns = parallel_->merge_ns();
   stats_.timings.pool_busy_ns = parallel_->pool().busy_ns();
+}
+
+void ParkStepper::RefreshPlannerStats() {
+  stats_.plans_compiled = plans_.plans_compiled();
+  stats_.plan_cache_hits = plans_.cache_hits();
+  stats_.plan_replans = plans_.replans();
+  stats_.planner_estimated_rows = plans_.estimated_rows();
+  stats_.planner_actual_rows = plans_.actual_rows();
 }
 
 Result<StepOutcome> ParkStepper::Step() {
@@ -82,15 +98,15 @@ Result<StepOutcome> ParkStepper::Step() {
   GammaResult gamma;
   switch (mode) {
     case GammaMode::kNaive:
-      gamma = ComputeGamma(program_, blocked_, interp_, parallel);
+      gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_);
       break;
     case GammaMode::kDeltaFiltered:
       gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_,
-                                   parallel);
+                                   parallel, &plans_);
       break;
     case GammaMode::kSemiNaive:
       gamma = ComputeGammaSemiNaive(program_, blocked_, interp_,
-                                    delta_atoms_, parallel);
+                                    delta_atoms_, parallel, &plans_);
       break;
   }
   if (timed) {
@@ -99,6 +115,7 @@ Result<StepOutcome> ParkStepper::Step() {
   }
   stats_.rule_evaluations += gamma.rules_evaluated;
   RefreshParallelStats();
+  RefreshPlannerStats();
   observer_.Notify([&](RunObserver& o) {
     o.OnGammaSection(GammaSectionInfo{
         step_number, gamma.rules_evaluated, gamma.derivations.size(),
@@ -145,13 +162,14 @@ Result<StepOutcome> ParkStepper::Step() {
   // Resolution transition: same logic as the batch evaluator.
   if (mode != GammaMode::kNaive) {
     gamma_start_ns = timed ? MonotonicNanos() : 0;
-    gamma = ComputeGamma(program_, blocked_, interp_, parallel);
+    gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_);
     if (timed) {
       stats_.timings.gamma_ns +=
           static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
     }
     stats_.rule_evaluations += gamma.rules_evaluated;
     RefreshParallelStats();
+    RefreshPlannerStats();
     observer_.Notify([&](RunObserver& o) {
       o.OnGammaSection(GammaSectionInfo{
           step_number, gamma.rules_evaluated, gamma.derivations.size(),

@@ -69,6 +69,8 @@ class ParkStepper {
  private:
   /// Folds the parallel pool's counters and clocks into stats_.
   void RefreshParallelStats();
+  /// Folds the plan cache's counters into stats_.
+  void RefreshPlannerStats();
 
   const Program& program_;
   const Database& db_;
@@ -76,6 +78,9 @@ class ParkStepper {
   PolicyPtr policy_;
   /// Engaged iff options_.num_threads resolves to > 1.
   std::optional<ParallelGamma> parallel_;
+  /// Compiled rule plans shared by every Γ section of this evaluation
+  /// (see ParkOptions::planner_mode); its counters fold into stats_.
+  PlanCache plans_;
   IInterpretation interp_;
   BlockedSet blocked_;
   DeltaState delta_;

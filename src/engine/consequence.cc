@@ -41,16 +41,23 @@ void AnalyzeDerivations(const IInterpretation& interp, GammaResult& result) {
 
 /// Appends every firable, non-blocked grounding of `rule` (restricted to
 /// first-literal candidates in `slice`; full slice = whole rule) to `out`.
-void MatchRule(const Rule& rule, const BlockedSet& blocked,
-               const IInterpretation& interp, std::vector<Derivation>& out,
-               CandidateSlice slice = CandidateSlice{}) {
-  ForEachBodyMatch(rule, interp, slice, [&](const Tuple& binding) {
+/// With `plan` the cached compiled plan executes (and the number of
+/// claimed step-0 candidates is returned — the planner's actual-rows
+/// counter); without, the legacy per-call heuristic path runs.
+size_t MatchRule(const Rule& rule, const BlockedSet& blocked,
+                 const IInterpretation& interp, const CompiledPlan* plan,
+                 std::vector<Derivation>& out,
+                 CandidateSlice slice = CandidateSlice{}) {
+  auto emit = [&](const Tuple& binding) {
     RuleGrounding grounding(rule.index(), binding);
     if (blocked.contains(grounding)) return;
     GroundAtom head = rule.head().atom.Ground(binding.values());
     out.push_back(Derivation{
         std::move(grounding), rule.head().action, std::move(head)});
-  });
+  };
+  if (plan != nullptr) return ExecutePlan(*plan, rule, interp, slice, emit);
+  ForEachBodyMatch(rule, interp, slice, emit);
+  return 0;
 }
 
 // --- Intra-rule slicing policy ---
@@ -150,23 +157,39 @@ class FrozenInterpretation {
 void MatchRulesParallel(const std::vector<const Rule*>& rules,
                         const BlockedSet& blocked,
                         const IInterpretation& interp,
-                        ParallelGamma& parallel,
+                        ParallelGamma& parallel, PlanCache* plans,
                         std::vector<Derivation>& out) {
   struct RuleSliceTask {
     size_t unit;  // index into `rules`
     CandidateSlice slice;
   };
+  // Plan fetch happens on the coordinator BEFORE the freeze: compiling can
+  // grow the cache's index requirements, which the prewarm below must
+  // already include.
+  std::vector<const CompiledPlan*> rule_plans(rules.size(), nullptr);
+  if (plans != nullptr) {
+    for (size_t i = 0; i < rules.size(); ++i) {
+      rule_plans[i] = &plans->Get(*rules[i], /*seed_index=*/-1, interp);
+      plans->AddEstimatedRows(rule_plans[i]->estimated_candidates);
+    }
+  }
   std::vector<RuleSliceTask> tasks;
   tasks.reserve(rules.size());
   std::vector<std::vector<Derivation>> buffers;
+  std::vector<size_t> claimed;
   {
-    FrozenInterpretation frozen(interp, parallel.requirements());
+    FrozenInterpretation frozen(
+        interp,
+        plans != nullptr ? plans->requirements() : parallel.requirements());
     const int threads = parallel.num_threads();
     if (ShouldConsiderSlicing(rules.size(), threads)) {
       size_t sliced_units = 0;
       size_t slice_tasks = 0;
       for (size_t i = 0; i < rules.size(); ++i) {
-        size_t candidates = CountFirstLiteralCandidates(*rules[i], interp);
+        size_t candidates =
+            plans != nullptr
+                ? CountPlanCandidates(*rule_plans[i], interp)
+                : CountFirstLiteralCandidates(*rules[i], interp);
         size_t num_slices =
             NumSlicesFor(candidates, parallel.min_slice_size(), threads);
         if (num_slices > 1) {
@@ -182,16 +205,25 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
       }
     }
     buffers.resize(tasks.size());
+    claimed.assign(tasks.size(), 0);
     const int64_t match_start =
         parallel.timing_enabled() ? MonotonicNanos() : 0;
     parallel.pool().ParallelFor(tasks.size(), [&](size_t i) {
-      MatchRule(*rules[tasks[i].unit], blocked, interp, buffers[i],
-                tasks[i].slice);
+      claimed[i] = MatchRule(*rules[tasks[i].unit], blocked, interp,
+                             rule_plans[tasks[i].unit], buffers[i],
+                             tasks[i].slice);
     });
     if (parallel.timing_enabled()) {
       parallel.RecordMatchNs(
           static_cast<uint64_t>(MonotonicNanos() - match_start));
     }
+  }
+  if (plans != nullptr) {
+    // Slices of a unit claim disjoint ordinal ranges, so this sum is the
+    // full per-unit stream count — independent of the slicing partition.
+    size_t total_claimed = 0;
+    for (size_t c : claimed) total_claimed += c;
+    plans->AddActualRows(total_claimed);
   }
   const int64_t merge_start =
       parallel.timing_enabled() ? MonotonicNanos() : 0;
@@ -217,19 +249,26 @@ ParallelGamma::ParallelGamma(const Program& program, int num_threads,
 
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
-                         ParallelGamma* parallel) {
+                         ParallelGamma* parallel, PlanCache* plans) {
   GammaResult result;
   // Even a one-rule program fans out: intra-rule slicing can split it.
   if (parallel != nullptr && program.size() > 0) {
     std::vector<const Rule*> rules;
     rules.reserve(program.size());
     for (const Rule& rule : program.rules()) rules.push_back(&rule);
-    MatchRulesParallel(rules, blocked, interp, *parallel,
+    MatchRulesParallel(rules, blocked, interp, *parallel, plans,
                        result.derivations);
     result.rules_evaluated = rules.size();
   } else {
     for (const Rule& rule : program.rules()) {
-      MatchRule(rule, blocked, interp, result.derivations);
+      const CompiledPlan* plan = nullptr;
+      if (plans != nullptr) {
+        plan = &plans->Get(rule, /*seed_index=*/-1, interp);
+        plans->AddEstimatedRows(plan->estimated_candidates);
+      }
+      size_t claimed =
+          MatchRule(rule, blocked, interp, plan, result.derivations);
+      if (plans != nullptr) plans->AddActualRows(claimed);
       ++result.rules_evaluated;
     }
   }
@@ -267,7 +306,8 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  const BlockedSet& blocked,
                                  const IInterpretation& interp,
                                  const DeltaState& delta,
-                                 ParallelGamma* parallel) {
+                                 ParallelGamma* parallel,
+                                 PlanCache* plans) {
   GammaResult result;
   std::vector<const Rule*> affected;
   affected.reserve(program.size());
@@ -275,11 +315,18 @@ GammaResult ComputeGammaFiltered(const Program& program,
     if (RuleIsAffected(rule, delta)) affected.push_back(&rule);
   }
   if (parallel != nullptr && !affected.empty()) {
-    MatchRulesParallel(affected, blocked, interp, *parallel,
+    MatchRulesParallel(affected, blocked, interp, *parallel, plans,
                        result.derivations);
   } else {
     for (const Rule* rule : affected) {
-      MatchRule(*rule, blocked, interp, result.derivations);
+      const CompiledPlan* plan = nullptr;
+      if (plans != nullptr) {
+        plan = &plans->Get(*rule, /*seed_index=*/-1, interp);
+        plans->AddEstimatedRows(plan->estimated_candidates);
+      }
+      size_t claimed =
+          MatchRule(*rule, blocked, interp, plan, result.derivations);
+      if (plans != nullptr) plans->AddActualRows(claimed);
     }
   }
   result.rules_evaluated = affected.size();
@@ -291,8 +338,11 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const BlockedSet& blocked,
                                   const IInterpretation& interp,
                                   const DeltaAtoms& delta,
-                                  ParallelGamma* parallel) {
-  if (delta.initial) return ComputeGamma(program, blocked, interp, parallel);
+                                  ParallelGamma* parallel,
+                                  PlanCache* plans) {
+  if (delta.initial) {
+    return ComputeGamma(program, blocked, interp, parallel, plans);
+  }
 
   // Enumerate the (rule, seed literal, seed atom) completions to run.
   // Listing them up front (in the same nested order the sequential loop
@@ -332,18 +382,36 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
   GammaResult result;
   result.rules_evaluated = rules_evaluated;
 
-  auto run_task = [&](const SeedTask& task, std::vector<Derivation>& out,
-                      CandidateSlice slice = CandidateSlice{}) {
-    ForEachBodyMatchSeeded(
-        *task.rule, interp, task.literal, *task.atom, slice,
-        [&](const Tuple& binding) {
-          RuleGrounding grounding(task.rule->index(), binding);
-          if (blocked.contains(grounding)) return;
-          GroundAtom head = task.rule->head().atom.Ground(binding.values());
-          out.push_back(Derivation{std::move(grounding),
-                                   task.rule->head().action,
-                                   std::move(head)});
-        });
+  // With a plan cache, fetch every task's Δ-seeded plan up front on the
+  // coordinator (tasks sharing a (rule, literal) hit the cache) so the
+  // parallel freeze below sees the final index requirements. The counter
+  // stream (hits / replans / estimates) is identical in the sequential
+  // path because the fetch loop order is task order in both.
+  std::vector<const CompiledPlan*> task_plans(tasks.size(), nullptr);
+  if (plans != nullptr) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      task_plans[i] = &plans->Get(*tasks[i].rule, tasks[i].literal, interp);
+      plans->AddEstimatedRows(task_plans[i]->estimated_candidates);
+    }
+  }
+
+  auto run_task = [&](const SeedTask& task, const CompiledPlan* plan,
+                      std::vector<Derivation>& out,
+                      CandidateSlice slice = CandidateSlice{}) -> size_t {
+    auto emit = [&](const Tuple& binding) {
+      RuleGrounding grounding(task.rule->index(), binding);
+      if (blocked.contains(grounding)) return;
+      GroundAtom head = task.rule->head().atom.Ground(binding.values());
+      out.push_back(Derivation{std::move(grounding),
+                               task.rule->head().action, std::move(head)});
+    };
+    if (plan != nullptr) {
+      return ExecutePlanSeeded(*plan, *task.rule, interp, *task.atom, slice,
+                               emit);
+    }
+    ForEachBodyMatchSeeded(*task.rule, interp, task.literal, *task.atom,
+                           slice, emit);
+    return 0;
   };
 
   // A grounding reachable from several seeds is derived once. Sequential
@@ -370,15 +438,23 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     std::vector<SeedSliceTask> slice_tasks;
     slice_tasks.reserve(tasks.size());
     std::vector<std::vector<Derivation>> buffers;
+    std::vector<size_t> claimed;
     {
-      FrozenInterpretation frozen(interp, parallel->requirements());
+      FrozenInterpretation frozen(
+          interp, plans != nullptr ? plans->requirements()
+                                   : parallel->requirements());
       const int threads = parallel->num_threads();
       if (ShouldConsiderSlicing(tasks.size(), threads)) {
         size_t sliced_units = 0;
         size_t new_slice_tasks = 0;
         for (size_t i = 0; i < tasks.size(); ++i) {
-          size_t candidates = CountFirstLiteralCandidatesSeeded(
-              *tasks[i].rule, interp, tasks[i].literal, *tasks[i].atom);
+          size_t candidates =
+              plans != nullptr
+                  ? CountPlanCandidatesSeeded(*task_plans[i], *tasks[i].rule,
+                                              interp, *tasks[i].atom)
+                  : CountFirstLiteralCandidatesSeeded(
+                        *tasks[i].rule, interp, tasks[i].literal,
+                        *tasks[i].atom);
           size_t num_slices =
               NumSlicesFor(candidates, parallel->min_slice_size(), threads);
           if (num_slices > 1) {
@@ -394,16 +470,23 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
         }
       }
       buffers.resize(slice_tasks.size());
+      claimed.assign(slice_tasks.size(), 0);
       const int64_t match_start =
           parallel->timing_enabled() ? MonotonicNanos() : 0;
       parallel->pool().ParallelFor(slice_tasks.size(), [&](size_t i) {
-        run_task(tasks[slice_tasks[i].unit], buffers[i],
-                 slice_tasks[i].slice);
+        claimed[i] = run_task(tasks[slice_tasks[i].unit],
+                              task_plans[slice_tasks[i].unit], buffers[i],
+                              slice_tasks[i].slice);
       });
       if (parallel->timing_enabled()) {
         parallel->RecordMatchNs(
             static_cast<uint64_t>(MonotonicNanos() - match_start));
       }
+    }
+    if (plans != nullptr) {
+      size_t total_claimed = 0;
+      for (size_t c : claimed) total_claimed += c;
+      plans->AddActualRows(total_claimed);
     }
     const int64_t merge_start =
         parallel->timing_enabled() ? MonotonicNanos() : 0;
@@ -414,11 +497,13 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     }
   } else {
     std::vector<Derivation> buffer;
-    for (const SeedTask& task : tasks) {
+    size_t total_claimed = 0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
       buffer.clear();
-      run_task(task, buffer);
+      total_claimed += run_task(tasks[i], task_plans[i], buffer);
       merge_deduped(buffer);
     }
+    if (plans != nullptr) plans->AddActualRows(total_claimed);
   }
   AnalyzeDerivations(interp, result);
   return result;

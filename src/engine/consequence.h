@@ -131,9 +131,19 @@ class ParallelGamma {
 
 /// Evaluates Γ(P,B)(I) as a derivation list; does not modify `interp`
 /// (with `parallel`, rule matching fans out over the pool).
+///
+/// With `plans`, matching runs through the cache's compiled plans
+/// (ExecutePlan) instead of the per-call heuristic path, and the frozen
+/// sections prewarm from the cache's accumulated requirements. The match
+/// SET is identical either way; the enumeration ORDER (hence derivation
+/// order) follows the cached plan's literal order, so the planner mode is
+/// a replay-stable knob like the Γ mode — see docs/PLANNER.md. The cache's
+/// plan/row counters are advanced by the coordinator only, in unit order,
+/// so they are thread-count invariant.
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
-                         ParallelGamma* parallel = nullptr);
+                         ParallelGamma* parallel = nullptr,
+                         PlanCache* plans = nullptr);
 
 /// Applies `derivations` to `interp` (AddMarked + provenance). The caller
 /// must have checked `consistent`. Returns the number of marked atoms that
@@ -177,7 +187,8 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  const BlockedSet& blocked,
                                  const IInterpretation& interp,
                                  const DeltaState& delta,
-                                 ParallelGamma* parallel = nullptr);
+                                 ParallelGamma* parallel = nullptr,
+                                 PlanCache* plans = nullptr);
 
 /// ApplyDerivations variant that also records, into `next_delta`, which
 /// predicates gained new marks (for the next filtered step).
@@ -219,7 +230,8 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const BlockedSet& blocked,
                                   const IInterpretation& interp,
                                   const DeltaAtoms& delta,
-                                  ParallelGamma* parallel = nullptr);
+                                  ParallelGamma* parallel = nullptr,
+                                  PlanCache* plans = nullptr);
 
 /// ApplyDerivations variant recording the newly marked atoms themselves.
 size_t ApplyDerivationsTrackedAtoms(

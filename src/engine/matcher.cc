@@ -1,12 +1,22 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
+#include <sstream>
 
+#include "storage/relation.h"
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace park {
 namespace {
+
+/// Replan when a consulted store's row count moves past a factor of
+/// kDriftFactor (with kDriftSlack absolute slack so tiny relations do not
+/// trigger replan storms while growing 0 -> 1 -> 2...). See docs/PLANNER.md.
+constexpr size_t kDriftFactor = 2;
+constexpr size_t kDriftSlack = 8;
 
 bool IsBindingKind(LiteralKind kind) {
   return kind == LiteralKind::kPositive ||
@@ -36,274 +46,45 @@ int CountBoundPositions(const AtomPattern& atom,
   return n;
 }
 
-/// Backtracking evaluator for one rule body, in planned order.
-class BodyMatcher {
- public:
-  BodyMatcher(const Rule& rule, const IInterpretation& interp,
-              FunctionRef<void(const Tuple&)> fn,
-              const std::vector<int>& order)
-      : rule_(rule),
-        interp_(interp),
-        fn_(fn),
-        order_(order),
-        binding_(static_cast<size_t>(rule.num_variables())),
-        bound_(static_cast<size_t>(rule.num_variables()), false),
-        scratch_(order.size()) {
-    // Per-literal pattern buffers, sized once here instead of a fresh
-    // heap-backed TuplePattern per EnumerateCandidates call.
-    for (size_t step = 0; step < order_.size(); ++step) {
-      const AtomPattern& atom =
-          rule_.body()[static_cast<size_t>(order_[step])].atom;
-      scratch_[step].resize(atom.terms.size());
-    }
-  }
-
-  void Run() { Extend(0); }
-
-  /// Restricts enumeration to first-literal candidates with ordinals in
-  /// `slice` (see CandidateSlice in matcher.h). Must be set before Run /
-  /// RunSeeded. A full slice is a no-op.
-  void SetSlice(CandidateSlice slice) {
-    slicing_ = !slice.IsFull();
-    slice_ = slice;
-  }
-
-  /// Pre-binds the variables of `seed_literal` against `seed_atom` (its
-  /// validity is the caller's guarantee), then enumerates the remaining
-  /// plan. Returns without calling the callback if constants or repeated
-  /// variables disagree with the atom.
-  void RunSeeded(const BodyLiteral& seed_literal,
-                 const GroundAtom& seed_atom) {
-    if (BindSeed(seed_literal, seed_atom)) Extend(0);
-  }
-
-  /// Binds the seed literal's variables from `seed_atom`; false means the
-  /// atom disagrees with the literal's constants or repeated variables
-  /// (no matches exist).
-  bool BindSeed(const BodyLiteral& seed_literal,
-                const GroundAtom& seed_atom) {
-    const AtomPattern& pattern = seed_literal.atom;
-    if (pattern.predicate != seed_atom.predicate()) return false;
-    for (size_t i = 0; i < pattern.terms.size(); ++i) {
-      const Term& term = pattern.terms[i];
-      const Value& value = seed_atom.args()[static_cast<int>(i)];
-      if (term.is_constant()) {
-        if (term.constant() != value) return false;
-        continue;
-      }
-      size_t var = static_cast<size_t>(term.var_index());
-      if (bound_[var]) {
-        if (binding_[var] != value) return false;  // repeated var mismatch
-      } else {
-        binding_[var] = value;
-        bound_[var] = true;
-      }
-    }
-    return true;
-  }
-
-  /// Size of the candidate stream the plan's first literal draws from in
-  /// the current bound state (raw: the positive-literal base/plus dedup
-  /// skip is applied per candidate at enumeration time, after ordinal
-  /// assignment, so it does not affect the count). 0 means unsliceable.
-  size_t CountSliceCandidates() {
-    if (order_.empty()) return 0;
-    const BodyLiteral& lit =
-        rule_.body()[static_cast<size_t>(order_[0])];
-    if (FullyBound(lit.atom, bound_) || !IsBindingKind(lit.kind)) return 0;
-    const TuplePattern& pattern = FillPattern(lit.atom, 0);
-    size_t n = 0;
-    auto count = [&n](const Tuple&) { ++n; };
-    PredicateId pred = lit.atom.predicate;
-    switch (lit.kind) {
-      case LiteralKind::kPositive: {
-        if (const Relation* base = interp_.base().GetRelation(pred)) {
-          base->ForEachMatching(pattern, count);
-        }
-        if (const Relation* plus = interp_.plus().GetRelation(pred)) {
-          plus->ForEachMatching(pattern, count);
-        }
-        break;
-      }
-      case LiteralKind::kEventInsert: {
-        if (const Relation* plus = interp_.plus().GetRelation(pred)) {
-          plus->ForEachMatching(pattern, count);
-        }
-        break;
-      }
-      case LiteralKind::kEventDelete: {
-        if (const Relation* minus = interp_.minus().GetRelation(pred)) {
-          minus->ForEachMatching(pattern, count);
-        }
-        break;
-      }
-      case LiteralKind::kNegated:
-        break;  // unreachable: !IsBindingKind handled above
-    }
-    return n;
-  }
-
- private:
-  /// Ordinal gate for intra-rule slicing: every candidate the first plan
-  /// literal draws gets the next stream ordinal; only ordinals inside the
-  /// slice are expanded. Later steps are never gated.
-  bool ClaimCandidate(size_t step) {
-    if (step != 0 || !slicing_) return true;
-    size_t ordinal = ordinal_++;
-    return ordinal >= slice_.begin && ordinal < slice_.end;
-  }
-
-  void Extend(size_t step) {
-    if (step == order_.size()) {
-      Emit();
-      return;
-    }
-    const BodyLiteral& lit =
-        rule_.body()[static_cast<size_t>(order_[step])];
-    if (FullyBound(lit.atom, bound_)) {
-      GroundAtom atom = GroundLiteral(lit.atom);
-      if (interp_.IsValid(atom, lit.kind)) Extend(step + 1);
-      return;
-    }
-    PARK_CHECK(IsBindingKind(lit.kind))
-        << "planner scheduled an unbound negated literal";
-    EnumerateCandidates(lit, step);
-  }
-
-  GroundAtom GroundLiteral(const AtomPattern& atom) const {
-    Tuple args;
-    for (const Term& t : atom.terms) {
-      args.Append(t.is_constant()
-                      ? t.constant()
-                      : binding_[static_cast<size_t>(t.var_index())]);
-    }
-    return GroundAtom(atom.predicate, std::move(args));
-  }
-
-  /// Refreshes this step's scratch pattern from the current binding.
-  const TuplePattern& FillPattern(const AtomPattern& atom, size_t step) {
-    TuplePattern& pattern = scratch_[step];
-    for (size_t i = 0; i < atom.terms.size(); ++i) {
-      const Term& t = atom.terms[i];
-      if (t.is_constant()) {
-        pattern[i] = t.constant();
-      } else if (bound_[static_cast<size_t>(t.var_index())]) {
-        pattern[i] = binding_[static_cast<size_t>(t.var_index())];
-      } else {
-        pattern[i] = std::nullopt;
-      }
-    }
-    return pattern;
-  }
-
-  /// Tries to bind the unbound variables of `atom` against `t`; on success
-  /// recurses, then undoes the new bindings. Repeated unbound variables
-  /// within the literal are checked for equality here (the TuplePattern
-  /// cannot express them).
-  void TryTuple(const AtomPattern& atom, const Tuple& t, size_t step) {
-    std::vector<int> newly_bound;
-    bool ok = true;
-    for (size_t i = 0; i < atom.terms.size(); ++i) {
-      const Term& term = atom.terms[i];
-      if (term.is_constant()) continue;  // pattern guaranteed the match
-      size_t var = static_cast<size_t>(term.var_index());
-      if (bound_[var]) {
-        if (binding_[var] != t[static_cast<int>(i)]) {
-          ok = false;
-          break;
-        }
-      } else {
-        binding_[var] = t[static_cast<int>(i)];
-        bound_[var] = true;
-        newly_bound.push_back(static_cast<int>(var));
-      }
-    }
-    if (ok) Extend(step + 1);
-    for (int var : newly_bound) bound_[static_cast<size_t>(var)] = false;
-  }
-
-  void EnumerateCandidates(const BodyLiteral& lit, size_t step) {
-    const TuplePattern& pattern = FillPattern(lit.atom, step);
-    PredicateId pred = lit.atom.predicate;
-    switch (lit.kind) {
-      case LiteralKind::kPositive: {
-        // Valid sources: unmarked base atoms and +marked atoms. An atom in
-        // both would be enumerated twice; skip base duplicates in the plus
-        // scan. The slice ordinal is claimed BEFORE the dedup skip so the
-        // stream count is a property of the stores alone.
-        const Relation* base = interp_.base().GetRelation(pred);
-        if (base != nullptr) {
-          base->ForEachMatching(pattern, [&](const Tuple& t) {
-            if (!ClaimCandidate(step)) return;
-            TryTuple(lit.atom, t, step);
-          });
-        }
-        const Relation* plus = interp_.plus().GetRelation(pred);
-        if (plus != nullptr) {
-          plus->ForEachMatching(pattern, [&](const Tuple& t) {
-            if (!ClaimCandidate(step)) return;
-            if (base != nullptr && base->Contains(t)) return;
-            TryTuple(lit.atom, t, step);
-          });
-        }
-        return;
-      }
-      case LiteralKind::kEventInsert: {
-        const Relation* plus = interp_.plus().GetRelation(pred);
-        if (plus != nullptr) {
-          plus->ForEachMatching(pattern, [&](const Tuple& t) {
-            if (!ClaimCandidate(step)) return;
-            TryTuple(lit.atom, t, step);
-          });
-        }
-        return;
-      }
-      case LiteralKind::kEventDelete: {
-        const Relation* minus = interp_.minus().GetRelation(pred);
-        if (minus != nullptr) {
-          minus->ForEachMatching(pattern, [&](const Tuple& t) {
-            if (!ClaimCandidate(step)) return;
-            TryTuple(lit.atom, t, step);
-          });
-        }
-        return;
-      }
-      case LiteralKind::kNegated:
-        PARK_CHECK(false) << "unreachable: negated literal as generator";
-    }
-  }
-
-  void Emit() {
-    Tuple result;
-    for (size_t i = 0; i < binding_.size(); ++i) {
-      PARK_CHECK(bound_[i])
-          << "variable '" << rule_.variable_names()[i]
-          << "' unbound at match emission (safety should prevent this)";
-      result.Append(binding_[i]);
-    }
-    fn_(result);
-  }
-
-  const Rule& rule_;
-  const IInterpretation& interp_;
-  FunctionRef<void(const Tuple&)> fn_;
-  const std::vector<int>& order_;
-  std::vector<Value> binding_;
-  std::vector<bool> bound_;
-  // scratch_[step] is the reusable query pattern for order_[step].
-  std::vector<TuplePattern> scratch_;
-  // Intra-rule slicing state (SetSlice / ClaimCandidate).
-  bool slicing_ = false;
-  CandidateSlice slice_;
-  size_t ordinal_ = 0;
+/// The stores a literal kind draws candidates from. kPositive enumerates
+/// unmarked base atoms and +marked atoms; +event only plus; -event only
+/// minus. Entries may be null (relation not created yet).
+struct LiteralStores {
+  const Relation* base = nullptr;
+  const Relation* plus = nullptr;
+  const Relation* minus = nullptr;
 };
 
-}  // namespace
+LiteralStores StoresFor(LiteralKind kind, PredicateId pred,
+                        const IInterpretation& interp) {
+  LiteralStores s;
+  switch (kind) {
+    case LiteralKind::kPositive:
+      s.base = interp.base().GetRelation(pred);
+      s.plus = interp.plus().GetRelation(pred);
+      break;
+    case LiteralKind::kEventInsert:
+      s.plus = interp.plus().GetRelation(pred);
+      break;
+    case LiteralKind::kEventDelete:
+      s.minus = interp.minus().GetRelation(pred);
+      break;
+    case LiteralKind::kNegated:
+      break;  // never a generator
+  }
+  return s;
+}
 
-namespace {
+template <typename Fn>
+void ForEachStore(const LiteralStores& stores, Fn fn) {
+  if (stores.base != nullptr) fn(*stores.base);
+  if (stores.plus != nullptr) fn(*stores.plus);
+  if (stores.minus != nullptr) fn(*stores.minus);
+}
 
-/// Greedy literal ordering; when `pre_bound` >= 0 that literal is treated
-/// as already evaluated (its variables bound, itself excluded).
+/// Greedy heuristic literal ordering; when `pre_bound` >= 0 that literal
+/// is treated as already evaluated (its variables bound, itself excluded).
+/// This is the legacy static planner, still pinned by matcher_test.
 std::vector<int> PlanBodyOrderImpl(const Rule& rule, int pre_bound) {
   const auto& body = rule.body();
   std::vector<int> order;
@@ -357,64 +138,615 @@ std::vector<int> PlanBodyOrderImpl(const Rule& rule, int pre_bound) {
   return order;
 }
 
-/// Appends `column` for `pred` into `columns` (deduplicated; a predicate
-/// has at most `arity` distinct probe columns, so linear scan is fine).
-void AddRequirement(IndexRequirements::ColumnsByPredicate& columns,
-                    PredicateId pred, int column) {
-  std::vector<int>& cols = columns[pred];
-  if (std::find(cols.begin(), cols.end(), column) == cols.end()) {
-    cols.push_back(column);
+/// Cost estimate for enumerating `lit` next, given the current bound set:
+/// the size of its candidate stream, summed over the stores it reads.
+/// With a bound position, an equality probe on column c visits about
+/// rows / distinct(c) tuples per store; the probe column minimizing that
+/// sum is returned alongside (ties to the lowest column, for determinism).
+struct StreamEstimate {
+  double rows = 0;
+  int probe_column = -1;
+};
+
+StreamEstimate EstimateStream(const BodyLiteral& lit,
+                              const std::vector<bool>& bound,
+                              const IInterpretation& interp) {
+  LiteralStores stores = StoresFor(lit.kind, lit.atom.predicate, interp);
+  StreamEstimate best;
+  bool have_bound_column = false;
+  for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
+    const Term& t = lit.atom.terms[i];
+    bool is_bound =
+        t.is_constant() || bound[static_cast<size_t>(t.var_index())];
+    if (!is_bound) continue;
+    double col_rows = 0;
+    ForEachStore(stores, [&](const Relation& rel) {
+      col_rows += rel.stats().SelectivityRows(static_cast<int>(i));
+    });
+    if (!have_bound_column || col_rows < best.rows) {
+      have_bound_column = true;
+      best.rows = col_rows;
+      best.probe_column = static_cast<int>(i);
+    }
   }
+  if (!have_bound_column) {
+    ForEachStore(stores, [&](const Relation& rel) {
+      best.rows += static_cast<double>(rel.size());
+    });
+  }
+  return best;
 }
 
-/// Walks one plan exactly as BodyMatcher will, recording for every
-/// generator literal the first bound pattern position — the column
-/// ForEachMatching's index probe uses. Boundness of a pattern position at
-/// a given plan step is static (constants, plus variables bound by
-/// earlier literals of the plan), which is what makes the prewarm exact.
-void CollectFromPlan(const Rule& rule, const std::vector<int>& order,
-                     std::vector<bool> bound, IndexRequirements& out) {
+/// Greedy cost-based ordering: filters first (same as the heuristic —
+/// a fully bound literal is a constant-time check), then repeatedly the
+/// binding literal with the smallest estimated candidate stream. Ties
+/// break to source order, so for a fixed statistics snapshot the order is
+/// a pure function of the rule.
+std::vector<int> PlanBodyOrderCost(const Rule& rule, int pre_bound,
+                                   const IInterpretation& interp) {
   const auto& body = rule.body();
-  for (int idx : order) {
-    const BodyLiteral& lit = body[static_cast<size_t>(idx)];
-    if (!FullyBound(lit.atom, bound)) {
-      // This literal reaches EnumerateCandidates. Its pattern has at
-      // least one unbound position (an unbound variable), so the
-      // all-bound exact-match fast path does not apply; if it also has a
-      // bound position, ForEachMatching probes that column's index.
-      int first_bound = -1;
-      for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
-        const Term& t = lit.atom.terms[i];
-        if (t.is_constant() ||
-            bound[static_cast<size_t>(t.var_index())]) {
-          first_bound = static_cast<int>(i);
+  std::vector<int> order;
+  order.reserve(body.size());
+  std::vector<bool> scheduled(body.size(), false);
+  std::vector<bool> bound(static_cast<size_t>(rule.num_variables()), false);
+  size_t to_schedule = body.size();
+  if (pre_bound >= 0) {
+    scheduled[static_cast<size_t>(pre_bound)] = true;
+    for (const Term& t : body[static_cast<size_t>(pre_bound)].atom.terms) {
+      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    }
+    --to_schedule;
+  }
+
+  for (size_t n = 0; n < to_schedule; ++n) {
+    int chosen = -1;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!scheduled[i] && FullyBound(body[i].atom, bound)) {
+        chosen = static_cast<int>(i);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      double best_rows = 0;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (scheduled[i] || !IsBindingKind(body[i].kind)) continue;
+        double rows = EstimateStream(body[i], bound, interp).rows;
+        if (chosen < 0 || rows < best_rows) {
+          best_rows = rows;
+          chosen = static_cast<int>(i);
+        }
+      }
+    }
+    PARK_CHECK_GE(chosen, 0)
+        << "no schedulable literal (unsafe rule slipped past validation)";
+    scheduled[static_cast<size_t>(chosen)] = true;
+    for (const Term& t : body[static_cast<size_t>(chosen)].atom.terms) {
+      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    }
+    order.push_back(chosen);
+  }
+  return order;
+}
+
+/// Records the row count of (`store`, `pred`) into the plan's drift
+/// snapshot (deduplicated).
+void SnapshotStore(uint8_t store, PredicateId pred, const Relation* rel,
+                   CompiledPlan& plan) {
+  for (const auto& entry : plan.stats_snapshot) {
+    if (entry.store == store && entry.predicate == pred) return;
+  }
+  plan.stats_snapshot.push_back(CompiledPlan::StoreRows{
+      store, pred, rel != nullptr ? rel->size() : 0});
+}
+
+// --- Flattened plan execution ---
+
+/// Per-thread scratch for plan execution: the substitution frame, one
+/// query pattern per step, per-step candidate cursors, and the arena the
+/// candidate buffers live in. Reused across calls (Arena::Reset keeps its
+/// chunks), so steady-state matching does not touch the heap. The rare
+/// reentrant call (a match callback that matches again) falls back to a
+/// heap-allocated scratch.
+struct StepState {
+  ArenaVec<const Tuple*> cands;
+  size_t next = 0;
+  Arena::Mark mark;
+};
+
+struct MatchScratch {
+  Arena arena;
+  std::vector<Value> binding;
+  std::vector<TuplePattern> patterns;
+  std::vector<StepState> states;
+  bool in_use = false;
+};
+
+MatchScratch& ThreadScratch() {
+  thread_local MatchScratch scratch;
+  return scratch;
+}
+
+/// Shared executor for seeded and unseeded plans (see ExecutePlan /
+/// ExecutePlanSeeded). Returns the number of step-0 stream candidates the
+/// slice claimed.
+size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
+               const IInterpretation& interp, const GroundAtom* seed_atom,
+               CandidateSlice slice, FunctionRef<void(const Tuple&)> fn) {
+  MatchScratch* scratch_ptr = &ThreadScratch();
+  std::unique_ptr<MatchScratch> fallback;
+  if (scratch_ptr->in_use) {
+    fallback = std::make_unique<MatchScratch>();
+    scratch_ptr = fallback.get();
+  }
+  MatchScratch& scratch = *scratch_ptr;
+  scratch.in_use = true;
+  struct InUseGuard {
+    bool& flag;
+    ~InUseGuard() { flag = false; }
+  } guard{scratch.in_use};
+
+  const size_t nvars = static_cast<size_t>(rule.num_variables());
+  if (scratch.binding.size() < nvars) scratch.binding.resize(nvars);
+
+  if (plan.seed_index >= 0) {
+    PARK_CHECK(seed_atom != nullptr) << "seeded plan without a seed atom";
+    const AtomPattern& seed_pattern =
+        rule.body()[static_cast<size_t>(plan.seed_index)].atom;
+    if (seed_pattern.predicate != seed_atom->predicate()) return 0;
+    for (size_t i = 0; i < plan.seed_slots.size(); ++i) {
+      const CompiledStep::Slot& slot = plan.seed_slots[i];
+      const Value& value = seed_atom->args()[static_cast<int>(i)];
+      switch (slot.kind) {
+        case CompiledStep::Slot::Kind::kConst:
+          if (slot.constant != value) return 0;
+          break;
+        case CompiledStep::Slot::Kind::kFree:
+          scratch.binding[static_cast<size_t>(slot.var)] = value;
+          break;
+        case CompiledStep::Slot::Kind::kBoundVar:  // repeated seed variable
+          if (scratch.binding[static_cast<size_t>(slot.var)] != value) {
+            return 0;
+          }
+          break;
+      }
+    }
+  }
+
+  auto emit = [&]() {
+    Tuple result;
+    for (size_t i = 0; i < nvars; ++i) result.Append(scratch.binding[i]);
+    fn(result);
+  };
+
+  const size_t nsteps = plan.steps.size();
+  if (nsteps == 0) {
+    emit();
+    return 0;
+  }
+
+  scratch.arena.Reset();
+  if (scratch.states.size() < nsteps) scratch.states.resize(nsteps);
+  if (scratch.patterns.size() < nsteps) scratch.patterns.resize(nsteps);
+
+  const bool slicing = !slice.IsFull();
+  size_t ordinal = 0;
+  size_t claimed = 0;
+
+  // Fills step `s`'s query pattern from the current binding. Called once
+  // per step entry — the bindings a pattern reads come from earlier steps
+  // only, and stay fixed while the step iterates.
+  auto fill_pattern = [&](const CompiledStep& st, size_t s) -> TuplePattern& {
+    TuplePattern& pattern = scratch.patterns[s];
+    pattern.resize(st.slots.size());
+    for (size_t i = 0; i < st.slots.size(); ++i) {
+      const CompiledStep::Slot& slot = st.slots[i];
+      switch (slot.kind) {
+        case CompiledStep::Slot::Kind::kConst:
+          pattern[i] = slot.constant;
+          break;
+        case CompiledStep::Slot::Kind::kBoundVar:
+          pattern[i] = scratch.binding[static_cast<size_t>(slot.var)];
+          break;
+        case CompiledStep::Slot::Kind::kFree:
+          pattern[i] = std::nullopt;
+          break;
+      }
+    }
+    return pattern;
+  };
+
+  // Collects step `s`'s candidate tuples into an arena buffer. Step 0 is
+  // the slicing gate: every stream candidate gets the next ordinal (BEFORE
+  // the positive-literal base/plus dedup skip, so the stream count is a
+  // property of the stores alone) and only in-slice ordinals are kept.
+  auto materialize = [&](const CompiledStep& st, size_t s) {
+    StepState& state = scratch.states[s];
+    state.mark = scratch.arena.mark();
+    state.cands = ArenaVec<const Tuple*>(&scratch.arena);
+    state.next = 0;
+    const TuplePattern& pattern = fill_pattern(st, s);
+    const bool gate = s == 0;
+    auto claim = [&]() -> bool {
+      if (!gate) return true;
+      size_t o = ordinal++;
+      if (slicing && (o < slice.begin || o >= slice.end)) return false;
+      ++claimed;
+      return true;
+    };
+    const Relation* base = nullptr;
+    switch (st.kind) {
+      case LiteralKind::kPositive:
+        // Valid sources: unmarked base atoms and +marked atoms. An atom in
+        // both would be enumerated twice; skip base duplicates in the plus
+        // scan (after the ordinal claim).
+        base = interp.base().GetRelation(st.predicate);
+        if (base != nullptr) {
+          base->ForEachMatchingProbe(pattern, st.probe_column,
+                                     [&](const Tuple& t) {
+                                       if (!claim()) return;
+                                       state.cands.push_back(&t);
+                                     });
+        }
+        if (const Relation* plus = interp.plus().GetRelation(st.predicate)) {
+          plus->ForEachMatchingProbe(
+              pattern, st.probe_column, [&](const Tuple& t) {
+                if (!claim()) return;
+                if (base != nullptr && base->Contains(t)) return;
+                state.cands.push_back(&t);
+              });
+        }
+        break;
+      case LiteralKind::kEventInsert:
+        if (const Relation* plus = interp.plus().GetRelation(st.predicate)) {
+          plus->ForEachMatchingProbe(pattern, st.probe_column,
+                                     [&](const Tuple& t) {
+                                       if (!claim()) return;
+                                       state.cands.push_back(&t);
+                                     });
+        }
+        break;
+      case LiteralKind::kEventDelete:
+        if (const Relation* minus =
+                interp.minus().GetRelation(st.predicate)) {
+          minus->ForEachMatchingProbe(pattern, st.probe_column,
+                                      [&](const Tuple& t) {
+                                        if (!claim()) return;
+                                        state.cands.push_back(&t);
+                                      });
+        }
+        break;
+      case LiteralKind::kNegated:
+        PARK_CHECK(false) << "unreachable: negated literal as generator";
+    }
+  };
+
+  // Binds the step's free variables from `t`; false iff a repeated free
+  // variable within the literal disagrees (the pattern already guaranteed
+  // constants and earlier-bound variables).
+  auto try_bind = [&](const CompiledStep& st, const Tuple& t) -> bool {
+    for (const auto& [pos, var] : st.binds) {
+      scratch.binding[static_cast<size_t>(var)] = t[pos];
+    }
+    for (const auto& [pos, var] : st.checks) {
+      if (scratch.binding[static_cast<size_t>(var)] != t[pos]) return false;
+    }
+    return true;
+  };
+
+  // Grounds a fully bound literal and checks its validity in I.
+  auto filter_passes = [&](const CompiledStep& st) -> bool {
+    Tuple args;
+    for (const CompiledStep::Slot& slot : st.slots) {
+      args.Append(slot.kind == CompiledStep::Slot::Kind::kConst
+                      ? slot.constant
+                      : scratch.binding[static_cast<size_t>(slot.var)]);
+    }
+    return interp.IsValid(GroundAtom(st.predicate, std::move(args)),
+                          st.kind);
+  };
+
+  // The flattened loop replacing per-literal recursive descent: walk the
+  // compiled steps forward while candidates bind, backward when a step
+  // exhausts. `entering` distinguishes the first visit of a step (evaluate
+  // the filter / materialize the candidates) from a backtrack into it.
+  int s = 0;
+  bool entering = true;
+  while (s >= 0) {
+    const CompiledStep& st = plan.steps[static_cast<size_t>(s)];
+    bool advanced = false;
+    if (st.filter) {
+      if (entering) advanced = filter_passes(st);
+    } else {
+      if (entering) materialize(st, static_cast<size_t>(s));
+      StepState& state = scratch.states[static_cast<size_t>(s)];
+      while (state.next < state.cands.size()) {
+        const Tuple* t = state.cands[state.next++];
+        if (try_bind(st, *t)) {
+          advanced = true;
           break;
         }
       }
-      if (first_bound >= 0) {
-        switch (lit.kind) {
-          case LiteralKind::kPositive:
-            AddRequirement(out.base, lit.atom.predicate, first_bound);
-            AddRequirement(out.plus, lit.atom.predicate, first_bound);
-            break;
-          case LiteralKind::kEventInsert:
-            AddRequirement(out.plus, lit.atom.predicate, first_bound);
-            break;
-          case LiteralKind::kEventDelete:
-            AddRequirement(out.minus, lit.atom.predicate, first_bound);
-            break;
-          case LiteralKind::kNegated:
-            PARK_CHECK(false) << "negated literal scheduled unbound";
-        }
-      }
+      // Exhausted: reclaim this step's candidate buffer (allocations are
+      // properly nested by step, so the rewind frees exactly it).
+      if (!advanced) scratch.arena.Rewind(state.mark);
     }
-    for (const Term& t : lit.atom.terms) {
-      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    if (advanced) {
+      if (static_cast<size_t>(s) + 1 == nsteps) {
+        emit();
+        entering = false;  // continue with this step's next candidate
+      } else {
+        ++s;
+        entering = true;
+      }
+    } else {
+      --s;
+      entering = false;
     }
   }
+  return claimed;
+}
+
+/// Stream size of one generator step under `pattern` (pre-dedup).
+size_t CountStream(const CompiledStep& st, const IInterpretation& interp,
+                   const TuplePattern& pattern) {
+  size_t n = 0;
+  auto count = [&n](const Tuple&) { ++n; };
+  LiteralStores stores = StoresFor(st.kind, st.predicate, interp);
+  ForEachStore(stores, [&](const Relation& rel) {
+    rel.ForEachMatchingProbe(pattern, st.probe_column, count);
+  });
+  return n;
+}
+
+/// Fills the step-0 pattern for counting. `binding` supplies kBoundVar
+/// slots (non-null only for seeded plans).
+TuplePattern CountPattern(const CompiledStep& st,
+                          const std::vector<Value>* binding) {
+  TuplePattern pattern(st.slots.size());
+  for (size_t i = 0; i < st.slots.size(); ++i) {
+    const CompiledStep::Slot& slot = st.slots[i];
+    switch (slot.kind) {
+      case CompiledStep::Slot::Kind::kConst:
+        pattern[i] = slot.constant;
+        break;
+      case CompiledStep::Slot::Kind::kBoundVar:
+        PARK_CHECK(binding != nullptr)
+            << "unseeded plan with a pre-bound step-0 variable";
+        pattern[i] = (*binding)[static_cast<size_t>(slot.var)];
+        break;
+      case CompiledStep::Slot::Kind::kFree:
+        pattern[i] = std::nullopt;
+        break;
+    }
+  }
+  return pattern;
+}
+
+PlanExplanation ExplainFromPlan(const CompiledPlan& plan, bool replan) {
+  PlanExplanation out;
+  out.rule_index = plan.rule_index;
+  out.seed_index = plan.seed_index;
+  out.mode = plan.mode;
+  out.replan = replan;
+  out.estimated_candidates = plan.estimated_candidates;
+  out.steps.reserve(plan.steps.size());
+  for (const CompiledStep& st : plan.steps) {
+    out.steps.push_back(PlanExplanation::Step{
+        st.literal_index, st.filter, st.probe_column, st.estimated_rows});
+  }
+  return out;
 }
 
 }  // namespace
+
+PlanExplanation ExplainPlan(const CompiledPlan& plan, bool replan) {
+  return ExplainFromPlan(plan, replan);
+}
+
+CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
+                         const IInterpretation* interp) {
+  PARK_CHECK(mode == PlannerMode::kHeuristic || interp != nullptr)
+      << "cost-based compilation needs an interpretation for statistics";
+  CompiledPlan plan;
+  plan.rule_index = rule.index();
+  plan.seed_index = seed_index;
+  plan.mode = mode;
+
+  const auto& body = rule.body();
+  std::vector<bool> bound(static_cast<size_t>(rule.num_variables()), false);
+
+  // Seed binding program: one slot per seed-literal position. A repeated
+  // variable's later occurrences become kBoundVar checks.
+  if (seed_index >= 0) {
+    const AtomPattern& seed = body[static_cast<size_t>(seed_index)].atom;
+    plan.seed_slots.reserve(seed.terms.size());
+    for (const Term& t : seed.terms) {
+      CompiledStep::Slot slot;
+      if (t.is_constant()) {
+        slot.kind = CompiledStep::Slot::Kind::kConst;
+        slot.constant = t.constant();
+      } else {
+        size_t var = static_cast<size_t>(t.var_index());
+        slot.var = t.var_index();
+        slot.kind = bound[var] ? CompiledStep::Slot::Kind::kBoundVar
+                               : CompiledStep::Slot::Kind::kFree;
+        bound[var] = true;
+      }
+      plan.seed_slots.push_back(slot);
+    }
+  }
+
+  std::vector<int> order =
+      mode == PlannerMode::kHeuristic
+          ? PlanBodyOrderImpl(rule, seed_index)
+          : PlanBodyOrderCost(rule, seed_index, *interp);
+
+  plan.steps.reserve(order.size());
+  for (int literal_index : order) {
+    const BodyLiteral& lit = body[static_cast<size_t>(literal_index)];
+    CompiledStep step;
+    step.literal_index = literal_index;
+    step.kind = lit.kind;
+    step.predicate = lit.atom.predicate;
+    step.filter = FullyBound(lit.atom, bound);
+    PARK_CHECK(step.filter || IsBindingKind(lit.kind))
+        << "planner scheduled an unbound negated literal";
+
+    step.slots.reserve(lit.atom.terms.size());
+    for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
+      const Term& t = lit.atom.terms[i];
+      CompiledStep::Slot slot;
+      if (t.is_constant()) {
+        slot.kind = CompiledStep::Slot::Kind::kConst;
+        slot.constant = t.constant();
+      } else {
+        size_t var = static_cast<size_t>(t.var_index());
+        slot.var = t.var_index();
+        if (bound[var]) {
+          slot.kind = CompiledStep::Slot::Kind::kBoundVar;
+        } else {
+          slot.kind = CompiledStep::Slot::Kind::kFree;
+          // First occurrence binds; later occurrences within this literal
+          // check (note `bound` is only updated after the slot loop).
+          bool repeated = false;
+          for (const auto& [pos, v] : step.binds) {
+            (void)pos;
+            if (v == t.var_index()) {
+              repeated = true;
+              break;
+            }
+          }
+          if (repeated) {
+            step.checks.emplace_back(static_cast<int>(i), t.var_index());
+          } else {
+            step.binds.emplace_back(static_cast<int>(i), t.var_index());
+          }
+        }
+      }
+      step.slots.push_back(slot);
+    }
+
+    if (!step.filter) {
+      // Probe column: the heuristic probes the first bound position
+      // (matching the storage layer's historical default); the cost
+      // planner the most selective bound column per the statistics.
+      if (mode == PlannerMode::kHeuristic) {
+        for (size_t i = 0; i < step.slots.size(); ++i) {
+          if (step.slots[i].kind != CompiledStep::Slot::Kind::kFree) {
+            step.probe_column = static_cast<int>(i);
+            break;
+          }
+        }
+        if (interp != nullptr) {
+          LiteralStores stores = StoresFor(step.kind, step.predicate, *interp);
+          double rows = 0;
+          ForEachStore(stores, [&](const Relation& rel) {
+            rows += step.probe_column < 0
+                        ? static_cast<double>(rel.size())
+                        : rel.stats().SelectivityRows(step.probe_column);
+          });
+          step.estimated_rows = rows;
+        }
+      } else {
+        StreamEstimate est = EstimateStream(lit, bound, *interp);
+        step.probe_column = est.probe_column;
+        step.estimated_rows = est.rows;
+      }
+    }
+
+    // The drift snapshot covers every store whose size the ordering can
+    // depend on (all binding-kind literals, scheduled or not as
+    // generators).
+    if (interp != nullptr && IsBindingKind(lit.kind)) {
+      LiteralStores stores = StoresFor(lit.kind, lit.atom.predicate, *interp);
+      switch (lit.kind) {
+        case LiteralKind::kPositive:
+          SnapshotStore(0, lit.atom.predicate, stores.base, plan);
+          SnapshotStore(1, lit.atom.predicate, stores.plus, plan);
+          break;
+        case LiteralKind::kEventInsert:
+          SnapshotStore(1, lit.atom.predicate, stores.plus, plan);
+          break;
+        case LiteralKind::kEventDelete:
+          SnapshotStore(2, lit.atom.predicate, stores.minus, plan);
+          break;
+        case LiteralKind::kNegated:
+          break;
+      }
+    }
+
+    for (const Term& t : lit.atom.terms) {
+      if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
+    }
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Safety backstop: every variable must be bound by the seed or some step
+  // before emission. The language's safety validation guarantees this;
+  // check at compile time so execution can skip per-match checks.
+  for (size_t v = 0; v < bound.size(); ++v) {
+    PARK_CHECK(bound[v])
+        << "variable '" << rule.variable_names()[v]
+        << "' unbound at plan end (safety should prevent this)";
+  }
+
+  if (!plan.steps.empty() && !plan.steps[0].filter) {
+    plan.estimated_candidates = plan.steps[0].estimated_rows;
+  }
+  return plan;
+}
+
+size_t ExecutePlan(const CompiledPlan& plan, const Rule& rule,
+                   const IInterpretation& interp, CandidateSlice slice,
+                   FunctionRef<void(const Tuple& binding)> fn) {
+  PARK_CHECK_EQ(plan.seed_index, -1) << "seeded plan passed to ExecutePlan";
+  return RunPlan(plan, rule, interp, nullptr, slice, fn);
+}
+
+size_t ExecutePlanSeeded(const CompiledPlan& plan, const Rule& rule,
+                         const IInterpretation& interp,
+                         const GroundAtom& seed_atom, CandidateSlice slice,
+                         FunctionRef<void(const Tuple& binding)> fn) {
+  PARK_CHECK_GE(plan.seed_index, 0)
+      << "unseeded plan passed to ExecutePlanSeeded";
+  return RunPlan(plan, rule, interp, &seed_atom, slice, fn);
+}
+
+size_t CountPlanCandidates(const CompiledPlan& plan,
+                           const IInterpretation& interp) {
+  if (plan.steps.empty() || plan.steps[0].filter) return 0;
+  TuplePattern pattern = CountPattern(plan.steps[0], nullptr);
+  return CountStream(plan.steps[0], interp, pattern);
+}
+
+size_t CountPlanCandidatesSeeded(const CompiledPlan& plan, const Rule& rule,
+                                 const IInterpretation& interp,
+                                 const GroundAtom& seed_atom) {
+  PARK_CHECK_GE(plan.seed_index, 0) << "unseeded plan";
+  if (plan.steps.empty() || plan.steps[0].filter) return 0;
+  // Replay the seed binding program to resolve step-0 kBoundVar slots.
+  const AtomPattern& seed_pattern =
+      rule.body()[static_cast<size_t>(plan.seed_index)].atom;
+  if (seed_pattern.predicate != seed_atom.predicate()) return 0;
+  std::vector<Value> binding(static_cast<size_t>(rule.num_variables()));
+  for (size_t i = 0; i < plan.seed_slots.size(); ++i) {
+    const CompiledStep::Slot& slot = plan.seed_slots[i];
+    const Value& value = seed_atom.args()[static_cast<int>(i)];
+    switch (slot.kind) {
+      case CompiledStep::Slot::Kind::kConst:
+        if (slot.constant != value) return 0;
+        break;
+      case CompiledStep::Slot::Kind::kFree:
+        binding[static_cast<size_t>(slot.var)] = value;
+        break;
+      case CompiledStep::Slot::Kind::kBoundVar:
+        if (binding[static_cast<size_t>(slot.var)] != value) return 0;
+        break;
+    }
+  }
+  TuplePattern pattern = CountPattern(plan.steps[0], &binding);
+  return CountStream(plan.steps[0], interp, pattern);
+}
 
 std::vector<int> PlanBodyOrder(const Rule& rule) {
   return PlanBodyOrderImpl(rule, /*pre_bound=*/-1);
@@ -426,80 +758,185 @@ std::vector<int> PlanBodyOrderSeeded(const Rule& rule, int seed_index) {
 
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
                       FunctionRef<void(const Tuple& binding)> fn) {
-  std::vector<int> order = PlanBodyOrder(rule);
-  BodyMatcher matcher(rule, interp, fn, order);
-  matcher.Run();
+  CompiledPlan plan =
+      CompilePlan(rule, -1, PlannerMode::kHeuristic, nullptr);
+  ExecutePlan(plan, rule, interp, CandidateSlice{}, fn);
 }
 
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
                       CandidateSlice slice,
                       FunctionRef<void(const Tuple& binding)> fn) {
-  std::vector<int> order = PlanBodyOrder(rule);
-  BodyMatcher matcher(rule, interp, fn, order);
-  matcher.SetSlice(slice);
-  matcher.Run();
+  CompiledPlan plan =
+      CompilePlan(rule, -1, PlannerMode::kHeuristic, nullptr);
+  ExecutePlan(plan, rule, interp, slice, fn);
 }
 
 size_t CountFirstLiteralCandidates(const Rule& rule,
                                    const IInterpretation& interp) {
-  std::vector<int> order = PlanBodyOrder(rule);
-  auto noop = [](const Tuple&) {};
-  BodyMatcher matcher(rule, interp, noop, order);
-  return matcher.CountSliceCandidates();
+  CompiledPlan plan =
+      CompilePlan(rule, -1, PlannerMode::kHeuristic, nullptr);
+  return CountPlanCandidates(plan, interp);
 }
 
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
                             FunctionRef<void(const Tuple&)> fn) {
-  std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
-  BodyMatcher matcher(rule, interp, fn, order);
-  matcher.RunSeeded(rule.body()[static_cast<size_t>(seed_index)], seed_atom);
+  CompiledPlan plan =
+      CompilePlan(rule, seed_index, PlannerMode::kHeuristic, nullptr);
+  ExecutePlanSeeded(plan, rule, interp, seed_atom, CandidateSlice{}, fn);
 }
 
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
                             CandidateSlice slice,
                             FunctionRef<void(const Tuple&)> fn) {
-  std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
-  BodyMatcher matcher(rule, interp, fn, order);
-  matcher.SetSlice(slice);
-  matcher.RunSeeded(rule.body()[static_cast<size_t>(seed_index)], seed_atom);
+  CompiledPlan plan =
+      CompilePlan(rule, seed_index, PlannerMode::kHeuristic, nullptr);
+  ExecutePlanSeeded(plan, rule, interp, seed_atom, slice, fn);
 }
 
 size_t CountFirstLiteralCandidatesSeeded(const Rule& rule,
                                          const IInterpretation& interp,
                                          int seed_index,
                                          const GroundAtom& seed_atom) {
-  std::vector<int> order = PlanBodyOrderSeeded(rule, seed_index);
-  auto noop = [](const Tuple&) {};
-  BodyMatcher matcher(rule, interp, noop, order);
-  if (!matcher.BindSeed(rule.body()[static_cast<size_t>(seed_index)],
-                        seed_atom)) {
-    return 0;
+  CompiledPlan plan =
+      CompilePlan(rule, seed_index, PlannerMode::kHeuristic, nullptr);
+  return CountPlanCandidatesSeeded(plan, rule, interp, seed_atom);
+}
+
+void AddPlanRequirements(const CompiledPlan& plan, IndexRequirements& out) {
+  auto add = [](IndexRequirements::ColumnsByPredicate& columns,
+                PredicateId pred, int column) {
+    std::vector<int>& cols = columns[pred];
+    if (std::find(cols.begin(), cols.end(), column) == cols.end()) {
+      cols.push_back(column);
+    }
+  };
+  for (const CompiledStep& step : plan.steps) {
+    if (step.filter || step.probe_column < 0) continue;
+    switch (step.kind) {
+      case LiteralKind::kPositive:
+        add(out.base, step.predicate, step.probe_column);
+        add(out.plus, step.predicate, step.probe_column);
+        break;
+      case LiteralKind::kEventInsert:
+        add(out.plus, step.predicate, step.probe_column);
+        break;
+      case LiteralKind::kEventDelete:
+        add(out.minus, step.predicate, step.probe_column);
+        break;
+      case LiteralKind::kNegated:
+        PARK_CHECK(false) << "negated literal scheduled unbound";
+    }
   }
-  return matcher.CountSliceCandidates();
 }
 
 IndexRequirements CollectIndexRequirements(const Program& program) {
   IndexRequirements out;
   for (const Rule& rule : program.rules()) {
-    size_t num_vars = static_cast<size_t>(rule.num_variables());
-    CollectFromPlan(rule, PlanBodyOrder(rule),
-                    std::vector<bool>(num_vars, false), out);
+    AddPlanRequirements(
+        CompilePlan(rule, -1, PlannerMode::kHeuristic, nullptr), out);
     // Every literal can be a delta seed under semi-naive evaluation
     // (positive/+event literals via new + marks, negated/-event via new
     // - marks), each inducing its own plan with the seed's variables
     // pre-bound.
     for (size_t s = 0; s < rule.body().size(); ++s) {
-      std::vector<bool> bound(num_vars, false);
-      for (const Term& t : rule.body()[s].atom.terms) {
-        if (t.is_variable()) bound[static_cast<size_t>(t.var_index())] = true;
-      }
-      CollectFromPlan(rule, PlanBodyOrderSeeded(rule, static_cast<int>(s)),
-                      std::move(bound), out);
+      AddPlanRequirements(CompilePlan(rule, static_cast<int>(s),
+                                      PlannerMode::kHeuristic, nullptr),
+                          out);
     }
   }
   return out;
+}
+
+PlanCache::PlanCache(const Program& program, PlannerMode mode)
+    : program_(program), mode_(mode), plans_(program.size()) {
+  for (size_t r = 0; r < program.size(); ++r) {
+    plans_[r].resize(program.rules()[r].body().size() + 1);
+  }
+}
+
+const CompiledPlan& PlanCache::Get(const Rule& rule, int seed_index,
+                                   const IInterpretation& interp) {
+  size_t r = static_cast<size_t>(rule.index());
+  PARK_CHECK_LT(r, plans_.size()) << "rule outside the cache's program";
+  auto& slot = plans_[r][static_cast<size_t>(seed_index + 1)];
+  if (slot == nullptr) {
+    return Install(slot, rule, seed_index, interp, /*replan=*/false);
+  }
+  // Heuristic plans do not depend on statistics, so they never go stale.
+  if (mode_ == PlannerMode::kCostBased && Drifted(*slot, interp)) {
+    return Install(slot, rule, seed_index, interp, /*replan=*/true);
+  }
+  ++cache_hits_;
+  return *slot;
+}
+
+bool PlanCache::Drifted(const CompiledPlan& plan,
+                        const IInterpretation& interp) const {
+  for (const CompiledPlan::StoreRows& entry : plan.stats_snapshot) {
+    const Database& db = entry.store == 0   ? interp.base()
+                         : entry.store == 1 ? interp.plus()
+                                            : interp.minus();
+    const Relation* rel = db.GetRelation(entry.predicate);
+    size_t now = rel != nullptr ? rel->size() : 0;
+    if (now > kDriftFactor * entry.rows + kDriftSlack ||
+        entry.rows > kDriftFactor * now + kDriftSlack) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const CompiledPlan& PlanCache::Install(std::unique_ptr<CompiledPlan>& slot,
+                                       const Rule& rule, int seed_index,
+                                       const IInterpretation& interp,
+                                       bool replan) {
+  slot = std::make_unique<CompiledPlan>(
+      CompilePlan(rule, seed_index, mode_, &interp));
+  AddPlanRequirements(*slot, requirements_);
+  ++plans_compiled_;
+  if (replan) ++replans_;
+  if (listener_) listener_(ExplainFromPlan(*slot, replan));
+  return *slot;
+}
+
+uint64_t PlanCache::estimated_rows() const {
+  return estimated_rows_ <= 0
+             ? 0
+             : static_cast<uint64_t>(std::llround(estimated_rows_));
+}
+
+std::string ExplainPlanLine(const PlanExplanation& explanation) {
+  std::ostringstream out;
+  out << "plan rule=" << explanation.rule_index;
+  if (explanation.seed_index >= 0) {
+    out << " seed=" << explanation.seed_index;
+  }
+  out << " mode="
+      << (explanation.mode == PlannerMode::kCostBased ? "cost-based"
+                                                      : "heuristic");
+  if (explanation.replan) out << " (replan)";
+  out << ":";
+  if (explanation.steps.empty()) out << " <empty body>";
+  for (size_t i = 0; i < explanation.steps.size(); ++i) {
+    const PlanExplanation::Step& step = explanation.steps[i];
+    if (i > 0) out << " ->";
+    out << " lit" << step.literal_index;
+    if (step.filter) {
+      out << "[filter]";
+    } else {
+      out << "[";
+      if (step.probe_column >= 0) {
+        out << "probe c" << step.probe_column;
+      } else {
+        out << "scan";
+      }
+      out << " ~" << static_cast<uint64_t>(std::llround(step.estimated_rows))
+          << " rows]";
+    }
+  }
+  return out.str();
 }
 
 }  // namespace park

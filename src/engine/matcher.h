@@ -1,24 +1,45 @@
 // Body matching: enumerating the ground substitutions that make a rule
 // body valid in an i-interpretation.
 //
-// The matcher plans a literal order per rule (filters as early as possible,
-// then the binding literal with the most bound argument positions, so that
-// the storage layer's column indexes are used), then enumerates matches by
-// backtracking. Negated literals are only ever evaluated once fully bound —
-// guaranteed possible by the safety conditions.
+// Matching is plan-driven. A rule (or a (rule, Δ-seed-literal) variant) is
+// compiled once into a CompiledPlan: a literal order, one CompiledStep per
+// body literal with pre-resolved pattern slots, bind/check ops, and the
+// index column each generator probes. Two planners produce plans:
 //
-// Matching never mutates the interpretation, with one historical exception:
-// the storage layer's lazy column-index build. For parallel Γ evaluation,
-// CollectIndexRequirements computes — from the same plans the matcher will
-// execute — exactly which (predicate, column) indexes any match of the
-// program can probe, so the evaluator can build them up front and freeze
-// the relations for the duration of the parallel section.
+//   - kHeuristic: the original static ordering (fully-bound filters first,
+//     then most bound argument positions, ties by source order; probe =
+//     first bound position). Needs no statistics; this is the order
+//     PlanBodyOrder exposes and the legacy ForEachBodyMatch entry points
+//     execute.
+//   - kCostBased: greedy smallest-estimated-candidate-stream ordering
+//     driven by live storage statistics (RelationStats: row counts and
+//     per-column distinct estimates), with the probe column chosen as the
+//     most selective bound column. See docs/PLANNER.md for the cost model
+//     and the determinism argument.
+//
+// Plans are cached per (rule, seed literal) in a PlanCache and invalidated
+// only when the statistics they were computed from drift past a threshold,
+// so steady-state evaluation compiles nothing. Execution is a flattened
+// iterative loop over the compiled steps with arena-backed candidate
+// buffers (util/arena.h) — no per-literal recursion and zero steady-state
+// heap allocation.
+//
+// Matching never mutates the interpretation, with one historical
+// exception: the storage layer's lazy column-index build. The
+// requirements() of a PlanCache are derived from the compiled plans
+// themselves (a monotone union over every plan ever compiled), so the
+// parallel evaluator can build exactly the indexes any cached plan probes
+// and freeze the relations for the duration of the parallel section.
+// CollectIndexRequirements is the program-level variant for the heuristic
+// planner, likewise derived from compiled plans.
 
 #ifndef PARK_ENGINE_MATCHER_H_
 #define PARK_ENGINE_MATCHER_H_
 
 #include <cstddef>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -27,25 +48,121 @@
 
 namespace park {
 
+/// Which join planner compiles rule plans (see file comment). The two
+/// planners enumerate the same match SET for every rule — only the
+/// enumeration order differs — so results are equal as sets either way;
+/// planner_oracle_test sweeps this.
+enum class PlannerMode {
+  kHeuristic,
+  kCostBased,
+};
+
+/// One body literal of a compiled plan, in execution order, with every
+/// per-candidate decision pre-resolved at compile time. Variable boundness
+/// at a given step is static (it depends only on the literal order and the
+/// seed), so execution needs no dynamic bound-flag array: a slot is
+/// constant, bound-variable, or free once and for all.
+struct CompiledStep {
+  /// A pattern position of the literal.
+  struct Slot {
+    enum class Kind : uint8_t {
+      kConst,     // constant term: pattern gets `constant`
+      kBoundVar,  // variable bound by the seed or an earlier step
+      kFree,      // variable this step binds (or re-checks, see checks)
+    };
+    Kind kind = Kind::kFree;
+    int var = -1;    // variable index (kBoundVar / kFree)
+    Value constant;  // (kConst)
+  };
+
+  int literal_index = 0;  // index into rule.body()
+  LiteralKind kind = LiteralKind::kPositive;
+  PredicateId predicate = 0;
+  /// True when every slot is kConst/kBoundVar: the step grounds the
+  /// literal and checks validity (a constant-time filter, never a
+  /// candidate generator).
+  bool filter = false;
+  /// Pattern position whose column index the candidate scan probes; -1
+  /// means full scan (no bound position). Generator steps only.
+  int probe_column = -1;
+  std::vector<Slot> slots;
+  /// (position, var): first occurrence of each free variable — bound from
+  /// the candidate tuple.
+  std::vector<std::pair<int, int>> binds;
+  /// (position, var): repeated occurrence of a free variable within this
+  /// literal — checked against the binding made by its first occurrence
+  /// (the TuplePattern cannot express intra-literal equality).
+  std::vector<std::pair<int, int>> checks;
+  /// Planner's estimate of this step's candidate stream size given the
+  /// statistics at compile time (for EXPLAIN; 0 for filter steps).
+  double estimated_rows = 0;
+};
+
+/// A rule body compiled against one statistics snapshot. Pure function of
+/// (rule, seed_index, mode, stats snapshot) — recompiling with unchanged
+/// statistics yields an identical plan, which is what makes fixed-config
+/// runs bit-identical across repeats.
+struct CompiledPlan {
+  int rule_index = 0;
+  int seed_index = -1;  // body literal pre-bound by a Δ seed; -1 = none
+  PlannerMode mode = PlannerMode::kHeuristic;
+  std::vector<CompiledStep> steps;
+  /// Seed literal binding program (seed plans only): how to bind/check the
+  /// rule's variables against the seed atom.
+  std::vector<CompiledStep::Slot> seed_slots;
+  /// Estimate of the first generator step's candidate stream (the
+  /// planner's predicted `actual_rows` per execution; 0 if unsliceable).
+  double estimated_candidates = 0;
+
+  /// Row counts of every store the plan's cost depends on, at compile
+  /// time. PlanCache::Get replans when the live counts drift past a
+  /// threshold (see docs/PLANNER.md).
+  struct StoreRows {
+    uint8_t store = 0;  // 0 = base, 1 = plus, 2 = minus
+    PredicateId predicate = 0;
+    size_t rows = 0;
+  };
+  std::vector<StoreRows> stats_snapshot;
+};
+
+/// Compile-time summary of one plan, for the EXPLAIN output and the
+/// RunObserver::OnPlanCompiled hook.
+struct PlanExplanation {
+  int rule_index = 0;
+  int seed_index = -1;
+  PlannerMode mode = PlannerMode::kHeuristic;
+  bool replan = false;  // recompile triggered by statistics drift
+  double estimated_candidates = 0;
+  struct Step {
+    int literal_index = 0;
+    bool filter = false;
+    int probe_column = -1;
+    double estimated_rows = 0;
+  };
+  std::vector<Step> steps;
+};
+
 /// Invokes `fn(binding)` once per distinct ground substitution θ (a Tuple
 /// indexed by the rule's variable indexes) such that every body literal of
 /// `rule` is valid in `interp`. A rule with an empty body yields exactly
-/// one (empty) binding. `fn` must not mutate `interp`.
+/// one (empty) binding. `fn` must not mutate `interp`. Executes the
+/// heuristic plan (legacy entry point; the evaluator's plan-cached path is
+/// ExecutePlan below).
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
                       FunctionRef<void(const Tuple& binding)> fn);
 
 // --- Candidate-range slicing (intra-rule parallelism) ---
 //
-// The first planned literal of a rule (the seed/scan literal) draws its
-// candidate tuples from a deterministic stream: the relation scan or index
-// probe order of the stores it reads (base then plus for positive
-// literals). Assigning each candidate an ordinal in that stream lets the
-// parallel evaluator split ONE rule's work into [begin, end) slices whose
-// per-slice match lists, concatenated in slice order, are byte-identical
-// to the unsliced enumeration — the stream order is stable as long as the
-// relations are not mutated, which the frozen parallel section guarantees.
+// The first generator step of a plan draws its candidate tuples from a
+// deterministic stream: the relation scan or index probe order of the
+// stores it reads (base then plus for positive literals). Assigning each
+// candidate an ordinal in that stream lets the parallel evaluator split
+// ONE rule's work into [begin, end) slices whose per-slice match lists,
+// concatenated in slice order, are byte-identical to the unsliced
+// enumeration — the stream order is stable as long as the relations are
+// not mutated, which the frozen parallel section guarantees.
 
-/// A sub-range of the first planned literal's candidate ordinals.
+/// A sub-range of the first generator step's candidate ordinals.
 /// `kSliceEnd` as `end` means "through the last candidate" (the final
 /// slice uses it so coverage never depends on the counted total).
 struct CandidateSlice {
@@ -58,9 +175,10 @@ struct CandidateSlice {
 
 /// Number of candidate tuples the first planned literal of `rule` would
 /// draw from its stream(s) in `interp` (before any dedup or binding
-/// checks). Returns 0 when the rule is not sliceable — empty body, or a
-/// first plan literal that is fully bound and therefore a constant-time
-/// filter rather than a generator. Callers treat 0 as "run unsliced".
+/// checks), under the heuristic plan. Returns 0 when the rule is not
+/// sliceable — empty body, or a first plan literal that is fully bound and
+/// therefore a constant-time filter rather than a generator. Callers treat
+/// 0 as "run unsliced".
 size_t CountFirstLiteralCandidates(const Rule& rule,
                                    const IInterpretation& interp);
 
@@ -73,14 +191,13 @@ void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
                       CandidateSlice slice,
                       FunctionRef<void(const Tuple& binding)> fn);
 
-/// Returns the body-literal evaluation order the matcher would use for
-/// `rule` (indexes into rule.body()). Exposed for tests and for the
-/// EXPLAIN output of the parkcli tool.
+/// Returns the body-literal evaluation order the HEURISTIC planner uses
+/// for `rule` (indexes into rule.body()). Exposed for tests; the detailed
+/// EXPLAIN path goes through PlanCache / PlanExplanation.
 std::vector<int> PlanBodyOrder(const Rule& rule);
 
-/// The order used when literal `seed_index` is pre-bound by a delta seed
-/// (it is excluded from the returned order). Exposed for the index
-/// prewarm pass and tests.
+/// The heuristic order when literal `seed_index` is pre-bound by a delta
+/// seed (it is excluded from the returned order). Exposed for tests.
 std::vector<int> PlanBodyOrderSeeded(const Rule& rule, int seed_index);
 
 /// Semi-naive building block: enumerates the matches of `rule` in which
@@ -93,10 +210,10 @@ void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
                             FunctionRef<void(const Tuple&)> fn);
 
-/// CountFirstLiteralCandidates for the seeded plan: candidates of the
-/// first literal scheduled AFTER the seed pre-binding. Returns 0 when the
-/// seeded rule is unsliceable (no remaining generator literal, or the
-/// seed atom already fails the seed literal's constants / repeated
+/// CountFirstLiteralCandidates for the seeded heuristic plan: candidates
+/// of the first literal scheduled AFTER the seed pre-binding. Returns 0
+/// when the seeded rule is unsliceable (no remaining generator literal, or
+/// the seed atom already fails the seed literal's constants / repeated
 /// variables, in which case there are no matches at all).
 size_t CountFirstLiteralCandidatesSeeded(const Rule& rule,
                                          const IInterpretation& interp,
@@ -110,13 +227,46 @@ void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             CandidateSlice slice,
                             FunctionRef<void(const Tuple&)> fn);
 
+// --- Compiled-plan interface (the evaluator's hot path) ---
+
+/// Compiles `rule` (with `seed_index` pre-bound; -1 for unseeded) under
+/// `mode`. `interp` supplies the statistics; it may be null only in
+/// kHeuristic mode (ordering is then static and estimates stay 0).
+CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
+                         const IInterpretation* interp);
+
+/// Executes `plan` over `interp`, restricted to first-generator-step
+/// candidates with ordinals in `slice`; `fn` is invoked once per match.
+/// Returns the number of step-0 candidates the slice claimed (pre-dedup;
+/// the planner's actual-rows counter — slice counts of a partition sum to
+/// the full stream count). `rule` must be the rule the plan was compiled
+/// from.
+size_t ExecutePlan(const CompiledPlan& plan, const Rule& rule,
+                   const IInterpretation& interp, CandidateSlice slice,
+                   FunctionRef<void(const Tuple& binding)> fn);
+
+/// Seeded execution: binds the seed literal against `seed_atom` first
+/// (returning 0 matches if constants / repeated variables disagree).
+size_t ExecutePlanSeeded(const CompiledPlan& plan, const Rule& rule,
+                         const IInterpretation& interp,
+                         const GroundAtom& seed_atom, CandidateSlice slice,
+                         FunctionRef<void(const Tuple& binding)> fn);
+
+/// Size of the plan's first generator step candidate stream (0 when
+/// unsliceable). Uses the plan's own probe column, so inside a frozen
+/// section it touches exactly the indexes the plan's execution would.
+size_t CountPlanCandidates(const CompiledPlan& plan,
+                           const IInterpretation& interp);
+size_t CountPlanCandidatesSeeded(const CompiledPlan& plan, const Rule& rule,
+                                 const IInterpretation& interp,
+                                 const GroundAtom& seed_atom);
+
 /// The column indexes that evaluating a program's bodies can probe, per
 /// predicate, split by which part of the i-interpretation the matcher
 /// reads them from (kPositive literals probe base AND plus; +event plus;
 /// -event minus; negated literals are never generators). Derived from the
-/// same plans the matcher executes — both the unseeded plan and every
-/// possible seeded plan — so it is exact, not an over-approximation of a
-/// different planner.
+/// compiled plans themselves, so it is exact for the plans it was
+/// collected from, never an over-approximation of a different planner.
 struct IndexRequirements {
   using ColumnsByPredicate =
       std::unordered_map<PredicateId, std::vector<int>>;
@@ -125,7 +275,85 @@ struct IndexRequirements {
   ColumnsByPredicate minus;
 };
 
+/// Requirements of every HEURISTIC plan of `program` — the unseeded plan
+/// and all Δ-seeded variants of each rule. Implemented by compiling those
+/// plans and unioning their probes (planner_test asserts it can never
+/// diverge from what the compiled plans execute).
 IndexRequirements CollectIndexRequirements(const Program& program);
+
+/// Adds the probes of `plan` into `out` (dedup'd).
+void AddPlanRequirements(const CompiledPlan& plan, IndexRequirements& out);
+
+/// Per-(program, schema) plan cache: one CompiledPlan per (rule, Δ-seed
+/// literal) slot, compiled on first use against the live statistics and
+/// recompiled only when those statistics drift past a threshold
+/// (docs/PLANNER.md). Single-threaded by design: the evaluator
+/// coordinator calls Get before fanning a parallel section out, and
+/// workers only execute the returned plans.
+class PlanCache {
+ public:
+  PlanCache(const Program& program, PlannerMode mode);
+
+  PlannerMode mode() const { return mode_; }
+
+  /// The plan for (`rule`, `seed_index`), compiling or replanning as
+  /// needed. The reference stays valid until the next Get for the same
+  /// slot. `rule` must belong to the cache's program.
+  const CompiledPlan& Get(const Rule& rule, int seed_index,
+                          const IInterpretation& interp);
+
+  /// Union of the probes of every plan ever compiled by this cache —
+  /// monotone, so a plan obtained from Get never probes an index outside
+  /// requirements(), even across replans.
+  const IndexRequirements& requirements() const { return requirements_; }
+
+  /// Called after each compile (initial or replan) with the new plan's
+  /// explanation — the evaluator forwards this to RunObserver /
+  /// the EXPLAIN output.
+  using CompileListener = std::function<void(const PlanExplanation&)>;
+  void set_compile_listener(CompileListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  // --- planner counters (surfaced as ParkStats "planner" block) ---
+  uint64_t plans_compiled() const { return plans_compiled_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t replans() const { return replans_; }
+  /// Accumulators the evaluator feeds per evaluation unit: the compiled
+  /// plan's estimated first-step candidates vs. the candidates actually
+  /// claimed by execution.
+  void AddEstimatedRows(double rows) { estimated_rows_ += rows; }
+  void AddActualRows(uint64_t rows) { actual_rows_ += rows; }
+  uint64_t estimated_rows() const;
+  uint64_t actual_rows() const { return actual_rows_; }
+
+ private:
+  bool Drifted(const CompiledPlan& plan, const IInterpretation& interp) const;
+  const CompiledPlan& Install(std::unique_ptr<CompiledPlan>& slot,
+                              const Rule& rule, int seed_index,
+                              const IInterpretation& interp, bool replan);
+
+  const Program& program_;
+  PlannerMode mode_;
+  // plans_[rule][seed_index + 1]; null = not compiled yet.
+  std::vector<std::vector<std::unique_ptr<CompiledPlan>>> plans_;
+  IndexRequirements requirements_;
+  CompileListener listener_;
+  uint64_t plans_compiled_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t replans_ = 0;
+  double estimated_rows_ = 0;
+  uint64_t actual_rows_ = 0;
+};
+
+/// Flattens a compiled plan into its explanation record (what the
+/// PlanCache hands to its compile listener). For ad-hoc EXPLAIN dumps
+/// outside a cache — parkcli compiles and explains per rule.
+PlanExplanation ExplainPlan(const CompiledPlan& plan, bool replan = false);
+
+/// Renders a one-line summary ("rule 2 [seed 1] cost-based: lit3 probe c0
+/// ~12 rows | lit1 filter") for traces and EXPLAIN.
+std::string ExplainPlanLine(const PlanExplanation& explanation);
 
 }  // namespace park
 

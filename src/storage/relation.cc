@@ -9,6 +9,9 @@ namespace park {
 Relation Relation::Clone() const {
   Relation copy(arity_);
   copy.tuples_ = tuples_;
+  // The stats are a pure function of the tuple multiset, so the sketch
+  // state copies verbatim with it.
+  copy.stats_ = stats_;
   return copy;
 }
 
@@ -17,6 +20,7 @@ bool Relation::Insert(const Tuple& t) {
   PARK_CHECK(!frozen_) << "Insert on a frozen relation";
   auto [it, inserted] = tuples_.insert(t);
   if (!inserted) return false;
+  stats_.OnInsert(t);
   const Tuple* stored = &*it;
   for (int c = 0; c < static_cast<int>(indexes_.size()); ++c) {
     if (indexes_[static_cast<size_t>(c)].has_value()) {
@@ -30,6 +34,7 @@ bool Relation::Erase(const Tuple& t) {
   PARK_CHECK(!frozen_) << "Erase on a frozen relation";
   auto it = tuples_.find(t);
   if (it == tuples_.end()) return false;
+  stats_.OnErase(t);
   const Tuple* stored = &*it;
   for (int c = 0; c < static_cast<int>(indexes_.size()); ++c) {
     auto& index = indexes_[static_cast<size_t>(c)];
@@ -114,6 +119,29 @@ void Relation::ForEachMatching(const TuplePattern& pattern,
   EnsureIndex(bound_column);
   const ColumnIndex& index = *indexes_[static_cast<size_t>(bound_column)];
   auto range = index.equal_range(*pattern[static_cast<size_t>(bound_column)]);
+  for (auto it = range.first; it != range.second; ++it) {
+    const Tuple& t = *it->second;
+    if (Matches(t, pattern)) fn(t);
+  }
+}
+
+void Relation::ForEachMatchingProbe(const TuplePattern& pattern,
+                                    int probe_column,
+                                    FunctionRef<void(const Tuple&)> fn) const {
+  PARK_CHECK_EQ(static_cast<int>(pattern.size()), arity_)
+      << "pattern arity mismatch";
+  if (probe_column < 0) {
+    for (const Tuple& t : tuples_) {
+      if (Matches(t, pattern)) fn(t);
+    }
+    return;
+  }
+  PARK_CHECK_LT(probe_column, arity_) << "probe column out of range";
+  PARK_CHECK(pattern[static_cast<size_t>(probe_column)].has_value())
+      << "probe column must be a bound pattern position";
+  EnsureIndex(probe_column);
+  const ColumnIndex& index = *indexes_[static_cast<size_t>(probe_column)];
+  auto range = index.equal_range(*pattern[static_cast<size_t>(probe_column)]);
   for (auto it = range.first; it != range.second; ++it) {
     const Tuple& t = *it->second;
     if (Matches(t, pattern)) fn(t);

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "storage/relation_stats.h"
 #include "storage/tuple.h"
 #include "util/function_ref.h"
 
@@ -34,7 +35,7 @@ using TuplePattern = std::vector<std::optional<Value>>;
 /// instead of racing.
 class Relation {
  public:
-  explicit Relation(int arity) : arity_(arity) {}
+  explicit Relation(int arity) : arity_(arity), stats_(arity) {}
 
   // Relations are heavyweight; copying is explicit via Clone().
   Relation(const Relation&) = delete;
@@ -70,6 +71,15 @@ class Relation {
   void ForEachMatching(const TuplePattern& pattern,
                        FunctionRef<void(const Tuple&)> fn) const;
 
+  /// ForEachMatching with the probe column chosen by the caller (the
+  /// cost-based planner picks the most selective bound column instead of
+  /// the first one). `probe_column` must be a bound pattern position, or
+  /// -1 for a full scan. Every tuple passed to `fn` is a stable pointer
+  /// into this relation's storage (no temporary fast path), which is what
+  /// lets the compiled matcher buffer `const Tuple*` candidates.
+  void ForEachMatchingProbe(const TuplePattern& pattern, int probe_column,
+                            FunctionRef<void(const Tuple&)> fn) const;
+
   /// Builds the hash index for `column` now (no-op if already built).
   /// This is the explicit prewarm used before a frozen parallel section;
   /// `const` because indexes are caches, like the lazy build.
@@ -87,6 +97,11 @@ class Relation {
   void ThawIndexes() const { frozen_ = false; }
   bool frozen() const { return frozen_; }
 
+  /// Live storage statistics (row count, per-column distinct estimates),
+  /// maintained incrementally by Insert/Erase. The cost-based join
+  /// planner reads these; see storage/relation_stats.h.
+  const RelationStats& stats() const { return stats_; }
+
   /// All tuples, sorted — for deterministic printing and diffs.
   std::vector<Tuple> SortedTuples() const;
 
@@ -99,6 +114,7 @@ class Relation {
   static bool Matches(const Tuple& t, const TuplePattern& pattern);
 
   int arity_;
+  RelationStats stats_;
   std::unordered_set<Tuple, TupleHash> tuples_;
   // indexes_[c] is built lazily; nullopt means "not built".
   mutable std::vector<std::optional<ColumnIndex>> indexes_;

@@ -1,0 +1,65 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace park {
+
+Arena::Arena(size_t first_chunk_bytes)
+    : next_chunk_bytes_(std::max<size_t>(first_chunk_bytes, 64)) {}
+
+void* Arena::Alloc(size_t bytes, size_t align) {
+  PARK_CHECK(align != 0 && (align & (align - 1)) == 0)
+      << "arena alignment must be a power of two";
+  uintptr_t p = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (p + (align - 1)) & ~(static_cast<uintptr_t>(align) - 1);
+  size_t padding = aligned - p;
+  if (cursor_ == nullptr ||
+      bytes + padding > static_cast<size_t>(limit_ - cursor_)) {
+    // A fresh chunk is max_align_t-aligned, so no padding is needed.
+    NextChunk(bytes);
+    aligned = reinterpret_cast<uintptr_t>(cursor_);
+    padding = 0;
+  }
+  cursor_ = reinterpret_cast<uint8_t*>(aligned) + bytes;
+  bytes_used_ += bytes + padding;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::NextChunk(size_t bytes) {
+  // Reuse an already-owned chunk if the next one fits (post-Reset path).
+  size_t next = chunks_.empty() || cursor_ == nullptr ? 0 : active_chunk_ + 1;
+  while (next < chunks_.size()) {
+    if (chunks_[next].size >= bytes) {
+      active_chunk_ = next;
+      cursor_ = chunks_[next].data.get();
+      limit_ = cursor_ + chunks_[next].size;
+      return;
+    }
+    ++next;
+  }
+  size_t chunk_bytes = std::max(next_chunk_bytes_, bytes);
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  Chunk chunk;
+  chunk.data = std::make_unique<uint8_t[]>(chunk_bytes);
+  chunk.size = chunk_bytes;
+  bytes_reserved_ += chunk_bytes;
+  chunks_.push_back(std::move(chunk));
+  active_chunk_ = chunks_.size() - 1;
+  cursor_ = chunks_.back().data.get();
+  limit_ = cursor_ + chunk_bytes;
+}
+
+void Arena::Reset() {
+  bytes_used_ = 0;
+  if (chunks_.empty()) {
+    cursor_ = limit_ = nullptr;
+    return;
+  }
+  active_chunk_ = 0;
+  cursor_ = chunks_[0].data.get();
+  limit_ = cursor_ + chunks_[0].size;
+}
+
+}  // namespace park

@@ -1,0 +1,297 @@
+// The cost-based join planner: literal ordering driven by storage
+// statistics, probe-column selection, plan caching with drift-triggered
+// replanning, and the invariant that a PlanCache's index requirements
+// never diverge from CollectIndexRequirements (the prewarm contract).
+// The executor itself is pinned by matcher_test; the oracle sweep across
+// planner modes lives in planner_oracle_test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "engine/matcher.h"
+#include "lang/parser.h"
+
+namespace park {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : symbols_(MakeSymbolTable()) {}
+
+  Rule MustRule(std::string_view text) {
+    auto rule = ParseRule(text, symbols_);
+    EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+    return rule.ok() ? std::move(rule).value() : Rule();
+  }
+
+  Program MustProgram(std::string_view text) {
+    auto program = ParseProgram(text, symbols_);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return std::move(program).value();
+  }
+
+  Database MustDb(std::string_view facts) {
+    return ParseDatabase(facts, symbols_).value();
+  }
+
+  /// Bindings produced by executing `plan`, rendered "X=a,Y=b" and sorted.
+  std::vector<std::string> PlanMatches(const CompiledPlan& plan,
+                                       const Rule& rule,
+                                       const IInterpretation& interp) {
+    std::vector<std::string> out;
+    ExecutePlan(plan, rule, interp, CandidateSlice{},
+                [&](const Tuple& binding) {
+                  std::string s;
+                  for (int i = 0; i < binding.arity(); ++i) {
+                    if (i > 0) s += ",";
+                    s += rule.variable_names()[static_cast<size_t>(i)] +
+                         "=" + binding[i].ToString(*symbols_);
+                  }
+                  out.push_back(s);
+                });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// The step literal order of a plan, as body indexes.
+  static std::vector<int> Order(const CompiledPlan& plan) {
+    std::vector<int> order;
+    for (const CompiledStep& step : plan.steps) {
+      order.push_back(step.literal_index);
+    }
+    return order;
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+};
+
+/// A database where `big` dwarfs `sel`: big(i, i%4) for i in [0, 120),
+/// sel(0) only.
+std::string SkewedFacts() {
+  std::string facts = "sel(c0).";
+  for (int i = 0; i < 120; ++i) {
+    facts += " big(x" + std::to_string(i) + ", c" + std::to_string(i % 4) +
+             ").";
+  }
+  return facts;
+}
+
+TEST_F(PlannerTest, CostOrderStartsFromTheSmallStream) {
+  Database db = MustDb(SkewedFacts());
+  IInterpretation interp(&db);
+  Rule rule = MustRule("big(X, Y), sel(Y) -> +out(X).");
+
+  // Heuristic: no literal has bound positions up front, so source order
+  // wins and the 120-row scan of `big` generates first.
+  CompiledPlan heuristic =
+      CompilePlan(rule, -1, PlannerMode::kHeuristic, &interp);
+  EXPECT_EQ(Order(heuristic), (std::vector<int>{0, 1}));
+
+  // Cost-based: sel's one row is the cheaper stream; big is then probed
+  // on its bound second column instead of scanned.
+  CompiledPlan cost = CompilePlan(rule, -1, PlannerMode::kCostBased, &interp);
+  EXPECT_EQ(Order(cost), (std::vector<int>{1, 0}));
+  ASSERT_EQ(cost.steps.size(), 2u);
+  EXPECT_EQ(cost.steps[0].probe_column, -1);  // sel: full scan of 1 row
+  EXPECT_EQ(cost.steps[1].probe_column, 1);   // big probed on Y
+  EXPECT_LE(cost.steps[0].estimated_rows, 2.0);
+
+  // Same match set either way (different enumeration order only).
+  EXPECT_EQ(PlanMatches(cost, rule, interp),
+            PlanMatches(heuristic, rule, interp));
+  EXPECT_EQ(PlanMatches(cost, rule, interp),
+            (std::vector<std::string>{
+                "X=x0,Y=c0", "X=x100,Y=c0", "X=x104,Y=c0", "X=x108,Y=c0",
+                "X=x112,Y=c0", "X=x116,Y=c0", "X=x12,Y=c0", "X=x16,Y=c0",
+                "X=x20,Y=c0", "X=x24,Y=c0", "X=x28,Y=c0", "X=x32,Y=c0",
+                "X=x36,Y=c0", "X=x4,Y=c0", "X=x40,Y=c0", "X=x44,Y=c0",
+                "X=x48,Y=c0", "X=x52,Y=c0", "X=x56,Y=c0", "X=x60,Y=c0",
+                "X=x64,Y=c0", "X=x68,Y=c0", "X=x72,Y=c0", "X=x76,Y=c0",
+                "X=x8,Y=c0", "X=x80,Y=c0", "X=x84,Y=c0", "X=x88,Y=c0",
+                "X=x92,Y=c0", "X=x96,Y=c0"}));
+}
+
+TEST_F(PlannerTest, GroundFiltersRunFirstUnderBothModes) {
+  Database db = MustDb("flag. p(a). p(b).");
+  IInterpretation interp(&db);
+  Rule rule = MustRule("p(X), flag -> +q(X).");
+  for (PlannerMode mode :
+       {PlannerMode::kHeuristic, PlannerMode::kCostBased}) {
+    CompiledPlan plan = CompilePlan(rule, -1, mode, &interp);
+    ASSERT_EQ(plan.steps.size(), 2u);
+    EXPECT_EQ(plan.steps[0].literal_index, 1);  // the ground filter
+    EXPECT_TRUE(plan.steps[0].filter);
+    EXPECT_FALSE(plan.steps[1].filter);
+  }
+}
+
+TEST_F(PlannerTest, CostProbePicksTheMoreSelectiveColumn) {
+  // fact(D, K, Z): column 0 has 2 distinct values, column 1 is a key.
+  // After src binds D and K, the cost-based probe must use column 1
+  // (~1 row per probe) while the heuristic uses the first bound
+  // position, column 0 (~30 rows per probe).
+  std::string facts = "src(d0, k8).";
+  for (int i = 0; i < 60; ++i) {
+    facts += " fact(d" + std::to_string(i % 2) + ", k" + std::to_string(i) +
+             ", z" + std::to_string(i) + ").";
+  }
+  Database db = MustDb(facts);
+  IInterpretation interp(&db);
+  Rule rule = MustRule("src(D, K), fact(D, K, Z) -> +out(Z).");
+
+  CompiledPlan cost = CompilePlan(rule, -1, PlannerMode::kCostBased, &interp);
+  ASSERT_EQ(Order(cost), (std::vector<int>{0, 1}));
+  EXPECT_EQ(cost.steps[1].probe_column, 1);
+
+  CompiledPlan heuristic =
+      CompilePlan(rule, -1, PlannerMode::kHeuristic, &interp);
+  ASSERT_EQ(Order(heuristic), (std::vector<int>{0, 1}));
+  EXPECT_EQ(heuristic.steps[1].probe_column, 0);
+
+  EXPECT_EQ(PlanMatches(cost, rule, interp),
+            (std::vector<std::string>{"D=d0,K=k8,Z=z8"}));
+  EXPECT_EQ(PlanMatches(cost, rule, interp),
+            PlanMatches(heuristic, rule, interp));
+}
+
+TEST_F(PlannerTest, PlanIsAPureFunctionOfTheStatistics) {
+  Database db = MustDb(SkewedFacts());
+  IInterpretation interp(&db);
+  Rule rule = MustRule("big(X, Y), sel(Y) -> +out(X).");
+  CompiledPlan a = CompilePlan(rule, -1, PlannerMode::kCostBased, &interp);
+  CompiledPlan b = CompilePlan(rule, -1, PlannerMode::kCostBased, &interp);
+  EXPECT_EQ(Order(a), Order(b));
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].probe_column, b.steps[i].probe_column);
+    EXPECT_EQ(a.steps[i].estimated_rows, b.steps[i].estimated_rows);
+  }
+}
+
+TEST_F(PlannerTest, CacheHitsThenDriftTriggersReplan) {
+  Program program = MustProgram("r: big(X, Y), sel(Y) -> +out(X).");
+  Database db = MustDb(SkewedFacts());
+  IInterpretation interp(&db);
+  const Rule& rule = program.rules()[0];
+
+  PlanCache cache(program, PlannerMode::kCostBased);
+  const CompiledPlan& first = cache.Get(rule, -1, interp);
+  EXPECT_EQ(Order(first), (std::vector<int>{1, 0}));
+  EXPECT_EQ(cache.plans_compiled(), 1u);
+  EXPECT_EQ(cache.cache_hits(), 0u);
+
+  cache.Get(rule, -1, interp);
+  EXPECT_EQ(cache.plans_compiled(), 1u);
+  EXPECT_EQ(cache.cache_hits(), 1u);
+  EXPECT_EQ(cache.replans(), 0u);
+
+  // Grow `sel` from 1 row to 500: far past the 2x+8 drift envelope, and
+  // enough to flip the cheapest stream back to `big` (120 rows).
+  for (int i = 0; i < 500; ++i) {
+    db.InsertAtom("sel", {"s" + std::to_string(i)});
+  }
+  const CompiledPlan& replanned = cache.Get(rule, -1, interp);
+  EXPECT_EQ(cache.plans_compiled(), 2u);
+  EXPECT_EQ(cache.replans(), 1u);
+  EXPECT_EQ(Order(replanned), (std::vector<int>{0, 1}));
+
+  // Stable statistics: back to cache hits.
+  cache.Get(rule, -1, interp);
+  EXPECT_EQ(cache.plans_compiled(), 2u);
+  EXPECT_EQ(cache.replans(), 1u);
+}
+
+TEST_F(PlannerTest, HeuristicCacheNeverReplans) {
+  Program program = MustProgram("r: big(X, Y), sel(Y) -> +out(X).");
+  Database db = MustDb(SkewedFacts());
+  IInterpretation interp(&db);
+  const Rule& rule = program.rules()[0];
+
+  PlanCache cache(program, PlannerMode::kHeuristic);
+  cache.Get(rule, -1, interp);
+  for (int i = 0; i < 500; ++i) {
+    db.InsertAtom("sel", {"s" + std::to_string(i)});
+  }
+  cache.Get(rule, -1, interp);
+  EXPECT_EQ(cache.plans_compiled(), 1u);
+  EXPECT_EQ(cache.cache_hits(), 1u);
+  EXPECT_EQ(cache.replans(), 0u);
+}
+
+TEST_F(PlannerTest, CompileListenerSeesEveryCompile) {
+  Program program = MustProgram("r: big(X, Y), sel(Y) -> +out(X).");
+  Database db = MustDb(SkewedFacts());
+  IInterpretation interp(&db);
+  const Rule& rule = program.rules()[0];
+
+  PlanCache cache(program, PlannerMode::kCostBased);
+  std::vector<std::string> lines;
+  cache.set_compile_listener([&](const PlanExplanation& explanation) {
+    lines.push_back(ExplainPlanLine(explanation));
+  });
+  cache.Get(rule, -1, interp);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("mode=cost-based"), std::string::npos);
+  EXPECT_NE(lines[0].find("lit1"), std::string::npos);
+  EXPECT_EQ(lines[0].find("replan"), std::string::npos);
+
+  for (int i = 0; i < 500; ++i) {
+    db.InsertAtom("sel", {"s" + std::to_string(i)});
+  }
+  cache.Get(rule, -1, interp);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("(replan)"), std::string::npos);
+}
+
+// --- index requirements (the prewarm contract) -----------------------------
+
+std::string RenderRequirements(const IndexRequirements& reqs) {
+  auto render = [](const IndexRequirements::ColumnsByPredicate& columns,
+                   const char* tag) {
+    std::vector<std::string> entries;
+    for (const auto& [pred, cols] : columns) {
+      std::vector<int> sorted_cols = cols;
+      std::sort(sorted_cols.begin(), sorted_cols.end());
+      std::string entry = std::string(tag) + std::to_string(pred) + ":";
+      for (int c : sorted_cols) entry += std::to_string(c) + ",";
+      entries.push_back(entry);
+    }
+    std::sort(entries.begin(), entries.end());
+    std::string out;
+    for (const std::string& e : entries) out += e + ";";
+    return out;
+  };
+  return render(reqs.base, "base/") + render(reqs.plus, "plus/") +
+         render(reqs.minus, "minus/");
+}
+
+TEST_F(PlannerTest, CacheRequirementsMatchCollectIndexRequirements) {
+  // CollectIndexRequirements promises exactly the probes the compiled
+  // heuristic plans use. Drive a heuristic PlanCache through every
+  // (rule, seed) slot and assert the two derivations are identical —
+  // they share AddPlanRequirements, so divergence would mean the plan
+  // sets differ.
+  Program program = MustProgram(R"(
+    t: edge(X, Y), edge(Y, Z), !blocked(Z) -> +path(X, Z).
+    fire: +alarm(L), sensor(L, S) -> +notify(S).
+    clear: -alarm(L), notify(S), sensor(L, S) -> -notify(S).
+  )");
+  Database db = MustDb("edge(a, b). sensor(l1, s1). notify(s1).");
+  IInterpretation interp(&db);
+
+  PlanCache cache(program, PlannerMode::kHeuristic);
+  for (const Rule& rule : program.rules()) {
+    cache.Get(rule, -1, interp);
+    for (size_t s = 0; s < rule.body().size(); ++s) {
+      cache.Get(rule, static_cast<int>(s), interp);
+    }
+  }
+  EXPECT_EQ(RenderRequirements(cache.requirements()),
+            RenderRequirements(CollectIndexRequirements(program)));
+}
+
+}  // namespace
+}  // namespace park

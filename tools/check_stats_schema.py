@@ -8,6 +8,7 @@ Each FILE is dispatched on its "schema" tag:
 
   park-stats-v1                -- ParkStats::ToJson (parkcli --stats-json)
   park-bench-parallel-v1       -- bench_parallel
+  park-bench-planner-v1        -- bench_planner
   park-bench-paper-examples-v1 -- bench_paper_examples
 
 Exit status 0 iff every file parses and matches its schema. The checker
@@ -64,6 +65,10 @@ PARK_STATS_TIMINGS = [
     "total_ns", "gamma_ns", "apply_ns", "conflict_ns", "policy_ns",
     "parallel_match_ns", "parallel_merge_ns", "pool_busy_ns",
 ]
+PARK_STATS_PLANNER_COUNTERS = [
+    "plans_compiled", "cache_hits", "replans", "estimated_rows",
+    "actual_rows",
+]
 
 
 def check_park_stats(errors, doc):
@@ -71,6 +76,7 @@ def check_park_stats(errors, doc):
         ("schema", lambda v: v == "park-stats-v1", '"park-stats-v1"'),
         ("counters", lambda v: isinstance(v, dict), "object"),
         ("parallel", lambda v: isinstance(v, dict), "object"),
+        ("planner", lambda v: isinstance(v, dict), "object"),
         ("timings", lambda v: isinstance(v, dict), "object"),
     ])
     if not isinstance(doc, dict):
@@ -79,6 +85,11 @@ def check_park_stats(errors, doc):
                 [(k, _is_int, "integer") for k in PARK_STATS_COUNTERS])
     _check_keys(errors, "$.parallel", doc.get("parallel", {}),
                 [(k, _is_int, "integer") for k in PARK_STATS_PARALLEL])
+    planner_spec = [("mode", lambda v: v in ("heuristic", "cost_based"),
+                     '"heuristic" or "cost_based"')]
+    planner_spec += [(k, _is_int, "integer")
+                     for k in PARK_STATS_PLANNER_COUNTERS]
+    _check_keys(errors, "$.planner", doc.get("planner", {}), planner_spec)
     timings_spec = [("collected", lambda v: isinstance(v, bool), "bool")]
     timings_spec += [(k, _is_int, "integer") for k in PARK_STATS_TIMINGS]
     _check_keys(errors, "$.timings", doc.get("timings", {}), timings_spec)
@@ -119,6 +130,42 @@ def check_bench_parallel(errors, doc):
                         BENCH_CONFIG_SPEC)
 
 
+PLANNER_CONFIG_SPEC = [
+    ("planner", lambda v: v in ("heuristic", "cost_based"),
+     '"heuristic" or "cost_based"'),
+    ("best_ms", _is_num, "number"),
+    ("speedup", _is_num, "number"),
+    ("gamma_steps", _is_int, "integer"),
+    ("plans_compiled", _is_int, "integer"),
+    ("replans", _is_int, "integer"),
+    ("estimated_rows", _is_int, "integer"),
+    ("actual_rows", _is_int, "integer"),
+]
+
+
+def check_bench_planner(errors, doc):
+    _check_keys(errors, "$", doc, [
+        ("schema", lambda v: v == "park-bench-planner-v1",
+         '"park-bench-planner-v1"'),
+        ("hardware_concurrency", _is_int, "integer"),
+        ("smoke", lambda v: isinstance(v, bool), "bool"),
+        ("set_identical", lambda v: v is True, "true"),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        where = f"$.cases[{i}]"
+        _check_keys(errors, where, case, [
+            ("name", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("configs", lambda v: isinstance(v, list) and v,
+             "non-empty array"),
+        ])
+        if not isinstance(case, dict):
+            continue
+        for j, config in enumerate(case.get("configs") or []):
+            _check_keys(errors, f"{where}.configs[{j}]", config,
+                        PLANNER_CONFIG_SPEC)
+
+
 def check_bench_paper_examples(errors, doc):
     _check_keys(errors, "$", doc, [
         ("schema", lambda v: v == "park-bench-paper-examples-v1",
@@ -141,6 +188,7 @@ def check_bench_paper_examples(errors, doc):
 CHECKERS = {
     "park-stats-v1": check_park_stats,
     "park-bench-parallel-v1": check_bench_parallel,
+    "park-bench-planner-v1": check_bench_planner,
     "park-bench-paper-examples-v1": check_bench_paper_examples,
 }
 
