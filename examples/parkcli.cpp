@@ -11,6 +11,12 @@
 //   --block-first      resolve one conflict per restart (§4.2 refinement)
 //   --max-steps N      abort evaluation after N Γ steps (default 1000000)
 //   --deadline-ms N    abort evaluation after N wall-clock milliseconds
+//                      (cooperative: fires mid-step, exit code 3)
+//   --max-memory-bytes N
+//                      abort evaluation once scratch memory exceeds N
+//                      bytes (exit code 4)
+//   --max-derivations N
+//                      abort evaluation after N derivations (exit code 4)
 //   --threads N        Γ evaluation threads (default 1 = sequential;
 //                      0 = one per hardware thread); results identical
 //   --min-slice-size N smallest per-slice candidate count for intra-rule
@@ -33,7 +39,16 @@
 //                      stderr before the run (replans during the run
 //                      stream through --observe)
 //
-// Exit status: 0 on success, 1 on any error.
+// Exit status — scripts can branch on WHY a run stopped:
+//   0  success
+//   1  generic error (bad input files, evaluation errors not below)
+//   2  usage error (unknown/malformed flags, missing --rules/--facts)
+//   3  deadline exceeded (--deadline-ms)
+//   4  resource exhausted (--max-memory-bytes / --max-derivations /
+//      --max-steps budgets)
+//   5  data loss (corrupt durable state)
+//   6  transient I/O failure survived past the retry budget
+//   7  cancelled
 
 #include <algorithm>
 #include <cstdint>
@@ -140,9 +155,32 @@ int Usage(const char* argv0) {
                "          [--deadline-ms N] [--threads N]\n"
                "          [--min-slice-size N] [--planner cost|heuristic]\n"
                "          [--stats-json FILE]\n"
-               "          [--observe] [--trace] [--explain]\n",
+               "          [--max-memory-bytes N] [--max-derivations N]\n"
+               "          [--observe] [--trace] [--explain]\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 deadline,\n"
+               "            4 resource-exhausted, 5 data-loss,\n"
+               "            6 transient-io, 7 cancelled\n",
                argv0);
-  return 1;
+  return 2;
+}
+
+/// Exit code for a failed run: the governance/durability codes get
+/// distinct exits so scripts can branch on WHY the run stopped.
+int ExitCodeFor(const park::Status& status) {
+  switch (status.code()) {
+    case park::StatusCode::kDeadlineExceeded:
+      return 3;
+    case park::StatusCode::kResourceExhausted:
+      return 4;
+    case park::StatusCode::kDataLoss:
+      return 5;
+    case park::StatusCode::kUnavailable:
+      return 6;
+    case park::StatusCode::kCancelled:
+      return 7;
+    default:
+      return 1;
+  }
 }
 
 /// Parses integer flag `flag` from text `v` and range-checks it against
@@ -208,7 +246,7 @@ int main(int argc, char** argv) {
       int64_t max = static_cast<int64_t>(
           std::min<uint64_t>(std::numeric_limits<size_t>::max(),
                              std::numeric_limits<int64_t>::max()));
-      if (!ParseIntFlag("--max-steps", v, 1, max, &steps)) return 1;
+      if (!ParseIntFlag("--max-steps", v, 1, max, &steps)) return 2;
       options.max_steps = static_cast<size_t>(steps);
     } else if (arg == "--deadline-ms") {
       const char* v = next();
@@ -216,16 +254,34 @@ int main(int argc, char** argv) {
       int64_t deadline = 0;
       if (!ParseIntFlag("--deadline-ms", v, 1,
                         std::numeric_limits<int64_t>::max(), &deadline)) {
-        return 1;
+        return 2;
       }
       options.deadline_ms = deadline;
+    } else if (arg == "--max-memory-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      int64_t bytes = 0;
+      if (!ParseIntFlag("--max-memory-bytes", v, 1,
+                        std::numeric_limits<int64_t>::max(), &bytes)) {
+        return 2;
+      }
+      options.max_memory_bytes = static_cast<uint64_t>(bytes);
+    } else if (arg == "--max-derivations") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      int64_t derivations = 0;
+      if (!ParseIntFlag("--max-derivations", v, 1,
+                        std::numeric_limits<int64_t>::max(), &derivations)) {
+        return 2;
+      }
+      options.max_derivations = static_cast<uint64_t>(derivations);
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       int64_t threads = 0;
       if (!ParseIntFlag("--threads", v, 0,
                         std::numeric_limits<int>::max(), &threads)) {
-        return 1;
+        return 2;
       }
       options.num_threads = static_cast<int>(threads);
     } else if (arg == "--min-slice-size") {
@@ -235,7 +291,7 @@ int main(int argc, char** argv) {
       int64_t max = static_cast<int64_t>(
           std::min<uint64_t>(std::numeric_limits<size_t>::max(),
                              std::numeric_limits<int64_t>::max()));
-      if (!ParseIntFlag("--min-slice-size", v, 1, max, &slice)) return 1;
+      if (!ParseIntFlag("--min-slice-size", v, 1, max, &slice)) return 2;
       options.min_slice_size = static_cast<size_t>(slice);
     } else if (arg == "--planner") {
       const char* v = next();
@@ -247,7 +303,7 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "--planner wants 'cost' or 'heuristic', got '%s'\n", v);
-        return 1;
+        return 2;
       }
     } else if (arg == "--stats-json") {
       const char* v = next();
@@ -334,7 +390,7 @@ int main(int argc, char** argv) {
   if (!result.ok()) {
     std::fprintf(stderr, "evaluation failed: %s\n",
                  result.status().ToString().c_str());
-    return 1;
+    return ExitCodeFor(result.status());
   }
 
   // `--stats-json -` reserves stdout for the JSON document; the

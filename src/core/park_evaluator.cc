@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "util/cancellation.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -29,19 +30,29 @@ const char* PlannerModeName(PlannerMode mode) {
   return "unknown";
 }
 
-/// Checks the optional wall-clock budget. `start` is the evaluation's
-/// entry time; returns non-OK once the budget is spent.
-Status CheckDeadline(const ParkOptions& options,
-                     std::chrono::steady_clock::time_point start) {
-  if (options.deadline_ms <= 0) return Status::OK();
-  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                     std::chrono::steady_clock::now() - start)
-                     .count();
-  if (elapsed < options.deadline_ms) return Status::OK();
-  return ResourceExhaustedError(StrFormat(
-      "PARK evaluation exceeded deadline_ms=%lld (elapsed %lld ms)",
-      static_cast<long long>(options.deadline_ms),
-      static_cast<long long>(elapsed)));
+/// Arms the run's CancellationToken from the options (deadline, memory /
+/// derivation budgets, chained external cancel). Returns nullptr when no
+/// governance is configured — the matcher and Γ workers then skip polling
+/// entirely, keeping the ungoverned fast path free of even the stride
+/// counters' branches.
+CancellationToken* ArmRunToken(CancellationToken& token,
+                               const ParkOptions& options,
+                               std::chrono::steady_clock::time_point start) {
+  if (options.deadline_ms <= 0 && options.cancel == nullptr &&
+      options.max_memory_bytes == 0 && options.max_derivations == 0) {
+    return nullptr;
+  }
+  if (options.deadline_ms > 0) {
+    token.SetDeadline(start + std::chrono::milliseconds(options.deadline_ms));
+  }
+  if (options.max_memory_bytes > 0) {
+    token.SetMemoryLimit(options.max_memory_bytes);
+  }
+  if (options.max_derivations > 0) {
+    token.SetWorkLimit(options.max_derivations);
+  }
+  token.ChainParent(options.cancel);
+  return &token;
 }
 
 /// Renders I ∪ {Γ-derived marks} — the inconsistent interpretation the
@@ -135,6 +146,16 @@ Status ValidateOptions(const ParkOptions& options) {
         "deadline_ms must be >= 0 (0 = unlimited), got %lld",
         static_cast<long long>(options.deadline_ms)));
   }
+  if (options.io_max_retries < 0) {
+    return InvalidArgumentError(StrFormat(
+        "io_max_retries must be >= 0 (0 = no retries), got %d",
+        options.io_max_retries));
+  }
+  if (options.io_backoff_ms < 0) {
+    return InvalidArgumentError(StrFormat(
+        "io_backoff_ms must be >= 0 (0 = retry without sleeping), got %lld",
+        static_cast<long long>(options.io_backoff_ms)));
+  }
   return Status::OK();
 }
 
@@ -169,6 +190,18 @@ std::string ParkStats::ToJson() const {
   w.Key("replans").UInt(plan_replans);
   w.Key("estimated_rows").UInt(planner_estimated_rows);
   w.Key("actual_rows").UInt(planner_actual_rows);
+  w.EndObject();
+  w.Key("resource").BeginObject();
+  w.Key("memory_limit_bytes").UInt(memory_limit_bytes);
+  w.Key("peak_memory_bytes").UInt(peak_memory_bytes);
+  w.Key("derivation_limit").UInt(derivation_limit);
+  w.Key("derivations_charged").UInt(derivations_charged);
+  w.EndObject();
+  w.Key("io_retry").BeginObject();
+  w.Key("attempts").UInt(io_attempts);
+  w.Key("retries").UInt(io_retries);
+  w.Key("backoff_ms_total").UInt(io_backoff_ms_total);
+  w.Key("retries_exhausted").UInt(io_retries_exhausted);
   w.EndObject();
   w.Key("timings").BeginObject();
   w.Key("collected").Bool(timings.collected);
@@ -241,6 +274,13 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   if (timed && parallel != nullptr) parallel->EnableTiming();
   const int64_t run_start_ns = timed ? MonotonicNanos() : 0;
   const auto start_time = std::chrono::steady_clock::now();
+  // Run governance: one token shared by every thread of this evaluation.
+  // Null when no deadline / cancel / budget is configured.
+  CancellationToken token;
+  CancellationToken* cancel = ArmRunToken(token, options, start_time);
+  // Coordinator-side memory scope: the merged Γ derivation list (workers
+  // charge their own scratch + buffers while matching).
+  CancellationToken::MemoryScope gamma_scope;
   int step = 0;
 
   trace.RecordInitial(interp, step);
@@ -254,26 +294,35 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       return ResourceExhaustedError(StrFormat(
           "PARK evaluation exceeded max_steps=%zu", options.max_steps));
     }
-    PARK_RETURN_IF_ERROR(CheckDeadline(options, start_time));
+    if (cancel != nullptr && cancel->Check()) return cancel->ToStatus();
     observer.Notify([&](RunObserver& o) { o.OnStepStart(step); });
     int64_t gamma_start_ns = timed ? MonotonicNanos() : 0;
     GammaResult gamma;
     switch (mode) {
       case GammaMode::kNaive:
-        gamma = ComputeGamma(program, blocked, interp, parallel, &plans);
+        gamma = ComputeGamma(program, blocked, interp, parallel, &plans,
+                             cancel);
         break;
       case GammaMode::kDeltaFiltered:
         gamma = ComputeGammaFiltered(program, blocked, interp, delta,
-                                     parallel, &plans);
+                                     parallel, &plans, cancel);
         break;
       case GammaMode::kSemiNaive:
         gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms,
-                                      parallel, &plans);
+                                      parallel, &plans, cancel);
         break;
     }
     if (timed) {
       stats.timings.gamma_ns +=
           static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
+    }
+    // A fired token makes the Γ result partial: discard it and surface
+    // the cause. The input database is untouched (evaluation mutates only
+    // the copy-on-write interpretation, incorporated on success below).
+    if (cancel != nullptr) {
+      cancel->UpdateScope(gamma_scope, gamma.derivations.capacity() *
+                                           sizeof(Derivation));
+      if (cancel->Check()) return cancel->ToStatus();
     }
     stats.rule_evaluations += gamma.rules_evaluated;
     observer.Notify([&](RunObserver& o) {
@@ -322,11 +371,13 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     // have skipped — so recompute the full Γ before building them.
     if (mode != GammaMode::kNaive) {
       gamma_start_ns = timed ? MonotonicNanos() : 0;
-      gamma = ComputeGamma(program, blocked, interp, parallel, &plans);
+      gamma = ComputeGamma(program, blocked, interp, parallel, &plans,
+                           cancel);
       if (timed) {
         stats.timings.gamma_ns +=
             static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
       }
+      if (cancel != nullptr && cancel->Check()) return cancel->ToStatus();
       stats.rule_evaluations += gamma.rules_evaluated;
       observer.Notify([&](RunObserver& o) {
         o.OnGammaSection(GammaSectionInfo{
@@ -415,6 +466,12 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   }
 
   stats.blocked_instances = blocked.size();
+  stats.memory_limit_bytes = options.max_memory_bytes;
+  stats.derivation_limit = options.max_derivations;
+  if (cancel != nullptr) {
+    stats.peak_memory_bytes = cancel->peak_bytes();
+    stats.derivations_charged = cancel->work_charged();
+  }
   stats.plans_compiled = plans.plans_compiled();
   stats.plan_cache_hits = plans.cache_hits();
   stats.plan_replans = plans.replans();

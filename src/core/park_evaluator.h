@@ -17,6 +17,8 @@
 
 namespace park {
 
+class CancellationToken;
+
 /// One transaction update ±a (paper §4.3).
 struct Update {
   ActionKind action = ActionKind::kInsert;
@@ -70,11 +72,34 @@ struct ParkOptions {
   /// only guards against misconfigured gigantic workloads.
   size_t max_steps = 1'000'000;
   /// Wall-clock budget for one evaluation in milliseconds; 0 means
-  /// unlimited. Like max_steps this is a graceful-degradation guard: a
-  /// misconfigured gigantic workload returns kResourceExhausted instead
-  /// of running unbounded. Checked once per Γ step, so very large single
-  /// steps can overshoot the budget before being caught.
+  /// unlimited. Exceeding it returns kDeadlineExceeded with the stored
+  /// database untouched. Enforced cooperatively INSIDE Γ steps (every
+  /// CancellationToken::kCheckStride tuples, on every worker thread), so
+  /// even one giant candidate stream is interrupted promptly.
   int64_t deadline_ms = 0;
+  /// External cancel source. When non-null and fired (its
+  /// RequestCancel(), or any of its own budgets), the evaluation stops at
+  /// the next poll and returns kCancelled. Not owned; must outlive the
+  /// call. The run still gets its own internal token — this one is
+  /// chained, so a caller-held token can cancel many runs.
+  CancellationToken* cancel = nullptr;
+  /// Evaluation memory budget in bytes across all worker scratch arenas
+  /// and derivation buffers; 0 means unlimited. Exceeding it returns
+  /// kResourceExhausted (cooperatively — polled at the same stride as the
+  /// deadline, so overshoot is bounded) instead of OOM-ing the process.
+  size_t max_memory_bytes = 0;
+  /// Upper bound on derivations produced across all Γ steps and restarts;
+  /// 0 means unlimited. A deterministic, clock-free budget (useful where
+  /// deadline tests would be flaky): exceeding it returns
+  /// kResourceExhausted.
+  uint64_t max_derivations = 0;
+  /// Commit-pipeline I/O fault tolerance (used by ActiveDatabase, not by
+  /// Park itself): a journal append/flush/sync that fails with a
+  /// TRANSIENT error (kUnavailable) is retried up to `io_max_retries`
+  /// times with capped exponential backoff starting at `io_backoff_ms`
+  /// (0 = retry immediately, no sleep). Permanent errors never retry.
+  int io_max_retries = 3;
+  int64_t io_backoff_ms = 0;
   TraceLevel trace_level = TraceLevel::kNone;
   /// When set, ParkResult::provenance explains every surviving marked
   /// atom: which rule groundings derived it in the final round.
@@ -117,9 +142,10 @@ struct ParkOptions {
 
 /// Validates an options bundle before use. Rejects (kInvalidArgument):
 /// negative num_threads, min_slice_size == 0, max_steps == 0, negative
-/// deadline_ms. ActiveDatabase::Configure and parkcli call this at the
-/// boundary; the commit path re-checks as a backstop against direct
-/// mutation through deprecated accessors.
+/// deadline_ms, negative io_max_retries, negative io_backoff_ms.
+/// ActiveDatabase::Configure and parkcli call this at the boundary; the
+/// commit path re-checks as a backstop against direct mutation through
+/// deprecated accessors.
 Status ValidateOptions(const ParkOptions& options);
 
 /// Wall-clock decomposition of one evaluation, collected only when
@@ -177,6 +203,27 @@ struct ParkStats {
   /// of actually enumerated stream rows — the cost model's calibration.
   size_t planner_estimated_rows = 0;
   size_t planner_actual_rows = 0;
+  // Resource-governance counters (see ParkOptions::{deadline_ms,
+  // max_memory_bytes, max_derivations, cancel} and docs/ROBUSTNESS.md).
+  // The limits echo the options; peak_memory_bytes is the high-water mark
+  // of the run token's cooperative byte accounting (0 when no memory
+  // budget was armed — accounting is then skipped entirely);
+  // derivations_charged counts derivations reported to the work budget.
+  size_t memory_limit_bytes = 0;
+  size_t peak_memory_bytes = 0;
+  uint64_t derivation_limit = 0;
+  uint64_t derivations_charged = 0;
+  // Commit-pipeline I/O retry counters (docs/ROBUSTNESS.md). Zero for a
+  // pure evaluation; ActiveDatabase::CommitUpdates folds the journal's
+  // per-commit numbers into the report's stats. `io_attempts` counts
+  // journal append attempts (>= 1 per journaled commit), `io_retries` the
+  // re-attempts after a transient failure, `io_backoff_ms_total` the
+  // backoff slept between them, and `io_retries_exhausted` is 1 when the
+  // commit still failed after the last allowed retry.
+  uint64_t io_attempts = 0;
+  uint64_t io_retries = 0;
+  uint64_t io_backoff_ms_total = 0;
+  uint64_t io_retries_exhausted = 0;
   /// Phase timers (see ParkOptions::collect_timings).
   PhaseTimings timings;
 
@@ -185,6 +232,8 @@ struct ParkStats {
   ///    "counters": {...},   // deterministic: identical across threads
   ///    "parallel": {...},   // partitioning-dependent pool counters
   ///    "planner": {...},    // join-planner counters (deterministic)
+  ///    "resource": {...},   // budgets armed + peaks (docs/ROBUSTNESS.md)
+  ///    "io_retry": {...},   // commit-pipeline retry counters
   ///    "timings": {"collected": bool, <phase>_ns...}}
   /// The "counters" object is invariant across num_threads /
   /// min_slice_size settings (asserted in stats_invariance_test);
@@ -216,7 +265,10 @@ struct ParkResult {
 
 /// Computes PARK(P, D). `program` and `db` must share a symbol table.
 /// Errors: kAborted if the policy abstains or makes no progress,
-/// kResourceExhausted past options.max_steps, plus any policy failure.
+/// kResourceExhausted past options.max_steps / max_memory_bytes /
+/// max_derivations, kDeadlineExceeded past options.deadline_ms,
+/// kCancelled via options.cancel, plus any policy failure. On every
+/// error the input database is untouched (evaluation is copy-on-write).
 Result<ParkResult> Park(const Program& program, const Database& db,
                         const ParkOptions& options = {});
 

@@ -33,6 +33,25 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
   stats_.num_threads = static_cast<size_t>(num_threads);
   stats_.planner_mode = options_.planner_mode;
   stats_.timings.collected = options_.collect_timings;
+  stats_.memory_limit_bytes = options_.max_memory_bytes;
+  stats_.derivation_limit = options_.max_derivations;
+  // Arm the run token only when some form of governance is configured;
+  // ungoverned runs keep cancel_ == nullptr and skip all polling.
+  if (options_.deadline_ms > 0 || options_.cancel != nullptr ||
+      options_.max_memory_bytes > 0 || options_.max_derivations > 0) {
+    if (options_.deadline_ms > 0) {
+      token_.SetDeadline(start_time_ +
+                         std::chrono::milliseconds(options_.deadline_ms));
+    }
+    if (options_.max_memory_bytes > 0) {
+      token_.SetMemoryLimit(options_.max_memory_bytes);
+    }
+    if (options_.max_derivations > 0) {
+      token_.SetWorkLimit(options_.max_derivations);
+    }
+    token_.ChainParent(options_.cancel);
+    cancel_ = &token_;
+  }
   if (num_threads > 1) {
     parallel_.emplace(program_, num_threads, options_.min_slice_size);
     if (options_.collect_timings) parallel_->EnableTiming();
@@ -70,22 +89,21 @@ void ParkStepper::RefreshPlannerStats() {
   stats_.planner_actual_rows = plans_.actual_rows();
 }
 
+void ParkStepper::RefreshResourceStats() {
+  if (cancel_ == nullptr) return;
+  stats_.peak_memory_bytes = cancel_->peak_bytes();
+  stats_.derivations_charged = cancel_->work_charged();
+}
+
 Result<StepOutcome> ParkStepper::Step() {
   if (done_) return StepOutcome{};  // kFixpoint
   if (steps_taken_ >= options_.max_steps) {
     return ResourceExhaustedError(StrFormat(
         "PARK evaluation exceeded max_steps=%zu", options_.max_steps));
   }
-  if (options_.deadline_ms > 0) {
-    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                       std::chrono::steady_clock::now() - start_time_)
-                       .count();
-    if (elapsed >= options_.deadline_ms) {
-      return ResourceExhaustedError(StrFormat(
-          "PARK evaluation exceeded deadline_ms=%lld (elapsed %lld ms)",
-          static_cast<long long>(options_.deadline_ms),
-          static_cast<long long>(elapsed)));
-    }
+  if (cancel_ != nullptr && cancel_->Check()) {
+    RefreshResourceStats();
+    return cancel_->ToStatus();
   }
   const int step_number = static_cast<int>(steps_taken_);
   ++steps_taken_;
@@ -98,24 +116,37 @@ Result<StepOutcome> ParkStepper::Step() {
   GammaResult gamma;
   switch (mode) {
     case GammaMode::kNaive:
-      gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_);
+      gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_,
+                           cancel_);
       break;
     case GammaMode::kDeltaFiltered:
       gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_,
-                                   parallel, &plans_);
+                                   parallel, &plans_, cancel_);
       break;
     case GammaMode::kSemiNaive:
       gamma = ComputeGammaSemiNaive(program_, blocked_, interp_,
-                                    delta_atoms_, parallel, &plans_);
+                                    delta_atoms_, parallel, &plans_,
+                                    cancel_);
       break;
   }
   if (timed) {
     stats_.timings.gamma_ns +=
         static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
   }
+  if (cancel_ != nullptr) {
+    // The merged derivation list lives on the coordinator until applied.
+    cancel_->UpdateScope(gamma_scope_,
+                         gamma.derivations.capacity() * sizeof(Derivation));
+    if (cancel_->Check()) {
+      // gamma is partial — discard it and surface the cause.
+      RefreshResourceStats();
+      return cancel_->ToStatus();
+    }
+  }
   stats_.rule_evaluations += gamma.rules_evaluated;
   RefreshParallelStats();
   RefreshPlannerStats();
+  RefreshResourceStats();
   observer_.Notify([&](RunObserver& o) {
     o.OnGammaSection(GammaSectionInfo{
         step_number, gamma.rules_evaluated, gamma.derivations.size(),
@@ -126,6 +157,7 @@ Result<StepOutcome> ParkStepper::Step() {
     if (gamma.newly_marked == 0) {
       done_ = true;
       stats_.blocked_instances = blocked_.size();
+      RefreshResourceStats();
       if (timed) {
         stats_.timings.total_ns =
             static_cast<uint64_t>(MonotonicNanos() - run_start_ns_);
@@ -162,14 +194,24 @@ Result<StepOutcome> ParkStepper::Step() {
   // Resolution transition: same logic as the batch evaluator.
   if (mode != GammaMode::kNaive) {
     gamma_start_ns = timed ? MonotonicNanos() : 0;
-    gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_);
+    gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_,
+                         cancel_);
     if (timed) {
       stats_.timings.gamma_ns +=
           static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
     }
+    if (cancel_ != nullptr) {
+      cancel_->UpdateScope(
+          gamma_scope_, gamma.derivations.capacity() * sizeof(Derivation));
+      if (cancel_->Check()) {
+        RefreshResourceStats();
+        return cancel_->ToStatus();
+      }
+    }
     stats_.rule_evaluations += gamma.rules_evaluated;
     RefreshParallelStats();
     RefreshPlannerStats();
+    RefreshResourceStats();
     observer_.Notify([&](RunObserver& o) {
       o.OnGammaSection(GammaSectionInfo{
           step_number, gamma.rules_evaluated, gamma.derivations.size(),

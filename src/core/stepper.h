@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/park_evaluator.h"
+#include "util/cancellation.h"
 
 namespace park {
 
@@ -71,6 +72,8 @@ class ParkStepper {
   void RefreshParallelStats();
   /// Folds the plan cache's counters into stats_.
   void RefreshPlannerStats();
+  /// Folds the run token's budget counters into stats_.
+  void RefreshResourceStats();
 
   const Program& program_;
   const Database& db_;
@@ -93,6 +96,13 @@ class ParkStepper {
   /// Construction time, against which options_.deadline_ms is checked
   /// (the budget covers the whole stepped evaluation, like Park()'s).
   std::chrono::steady_clock::time_point start_time_;
+  /// Run governance (deadline / external cancel / memory / derivation
+  /// budgets), shared by every thread of every Γ section. cancel_ is null
+  /// when no governance is configured — workers then skip polling.
+  CancellationToken token_;
+  CancellationToken* cancel_ = nullptr;
+  /// Coordinator-side memory scope for the merged Γ derivation lists.
+  CancellationToken::MemoryScope gamma_scope_;
   /// Construction time on the timings clock (options_.collect_timings).
   int64_t run_start_ns_ = 0;
   bool done_ = false;

@@ -74,16 +74,32 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
   // Backstop for options installed around Configure() (direct writes via
   // mutable_options() or the deprecated setters): an invalid bundle fails
   // here, before any evaluation, instead of misbehaving mid-commit.
-  PARK_RETURN_IF_ERROR(
-      ValidateOptions(options_).WithContext("ActiveDatabase options"));
+  {
+    Status valid =
+        ValidateOptions(options_).WithContext("ActiveDatabase options");
+    if (!valid.ok()) {
+      CommitFailure failure;
+      failure.stage = CommitFailure::Stage::kValidate;
+      failure.cause = valid;
+      last_commit_failure_ = std::move(failure);
+      return valid;
+    }
+  }
   ObserverHook observer(options_.observer);
   const int64_t commit_start_ns = MonotonicNanos();
   observer.Notify(
       [&](RunObserver& o) { o.OnCommitStart(updates.updates().size()); });
 
-  PARK_ASSIGN_OR_RETURN(
-      ParkResult park,
-      Park(database_, program_, updates.updates(), options_));
+  auto evaluated = Park(database_, program_, updates.updates(), options_);
+  if (!evaluated.ok()) {
+    // Evaluation is copy-on-write, so the stored instance is untouched.
+    CommitFailure failure;
+    failure.stage = CommitFailure::Stage::kEvaluate;
+    failure.cause = evaluated.status();
+    last_commit_failure_ = std::move(failure);
+    return evaluated.status();
+  }
+  ParkResult park = std::move(*evaluated);
   const int64_t evaluated_ns = MonotonicNanos();
 
   CommitReport report;
@@ -101,16 +117,34 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
   const int64_t applied_ns = MonotonicNanos();
   if (journal_.has_value()) {
     // Redo-log semantics: the record is written only for transactions
-    // that actually committed. An append failure is surfaced (the
-    // in-memory commit stands, but callers must know durability was lost).
-    PARK_RETURN_IF_ERROR(journal_->Append(updates, *symbols()));
+    // that actually committed. If the append fails even after the
+    // journal's transient-failure retries, the in-place diff is undone —
+    // its exact inverse — so memory never runs ahead of the durable
+    // history: the commit either applied (and is durable) or left the
+    // database untouched.
+    Status appended = journal_->Append(updates, *symbols());
+    if (!appended.ok()) {
+      for (const GroundAtom& atom : report.inserted) database_.Erase(atom);
+      for (const GroundAtom& atom : report.deleted) database_.Insert(atom);
+      CommitFailure failure;
+      failure.stage = CommitFailure::Stage::kJournal;
+      failure.cause = appended;
+      failure.journal_attempts = journal_->last_append_attempts();
+      last_commit_failure_ = std::move(failure);
+      return appended.WithContext("commit rolled back: durability failed");
+    }
     report.journal_seq = journal_->last_seq();
     report.timings.journal_ns =
         static_cast<uint64_t>(MonotonicNanos() - applied_ns);
     report.timings.journal_sync_ns = journal_->last_sync_ns();
+    report.stats.io_attempts = journal_->io_attempts();
+    report.stats.io_retries = journal_->io_retries();
+    report.stats.io_backoff_ms_total = journal_->backoff_ms_total();
+    report.stats.io_retries_exhausted = journal_->retries_exhausted();
     observer.Notify(
         [&](RunObserver& o) { o.OnJournalAppend(report.journal_seq); });
   }
+  last_commit_failure_.reset();
   report.timings.evaluate_ns =
       static_cast<uint64_t>(evaluated_ns - commit_start_ns);
   report.timings.apply_ns = static_cast<uint64_t>(applied_ns - evaluated_ns);
@@ -237,6 +271,8 @@ Result<ActiveDatabase> ActiveDatabase::Open(const std::string& dir,
   journal_options.env = env;
   journal_options.sync_mode = params.sync_mode;
   journal_options.first_seq = last_seq + 1;
+  journal_options.max_retries = db.options_.io_max_retries;
+  journal_options.backoff_ms = db.options_.io_backoff_ms;
   PARK_ASSIGN_OR_RETURN(TransactionJournal journal,
                         TransactionJournal::Open(journal_path,
                                                  journal_options));
@@ -299,6 +335,8 @@ Status ActiveDatabase::Checkpoint() {
   journal_options.env = env;
   journal_options.sync_mode = sync_mode_;
   journal_options.first_seq = seq + 1;
+  journal_options.max_retries = options_.io_max_retries;
+  journal_options.backoff_ms = options_.io_backoff_ms;
   PARK_ASSIGN_OR_RETURN(
       TransactionJournal journal,
       TransactionJournal::Open(journal_path, journal_options));
@@ -319,8 +357,14 @@ Status ActiveDatabase::AttachJournal(const std::string& path,
   if (journal_.has_value()) {
     return FailedPreconditionError("a journal is already attached");
   }
+  // The evaluation options own the retry policy (ParkOptions::
+  // io_max_retries / io_backoff_ms), so one Configure() governs the
+  // whole commit pipeline.
+  JournalOptions journal_options = options;
+  journal_options.max_retries = options_.io_max_retries;
+  journal_options.backoff_ms = options_.io_backoff_ms;
   PARK_ASSIGN_OR_RETURN(TransactionJournal journal,
-                        TransactionJournal::Open(path, options));
+                        TransactionJournal::Open(path, journal_options));
   journal_.emplace(std::move(journal));
   return Status::OK();
 }

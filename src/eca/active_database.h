@@ -120,6 +120,16 @@ class ActiveDatabase {
   /// One-shot convenience: runs a single-update transaction.
   Result<CommitReport> Apply(ActionKind action, const GroundAtom& atom);
 
+  /// Post-mortem of the most recent FAILED commit (cleared by the next
+  /// successful one). Every failure path leaves the stored instance at
+  /// its pre-commit state — including a journal-append failure after
+  /// retries, which rolls the in-place diff back — so the database
+  /// remains usable without reopening; this accessor says what happened
+  /// and at which pipeline stage.
+  const std::optional<CommitFailure>& last_commit_failure() const {
+    return last_commit_failure_;
+  }
+
   /// Runs the rules with NO user updates — PARK(P, D) — replacing the
   /// stored instance with the result. Useful after LoadFacts to bring the
   /// database to a rule-consistent state.
@@ -222,6 +232,7 @@ class ActiveDatabase {
   Program program_;
   ParkOptions options_;
   std::optional<TransactionJournal> journal_;
+  std::optional<CommitFailure> last_commit_failure_;
 
   // Directory mode (set by Open).
   std::string dir_;

@@ -1,7 +1,10 @@
 #include "eca/journal.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <optional>
+#include <thread>
 
 #include "util/crc32.h"
 #include "util/logging.h"
@@ -280,7 +283,11 @@ Result<TransactionJournal> TransactionJournal::Open(const std::string& path,
 TransactionJournal::TransactionJournal(TransactionJournal&& other) noexcept
     : path_(std::move(other.path_)), options_(other.options_),
       file_(std::move(other.file_)), next_seq_(other.next_seq_),
-      durable_bytes_(other.durable_bytes_), broken_(other.broken_) {}
+      durable_bytes_(other.durable_bytes_), broken_(other.broken_),
+      io_attempts_(other.io_attempts_), io_retries_(other.io_retries_),
+      backoff_ms_total_(other.backoff_ms_total_),
+      retries_exhausted_(other.retries_exhausted_),
+      last_append_attempts_(other.last_append_attempts_) {}
 
 TransactionJournal& TransactionJournal::operator=(
     TransactionJournal&& other) noexcept {
@@ -292,6 +299,11 @@ TransactionJournal& TransactionJournal::operator=(
     next_seq_ = other.next_seq_;
     durable_bytes_ = other.durable_bytes_;
     broken_ = other.broken_;
+    io_attempts_ = other.io_attempts_;
+    io_retries_ = other.io_retries_;
+    backoff_ms_total_ = other.backoff_ms_total_;
+    retries_exhausted_ = other.retries_exhausted_;
+    last_append_attempts_ = other.last_append_attempts_;
   }
   return *this;
 }
@@ -337,31 +349,55 @@ Status TransactionJournal::Append(const UpdateSet& updates,
   record += StrFormat("commit %llu crc=%08x\n",
                       static_cast<unsigned long long>(seq), crc);
 
-  Status status = file_->Append(record);
   last_sync_ns_ = 0;
-  if (status.ok() && options_.sync_mode != JournalSyncMode::kNone) {
-    const int64_t sync_start_ns = MonotonicNanos();
-    status = file_->Flush();
-    if (status.ok() && options_.sync_mode == JournalSyncMode::kFsync) {
-      status = file_->Sync();
+  last_append_attempts_ = 0;
+  Status status;
+  for (;;) {
+    ++last_append_attempts_;
+    ++io_attempts_;
+    status = file_->Append(record);
+    if (status.ok() && options_.sync_mode != JournalSyncMode::kNone) {
+      const int64_t sync_start_ns = MonotonicNanos();
+      status = file_->Flush();
+      if (status.ok() && options_.sync_mode == JournalSyncMode::kFsync) {
+        status = file_->Sync();
+      }
+      last_sync_ns_ =
+          static_cast<uint64_t>(MonotonicNanos() - sync_start_ns);
     }
-    last_sync_ns_ =
-        static_cast<uint64_t>(MonotonicNanos() - sync_start_ns);
-  }
-  if (!status.ok()) {
-    // The record may be torn on disk. Try to heal the file so a later
-    // append cannot bury the damage mid-journal; if healing also fails,
-    // poison the handle — reopening (which truncates torn tails) is the
-    // only safe way forward.
+    if (status.ok()) break;
+    // The record may be torn on disk. Heal the file back to its last
+    // durable byte BEFORE any retry or return, so neither a retried
+    // append nor a later one can bury the damage mid-journal; if healing
+    // also fails, poison the handle — reopening (which truncates torn
+    // tails) is the only safe way forward.
     Status heal = options_.env->TruncateFile(path_, durable_bytes_);
     if (!heal.ok()) {
       broken_ = true;
       PARK_LOG(kWarning) << "journal " << path_
                          << ": could not heal after failed append ("
                          << heal.ToString() << "); journal disabled";
+      break;
     }
-    return status.WithContext(
-        StrFormat("journal append failed on %s", path_.c_str()));
+    // Only transient failures are worth retrying.
+    if (status.code() != StatusCode::kUnavailable) break;
+    if (last_append_attempts_ > options_.max_retries) {
+      ++retries_exhausted_;
+      break;
+    }
+    ++io_retries_;
+    if (options_.backoff_ms > 0) {
+      const int shift = std::min(last_append_attempts_ - 1, 10);
+      const int64_t delay =
+          std::min(options_.backoff_ms << shift, kMaxBackoffMs);
+      backoff_ms_total_ += static_cast<uint64_t>(delay);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+  if (!status.ok()) {
+    return status.WithContext(StrFormat(
+        "journal append failed on %s after %d attempt(s)", path_.c_str(),
+        last_append_attempts_));
   }
   next_seq_ = seq + 1;
   durable_bytes_ += record.size();

@@ -55,6 +55,14 @@ struct JournalOptions {
   /// missing (an existing journal resumes after its last record). A
   /// checkpoint at sequence S reopens the journal with first_seq = S + 1.
   uint64_t first_seq = 1;
+  /// Retries after the first attempt when an append fails TRANSIENTLY
+  /// (kUnavailable — EAGAIN-class conditions). Permanent failures are
+  /// never retried. Each retry re-appends the whole record after the
+  /// file has been healed back to its last durable byte.
+  int max_retries = 3;
+  /// Sleep before the first retry, doubling per retry and capped at
+  /// kMaxBackoffMs. 0 retries immediately (tests use this).
+  int64_t backoff_ms = 0;
 };
 
 /// One committed record as read back from disk.
@@ -81,6 +89,13 @@ class TransactionJournal {
 
   /// Appends one committed transaction record and applies the configured
   /// sync mode. On success last_seq() advances to the record's number.
+  /// Transient (kUnavailable) failures are retried up to
+  /// JournalOptions::max_retries times with capped exponential backoff;
+  /// before every retry — and before any error return — the file is
+  /// healed back to its last durable byte, so a failed Append leaves the
+  /// journal consistent and appendable (no reopen needed). The one
+  /// exception is a failed heal, which disables the handle (kDataLoss
+  /// risk otherwise); reopening then truncates the torn tail.
   Status Append(const UpdateSet& updates, const SymbolTable& symbols);
 
   const std::string& path() const { return path_; }
@@ -98,6 +113,23 @@ class TransactionJournal {
   /// (CommitTimings::journal_sync_ns). Always measured: commits are
   /// milliseconds-scale, two clock reads are noise.
   uint64_t last_sync_ns() const { return last_sync_ns_; }
+
+  /// Upper bound on one retry's backoff sleep, whatever backoff_ms and
+  /// the retry count say.
+  static constexpr int64_t kMaxBackoffMs = 1000;
+
+  // Retry observability, cumulative over this handle's lifetime (they
+  // feed the stats JSON's "io_retry" block).
+  /// Write attempts, first tries included.
+  uint64_t io_attempts() const { return io_attempts_; }
+  /// Attempts beyond the first (i.e. actual retries).
+  uint64_t io_retries() const { return io_retries_; }
+  /// Total milliseconds slept in backoff.
+  uint64_t backoff_ms_total() const { return backoff_ms_total_; }
+  /// Appends that failed transiently even after every allowed retry.
+  uint64_t retries_exhausted() const { return retries_exhausted_; }
+  /// Attempts the most recent Append made (1 = no retry was needed).
+  int last_append_attempts() const { return last_append_attempts_; }
 
   /// Parses every complete record in `path`. A missing file yields an
   /// empty list (a fresh journal); a torn or corrupt trailing record is
@@ -137,6 +169,11 @@ class TransactionJournal {
   /// journal then refuses further appends (the file may be torn).
   bool broken_ = false;
   uint64_t last_sync_ns_ = 0;
+  uint64_t io_attempts_ = 0;
+  uint64_t io_retries_ = 0;
+  uint64_t backoff_ms_total_ = 0;
+  uint64_t retries_exhausted_ = 0;
+  int last_append_attempts_ = 0;
 };
 
 }  // namespace park

@@ -4,6 +4,8 @@
 #ifndef PARK_ECA_TRANSACTION_H_
 #define PARK_ECA_TRANSACTION_H_
 
+#include <optional>
+
 #include "eca/update.h"
 
 namespace park {
@@ -20,6 +22,26 @@ struct CommitTimings {
   uint64_t apply_ns = 0;         // diff + in-place instance update
   uint64_t journal_ns = 0;       // journal append, incl. sync
   uint64_t journal_sync_ns = 0;  // flush/fsync portion of journal_ns
+};
+
+/// Structured post-mortem of a failed commit, kept by the ActiveDatabase
+/// (last_commit_failure()) because a failed Commit() returns only a
+/// Status. `rolled_back` is true whenever the stored instance was
+/// restored to its pre-commit state — which is every failure path, so
+/// the database stays usable (and consistent with its durable history)
+/// without reopening.
+struct CommitFailure {
+  enum class Stage {
+    kValidate,  // options bundle rejected before evaluation
+    kEvaluate,  // PARK(D, P, U) failed (deadline, budget, abstention, ...)
+    kJournal,   // durability failed after retries; in-memory diff undone
+  };
+
+  Stage stage = Stage::kEvaluate;
+  Status cause = Status::OK();
+  /// Journal write attempts, first try included (0 outside kJournal).
+  int journal_attempts = 0;
+  bool rolled_back = true;
 };
 
 /// What a commit did. The commit is atomic: either the whole report

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cancellation.h"
 #include "util/metrics.h"
 
 namespace park {
@@ -47,17 +48,33 @@ void AnalyzeDerivations(const IInterpretation& interp, GammaResult& result) {
 size_t MatchRule(const Rule& rule, const BlockedSet& blocked,
                  const IInterpretation& interp, const CompiledPlan* plan,
                  std::vector<Derivation>& out,
-                 CandidateSlice slice = CandidateSlice{}) {
+                 CandidateSlice slice = CandidateSlice{},
+                 CancellationToken* cancel = nullptr) {
+  // Governance: each derivation is charged to the token's work budget and
+  // the output buffer's capacity to its memory budget (UpdateScope is a
+  // no-op branch while the capacity is unchanged). A fired token stops
+  // emission — the partial buffer is discarded by the evaluator.
+  CancellationToken::MemoryScope mem_scope;
   auto emit = [&](const Tuple& binding) {
+    if (cancel != nullptr && cancel->fired()) return;
     RuleGrounding grounding(rule.index(), binding);
     if (blocked.contains(grounding)) return;
     GroundAtom head = rule.head().atom.Ground(binding.values());
     out.push_back(Derivation{
         std::move(grounding), rule.head().action, std::move(head)});
+    if (cancel != nullptr) {
+      cancel->ChargeWork(1);
+      cancel->UpdateScope(mem_scope, out.capacity() * sizeof(Derivation));
+    }
   };
-  if (plan != nullptr) return ExecutePlan(*plan, rule, interp, slice, emit);
-  ForEachBodyMatch(rule, interp, slice, emit);
-  return 0;
+  size_t claimed = 0;
+  if (plan != nullptr) {
+    claimed = ExecutePlan(*plan, rule, interp, slice, emit, cancel);
+  } else {
+    ForEachBodyMatch(rule, interp, slice, emit, cancel);
+  }
+  if (cancel != nullptr) cancel->CloseScope(mem_scope);
+  return claimed;
 }
 
 // --- Intra-rule slicing policy ---
@@ -158,7 +175,8 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
                         const BlockedSet& blocked,
                         const IInterpretation& interp,
                         ParallelGamma& parallel, PlanCache* plans,
-                        std::vector<Derivation>& out) {
+                        std::vector<Derivation>& out,
+                        CancellationToken* cancel = nullptr) {
   struct RuleSliceTask {
     size_t unit;  // index into `rules`
     CandidateSlice slice;
@@ -209,9 +227,12 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
     const int64_t match_start =
         parallel.timing_enabled() ? MonotonicNanos() : 0;
     parallel.pool().ParallelFor(tasks.size(), [&](size_t i) {
+      // A queued task whose token already fired starts no work at all —
+      // the sticky flag drains the remaining section promptly.
+      if (cancel != nullptr && cancel->fired()) return;
       claimed[i] = MatchRule(*rules[tasks[i].unit], blocked, interp,
                              rule_plans[tasks[i].unit], buffers[i],
-                             tasks[i].slice);
+                             tasks[i].slice, cancel);
     });
     if (parallel.timing_enabled()) {
       parallel.RecordMatchNs(
@@ -249,7 +270,8 @@ ParallelGamma::ParallelGamma(const Program& program, int num_threads,
 
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
-                         ParallelGamma* parallel, PlanCache* plans) {
+                         ParallelGamma* parallel, PlanCache* plans,
+                         CancellationToken* cancel) {
   GammaResult result;
   // Even a one-rule program fans out: intra-rule slicing can split it.
   if (parallel != nullptr && program.size() > 0) {
@@ -257,17 +279,19 @@ GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
     rules.reserve(program.size());
     for (const Rule& rule : program.rules()) rules.push_back(&rule);
     MatchRulesParallel(rules, blocked, interp, *parallel, plans,
-                       result.derivations);
+                       result.derivations, cancel);
     result.rules_evaluated = rules.size();
   } else {
     for (const Rule& rule : program.rules()) {
+      if (cancel != nullptr && cancel->fired()) break;
       const CompiledPlan* plan = nullptr;
       if (plans != nullptr) {
         plan = &plans->Get(rule, /*seed_index=*/-1, interp);
         plans->AddEstimatedRows(plan->estimated_candidates);
       }
-      size_t claimed =
-          MatchRule(rule, blocked, interp, plan, result.derivations);
+      size_t claimed = MatchRule(rule, blocked, interp, plan,
+                                 result.derivations, CandidateSlice{},
+                                 cancel);
       if (plans != nullptr) plans->AddActualRows(claimed);
       ++result.rules_evaluated;
     }
@@ -307,7 +331,8 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  const IInterpretation& interp,
                                  const DeltaState& delta,
                                  ParallelGamma* parallel,
-                                 PlanCache* plans) {
+                                 PlanCache* plans,
+                                 CancellationToken* cancel) {
   GammaResult result;
   std::vector<const Rule*> affected;
   affected.reserve(program.size());
@@ -316,16 +341,18 @@ GammaResult ComputeGammaFiltered(const Program& program,
   }
   if (parallel != nullptr && !affected.empty()) {
     MatchRulesParallel(affected, blocked, interp, *parallel, plans,
-                       result.derivations);
+                       result.derivations, cancel);
   } else {
     for (const Rule* rule : affected) {
+      if (cancel != nullptr && cancel->fired()) break;
       const CompiledPlan* plan = nullptr;
       if (plans != nullptr) {
         plan = &plans->Get(*rule, /*seed_index=*/-1, interp);
         plans->AddEstimatedRows(plan->estimated_candidates);
       }
-      size_t claimed =
-          MatchRule(*rule, blocked, interp, plan, result.derivations);
+      size_t claimed = MatchRule(*rule, blocked, interp, plan,
+                                 result.derivations, CandidateSlice{},
+                                 cancel);
       if (plans != nullptr) plans->AddActualRows(claimed);
     }
   }
@@ -339,9 +366,10 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const IInterpretation& interp,
                                   const DeltaAtoms& delta,
                                   ParallelGamma* parallel,
-                                  PlanCache* plans) {
+                                  PlanCache* plans,
+                                  CancellationToken* cancel) {
   if (delta.initial) {
-    return ComputeGamma(program, blocked, interp, parallel, plans);
+    return ComputeGamma(program, blocked, interp, parallel, plans, cancel);
   }
 
   // Enumerate the (rule, seed literal, seed atom) completions to run.
@@ -398,20 +426,32 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
   auto run_task = [&](const SeedTask& task, const CompiledPlan* plan,
                       std::vector<Derivation>& out,
                       CandidateSlice slice = CandidateSlice{}) -> size_t {
+    // Same governance as MatchRule: derivations feed the work budget, the
+    // buffer's capacity the memory budget, and a fired token stops
+    // emission (the evaluator discards the partial Γ).
+    CancellationToken::MemoryScope mem_scope;
     auto emit = [&](const Tuple& binding) {
+      if (cancel != nullptr && cancel->fired()) return;
       RuleGrounding grounding(task.rule->index(), binding);
       if (blocked.contains(grounding)) return;
       GroundAtom head = task.rule->head().atom.Ground(binding.values());
       out.push_back(Derivation{std::move(grounding),
                                task.rule->head().action, std::move(head)});
+      if (cancel != nullptr) {
+        cancel->ChargeWork(1);
+        cancel->UpdateScope(mem_scope, out.capacity() * sizeof(Derivation));
+      }
     };
+    size_t claimed = 0;
     if (plan != nullptr) {
-      return ExecutePlanSeeded(*plan, *task.rule, interp, *task.atom, slice,
-                               emit);
+      claimed = ExecutePlanSeeded(*plan, *task.rule, interp, *task.atom,
+                                  slice, emit, cancel);
+    } else {
+      ForEachBodyMatchSeeded(*task.rule, interp, task.literal, *task.atom,
+                             slice, emit, cancel);
     }
-    ForEachBodyMatchSeeded(*task.rule, interp, task.literal, *task.atom,
-                           slice, emit);
-    return 0;
+    if (cancel != nullptr) cancel->CloseScope(mem_scope);
+    return claimed;
   };
 
   // A grounding reachable from several seeds is derived once. Sequential
@@ -474,6 +514,7 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
       const int64_t match_start =
           parallel->timing_enabled() ? MonotonicNanos() : 0;
       parallel->pool().ParallelFor(slice_tasks.size(), [&](size_t i) {
+        if (cancel != nullptr && cancel->fired()) return;
         claimed[i] = run_task(tasks[slice_tasks[i].unit],
                               task_plans[slice_tasks[i].unit], buffers[i],
                               slice_tasks[i].slice);
@@ -499,6 +540,7 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     std::vector<Derivation> buffer;
     size_t total_claimed = 0;
     for (size_t i = 0; i < tasks.size(); ++i) {
+      if (cancel != nullptr && cancel->fired()) break;
       buffer.clear();
       total_claimed += run_task(tasks[i], task_plans[i], buffer);
       merge_deduped(buffer);

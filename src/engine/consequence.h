@@ -140,10 +140,20 @@ class ParallelGamma {
 /// a replay-stable knob like the Γ mode — see docs/PLANNER.md. The cache's
 /// plan/row counters are advanced by the coordinator only, in unit order,
 /// so they are thread-count invariant.
+///
+/// `cancel` (here and on the other ComputeGamma* entry points) is the
+/// run's cooperative CancellationToken, forwarded into every ExecutePlan
+/// call and polled by every worker; nullptr disables governance. Once the
+/// token fires the returned GammaResult is PARTIAL and must be discarded
+/// — the evaluator checks the token after each Γ and converts its cause
+/// into the run's error status. Derivations are charged to the token's
+/// work budget and the per-task buffers to its memory budget as they
+/// grow.
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
                          ParallelGamma* parallel = nullptr,
-                         PlanCache* plans = nullptr);
+                         PlanCache* plans = nullptr,
+                         CancellationToken* cancel = nullptr);
 
 /// Applies `derivations` to `interp` (AddMarked + provenance). The caller
 /// must have checked `consistent`. Returns the number of marked atoms that
@@ -188,7 +198,8 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  const IInterpretation& interp,
                                  const DeltaState& delta,
                                  ParallelGamma* parallel = nullptr,
-                                 PlanCache* plans = nullptr);
+                                 PlanCache* plans = nullptr,
+                                 CancellationToken* cancel = nullptr);
 
 /// ApplyDerivations variant that also records, into `next_delta`, which
 /// predicates gained new marks (for the next filtered step).
@@ -231,7 +242,8 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const IInterpretation& interp,
                                   const DeltaAtoms& delta,
                                   ParallelGamma* parallel = nullptr,
-                                  PlanCache* plans = nullptr);
+                                  PlanCache* plans = nullptr,
+                                  CancellationToken* cancel = nullptr);
 
 /// ApplyDerivations variant recording the newly marked atoms themselves.
 size_t ApplyDerivationsTrackedAtoms(

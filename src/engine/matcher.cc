@@ -7,6 +7,7 @@
 
 #include "storage/relation.h"
 #include "util/arena.h"
+#include "util/cancellation.h"
 #include "util/logging.h"
 
 namespace park {
@@ -268,10 +269,14 @@ MatchScratch& ThreadScratch() {
 
 /// Shared executor for seeded and unseeded plans (see ExecutePlan /
 /// ExecutePlanSeeded). Returns the number of step-0 stream candidates the
-/// slice claimed.
+/// slice claimed. `cancel` (may be null) is polled every kCheckStride
+/// visited tuples — candidate materialization and the join loop both stop
+/// early once it fires, so a deadline interrupts even one giant stream
+/// within a bounded number of tuples.
 size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
                const IInterpretation& interp, const GroundAtom* seed_atom,
-               CandidateSlice slice, FunctionRef<void(const Tuple&)> fn) {
+               CandidateSlice slice, FunctionRef<void(const Tuple&)> fn,
+               CancellationToken* cancel) {
   MatchScratch* scratch_ptr = &ThreadScratch();
   std::unique_ptr<MatchScratch> fallback;
   if (scratch_ptr->in_use) {
@@ -332,6 +337,35 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
   size_t ordinal = 0;
   size_t claimed = 0;
 
+  // Cooperative cancellation + memory accounting. `poll` trips at most
+  // once per kCheckStride visited tuples; when it reports the token fired,
+  // both materialization and the join loop bail out. Memory is charged as
+  // the growth of this thread's scratch arena over the call's baseline
+  // (retained chunks from earlier calls are already-paid-for memory, not
+  // this run's growth); the scope is released on exit.
+  const size_t arena_baseline = scratch.arena.bytes_reserved();
+  CancellationToken::MemoryScope mem_scope;
+  struct MemGuard {
+    CancellationToken* cancel;
+    CancellationToken::MemoryScope& scope;
+    ~MemGuard() {
+      if (cancel != nullptr) cancel->CloseScope(scope);
+    }
+  } mem_guard{cancel, mem_scope};
+  bool interrupted = false;
+  uint64_t poll_countdown = CancellationToken::kCheckStride;
+  auto poll = [&]() -> bool {
+    if (cancel == nullptr || interrupted) return interrupted;
+    if (--poll_countdown != 0) return false;
+    poll_countdown = CancellationToken::kCheckStride;
+    size_t reserved = scratch.arena.bytes_reserved();
+    cancel->UpdateScope(mem_scope,
+                        reserved > arena_baseline ? reserved - arena_baseline
+                                                  : 0);
+    interrupted = cancel->Check();
+    return interrupted;
+  };
+
   // Fills step `s`'s query pattern from the current binding. Called once
   // per step entry — the bindings a pattern reads come from earlier steps
   // only, and stay fixed while the step iterates.
@@ -367,6 +401,9 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
     const TuplePattern& pattern = fill_pattern(st, s);
     const bool gate = s == 0;
     auto claim = [&]() -> bool {
+      // A fired token stops materialization: remaining candidates are
+      // dropped (the whole result is discarded by the caller anyway).
+      if (poll()) return false;
       if (!gate) return true;
       size_t o = ordinal++;
       if (slicing && (o < slice.begin || o >= slice.end)) return false;
@@ -452,6 +489,7 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
   int s = 0;
   bool entering = true;
   while (s >= 0) {
+    if (poll()) break;
     const CompiledStep& st = plan.steps[static_cast<size_t>(s)];
     bool advanced = false;
     if (st.filter) {
@@ -698,18 +736,20 @@ CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
 
 size_t ExecutePlan(const CompiledPlan& plan, const Rule& rule,
                    const IInterpretation& interp, CandidateSlice slice,
-                   FunctionRef<void(const Tuple& binding)> fn) {
+                   FunctionRef<void(const Tuple& binding)> fn,
+                   CancellationToken* cancel) {
   PARK_CHECK_EQ(plan.seed_index, -1) << "seeded plan passed to ExecutePlan";
-  return RunPlan(plan, rule, interp, nullptr, slice, fn);
+  return RunPlan(plan, rule, interp, nullptr, slice, fn, cancel);
 }
 
 size_t ExecutePlanSeeded(const CompiledPlan& plan, const Rule& rule,
                          const IInterpretation& interp,
                          const GroundAtom& seed_atom, CandidateSlice slice,
-                         FunctionRef<void(const Tuple& binding)> fn) {
+                         FunctionRef<void(const Tuple& binding)> fn,
+                         CancellationToken* cancel) {
   PARK_CHECK_GE(plan.seed_index, 0)
       << "unseeded plan passed to ExecutePlanSeeded";
-  return RunPlan(plan, rule, interp, &seed_atom, slice, fn);
+  return RunPlan(plan, rule, interp, &seed_atom, slice, fn, cancel);
 }
 
 size_t CountPlanCandidates(const CompiledPlan& plan,
@@ -765,10 +805,11 @@ void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
 
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
                       CandidateSlice slice,
-                      FunctionRef<void(const Tuple& binding)> fn) {
+                      FunctionRef<void(const Tuple& binding)> fn,
+                      CancellationToken* cancel) {
   CompiledPlan plan =
       CompilePlan(rule, -1, PlannerMode::kHeuristic, nullptr);
-  ExecutePlan(plan, rule, interp, slice, fn);
+  ExecutePlan(plan, rule, interp, slice, fn, cancel);
 }
 
 size_t CountFirstLiteralCandidates(const Rule& rule,
@@ -789,10 +830,11 @@ void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
                             CandidateSlice slice,
-                            FunctionRef<void(const Tuple&)> fn) {
+                            FunctionRef<void(const Tuple&)> fn,
+                            CancellationToken* cancel) {
   CompiledPlan plan =
       CompilePlan(rule, seed_index, PlannerMode::kHeuristic, nullptr);
-  ExecutePlanSeeded(plan, rule, interp, seed_atom, slice, fn);
+  ExecutePlanSeeded(plan, rule, interp, seed_atom, slice, fn, cancel);
 }
 
 size_t CountFirstLiteralCandidatesSeeded(const Rule& rule,

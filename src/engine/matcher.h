@@ -48,6 +48,8 @@
 
 namespace park {
 
+class CancellationToken;
+
 /// Which join planner compiles rule plans (see file comment). The two
 /// planners enumerate the same match SET for every rule — only the
 /// enumeration order differs — so results are equal as sets either way;
@@ -187,9 +189,17 @@ size_t CountFirstLiteralCandidates(const Rule& rule,
 /// outputs of a partition of [0, CountFirstLiteralCandidates(...)) in
 /// slice order reproduces the unsliced output exactly. A full slice is
 /// identical to the unsliced overload (including for unsliceable rules).
+///
+/// `cancel` (here and on every execution entry point below) is the run's
+/// cooperative cancellation token, polled every
+/// CancellationToken::kCheckStride visited tuples; nullptr disables
+/// polling. Once the token fires, enumeration stops early and the partial
+/// output MUST be discarded by the caller — the evaluator converts the
+/// token's cause into the run's error status.
 void ForEachBodyMatch(const Rule& rule, const IInterpretation& interp,
                       CandidateSlice slice,
-                      FunctionRef<void(const Tuple& binding)> fn);
+                      FunctionRef<void(const Tuple& binding)> fn,
+                      CancellationToken* cancel = nullptr);
 
 /// Returns the body-literal evaluation order the HEURISTIC planner uses
 /// for `rule` (indexes into rule.body()). Exposed for tests; the detailed
@@ -221,11 +231,13 @@ size_t CountFirstLiteralCandidatesSeeded(const Rule& rule,
                                          const GroundAtom& seed_atom);
 
 /// Sliced variant of ForEachBodyMatchSeeded, with the same concatenation
-/// guarantee as the sliced ForEachBodyMatch.
+/// guarantee as the sliced ForEachBodyMatch (and the same `cancel`
+/// contract).
 void ForEachBodyMatchSeeded(const Rule& rule, const IInterpretation& interp,
                             int seed_index, const GroundAtom& seed_atom,
                             CandidateSlice slice,
-                            FunctionRef<void(const Tuple&)> fn);
+                            FunctionRef<void(const Tuple&)> fn,
+                            CancellationToken* cancel = nullptr);
 
 // --- Compiled-plan interface (the evaluator's hot path) ---
 
@@ -240,17 +252,20 @@ CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
 /// Returns the number of step-0 candidates the slice claimed (pre-dedup;
 /// the planner's actual-rows counter — slice counts of a partition sum to
 /// the full stream count). `rule` must be the rule the plan was compiled
-/// from.
+/// from. With a fired `cancel` the claimed count and emitted matches are
+/// partial and must be discarded.
 size_t ExecutePlan(const CompiledPlan& plan, const Rule& rule,
                    const IInterpretation& interp, CandidateSlice slice,
-                   FunctionRef<void(const Tuple& binding)> fn);
+                   FunctionRef<void(const Tuple& binding)> fn,
+                   CancellationToken* cancel = nullptr);
 
 /// Seeded execution: binds the seed literal against `seed_atom` first
 /// (returning 0 matches if constants / repeated variables disagree).
 size_t ExecutePlanSeeded(const CompiledPlan& plan, const Rule& rule,
                          const IInterpretation& interp,
                          const GroundAtom& seed_atom, CandidateSlice slice,
-                         FunctionRef<void(const Tuple& binding)> fn);
+                         FunctionRef<void(const Tuple& binding)> fn,
+                         CancellationToken* cancel = nullptr);
 
 /// Size of the plan's first generator step candidate stream (0 when
 /// unsliceable). Uses the plan's own probe column, so inside a frozen

@@ -1,0 +1,63 @@
+#include "util/cancellation.h"
+
+namespace park {
+
+bool CancellationToken::UpdateScope(MemoryScope& scope, size_t now_bytes) {
+  if (now_bytes != scope.charged) {
+    size_t total;
+    if (now_bytes > scope.charged) {
+      total = bytes_.fetch_add(now_bytes - scope.charged,
+                               std::memory_order_relaxed) +
+              (now_bytes - scope.charged);
+      // Track the high-water mark; racing updates can only undershoot,
+      // which is acceptable for a diagnostic counter.
+      size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+      while (total > peak &&
+             !peak_bytes_.compare_exchange_weak(peak, total,
+                                                std::memory_order_relaxed)) {
+      }
+    } else {
+      total = bytes_.fetch_sub(scope.charged - now_bytes,
+                               std::memory_order_relaxed) -
+              (scope.charged - now_bytes);
+    }
+    scope.charged = now_bytes;
+    size_t limit = memory_limit_.load(std::memory_order_relaxed);
+    if (limit != 0 && total > limit) Fire(Cause::kMemory);
+  }
+  return fired();
+}
+
+void CancellationToken::CloseScope(MemoryScope& scope) {
+  if (scope.charged != 0) {
+    bytes_.fetch_sub(scope.charged, std::memory_order_relaxed);
+    scope.charged = 0;
+  }
+}
+
+bool CancellationToken::ChargeWork(uint64_t units) {
+  uint64_t total = work_.fetch_add(units, std::memory_order_relaxed) + units;
+  uint64_t limit = work_limit_.load(std::memory_order_relaxed);
+  if (limit != 0 && total > limit) Fire(Cause::kWork);
+  return fired();
+}
+
+Status CancellationToken::ToStatus() const {
+  switch (cause()) {
+    case Cause::kNone:
+      return Status::OK();
+    case Cause::kCancelled:
+      return CancelledError("evaluation cancelled by caller");
+    case Cause::kDeadline:
+      return DeadlineExceededError("evaluation deadline exceeded");
+    case Cause::kMemory:
+      return ResourceExhaustedError(
+          "evaluation exceeded max_memory_bytes budget");
+    case Cause::kWork:
+      return ResourceExhaustedError(
+          "evaluation exceeded max_derivations budget");
+  }
+  return InternalError("cancellation token in impossible state");
+}
+
+}  // namespace park

@@ -15,8 +15,16 @@ namespace park {
 namespace {
 
 Status ErrnoStatus(const char* op, const std::string& path, int err) {
-  Status (*make)(std::string) =
-      (err == ENOENT) ? NotFoundError : InternalError;
+  // Classify: a missing file is kNotFound; momentary conditions the
+  // caller may retry (interrupted syscall, resource busy, would-block)
+  // are kUnavailable; everything else is permanent damage, kInternal.
+  Status (*make)(std::string) = InternalError;
+  if (err == ENOENT) {
+    make = NotFoundError;
+  } else if (err == EINTR || err == EAGAIN || err == EWOULDBLOCK ||
+             err == EBUSY) {
+    make = UnavailableError;
+  }
   return make(StrFormat("%s %s: %s", op, path.c_str(),
                         std::strerror(err)));
 }

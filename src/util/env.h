@@ -7,9 +7,11 @@
 // crash-point recovery tests.
 //
 // Env::Default() is a process-wide POSIX implementation. Error mapping
-// is part of the contract: a missing file is kNotFound, everything else
-// (permissions, EISDIR, short reads) is kInternal, so callers can treat
-// "fresh file" and "damaged file" differently.
+// is part of the contract: a missing file is kNotFound; momentary
+// conditions (EINTR, EAGAIN, EBUSY) are kUnavailable so callers may
+// retry; everything else (permissions, EISDIR, short reads) is
+// kInternal, so callers can treat "fresh file", "try again", and
+// "damaged file" differently.
 
 #ifndef PARK_UTIL_ENV_H_
 #define PARK_UTIL_ENV_H_

@@ -1,5 +1,6 @@
 #include "util/fault_env.h"
 
+#include <string_view>
 #include <utility>
 
 #include "util/string_util.h"
@@ -27,17 +28,46 @@ class FaultInjectingWritableFile final : public WritableFile {
 FaultInjectingEnv::FaultInjectingEnv(Env* base, FaultPlan plan)
     : base_(base), plan_(plan) {}
 
+Status FaultInjectingEnv::ChargeTransient(const char* op, int* counter) {
+  if (counter != nullptr && *counter > 0) {
+    --*counter;
+    ++transient_injected_;
+    return UnavailableError(
+        StrFormat("injected transient fault (%s)", op));
+  }
+  if (transient_.random_percent > 0 &&
+      (transient_.random_max_failures == 0 ||
+       transient_injected_ < transient_.random_max_failures)) {
+    // Deterministic LCG (MMIX constants); high bits for the draw.
+    random_state_ =
+        random_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    if (static_cast<int>((random_state_ >> 33) % 100) <
+        transient_.random_percent) {
+      ++transient_injected_;
+      return UnavailableError(
+          StrFormat("injected random transient fault (%s)", op));
+    }
+  }
+  return Status::OK();
+}
+
 Status FaultInjectingEnv::ChargeOp(const char* op) {
   if (crashed_) {
     return InternalError(
         StrFormat("injected crash: %s after simulated process death", op));
   }
   const int64_t index = op_count_++;
-  if (index != plan_.fault_at) return Status::OK();
-  if (plan_.kind == FaultPlan::Kind::kCrash) crashed_ = true;
-  return InternalError(
-      StrFormat("injected fault at I/O op #%lld (%s)",
-                static_cast<long long>(index), op));
+  if (index == plan_.fault_at) {
+    if (plan_.kind == FaultPlan::Kind::kCrash) crashed_ = true;
+    return InternalError(
+        StrFormat("injected fault at I/O op #%lld (%s)",
+                  static_cast<long long>(index), op));
+  }
+  int* counter = nullptr;
+  if (std::string_view(op) == "flush") counter = &transient_.fail_flushes;
+  else if (std::string_view(op) == "sync") counter = &transient_.fail_syncs;
+  else if (std::string_view(op) == "open") counter = &transient_.fail_opens;
+  return ChargeTransient(op, counter);
 }
 
 Status FaultInjectingEnv::ChargeAppend(size_t payload_size,
@@ -49,6 +79,10 @@ Status FaultInjectingEnv::ChargeAppend(size_t payload_size,
   }
   const int64_t index = op_count_++;
   if (index != plan_.fault_at) {
+    // A transient append persists nothing: the caller retries the whole
+    // payload, exactly like a write that returned EAGAIN.
+    PARK_RETURN_IF_ERROR(
+        ChargeTransient("append", &transient_.fail_appends));
     *torn_bytes = payload_size;
     return Status::OK();
   }

@@ -17,6 +17,13 @@
 // Iterating kCrash over every index 0..op_count() simulates a crash at
 // every syscall of a workload — the crash-point harness in
 // tests/crash_point_test.cc.
+//
+// Independently of the one-shot FaultPlan, a TransientFaults config makes
+// operations fail with kUnavailable — the retryable class (EAGAIN-style):
+// per-syscall-class fail-the-first-N-calls-then-succeed counters, plus a
+// seeded random mode where each operation fails with a fixed probability.
+// A transient append persists NOTHING (the caller is expected to retry
+// the whole payload), unlike the tearing one-shot kinds.
 
 #ifndef PARK_UTIL_FAULT_ENV_H_
 #define PARK_UTIL_FAULT_ENV_H_
@@ -40,15 +47,45 @@ struct FaultPlan {
   int torn_write_percent = 50;
 };
 
+/// Retryable-failure injection (kUnavailable), layered under the one-shot
+/// FaultPlan: an operation the plan lets through may still fail
+/// transiently. Deterministic given the same config and call sequence.
+struct TransientFaults {
+  /// Fail the first N calls of each class with kUnavailable, then succeed
+  /// forever — the fail-N-times-then-succeed mode retry loops are tested
+  /// against.
+  int fail_appends = 0;
+  int fail_flushes = 0;
+  int fail_syncs = 0;
+  int fail_opens = 0;
+  /// Seeded random mode: every charged operation fails with
+  /// `random_percent`% probability (0 disables), at most
+  /// `random_max_failures` failures in total (0 = unlimited). The
+  /// deterministic PRNG is seeded with `random_seed`.
+  uint32_t random_seed = 0;
+  int random_percent = 0;
+  int random_max_failures = 0;
+};
+
 class FaultInjectingEnv final : public Env {
  public:
   /// Wraps `base` (not owned; typically Env::Default()).
   explicit FaultInjectingEnv(Env* base, FaultPlan plan = {});
 
+  /// Installs (or replaces) the transient-failure config. Counters and
+  /// the random stream restart from the new config.
+  void set_transient(TransientFaults transient) {
+    transient_ = transient;
+    random_state_ = transient.random_seed;
+    transient_injected_ = 0;
+  }
+
   /// Mutating operations observed so far (faulted ones included).
   int64_t op_count() const { return op_count_; }
   /// True once a kCrash fault has fired; all later calls fail.
   bool crashed() const { return crashed_; }
+  /// kUnavailable failures injected so far (both modes).
+  int64_t transient_failures() const { return transient_injected_; }
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path, WriteMode mode) override;
@@ -69,9 +106,16 @@ class FaultInjectingEnv final : public Env {
   /// Like ChargeOp but for appends: when the fault fires with a tearing
   /// kind, `*torn_bytes` is set to how many payload bytes to persist.
   Status ChargeAppend(size_t payload_size, size_t* torn_bytes);
+  /// Transient layer for one operation of the given class. `counter` is
+  /// the class's fail-N counter (null for classes with none). Returns
+  /// kUnavailable if the operation must fail transiently.
+  Status ChargeTransient(const char* op, int* counter);
 
   Env* base_;
   FaultPlan plan_;
+  TransientFaults transient_;
+  uint64_t random_state_ = 0;
+  int64_t transient_injected_ = 0;
   int64_t op_count_ = 0;
   bool crashed_ = false;
 };

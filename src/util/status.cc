@@ -26,6 +26,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "aborted";
     case StatusCode::kDataLoss:
       return "data loss";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -81,6 +87,15 @@ Status AbortedError(std::string message) {
 }
 Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace park

@@ -29,6 +29,9 @@ enum class StatusCode {
   kUnimplemented,     // Feature intentionally not available.
   kAborted,           // Operation gave up (e.g. policy made no progress).
   kDataLoss,          // Unrecoverable corruption of persisted state.
+  kCancelled,         // The caller asked for the operation to stop.
+  kDeadlineExceeded,  // A wall-clock deadline expired mid-operation.
+  kUnavailable,       // Transient failure; retrying may succeed.
 };
 
 /// Returns the canonical lower-case name of `code` ("ok", "invalid
@@ -86,6 +89,9 @@ Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status AbortedError(std::string message);
 Status DataLossError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 /// A value of type `T`, or the Status explaining why it is absent.
 /// `Result` is movable; it is copyable iff `T` is.

@@ -230,8 +230,8 @@ TEST(ParkCornerTest, DeadlineExceededIsResourceExhausted) {
       });
   auto result = Park(program, db, options);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(result.status().ToString().find("deadline_ms"),
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().ToString().find("deadline"),
             std::string::npos);
 }
 

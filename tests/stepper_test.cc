@@ -148,8 +148,8 @@ TEST(StepperTest, DeadlineIsCheckedAgainstConstructionTime) {
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   auto step = stepper.Step();
   ASSERT_FALSE(step.ok());
-  EXPECT_EQ(step.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(step.status().ToString().find("deadline_ms"),
+  EXPECT_EQ(step.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(step.status().ToString().find("deadline"),
             std::string::npos);
 }
 

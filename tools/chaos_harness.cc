@@ -1,0 +1,454 @@
+// park_chaos: seeded randomized torture driver for the robustness
+// surface. Each iteration picks one scenario and one thread count and
+// runs a randomized-but-deterministic workload under it:
+//
+//   control    — fault-free run at threads=1 and threads=4; the two final
+//                instances must be bit-identical (the governance and
+//                parallelism layers must not perturb ungoverned results).
+//   crash      — FaultPlan::kCrash at a random I/O operation index; the
+//                directory is then recovered with a clean Env and the
+//                recovered instance must be EXACTLY a committed prefix of
+//                the scripted history (the in-flight commit may or may
+//                not have become durable — both replays are accepted,
+//                nothing else is).
+//   transient  — seeded random kUnavailable injection under the journal;
+//                commits ride the retry/backoff loop. Acked commits must
+//                match the fault-free oracle state; a failed commit must
+//                leave the instance at its pre-commit state; recovery
+//                with a clean Env must reproduce exactly the acked
+//                prefix.
+//   deadline   — a tiny deadline_ms against a cross-join rule big enough
+//                to blow it mid-Γ; the commit must fail with
+//                kDeadlineExceeded and leave the instance untouched.
+//   cancel     — a small max_derivations budget (the same code path an
+//                external CancellationToken fires through); the commit
+//                must fail with kResourceExhausted and leave the
+//                instance untouched.
+//   memory     — a small max_memory_bytes budget; ditto.
+//
+// Every fault iteration verifies the applied-exactly-or-untouched
+// contract (snapshot equality around each commit) and, for durable
+// scenarios, that ActiveDatabase::Open() on the surviving directory
+// succeeds afterwards. Any violation is printed and counted; the exit
+// code is 0 only for a clean sweep.
+//
+// Usage: park_chaos [--seed N] [--iterations N] [--verbose]
+//
+// CI runs a fixed-seed smoke (see tools/CMakeLists.txt); bump
+// --iterations locally for a longer soak.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "park/park.h"
+#include "util/fault_env.h"
+
+namespace park {
+namespace {
+
+constexpr char kRules[] = R"(
+  onboard: +emp(X) -> +active(X).
+  cleanup: emp(X), !active(X), payroll(X, S) -> -payroll(X, S).
+)";
+
+/// The governed scenarios need one Γ step heavy enough to trip a small
+/// budget: a cross join gated on `watch`, which only the doomed commit
+/// inserts — so every other commit against the same program stays cheap.
+constexpr char kHeavyRules[] = R"(
+  onboard: +emp(X) -> +active(X).
+  blowup: watch, e(X), e(Y), e(Z) -> +t(X, Y, Z).
+)";
+
+struct Violation {
+  int iteration;
+  std::string message;
+};
+
+struct Harness {
+  uint64_t seed = 1;
+  int iterations = 240;
+  bool verbose = false;
+
+  std::vector<Violation> violations;
+  int runs = 0;
+
+  void Fail(int iteration, std::string message) {
+    std::fprintf(stderr, "VIOLATION[it=%d]: %s\n", iteration,
+                 message.c_str());
+    violations.push_back({iteration, std::move(message)});
+  }
+};
+
+/// One randomized update against the emp/payroll schema. Deterministic
+/// given the RNG state; mixes inserts, deletes and rule triggers.
+void RandomUpdate(std::mt19937_64& rng, Transaction& tx) {
+  const std::string who = "v" + std::to_string(rng() % 8);
+  switch (rng() % 4) {
+    case 0:
+      tx.Insert("emp", {who});
+      break;
+    case 1:
+      tx.Insert("payroll", {who, "s" + std::to_string(rng() % 4)});
+      break;
+    case 2:
+      tx.Delete("active", {who});  // cleanup may fire
+      break;
+    default:
+      tx.Insert("emp", {who});
+      tx.Insert("payroll", {who, "s0"});
+      break;
+  }
+}
+
+ActiveDatabase::OpenParams DurableParams(Env* env, int threads) {
+  ActiveDatabase::OpenParams params;
+  params.rules = kRules;
+  params.env = env;
+  params.sync_mode = JournalSyncMode::kFsync;
+  params.options.num_threads = threads;
+  return params;
+}
+
+/// states[k] = instance after the first k commits of the seeded script,
+/// from a fault-free in-memory reference run. PARK's determinism makes
+/// these the only legal recovery outcomes.
+std::vector<std::string> OracleStates(uint64_t script_seed, int commits,
+                                      int threads) {
+  std::mt19937_64 rng(script_seed);
+  ActiveDatabase db;
+  Status rules = db.LoadRules(kRules);
+  if (!rules.ok()) std::abort();
+  ParkOptions options;
+  options.num_threads = threads;
+  if (!db.Configure(std::move(options)).ok()) std::abort();
+  std::vector<std::string> states;
+  states.push_back(db.database().ToString());
+  for (int i = 0; i < commits; ++i) {
+    Transaction tx = db.Begin();
+    RandomUpdate(rng, tx);
+    if (!std::move(tx).Commit().ok()) std::abort();
+    states.push_back(db.database().ToString());
+  }
+  return states;
+}
+
+// --- scenario: fault-free control ----------------------------------------
+
+void RunControl(Harness& h, int iteration, uint64_t script_seed) {
+  const int commits = 4;
+  const std::string one = OracleStates(script_seed, commits, 1).back();
+  const std::string four = OracleStates(script_seed, commits, 4).back();
+  if (one != four) {
+    h.Fail(iteration,
+           "control: threads=1 and threads=4 final instances differ");
+  }
+}
+
+// --- scenario: crash at a random I/O operation ---------------------------
+
+void RunCrash(Harness& h, int iteration, uint64_t script_seed,
+              const std::string& dir, int threads) {
+  std::mt19937_64 rng(script_seed);
+  const int commits = 3;
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCrash;
+  plan.fault_at = static_cast<int64_t>(rng() % 48);
+  plan.torn_write_percent = static_cast<int>(rng() % 101);
+  FaultInjectingEnv fault_env(Env::Default(), plan);
+
+  std::mt19937_64 script(script_seed);
+  int acked = 0;
+  bool in_flight = false;
+  {
+    auto db = ActiveDatabase::Open(dir, DurableParams(&fault_env, threads));
+    if (db.ok()) {
+      for (int i = 0; i < commits; ++i) {
+        Transaction tx = db->Begin();
+        RandomUpdate(script, tx);
+        in_flight = true;
+        if (!std::move(tx).Commit().ok()) break;
+        in_flight = false;
+        ++acked;
+      }
+    }
+  }
+
+  auto recovered = ActiveDatabase::Open(dir, DurableParams(Env::Default(),
+                                                           threads));
+  if (!recovered.ok()) {
+    h.Fail(iteration, "crash: recovery Open() failed: " +
+                          recovered.status().ToString());
+    return;
+  }
+  const std::vector<std::string> oracle =
+      OracleStates(script_seed, commits, threads);
+  const std::string got = recovered->database().ToString();
+  bool legal = got == oracle[acked];
+  // The record in flight at the crash may have become fully durable even
+  // though the ack never reached the caller.
+  if (!legal && in_flight) legal = got == oracle[acked + 1];
+  if (!legal) {
+    h.Fail(iteration,
+           "crash: recovered instance is not a committed prefix (acked=" +
+               std::to_string(acked) + ", fault_at=" +
+               std::to_string(plan.fault_at) + ")");
+  }
+}
+
+// --- scenario: transient I/O under the retry loop ------------------------
+
+void RunTransient(Harness& h, int iteration, uint64_t script_seed,
+                  const std::string& dir, int threads) {
+  std::mt19937_64 rng(script_seed);
+  const int commits = 4;
+  const std::vector<std::string> oracle =
+      OracleStates(script_seed, commits, threads);
+
+  FaultInjectingEnv fault_env(Env::Default());
+  int acked = 0;
+  bool failed = false;
+  {
+    auto db = ActiveDatabase::Open(dir, DurableParams(&fault_env, threads));
+    if (!db.ok()) {
+      h.Fail(iteration,
+             "transient: fault-free Open() failed: " + db.status().ToString());
+      return;
+    }
+    // Faults start only after Open so they land on the commit pipeline,
+    // where the retry loop lives. Backoff stays 0 to keep the soak fast.
+    TransientFaults faults;
+    faults.random_seed = static_cast<uint32_t>(rng());
+    faults.random_percent = 25;
+    faults.random_max_failures = static_cast<int>(rng() % 8);
+    fault_env.set_transient(faults);
+
+    std::mt19937_64 script(script_seed);
+    for (int i = 0; i < commits; ++i) {
+      const std::string before = db->database().ToString();
+      Transaction tx = db->Begin();
+      RandomUpdate(script, tx);
+      auto report = std::move(tx).Commit();
+      if (report.ok()) {
+        ++acked;
+        if (db->database().ToString() != oracle[acked]) {
+          h.Fail(iteration, "transient: acked commit " + std::to_string(i) +
+                                " diverges from the fault-free oracle");
+          return;
+        }
+        continue;
+      }
+      // Retries exhausted: the commit must have rolled back cleanly.
+      failed = true;
+      if (db->database().ToString() != before) {
+        h.Fail(iteration, "transient: failed commit left the instance "
+                          "changed (applied-exactly-or-untouched broken)");
+        return;
+      }
+      if (!db->last_commit_failure().has_value()) {
+        h.Fail(iteration,
+               "transient: failed commit recorded no CommitFailure");
+        return;
+      }
+      break;  // stop the workload at the first failure, like the crash case
+    }
+  }
+
+  auto recovered = ActiveDatabase::Open(dir, DurableParams(Env::Default(),
+                                                           threads));
+  if (!recovered.ok()) {
+    h.Fail(iteration, "transient: recovery Open() failed: " +
+                          recovered.status().ToString());
+    return;
+  }
+  const std::string got = recovered->database().ToString();
+  bool legal = got == oracle[acked];
+  // When the failed append's heal (truncate to the durable prefix) ALSO
+  // failed, the journal disables itself with the failed record possibly
+  // already durable — the same maybe-durable ambiguity as a crash, so
+  // exactly one extra commit is accepted, never fewer and never more.
+  if (!legal && failed) legal = got == oracle[acked + 1];
+  if (!legal) {
+    h.Fail(iteration, "transient: recovered instance is not the acked "
+                      "prefix (acked=" + std::to_string(acked) + ")");
+  }
+}
+
+// --- scenarios: governed commits (deadline / cancel / memory) ------------
+
+enum class Budget { kDeadline, kWork, kMemory };
+
+void RunGoverned(Harness& h, int iteration, uint64_t script_seed,
+                 Budget budget, int threads) {
+  std::mt19937_64 rng(script_seed);
+  ActiveDatabase db;
+  if (!db.LoadRules(kHeavyRules).ok()) std::abort();
+  std::string facts;
+  const int n = 40 + static_cast<int>(rng() % 21);  // 64k..216k groundings
+  for (int i = 0; i < n; ++i) facts += "e(v" + std::to_string(i) + "). ";
+  if (!db.LoadFacts(facts).ok()) std::abort();
+
+  // A couple of benign commits first, so the doomed one runs against a
+  // non-trivial instance.
+  std::mt19937_64 script(script_seed);
+  for (int i = 0; i < 2; ++i) {
+    Transaction tx = db.Begin();
+    RandomUpdate(script, tx);
+    if (!std::move(tx).Commit().ok()) {
+      h.Fail(iteration, "governed: benign prelude commit failed");
+      return;
+    }
+  }
+  const std::string before = db.database().ToString();
+
+  ParkOptions options;
+  options.num_threads = threads;
+  StatusCode want = StatusCode::kResourceExhausted;
+  switch (budget) {
+    case Budget::kDeadline:
+      options.deadline_ms = 1 + static_cast<int64_t>(rng() % 5);
+      want = StatusCode::kDeadlineExceeded;
+      break;
+    case Budget::kWork:
+      options.max_derivations = 1 + rng() % 200;
+      break;
+    case Budget::kMemory:
+      options.max_memory_bytes = 1024 + rng() % (16 * 1024);
+      break;
+  }
+  if (!db.Configure(std::move(options)).ok()) {
+    h.Fail(iteration, "governed: Configure rejected a valid bundle");
+    return;
+  }
+
+  auto report = std::move(db.Begin().Insert("watch", {})).Commit();
+  if (report.ok()) {
+    // A generous random budget may legitimately let the join finish; the
+    // result must then match the ungoverned oracle below.
+    ActiveDatabase oracle;
+    if (!oracle.LoadRules(kHeavyRules).ok()) std::abort();
+    if (!oracle.LoadFacts(facts).ok()) std::abort();
+    std::mt19937_64 replay(script_seed);
+    for (int i = 0; i < 2; ++i) {
+      Transaction tx = oracle.Begin();
+      RandomUpdate(replay, tx);
+      if (!std::move(tx).Commit().ok()) std::abort();
+    }
+    if (!std::move(oracle.Begin().Insert("watch", {})).Commit().ok() ||
+        db.database().ToString() != oracle.database().ToString()) {
+      h.Fail(iteration, "governed: budget-passing run diverges from the "
+                        "ungoverned oracle");
+    }
+    return;
+  }
+
+  if (report.status().code() != want) {
+    h.Fail(iteration, "governed: expected status " +
+                          std::to_string(static_cast<int>(want)) + ", got " +
+                          report.status().ToString());
+    return;
+  }
+  if (db.database().ToString() != before) {
+    h.Fail(iteration, "governed: failed commit left the instance changed");
+    return;
+  }
+  if (!db.last_commit_failure().has_value() ||
+      db.last_commit_failure()->stage != CommitFailure::Stage::kEvaluate) {
+    h.Fail(iteration, "governed: CommitFailure missing or wrong stage");
+    return;
+  }
+  // The database must stay usable: lift the budget and commit normally.
+  if (!db.Configure(ParkOptions{}).ok()) {
+    h.Fail(iteration, "governed: re-Configure after failure rejected");
+    return;
+  }
+  auto retry = std::move(db.Begin().Insert("q", {"ok"})).Commit();
+  if (!retry.ok()) {
+    h.Fail(iteration, "governed: database unusable after governed failure: " +
+                          retry.status().ToString());
+    return;
+  }
+  if (db.last_commit_failure().has_value()) {
+    h.Fail(iteration, "governed: CommitFailure not cleared by success");
+  }
+}
+
+// --- driver ---------------------------------------------------------------
+
+int Main(int argc, char** argv) {
+  Harness h;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      h.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc) {
+      h.iterations = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      h.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: park_chaos [--seed N] [--iterations N] "
+                   "[--verbose]\n");
+      return 2;
+    }
+  }
+
+  const std::string base =
+      std::filesystem::temp_directory_path() /
+      ("park_chaos_" + std::to_string(h.seed));
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  static const char* kNames[] = {"control", "crash",  "transient",
+                                 "deadline", "cancel", "memory"};
+  for (int it = 0; it < h.iterations; ++it) {
+    const int scenario = it % 6;
+    const int threads = (it / 6) % 2 == 0 ? 1 : 4;
+    const uint64_t script_seed =
+        h.seed * 1000003ull + static_cast<uint64_t>(it);
+    if (h.verbose) {
+      std::fprintf(stderr, "it=%d scenario=%s threads=%d\n", it,
+                   kNames[scenario], threads);
+    }
+    const std::string dir = base + "/it" + std::to_string(it);
+    std::filesystem::create_directories(dir);
+    switch (scenario) {
+      case 0:
+        RunControl(h, it, script_seed);
+        break;
+      case 1:
+        RunCrash(h, it, script_seed, dir, threads);
+        break;
+      case 2:
+        RunTransient(h, it, script_seed, dir, threads);
+        break;
+      case 3:
+        RunGoverned(h, it, script_seed, Budget::kDeadline, threads);
+        break;
+      case 4:
+        RunGoverned(h, it, script_seed, Budget::kWork, threads);
+        break;
+      case 5:
+        RunGoverned(h, it, script_seed, Budget::kMemory, threads);
+        break;
+    }
+    ++h.runs;
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(base);
+
+  std::printf("park_chaos: %d runs (seed=%llu), %zu violation(s)\n", h.runs,
+              static_cast<unsigned long long>(h.seed),
+              h.violations.size());
+  return h.violations.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace park
+
+int main(int argc, char** argv) { return park::Main(argc, argv); }

@@ -69,6 +69,16 @@ PARK_STATS_PLANNER_COUNTERS = [
     "plans_compiled", "cache_hits", "replans", "estimated_rows",
     "actual_rows",
 ]
+# Governance accounting: limits are the configured budgets (0 = none);
+# peak/charged report what the run actually consumed.
+PARK_STATS_RESOURCE = [
+    "memory_limit_bytes", "peak_memory_bytes", "derivation_limit",
+    "derivations_charged",
+]
+# Commit-pipeline I/O retry accounting (journal append/flush/sync).
+PARK_STATS_IO_RETRY = [
+    "attempts", "retries", "backoff_ms_total", "retries_exhausted",
+]
 
 
 def check_park_stats(errors, doc):
@@ -77,6 +87,8 @@ def check_park_stats(errors, doc):
         ("counters", lambda v: isinstance(v, dict), "object"),
         ("parallel", lambda v: isinstance(v, dict), "object"),
         ("planner", lambda v: isinstance(v, dict), "object"),
+        ("resource", lambda v: isinstance(v, dict), "object"),
+        ("io_retry", lambda v: isinstance(v, dict), "object"),
         ("timings", lambda v: isinstance(v, dict), "object"),
     ])
     if not isinstance(doc, dict):
@@ -90,6 +102,10 @@ def check_park_stats(errors, doc):
     planner_spec += [(k, _is_int, "integer")
                      for k in PARK_STATS_PLANNER_COUNTERS]
     _check_keys(errors, "$.planner", doc.get("planner", {}), planner_spec)
+    _check_keys(errors, "$.resource", doc.get("resource", {}),
+                [(k, _is_int, "integer") for k in PARK_STATS_RESOURCE])
+    _check_keys(errors, "$.io_retry", doc.get("io_retry", {}),
+                [(k, _is_int, "integer") for k in PARK_STATS_IO_RETRY])
     timings_spec = [("collected", lambda v: isinstance(v, bool), "bool")]
     timings_spec += [(k, _is_int, "integer") for k in PARK_STATS_TIMINGS]
     _check_keys(errors, "$.timings", doc.get("timings", {}), timings_spec)
