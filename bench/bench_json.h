@@ -8,13 +8,20 @@
 //   {
 //     "schema": "park-bench-parallel-v1",
 //     "hardware_concurrency": 8,
+//     "cpu_model": "AMD EPYC 7B13",
+//     "build_type": "release",
 //     ...benchmark-specific fields...
 //   }
+//
+// The machine fields make a stored BENCH_*.json self-describing: a
+// number benched on a 1-core debug container is not comparable to one
+// from an 8-core release box, and the envelope says which one you have.
 
 #ifndef PARK_BENCH_BENCH_JSON_H_
 #define PARK_BENCH_BENCH_JSON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 
@@ -22,6 +29,31 @@
 
 namespace park {
 namespace bench {
+
+/// First "model name" line of /proc/cpuinfo, or "unknown" where that
+/// pseudo-file does not exist (non-Linux hosts).
+inline std::string CpuModelName() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) != 0) continue;
+    const char* colon = std::strchr(line, ':');
+    if (colon == nullptr) break;
+    model = colon + 1;
+    // Trim the leading space and trailing newline.
+    while (!model.empty() && (model.front() == ' ' || model.front() == '\t')) {
+      model.erase(model.begin());
+    }
+    while (!model.empty() && (model.back() == '\n' || model.back() == '\r')) {
+      model.pop_back();
+    }
+    break;
+  }
+  std::fclose(f);
+  return model;
+}
 
 /// Opens the envelope object and writes the common fields. The caller
 /// appends its own fields and closes the object:
@@ -35,6 +67,12 @@ inline JsonWriter BeginBenchJson(const char* schema) {
   w.BeginObject();
   w.Key("schema").String(schema);
   w.Key("hardware_concurrency").UInt(std::thread::hardware_concurrency());
+  w.Key("cpu_model").String(CpuModelName());
+#ifdef NDEBUG
+  w.Key("build_type").String("release");
+#else
+  w.Key("build_type").String("debug");
+#endif
   return w;
 }
 

@@ -233,6 +233,27 @@ int Main(int argc, char** argv) {
                          RunCase(bench, thread_sweep, repetitions));
   }
 
+  // Regression gate for the tiny-unit scheduling fix: payroll's many
+  // per-employee rule units each carry almost no work, so parallelism
+  // must at worst break even (the work-estimate gate keeps tiny units
+  // from paying counting and task-dispatch overhead). Only meaningful
+  // where 4 threads actually exist.
+  if (std::thread::hardware_concurrency() >= 4) {
+    for (const auto& [name, configs] : results) {
+      if (name != "payroll_16384") continue;
+      for (const ConfigResult& c : configs) {
+        if (c.threads != 4) continue;
+        if (c.speedup < 0.95) {
+          std::fprintf(stderr,
+                       "REGRESSION: payroll_16384 at 4 threads runs at "
+                       "%.2fx the sequential speed (want >= 0.95x)\n",
+                       c.speedup);
+          return 1;
+        }
+      }
+    }
+  }
+
   if (!bench::WriteBenchJson(out_path, ToJson(results, smoke))) return 1;
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

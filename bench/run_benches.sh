@@ -25,6 +25,21 @@ if [[ ! -d "${bench_dir}" ]]; then
 fi
 mkdir -p "${out_dir}"
 
+# The parallel sweeps bench up to this many threads (bench_parallel's
+# thread ladder and bench_columnar's oracle sweep). On a smaller box the
+# upper configs timeshare one core, so their "speedups" measure scheduler
+# fairness, not the engine — say so up front rather than letting a flat
+# curve in BENCH_parallel.json masquerade as a regression. The JSON
+# envelope (bench_json.h) records hardware_concurrency/cpu_model/
+# build_type for the same reason.
+max_bench_threads=8
+hw_threads="$(nproc 2>/dev/null || echo 1)"
+if (( hw_threads < max_bench_threads )); then
+  echo "warning: benches sweep up to ${max_bench_threads} threads but this" \
+       "host has ${hw_threads} hardware thread(s); thread counts above" \
+       "${hw_threads} timeshare cores and their timings are not meaningful" >&2
+fi
+
 failed=()
 
 # run_bench <name> <json-path> <argv...>
@@ -87,6 +102,13 @@ fi
 if [[ -x "${bench_dir}/bench_paper_examples" ]]; then
   run_bench bench_paper_examples "${out_dir}/BENCH_paper_examples.json" \
     "${bench_dir}/bench_paper_examples" "${out_dir}/BENCH_paper_examples.json"
+fi
+
+# Tuple-at-a-time vs batch-at-a-time execution over columnar segments,
+# with an in-run set-identity check between the two executors.
+if [[ -x "${bench_dir}/bench_columnar" ]]; then
+  run_bench bench_columnar "${out_dir}/BENCH_columnar.json" \
+    "${bench_dir}/bench_columnar" "${out_dir}/BENCH_columnar.json"
 fi
 
 if ((${#failed[@]} > 0)); then

@@ -24,6 +24,11 @@
 //   --planner NAME     cost (default) | heuristic — how rule bodies are
 //                      ordered for matching (docs/PLANNER.md). The match
 //                      set is identical; derivation order may differ
+//   --exec-mode NAME   tuple (default) | batch — how compiled plans are
+//                      executed (docs/STORAGE.md). batch runs column
+//                      batches over the relations' sorted segments with
+//                      merge joins where the planner chose them; results
+//                      are bit-identical to tuple mode
 //   --stats-json FILE  write evaluation stats (park-stats-v1 JSON,
 //                      ParkStats::ToJson) to FILE; "-" means stdout
 //                      (the human-readable report then moves to stderr
@@ -154,7 +159,7 @@ int Usage(const char* argv0) {
                "          [--policy NAME] [--block-first] [--max-steps N]\n"
                "          [--deadline-ms N] [--threads N]\n"
                "          [--min-slice-size N] [--planner cost|heuristic]\n"
-               "          [--stats-json FILE]\n"
+               "          [--exec-mode tuple|batch] [--stats-json FILE]\n"
                "          [--max-memory-bytes N] [--max-derivations N]\n"
                "          [--observe] [--trace] [--explain]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 deadline,\n"
@@ -303,6 +308,18 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "--planner wants 'cost' or 'heuristic', got '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--exec-mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "tuple") == 0) {
+        options.exec_mode = park::ExecMode::kTuple;
+      } else if (std::strcmp(v, "batch") == 0) {
+        options.exec_mode = park::ExecMode::kBatch;
+      } else {
+        std::fprintf(stderr,
+                     "--exec-mode wants 'tuple' or 'batch', got '%s'\n", v);
         return 2;
       }
     } else if (arg == "--stats-json") {

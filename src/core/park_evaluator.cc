@@ -30,6 +30,14 @@ const char* PlannerModeName(PlannerMode mode) {
   return "unknown";
 }
 
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kTuple: return "tuple";
+    case ExecMode::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
 /// Arms the run's CancellationToken from the options (deadline, memory /
 /// derivation budgets, chained external cancel). Returns nullptr when no
 /// governance is configured — the matcher and Γ workers then skip polling
@@ -203,6 +211,18 @@ std::string ParkStats::ToJson() const {
   w.Key("backoff_ms_total").UInt(io_backoff_ms_total);
   w.Key("retries_exhausted").UInt(io_retries_exhausted);
   w.EndObject();
+  w.Key("storage").BeginObject();
+  w.Key("segments").UInt(storage_segments);
+  w.Key("segment_rows").UInt(storage_segment_rows);
+  w.Key("compactions").UInt(storage_compactions);
+  w.Key("dict_entries").UInt(storage_dict_entries);
+  w.EndObject();
+  w.Key("exec").BeginObject();
+  w.Key("mode").String(ExecModeName(exec_mode));
+  w.Key("batch_rows").UInt(exec_batch_rows);
+  w.Key("probe_rows").UInt(exec_probe_rows);
+  w.Key("merge_rows").UInt(exec_merge_rows);
+  w.EndObject();
   w.Key("timings").BeginObject();
   w.Key("collected").Bool(timings.collected);
   w.Key("total_ns").UInt(timings.total_ns);
@@ -261,6 +281,9 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       parallel_state.has_value() ? &*parallel_state : nullptr;
   stats.num_threads = static_cast<size_t>(num_threads);
   stats.planner_mode = options.planner_mode;
+  const ExecMode exec = options.exec_mode;
+  stats.exec_mode = exec;
+  ExecStats exec_stats;
   ObserverHook observer(options.observer);
   PlanCache plans(program, options.planner_mode);
   if (options.observer != nullptr) {
@@ -301,15 +324,17 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     switch (mode) {
       case GammaMode::kNaive:
         gamma = ComputeGamma(program, blocked, interp, parallel, &plans,
-                             cancel);
+                             cancel, exec, &exec_stats);
         break;
       case GammaMode::kDeltaFiltered:
         gamma = ComputeGammaFiltered(program, blocked, interp, delta,
-                                     parallel, &plans, cancel);
+                                     parallel, &plans, cancel, exec,
+                                     &exec_stats);
         break;
       case GammaMode::kSemiNaive:
         gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms,
-                                      parallel, &plans, cancel);
+                                      parallel, &plans, cancel, exec,
+                                      &exec_stats);
         break;
     }
     if (timed) {
@@ -372,7 +397,7 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     if (mode != GammaMode::kNaive) {
       gamma_start_ns = timed ? MonotonicNanos() : 0;
       gamma = ComputeGamma(program, blocked, interp, parallel, &plans,
-                           cancel);
+                           cancel, exec, &exec_stats);
       if (timed) {
         stats.timings.gamma_ns +=
             static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
@@ -472,6 +497,30 @@ Result<ParkResult> Park(const Program& program, const Database& db,
     stats.peak_memory_bytes = cancel->peak_bytes();
     stats.derivations_charged = cancel->work_charged();
   }
+  {
+    // Sum the columnar footprint over the run's three stores. All three
+    // are compacted by the coordinator at every batch-mode Γ step, so
+    // these counters are deterministic and thread-count invariant (zero
+    // on tuple-mode runs: nothing triggers a compaction).
+    Database::ColumnarFootprint fp = interp.base().ColumnarStats();
+    const Database::ColumnarFootprint plus_fp = interp.plus().ColumnarStats();
+    const Database::ColumnarFootprint minus_fp =
+        interp.minus().ColumnarStats();
+    fp.segments += plus_fp.segments + minus_fp.segments;
+    fp.segment_rows += plus_fp.segment_rows + minus_fp.segment_rows;
+    fp.compactions += plus_fp.compactions + minus_fp.compactions;
+    fp.dict_entries += plus_fp.dict_entries + minus_fp.dict_entries;
+    stats.storage_segments = static_cast<size_t>(fp.segments);
+    stats.storage_segment_rows = static_cast<size_t>(fp.segment_rows);
+    stats.storage_compactions = static_cast<size_t>(fp.compactions);
+    stats.storage_dict_entries = static_cast<size_t>(fp.dict_entries);
+  }
+  stats.exec_batch_rows =
+      exec_stats.batch_rows.load(std::memory_order_relaxed);
+  stats.exec_probe_rows =
+      exec_stats.probe_rows.load(std::memory_order_relaxed);
+  stats.exec_merge_rows =
+      exec_stats.merge_rows.load(std::memory_order_relaxed);
   stats.plans_compiled = plans.plans_compiled();
   stats.plan_cache_hits = plans.cache_hits();
   stats.plan_replans = plans.replans();

@@ -117,6 +117,17 @@ struct ParkOptions {
   /// > 1, and never affects results — only how the identical work is
   /// partitioned.
   size_t min_slice_size = kDefaultMinSliceSize;
+  /// How compiled plans are executed (see docs/STORAGE.md). kTuple
+  /// (default) streams one candidate tuple at a time through the plan;
+  /// kBatch runs batch-at-a-time over the relations' columnar segments
+  /// (selection vectors, sorted-merge joins where the planner chose
+  /// them), compacting each relation's columnar view at Γ-step
+  /// boundaries. Results are bit-identical to tuple mode for a fixed
+  /// configuration and across thread counts — the batch executor emits
+  /// candidates in the same binding-major order the tuple path would
+  /// (asserted in planner_oracle_test). Only consulted on the compiled-
+  /// plan path; the legacy per-call matcher always runs tuple-at-a-time.
+  ExecMode exec_mode = ExecMode::kTuple;
   /// How rule bodies are ordered for matching (see docs/PLANNER.md).
   /// kCostBased (default) compiles each rule — and each Δ-seeded variant —
   /// once into a plan ordered by live storage statistics, recompiling only
@@ -224,6 +235,23 @@ struct ParkStats {
   uint64_t io_retries = 0;
   uint64_t io_backoff_ms_total = 0;
   uint64_t io_retries_exhausted = 0;
+  // Columnar-storage counters (see ParkOptions::exec_mode and
+  // docs/STORAGE.md), summed over the base/plus/minus stores at run end.
+  // Zero on tuple-mode runs (no compactions are triggered). Deterministic
+  // for a fixed configuration and invariant across thread counts:
+  // compaction happens on the coordinator at Γ-step boundaries in both
+  // the sequential and parallel paths.
+  ExecMode exec_mode = ExecMode::kTuple;
+  size_t storage_segments = 0;      // immutable segments alive at run end
+  size_t storage_segment_rows = 0;  // rows held in those segments
+  size_t storage_compactions = 0;   // delta-store compactions performed
+  size_t storage_dict_entries = 0;  // dictionary entries across columns
+  // Batch-executor row counters (ExecStats): rows that entered the plan's
+  // first-step stream, and rows emitted by probe vs. sorted-merge join
+  // steps. Partition sums, hence thread-count invariant.
+  uint64_t exec_batch_rows = 0;
+  uint64_t exec_probe_rows = 0;
+  uint64_t exec_merge_rows = 0;
   /// Phase timers (see ParkOptions::collect_timings).
   PhaseTimings timings;
 
@@ -234,6 +262,8 @@ struct ParkStats {
   ///    "planner": {...},    // join-planner counters (deterministic)
   ///    "resource": {...},   // budgets armed + peaks (docs/ROBUSTNESS.md)
   ///    "io_retry": {...},   // commit-pipeline retry counters
+  ///    "storage": {...},    // columnar segment counters (docs/STORAGE.md)
+  ///    "exec": {...},       // executor mode + batch row counters
   ///    "timings": {"collected": bool, <phase>_ns...}}
   /// The "counters" object is invariant across num_threads /
   /// min_slice_size settings (asserted in stats_invariance_test);

@@ -32,6 +32,7 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
   int num_threads = ResolveNumThreads(options_.num_threads);
   stats_.num_threads = static_cast<size_t>(num_threads);
   stats_.planner_mode = options_.planner_mode;
+  stats_.exec_mode = options_.exec_mode;
   stats_.timings.collected = options_.collect_timings;
   stats_.memory_limit_bytes = options_.max_memory_bytes;
   stats_.derivation_limit = options_.max_derivations;
@@ -95,6 +96,27 @@ void ParkStepper::RefreshResourceStats() {
   stats_.derivations_charged = cancel_->work_charged();
 }
 
+void ParkStepper::RefreshStorageStats() {
+  Database::ColumnarFootprint fp = interp_.base().ColumnarStats();
+  const Database::ColumnarFootprint plus_fp = interp_.plus().ColumnarStats();
+  const Database::ColumnarFootprint minus_fp =
+      interp_.minus().ColumnarStats();
+  fp.segments += plus_fp.segments + minus_fp.segments;
+  fp.segment_rows += plus_fp.segment_rows + minus_fp.segment_rows;
+  fp.compactions += plus_fp.compactions + minus_fp.compactions;
+  fp.dict_entries += plus_fp.dict_entries + minus_fp.dict_entries;
+  stats_.storage_segments = static_cast<size_t>(fp.segments);
+  stats_.storage_segment_rows = static_cast<size_t>(fp.segment_rows);
+  stats_.storage_compactions = static_cast<size_t>(fp.compactions);
+  stats_.storage_dict_entries = static_cast<size_t>(fp.dict_entries);
+  stats_.exec_batch_rows =
+      exec_stats_.batch_rows.load(std::memory_order_relaxed);
+  stats_.exec_probe_rows =
+      exec_stats_.probe_rows.load(std::memory_order_relaxed);
+  stats_.exec_merge_rows =
+      exec_stats_.merge_rows.load(std::memory_order_relaxed);
+}
+
 Result<StepOutcome> ParkStepper::Step() {
   if (done_) return StepOutcome{};  // kFixpoint
   if (steps_taken_ >= options_.max_steps) {
@@ -117,16 +139,18 @@ Result<StepOutcome> ParkStepper::Step() {
   switch (mode) {
     case GammaMode::kNaive:
       gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_,
-                           cancel_);
+                           cancel_, options_.exec_mode, &exec_stats_);
       break;
     case GammaMode::kDeltaFiltered:
       gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_,
-                                   parallel, &plans_, cancel_);
+                                   parallel, &plans_, cancel_,
+                                   options_.exec_mode, &exec_stats_);
       break;
     case GammaMode::kSemiNaive:
       gamma = ComputeGammaSemiNaive(program_, blocked_, interp_,
                                     delta_atoms_, parallel, &plans_,
-                                    cancel_);
+                                    cancel_, options_.exec_mode,
+                                    &exec_stats_);
       break;
   }
   if (timed) {
@@ -147,6 +171,7 @@ Result<StepOutcome> ParkStepper::Step() {
   RefreshParallelStats();
   RefreshPlannerStats();
   RefreshResourceStats();
+  RefreshStorageStats();
   observer_.Notify([&](RunObserver& o) {
     o.OnGammaSection(GammaSectionInfo{
         step_number, gamma.rules_evaluated, gamma.derivations.size(),
@@ -195,7 +220,7 @@ Result<StepOutcome> ParkStepper::Step() {
   if (mode != GammaMode::kNaive) {
     gamma_start_ns = timed ? MonotonicNanos() : 0;
     gamma = ComputeGamma(program_, blocked_, interp_, parallel, &plans_,
-                         cancel_);
+                         cancel_, options_.exec_mode, &exec_stats_);
     if (timed) {
       stats_.timings.gamma_ns +=
           static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
@@ -212,6 +237,7 @@ Result<StepOutcome> ParkStepper::Step() {
     RefreshParallelStats();
     RefreshPlannerStats();
     RefreshResourceStats();
+    RefreshStorageStats();
     observer_.Notify([&](RunObserver& o) {
       o.OnGammaSection(GammaSectionInfo{
           step_number, gamma.rules_evaluated, gamma.derivations.size(),

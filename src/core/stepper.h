@@ -74,6 +74,8 @@ class ParkStepper {
   void RefreshPlannerStats();
   /// Folds the run token's budget counters into stats_.
   void RefreshResourceStats();
+  /// Folds the columnar footprint and batch-executor rows into stats_.
+  void RefreshStorageStats();
 
   const Program& program_;
   const Database& db_;
@@ -89,6 +91,9 @@ class ParkStepper {
   DeltaState delta_;
   DeltaAtoms delta_atoms_;
   ParkStats stats_;
+  /// Batch-executor row counters (see ParkOptions::exec_mode); folded
+  /// into stats_ after every Γ section. All zero on tuple-mode runs.
+  ExecStats exec_stats_;
   /// Exception-isolating view of options_.observer (see core/observer.h);
   /// OnRunStart fires at construction, OnRunEnd when the fixpoint lands.
   ObserverHook observer_;

@@ -49,7 +49,9 @@ size_t MatchRule(const Rule& rule, const BlockedSet& blocked,
                  const IInterpretation& interp, const CompiledPlan* plan,
                  std::vector<Derivation>& out,
                  CandidateSlice slice = CandidateSlice{},
-                 CancellationToken* cancel = nullptr) {
+                 CancellationToken* cancel = nullptr,
+                 ExecMode exec = ExecMode::kTuple,
+                 ExecStats* exec_stats = nullptr) {
   // Governance: each derivation is charged to the token's work budget and
   // the output buffer's capacity to its memory budget (UpdateScope is a
   // no-op branch while the capacity is unchanged). A fired token stops
@@ -69,8 +71,11 @@ size_t MatchRule(const Rule& rule, const BlockedSet& blocked,
   };
   size_t claimed = 0;
   if (plan != nullptr) {
-    claimed = ExecutePlan(*plan, rule, interp, slice, emit, cancel);
+    claimed = ExecutePlan(*plan, rule, interp, slice, emit, cancel, exec,
+                          exec_stats);
   } else {
+    // The legacy per-call heuristic path has no compiled plan to execute
+    // in batch mode; it always runs the tuple executor.
     ForEachBodyMatch(rule, interp, slice, emit, cancel);
   }
   if (cancel != nullptr) cancel->CloseScope(mem_scope);
@@ -108,12 +113,14 @@ size_t NumSlicesFor(size_t candidates, size_t min_slice_size, int threads) {
 
 /// Appends the `num_slices`-way partition of [0, candidates) for `unit`.
 /// The last slice is open-ended (kSliceEnd) so coverage never depends on
-/// the counted total.
+/// the counted total. Tasks are [begin, end) unit ranges so the same task
+/// shape also carries the multi-unit chunks of AppendChunkTasks; a sliced
+/// task always covers exactly one unit.
 template <typename Task>
 void AppendSliceTasks(size_t unit, size_t candidates, size_t num_slices,
                       std::vector<Task>& out) {
   if (num_slices <= 1) {
-    out.push_back(Task{unit, CandidateSlice{}});
+    out.push_back(Task{unit, unit + 1, CandidateSlice{}});
     return;
   }
   for (size_t s = 0; s < num_slices; ++s) {
@@ -121,7 +128,37 @@ void AppendSliceTasks(size_t unit, size_t candidates, size_t num_slices,
     slice.begin = candidates * s / num_slices;
     slice.end = s + 1 == num_slices ? CandidateSlice::kSliceEnd
                                     : candidates * (s + 1) / num_slices;
-    out.push_back(Task{unit, slice});
+    out.push_back(Task{unit, unit + 1, slice});
+  }
+}
+
+/// Partitions [0, units) into at most kSlicesPerThread * threads
+/// contiguous chunks balanced by `weight(unit)`, one full-slice task per
+/// chunk. Used when a section has many more units than the pool can keep
+/// busy: one pool task per (often tiny) unit pays per-task dispatch and
+/// buffer overhead that can swamp the matching itself — the regression
+/// profile of fine-grained ECA workloads. Chunks preserve unit order, so
+/// the merged buffers still concatenate to the sequential enumeration.
+template <typename Task, typename WeightFn>
+void AppendChunkTasks(size_t units, int threads, WeightFn weight,
+                      std::vector<Task>& out) {
+  const size_t num_chunks =
+      kSlicesPerThread * static_cast<size_t>(threads);
+  double total_weight = 0;
+  for (size_t i = 0; i < units; ++i) total_weight += weight(i);
+  size_t begin = 0;
+  size_t chunk = 0;
+  double acc = 0;
+  for (size_t i = 0; i < units; ++i) {
+    acc += weight(i);
+    bool cut = chunk + 1 < num_chunks &&
+               acc >= total_weight * static_cast<double>(chunk + 1) /
+                          static_cast<double>(num_chunks);
+    if (cut || i + 1 == units) {
+      out.push_back(Task{begin, i + 1, CandidateSlice{}});
+      begin = i + 1;
+      ++chunk;
+    }
   }
 }
 
@@ -140,14 +177,22 @@ void PrewarmDatabase(const Database& db,
 /// RAII guard for a parallel read-only matching section: builds every
 /// index the program's plans can probe, then freezes I's three databases
 /// so a missed prewarm fails loudly instead of racing on a lazy build.
+/// With `prewarm_indexes` false (batch execution through compiled plans —
+/// which probes columnar segments, never hash indexes) the index build is
+/// skipped; the coordinator has already compacted the columnar views at
+/// the Γ-section boundary, so the freeze still guarantees workers find
+/// every relation compact.
 class FrozenInterpretation {
  public:
   FrozenInterpretation(const IInterpretation& interp,
-                       const IndexRequirements& requirements)
+                       const IndexRequirements& requirements,
+                       bool prewarm_indexes = true)
       : interp_(interp) {
-    PrewarmDatabase(interp_.base(), requirements.base);
-    PrewarmDatabase(interp_.plus(), requirements.plus);
-    PrewarmDatabase(interp_.minus(), requirements.minus);
+    if (prewarm_indexes) {
+      PrewarmDatabase(interp_.base(), requirements.base);
+      PrewarmDatabase(interp_.plus(), requirements.plus);
+      PrewarmDatabase(interp_.minus(), requirements.minus);
+    }
     interp_.base().FreezeIndexes();
     interp_.plus().FreezeIndexes();
     interp_.minus().FreezeIndexes();
@@ -176,9 +221,12 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
                         const IInterpretation& interp,
                         ParallelGamma& parallel, PlanCache* plans,
                         std::vector<Derivation>& out,
-                        CancellationToken* cancel = nullptr) {
+                        CancellationToken* cancel = nullptr,
+                        ExecMode exec = ExecMode::kTuple,
+                        ExecStats* exec_stats = nullptr) {
   struct RuleSliceTask {
-    size_t unit;  // index into `rules`
+    size_t begin;  // [begin, end) of `rules`; sliced tasks cover one unit
+    size_t end;
     CandidateSlice slice;
   };
   // Plan fetch happens on the coordinator BEFORE the freeze: compiling can
@@ -198,18 +246,28 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
   {
     FrozenInterpretation frozen(
         interp,
-        plans != nullptr ? plans->requirements() : parallel.requirements());
+        plans != nullptr ? plans->requirements() : parallel.requirements(),
+        /*prewarm_indexes=*/exec == ExecMode::kTuple || plans == nullptr);
     const int threads = parallel.num_threads();
+    const size_t min_slice = parallel.min_slice_size();
     if (ShouldConsiderSlicing(rules.size(), threads)) {
       size_t sliced_units = 0;
       size_t slice_tasks = 0;
       for (size_t i = 0; i < rules.size(); ++i) {
-        size_t candidates =
-            plans != nullptr
-                ? CountPlanCandidates(*rule_plans[i], interp)
-                : CountFirstLiteralCandidates(*rules[i], interp);
-        size_t num_slices =
-            NumSlicesFor(candidates, parallel.min_slice_size(), threads);
+        // Estimate gate: when the planner already predicts the unit's
+        // stream is well below one slice's worth, skip the counting probe
+        // — for many tiny units the counting pass itself was the
+        // dominant parallel overhead.
+        size_t candidates = 0;
+        if (plans != nullptr) {
+          if (rule_plans[i]->estimated_candidates >=
+              2.0 * static_cast<double>(min_slice)) {
+            candidates = CountPlanCandidates(*rule_plans[i], interp, exec);
+          }
+        } else {
+          candidates = CountFirstLiteralCandidates(*rules[i], interp);
+        }
+        size_t num_slices = NumSlicesFor(candidates, min_slice, threads);
         if (num_slices > 1) {
           ++sliced_units;
           slice_tasks += num_slices;
@@ -218,9 +276,14 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
       }
       parallel.RecordSlicing(sliced_units, slice_tasks);
     } else {
-      for (size_t i = 0; i < rules.size(); ++i) {
-        tasks.push_back(RuleSliceTask{i, CandidateSlice{}});
-      }
+      AppendChunkTasks(
+          rules.size(), threads,
+          [&](size_t i) {
+            return plans != nullptr
+                       ? 1.0 + rule_plans[i]->estimated_candidates
+                       : 1.0;
+          },
+          tasks);
     }
     buffers.resize(tasks.size());
     claimed.assign(tasks.size(), 0);
@@ -230,9 +293,13 @@ void MatchRulesParallel(const std::vector<const Rule*>& rules,
       // A queued task whose token already fired starts no work at all —
       // the sticky flag drains the remaining section promptly.
       if (cancel != nullptr && cancel->fired()) return;
-      claimed[i] = MatchRule(*rules[tasks[i].unit], blocked, interp,
-                             rule_plans[tasks[i].unit], buffers[i],
-                             tasks[i].slice, cancel);
+      size_t task_claimed = 0;
+      for (size_t u = tasks[i].begin; u < tasks[i].end; ++u) {
+        task_claimed +=
+            MatchRule(*rules[u], blocked, interp, rule_plans[u], buffers[i],
+                      tasks[i].slice, cancel, exec, exec_stats);
+      }
+      claimed[i] = task_claimed;
     });
     if (parallel.timing_enabled()) {
       parallel.RecordMatchNs(
@@ -268,18 +335,32 @@ ParallelGamma::ParallelGamma(const Program& program, int num_threads,
       min_slice_size_(min_slice_size),
       pool_(num_threads) {}
 
+/// Batch-mode Γ-section prewarm: compact every relation's columnar view
+/// on the coordinator, in BOTH the sequential and parallel paths, so (a)
+/// frozen parallel workers always find the views compact and (b) the
+/// storage compaction counters are a property of the computation, never
+/// of the thread count. No-op in tuple mode and for compact relations.
+void CompactForBatch(const IInterpretation& interp, ExecMode exec) {
+  if (exec != ExecMode::kBatch) return;
+  interp.base().CompactColumnar();
+  interp.plus().CompactColumnar();
+  interp.minus().CompactColumnar();
+}
+
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
                          ParallelGamma* parallel, PlanCache* plans,
-                         CancellationToken* cancel) {
+                         CancellationToken* cancel, ExecMode exec,
+                         ExecStats* exec_stats) {
   GammaResult result;
+  CompactForBatch(interp, exec);
   // Even a one-rule program fans out: intra-rule slicing can split it.
   if (parallel != nullptr && program.size() > 0) {
     std::vector<const Rule*> rules;
     rules.reserve(program.size());
     for (const Rule& rule : program.rules()) rules.push_back(&rule);
     MatchRulesParallel(rules, blocked, interp, *parallel, plans,
-                       result.derivations, cancel);
+                       result.derivations, cancel, exec, exec_stats);
     result.rules_evaluated = rules.size();
   } else {
     for (const Rule& rule : program.rules()) {
@@ -291,7 +372,7 @@ GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
       }
       size_t claimed = MatchRule(rule, blocked, interp, plan,
                                  result.derivations, CandidateSlice{},
-                                 cancel);
+                                 cancel, exec, exec_stats);
       if (plans != nullptr) plans->AddActualRows(claimed);
       ++result.rules_evaluated;
     }
@@ -332,8 +413,10 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  const DeltaState& delta,
                                  ParallelGamma* parallel,
                                  PlanCache* plans,
-                                 CancellationToken* cancel) {
+                                 CancellationToken* cancel, ExecMode exec,
+                                 ExecStats* exec_stats) {
   GammaResult result;
+  CompactForBatch(interp, exec);
   std::vector<const Rule*> affected;
   affected.reserve(program.size());
   for (const Rule& rule : program.rules()) {
@@ -341,7 +424,7 @@ GammaResult ComputeGammaFiltered(const Program& program,
   }
   if (parallel != nullptr && !affected.empty()) {
     MatchRulesParallel(affected, blocked, interp, *parallel, plans,
-                       result.derivations, cancel);
+                       result.derivations, cancel, exec, exec_stats);
   } else {
     for (const Rule* rule : affected) {
       if (cancel != nullptr && cancel->fired()) break;
@@ -352,7 +435,7 @@ GammaResult ComputeGammaFiltered(const Program& program,
       }
       size_t claimed = MatchRule(*rule, blocked, interp, plan,
                                  result.derivations, CandidateSlice{},
-                                 cancel);
+                                 cancel, exec, exec_stats);
       if (plans != nullptr) plans->AddActualRows(claimed);
     }
   }
@@ -367,10 +450,13 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const DeltaAtoms& delta,
                                   ParallelGamma* parallel,
                                   PlanCache* plans,
-                                  CancellationToken* cancel) {
+                                  CancellationToken* cancel, ExecMode exec,
+                                  ExecStats* exec_stats) {
   if (delta.initial) {
-    return ComputeGamma(program, blocked, interp, parallel, plans, cancel);
+    return ComputeGamma(program, blocked, interp, parallel, plans, cancel,
+                        exec, exec_stats);
   }
+  CompactForBatch(interp, exec);
 
   // Enumerate the (rule, seed literal, seed atom) completions to run.
   // Listing them up front (in the same nested order the sequential loop
@@ -445,7 +531,7 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     size_t claimed = 0;
     if (plan != nullptr) {
       claimed = ExecutePlanSeeded(*plan, *task.rule, interp, *task.atom,
-                                  slice, emit, cancel);
+                                  slice, emit, cancel, exec, exec_stats);
     } else {
       ForEachBodyMatchSeeded(*task.rule, interp, task.literal, *task.atom,
                              slice, emit, cancel);
@@ -472,7 +558,8 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     // the cross-seed grounding dedup over the buffers in task order keeps
     // first-occurrence-in-sequential-order exactly.
     struct SeedSliceTask {
-      size_t unit;  // index into `tasks`
+      size_t begin;  // [begin, end) of `tasks`; sliced tasks cover one
+      size_t end;
       CandidateSlice slice;
     };
     std::vector<SeedSliceTask> slice_tasks;
@@ -481,22 +568,32 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
     std::vector<size_t> claimed;
     {
       FrozenInterpretation frozen(
-          interp, plans != nullptr ? plans->requirements()
-                                   : parallel->requirements());
+          interp,
+          plans != nullptr ? plans->requirements()
+                           : parallel->requirements(),
+          /*prewarm_indexes=*/exec == ExecMode::kTuple || plans == nullptr);
       const int threads = parallel->num_threads();
+      const size_t min_slice = parallel->min_slice_size();
       if (ShouldConsiderSlicing(tasks.size(), threads)) {
         size_t sliced_units = 0;
         size_t new_slice_tasks = 0;
         for (size_t i = 0; i < tasks.size(); ++i) {
-          size_t candidates =
-              plans != nullptr
-                  ? CountPlanCandidatesSeeded(*task_plans[i], *tasks[i].rule,
-                                              interp, *tasks[i].atom)
-                  : CountFirstLiteralCandidatesSeeded(
-                        *tasks[i].rule, interp, tasks[i].literal,
-                        *tasks[i].atom);
-          size_t num_slices =
-              NumSlicesFor(candidates, parallel->min_slice_size(), threads);
+          // Same estimate gate as MatchRulesParallel: don't pay a
+          // counting probe for a seed the planner already predicts to be
+          // far below one slice's worth.
+          size_t candidates = 0;
+          if (plans != nullptr) {
+            if (task_plans[i]->estimated_candidates >=
+                2.0 * static_cast<double>(min_slice)) {
+              candidates =
+                  CountPlanCandidatesSeeded(*task_plans[i], *tasks[i].rule,
+                                            interp, *tasks[i].atom, exec);
+            }
+          } else {
+            candidates = CountFirstLiteralCandidatesSeeded(
+                *tasks[i].rule, interp, tasks[i].literal, *tasks[i].atom);
+          }
+          size_t num_slices = NumSlicesFor(candidates, min_slice, threads);
           if (num_slices > 1) {
             ++sliced_units;
             new_slice_tasks += num_slices;
@@ -505,9 +602,14 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
         }
         parallel->RecordSlicing(sliced_units, new_slice_tasks);
       } else {
-        for (size_t i = 0; i < tasks.size(); ++i) {
-          slice_tasks.push_back(SeedSliceTask{i, CandidateSlice{}});
-        }
+        AppendChunkTasks(
+            tasks.size(), threads,
+            [&](size_t i) {
+              return plans != nullptr
+                         ? 1.0 + task_plans[i]->estimated_candidates
+                         : 1.0;
+            },
+            slice_tasks);
       }
       buffers.resize(slice_tasks.size());
       claimed.assign(slice_tasks.size(), 0);
@@ -515,9 +617,12 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
           parallel->timing_enabled() ? MonotonicNanos() : 0;
       parallel->pool().ParallelFor(slice_tasks.size(), [&](size_t i) {
         if (cancel != nullptr && cancel->fired()) return;
-        claimed[i] = run_task(tasks[slice_tasks[i].unit],
-                              task_plans[slice_tasks[i].unit], buffers[i],
-                              slice_tasks[i].slice);
+        size_t task_claimed = 0;
+        for (size_t u = slice_tasks[i].begin; u < slice_tasks[i].end; ++u) {
+          task_claimed += run_task(tasks[u], task_plans[u], buffers[i],
+                                   slice_tasks[i].slice);
+        }
+        claimed[i] = task_claimed;
       });
       if (parallel->timing_enabled()) {
         parallel->RecordMatchNs(

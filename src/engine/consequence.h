@@ -149,11 +149,21 @@ class ParallelGamma {
 /// into the run's error status. Derivations are charged to the token's
 /// work budget and the per-task buffers to its memory budget as they
 /// grow.
+///
+/// `exec` selects the plan executor (requires `plans`; the legacy
+/// per-call path always runs tuple-at-a-time). In batch mode each Γ call
+/// first compacts every relation's columnar view on the coordinator —
+/// sequential or parallel alike, so the storage counters stay
+/// thread-invariant — and the frozen sections skip the hash-index
+/// prewarm (batch plans probe segments, not indexes). `exec_stats` (may
+/// be null) accumulates the batch row counters across workers.
 GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
                          const IInterpretation& interp,
                          ParallelGamma* parallel = nullptr,
                          PlanCache* plans = nullptr,
-                         CancellationToken* cancel = nullptr);
+                         CancellationToken* cancel = nullptr,
+                         ExecMode exec = ExecMode::kTuple,
+                         ExecStats* exec_stats = nullptr);
 
 /// Applies `derivations` to `interp` (AddMarked + provenance). The caller
 /// must have checked `consistent`. Returns the number of marked atoms that
@@ -199,7 +209,9 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  const DeltaState& delta,
                                  ParallelGamma* parallel = nullptr,
                                  PlanCache* plans = nullptr,
-                                 CancellationToken* cancel = nullptr);
+                                 CancellationToken* cancel = nullptr,
+                                 ExecMode exec = ExecMode::kTuple,
+                                 ExecStats* exec_stats = nullptr);
 
 /// ApplyDerivations variant that also records, into `next_delta`, which
 /// predicates gained new marks (for the next filtered step).
@@ -243,7 +255,9 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   const DeltaAtoms& delta,
                                   ParallelGamma* parallel = nullptr,
                                   PlanCache* plans = nullptr,
-                                  CancellationToken* cancel = nullptr);
+                                  CancellationToken* cancel = nullptr,
+                                  ExecMode exec = ExecMode::kTuple,
+                                  ExecStats* exec_stats = nullptr);
 
 /// ApplyDerivations variant recording the newly marked atoms themselves.
 size_t ApplyDerivationsTrackedAtoms(

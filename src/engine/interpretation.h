@@ -43,6 +43,12 @@ class IInterpretation {
   ///  - kEventDelete: -atom ∈ I⁻
   bool IsValid(const GroundAtom& atom, LiteralKind kind) const;
 
+  /// IsValid over a flat argument span — same truth table, no GroundAtom
+  /// or Tuple materialized. The executors' filter steps (fully bound
+  /// literals) evaluate through here, once per candidate binding.
+  bool IsValid(PredicateId predicate, const Value* args, size_t n,
+               LiteralKind kind) const;
+
   bool HasPlus(const GroundAtom& atom) const { return plus_.Contains(atom); }
   bool HasMinus(const GroundAtom& atom) const { return minus_.Contains(atom); }
   bool HasUnmarked(const GroundAtom& atom) const {

@@ -1,9 +1,13 @@
 #include "engine/matcher.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <numeric>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "storage/relation.h"
 #include "util/arena.h"
@@ -18,6 +22,12 @@ namespace {
 /// trigger replan storms while growing 0 -> 1 -> 2...). See docs/PLANNER.md.
 constexpr size_t kDriftFactor = 2;
 constexpr size_t kDriftSlack = 8;
+
+/// Below this many rows (summed over the stores a join step reads) a
+/// sorted-merge join cannot beat per-binding probes — the batch sort and
+/// per-distinct-key dictionary lookups dominate — so the compiled step
+/// keeps JoinAlgo::kProbe. See docs/STORAGE.md for the crossover argument.
+constexpr size_t kMergeJoinMinRows = 64;
 
 bool IsBindingKind(LiteralKind kind) {
   return kind == LiteralKind::kPositive ||
@@ -254,9 +264,56 @@ struct StepState {
   Arena::Mark mark;
 };
 
+/// Pre-resolved stores for a filter step — the relations a fully bound
+/// literal consults, fetched once per step instead of once per row.
+/// IInterpretation::IsValid's per-call predicate-map lookups (two or
+/// three hashtable finds per row) dominate tight filter loops; with the
+/// relations in hand a filter row is one set probe in the common case.
+struct FilterStores {
+  const Relation* base = nullptr;
+  const Relation* plus = nullptr;
+  const Relation* minus = nullptr;
+};
+
+FilterStores ResolveFilterStores(const CompiledStep& st,
+                                 const IInterpretation& interp) {
+  FilterStores out;
+  out.base = interp.base().GetRelation(st.predicate);
+  out.plus = interp.plus().GetRelation(st.predicate);
+  out.minus = interp.minus().GetRelation(st.predicate);
+  return out;
+}
+
+/// IInterpretation::IsValid's truth table over pre-resolved stores.
+bool FilterValid(const FilterStores& fs, LiteralKind kind, const Value* args,
+                 size_t n) {
+  auto has = [&](const Relation* r) {
+    return r != nullptr && r->Contains(args, n);
+  };
+  switch (kind) {
+    case LiteralKind::kPositive:
+      return has(fs.base) || has(fs.plus);
+    case LiteralKind::kNegated:
+      return has(fs.minus) || (!has(fs.base) && !has(fs.plus));
+    case LiteralKind::kEventInsert:
+      return has(fs.plus);
+    case LiteralKind::kEventDelete:
+      return has(fs.minus);
+  }
+  return false;
+}
+
 struct MatchScratch {
   Arena arena;
   std::vector<Value> binding;
+  std::vector<Value> filter_args;  // reused per filter evaluation
+  // filter_stores[s]: lazily resolved stores for filter step s (the
+  // `resolved` flag distinguishes "not yet fetched" from "no relations").
+  struct ResolvedFilter {
+    bool resolved = false;
+    FilterStores stores;
+  };
+  std::vector<ResolvedFilter> filter_stores;
   std::vector<TuplePattern> patterns;
   std::vector<StepState> states;
   bool in_use = false;
@@ -332,6 +389,7 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
   scratch.arena.Reset();
   if (scratch.states.size() < nsteps) scratch.states.resize(nsteps);
   if (scratch.patterns.size() < nsteps) scratch.patterns.resize(nsteps);
+  scratch.filter_stores.assign(nsteps, {});
 
   const bool slicing = !slice.IsFull();
   size_t ordinal = 0;
@@ -470,16 +528,24 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
     return true;
   };
 
-  // Grounds a fully bound literal and checks its validity in I.
-  auto filter_passes = [&](const CompiledStep& st) -> bool {
-    Tuple args;
-    for (const CompiledStep::Slot& slot : st.slots) {
-      args.Append(slot.kind == CompiledStep::Slot::Kind::kConst
-                      ? slot.constant
-                      : scratch.binding[static_cast<size_t>(slot.var)]);
+  // Grounds a fully bound literal (into a reused span — no per-candidate
+  // Tuple allocation) and checks its validity in I through the step's
+  // lazily resolved stores.
+  auto filter_passes = [&](const CompiledStep& st, size_t step) -> bool {
+    MatchScratch::ResolvedFilter& rf = scratch.filter_stores[step];
+    if (!rf.resolved) {
+      rf.stores = ResolveFilterStores(st, interp);
+      rf.resolved = true;
     }
-    return interp.IsValid(GroundAtom(st.predicate, std::move(args)),
-                          st.kind);
+    scratch.filter_args.clear();
+    for (const CompiledStep::Slot& slot : st.slots) {
+      scratch.filter_args.push_back(
+          slot.kind == CompiledStep::Slot::Kind::kConst
+              ? slot.constant
+              : scratch.binding[static_cast<size_t>(slot.var)]);
+    }
+    return FilterValid(rf.stores, st.kind, scratch.filter_args.data(),
+                       scratch.filter_args.size());
   };
 
   // The flattened loop replacing per-literal recursive descent: walk the
@@ -493,7 +559,7 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
     const CompiledStep& st = plan.steps[static_cast<size_t>(s)];
     bool advanced = false;
     if (st.filter) {
-      if (entering) advanced = filter_passes(st);
+      if (entering) advanced = filter_passes(st, static_cast<size_t>(s));
     } else {
       if (entering) materialize(st, static_cast<size_t>(s));
       StepState& state = scratch.states[static_cast<size_t>(s)];
@@ -522,6 +588,528 @@ size_t RunPlan(const CompiledPlan& plan, const Rule& rule,
     }
   }
   return claimed;
+}
+
+// --- Batch-at-a-time execution (ExecMode::kBatch) ---
+//
+// The batch executor replaces the per-candidate backtracking walk with
+// whole-batch transformations against the storage layer's columnar
+// segments (storage/segment.h). A batch is a flat Value array of binding
+// rows with stride nvars. Step 0 materializes its candidate stream from
+// the probe column's sorted equal range — so a CandidateSlice intersects
+// it by pure range arithmetic, with no per-tuple ordinal claiming — and
+// every later generator step maps the batch through a probe or sorted-
+// merge join chosen at compile time (CompiledStep::join). Joins emit in
+// binding-major order with candidates in segment-row order per binding,
+// which is exactly the depth-first order of the tuple executor over the
+// same candidate sequences; only the per-step candidate order differs
+// between the modes (sorted segment order here vs. hash-index order
+// there), so the two modes are set-identical and each is bit-identical
+// for a fixed configuration (docs/STORAGE.md).
+
+/// The stores one generator step reads, in stream (claim) order, each
+/// with the store to dedup against: a positive literal enumerates base
+/// then plus, and a tuple present in both must be enumerated once, so
+/// the plus entry skips tuples contained in base.
+struct BatchStores {
+  struct Entry {
+    const Relation* rel = nullptr;
+    const Relation* dedup = nullptr;  // skip candidates contained here
+  };
+  std::array<Entry, 3> entries;
+  int count = 0;
+};
+
+BatchStores BatchStoresFor(const CompiledStep& st,
+                           const IInterpretation& interp) {
+  BatchStores out;
+  LiteralStores stores = StoresFor(st.kind, st.predicate, interp);
+  if (stores.base != nullptr) {
+    out.entries[static_cast<size_t>(out.count++)] = {stores.base, nullptr};
+  }
+  if (stores.plus != nullptr) {
+    out.entries[static_cast<size_t>(out.count++)] = {stores.plus, stores.base};
+  }
+  if (stores.minus != nullptr) {
+    out.entries[static_cast<size_t>(out.count++)] = {stores.minus, nullptr};
+  }
+  return out;
+}
+
+/// Per-thread batch-execution scratch, reused across calls like
+/// MatchScratch (with the same reentrancy fallback).
+struct BatchScratch {
+  std::vector<Value> cur;   // step-0 output (and the seed row), stride nvars
+  std::vector<Value> pipe;  // current chunk's batch inside the pipeline
+  std::vector<Value> next;  // batch the running step builds
+  std::vector<Value> filter_args;  // reused per filter evaluation
+  // merge join: probe ranges per distinct key, memoized per step for the
+  // whole RunPlanBatch call (segments are stable while matching runs, so
+  // a resolved range stays valid across pipeline chunks).
+  struct MergeCache {
+    std::vector<std::array<std::pair<uint32_t, uint32_t>, 3>> ranges;
+    std::unordered_map<Value, uint32_t, ValueHash> memo;  // key -> ranges idx
+  };
+  std::vector<MergeCache> merge_cache;  // indexed by step
+  bool in_use = false;
+};
+
+BatchScratch& ThreadBatchScratch() {
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+/// Batch counterpart of RunPlan; same contract (claimed count, cancel
+/// semantics), plus local row counters flushed into `exec_stats` (may be
+/// null) at the end. Relations touched must be columnar-compact when
+/// frozen (the batch evaluator compacts at every Γ-section boundary);
+/// unfrozen relations compact lazily inside Relation::Columnar().
+size_t RunPlanBatch(const CompiledPlan& plan, const Rule& rule,
+                    const IInterpretation& interp,
+                    const GroundAtom* seed_atom, CandidateSlice slice,
+                    FunctionRef<void(const Tuple&)> fn,
+                    CancellationToken* cancel, ExecStats* exec_stats) {
+  BatchScratch* scratch_ptr = &ThreadBatchScratch();
+  std::unique_ptr<BatchScratch> fallback;
+  if (scratch_ptr->in_use) {
+    fallback = std::make_unique<BatchScratch>();
+    scratch_ptr = fallback.get();
+  }
+  BatchScratch& scratch = *scratch_ptr;
+  scratch.in_use = true;
+  struct InUseGuard {
+    bool& flag;
+    ~InUseGuard() { flag = false; }
+  } guard{scratch.in_use};
+
+  const size_t nvars = static_cast<size_t>(rule.num_variables());
+  scratch.cur.assign(nvars, Value());
+  size_t nrows = 1;
+
+  if (plan.seed_index >= 0) {
+    PARK_CHECK(seed_atom != nullptr) << "seeded plan without a seed atom";
+    const AtomPattern& seed_pattern =
+        rule.body()[static_cast<size_t>(plan.seed_index)].atom;
+    if (seed_pattern.predicate != seed_atom->predicate()) return 0;
+    for (size_t i = 0; i < plan.seed_slots.size(); ++i) {
+      const CompiledStep::Slot& slot = plan.seed_slots[i];
+      const Value& value = seed_atom->args()[static_cast<int>(i)];
+      switch (slot.kind) {
+        case CompiledStep::Slot::Kind::kConst:
+          if (slot.constant != value) return 0;
+          break;
+        case CompiledStep::Slot::Kind::kFree:
+          scratch.cur[static_cast<size_t>(slot.var)] = value;
+          break;
+        case CompiledStep::Slot::Kind::kBoundVar:  // repeated seed variable
+          if (scratch.cur[static_cast<size_t>(slot.var)] != value) return 0;
+          break;
+      }
+    }
+  }
+
+  if (plan.steps.empty()) {
+    Tuple result;
+    for (size_t v = 0; v < nvars; ++v) result.Append(scratch.cur[v]);
+    fn(result);
+    return 0;
+  }
+
+  // Cooperative cancellation + memory accounting, mirroring RunPlan:
+  // poll at most once per kCheckStride visited rows, charge the growth of
+  // the batch buffers over this call's baseline.
+  auto reserved_bytes = [&scratch]() {
+    size_t bytes = (scratch.cur.capacity() + scratch.pipe.capacity() +
+                    scratch.next.capacity()) *
+                   sizeof(Value);
+    for (const BatchScratch::MergeCache& cache : scratch.merge_cache) {
+      bytes += cache.ranges.capacity() * sizeof(cache.ranges[0]) +
+               cache.memo.bucket_count() * sizeof(void*);
+    }
+    return bytes;
+  };
+  const size_t mem_baseline = reserved_bytes();
+  CancellationToken::MemoryScope mem_scope;
+  struct MemGuard {
+    CancellationToken* cancel;
+    CancellationToken::MemoryScope& scope;
+    ~MemGuard() {
+      if (cancel != nullptr) cancel->CloseScope(scope);
+    }
+  } mem_guard{cancel, mem_scope};
+  bool interrupted = false;
+  uint64_t poll_countdown = CancellationToken::kCheckStride;
+  auto poll = [&]() -> bool {
+    if (cancel == nullptr || interrupted) return interrupted;
+    if (--poll_countdown != 0) return false;
+    poll_countdown = CancellationToken::kCheckStride;
+    size_t reserved = reserved_bytes();
+    cancel->UpdateScope(mem_scope, reserved > mem_baseline
+                                       ? reserved - mem_baseline
+                                       : 0);
+    interrupted = cancel->Check();
+    return interrupted;
+  };
+
+  size_t claimed = 0;
+  size_t next_rows = 0;
+  uint64_t batch_rows = 0;
+  uint64_t probe_rows = 0;
+  uint64_t merge_rows = 0;
+
+  // Appends (binding row `brow` extended by candidate row `t`, a flat
+  // Value[arity] span from the segment) to the next batch if the
+  // candidate agrees with every pre-resolved slot. Constants and
+  // earlier-bound variables are checked up front (the batch scan is a
+  // probe-column superset, unlike the tuple executor's full-pattern index
+  // probe), dedup filters a doubly-stored tuple via a span lookup (no
+  // Tuple materialized), then the new row is appended with this
+  // step's binds applied and intra-literal repeats verified against it
+  // (pop on disagreement).
+  // `skip_col` (< 0: none) marks a column already equality-matched by the
+  // caller's equal-range probe, so its slot check would always pass.
+  auto try_append = [&](const CompiledStep& st, const Value* t,
+                        const Value* brow, const Relation* dedup,
+                        int skip_col) {
+    for (size_t j = 0; j < st.slots.size(); ++j) {
+      if (static_cast<int>(j) == skip_col) continue;
+      const CompiledStep::Slot& slot = st.slots[j];
+      if (slot.kind == CompiledStep::Slot::Kind::kConst) {
+        if (t[j] != slot.constant) return;
+      } else if (slot.kind == CompiledStep::Slot::Kind::kBoundVar) {
+        if (t[j] != brow[static_cast<size_t>(slot.var)]) {
+          return;
+        }
+      }
+    }
+    if (dedup != nullptr && dedup->Contains(t, st.slots.size())) return;
+    size_t base_off = scratch.next.size();
+    scratch.next.insert(scratch.next.end(), brow, brow + nvars);
+    Value* out = scratch.next.data() + base_off;
+    for (const auto& [pos, var] : st.binds) {
+      out[static_cast<size_t>(var)] = t[static_cast<size_t>(pos)];
+    }
+    for (const auto& [pos, var] : st.checks) {
+      if (out[static_cast<size_t>(var)] != t[static_cast<size_t>(pos)]) {
+        scratch.next.resize(base_off);
+        return;
+      }
+    }
+    ++next_rows;
+  };
+
+  auto probe_value = [&](const CompiledStep& st,
+                         const Value* brow) -> const Value& {
+    const CompiledStep::Slot& slot =
+        st.slots[static_cast<size_t>(st.probe_column)];
+    return slot.kind == CompiledStep::Slot::Kind::kConst
+               ? slot.constant
+               : brow[static_cast<size_t>(slot.var)];
+  };
+
+  // Step 0: the slicing gate. The candidate stream is the concatenation
+  // of the stores' probe ranges (or whole segments when unprobed), in
+  // store order — ordinals are positions in that stream, so intersecting
+  // the slice is range arithmetic and `claimed` needs no per-tuple work.
+  auto run_scan = [&](const CompiledStep& st) {
+    BatchStores stores = BatchStoresFor(st, interp);
+    const Value* brow = scratch.cur.data();
+    const bool slicing = !slice.IsFull();
+    size_t ordinal_base = 0;
+    for (int i = 0; i < stores.count && !interrupted; ++i) {
+      const BatchStores::Entry& entry =
+          stores.entries[static_cast<size_t>(i)];
+      Relation::ColumnarView view = entry.rel->Columnar();
+      const Column* col = nullptr;
+      uint32_t lo = 0;
+      uint32_t hi = view.segment->num_rows();
+      if (st.probe_column >= 0) {
+        col = &view.segment->column(st.probe_column);
+        std::pair<uint32_t, uint32_t> range =
+            col->EqualRange(probe_value(st, brow));
+        lo = range.first;
+        hi = range.second;
+      }
+      const size_t n = hi - lo;
+      size_t b = 0;
+      size_t e = n;
+      if (slicing) {
+        b = slice.begin > ordinal_base
+                ? std::min(slice.begin - ordinal_base, n)
+                : 0;
+        e = slice.end > ordinal_base
+                ? std::min(slice.end - ordinal_base, n)
+                : 0;
+        if (e < b) e = b;
+      }
+      claimed += e - b;
+      for (size_t p = b; p < e && !poll(); ++p) {
+        uint32_t pos = static_cast<uint32_t>(lo + p);
+        uint32_t row = col != nullptr ? col->RowAt(pos) : pos;
+        try_append(st, view.segment->row(row), brow, entry.dedup,
+                   col != nullptr ? st.probe_column : -1);
+      }
+      ordinal_base += n;
+    }
+  };
+
+  // Probe join: per binding row, binary-search the probe column's equal
+  // range in each store (full segment scan when unprobed).
+  auto run_probe = [&](const CompiledStep& st, const Value* src,
+                       size_t src_rows) {
+    BatchStores stores = BatchStoresFor(st, interp);
+    std::array<Relation::ColumnarView, 3> views;
+    for (int i = 0; i < stores.count; ++i) {
+      views[static_cast<size_t>(i)] =
+          stores.entries[static_cast<size_t>(i)].rel->Columnar();
+    }
+    for (size_t r = 0; r < src_rows && !interrupted; ++r) {
+      const Value* brow = src + r * nvars;
+      for (int i = 0; i < stores.count; ++i) {
+        const Relation::ColumnarView& view = views[static_cast<size_t>(i)];
+        const Relation* dedup =
+            stores.entries[static_cast<size_t>(i)].dedup;
+        if (st.probe_column >= 0) {
+          const Column& col = view.segment->column(st.probe_column);
+          std::pair<uint32_t, uint32_t> range =
+              col.EqualRange(probe_value(st, brow));
+          for (uint32_t p = range.first; p < range.second && !poll(); ++p) {
+            try_append(st, view.segment->row(col.RowAt(p)), brow, dedup,
+                       st.probe_column);
+          }
+        } else {
+          for (uint32_t row = 0;
+               row < view.segment->num_rows() && !poll(); ++row) {
+            try_append(st, view.segment->row(row), brow, dedup, -1);
+          }
+        }
+      }
+    }
+  };
+
+  // Sorted-merge join: the inner side is the segment itself, whose rows
+  // sort by the probe column, so each DISTINCT key resolves to one
+  // contiguous run via a dictionary binary search. The resolved runs are
+  // memoized per batch (a last-key fast path catches clustered
+  // duplicates, the memo table catches scattered ones), so duplicate-
+  // heavy outer keys pay one search per distinct key instead of one per
+  // binding row. Rows are emitted in the original binding-major order —
+  // byte-identical output to run_probe.
+  auto run_merge = [&](const CompiledStep& st, size_t step,
+                       const Value* src, size_t src_rows) {
+    BatchStores stores = BatchStoresFor(st, interp);
+    std::array<Relation::ColumnarView, 3> views;
+    for (int i = 0; i < stores.count; ++i) {
+      views[static_cast<size_t>(i)] =
+          stores.entries[static_cast<size_t>(i)].rel->Columnar();
+    }
+    BatchScratch::MergeCache& cache = scratch.merge_cache[step];
+    const Value* last_key = nullptr;
+    uint32_t last_idx = 0;
+    for (size_t r = 0; r < src_rows && !interrupted; ++r) {
+      const Value* brow = src + r * nvars;
+      const Value& key = probe_value(st, brow);
+      uint32_t idx;
+      if (last_key != nullptr && key == *last_key) {
+        idx = last_idx;
+      } else {
+        auto [it, inserted] = cache.memo.try_emplace(
+            key, static_cast<uint32_t>(cache.ranges.size()));
+        if (inserted) {
+          std::array<std::pair<uint32_t, uint32_t>, 3> rg{};
+          for (int i = 0; i < stores.count; ++i) {
+            rg[static_cast<size_t>(i)] =
+                views[static_cast<size_t>(i)]
+                    .segment->column(st.probe_column)
+                    .EqualRange(key);
+          }
+          cache.ranges.push_back(rg);
+        }
+        idx = it->second;
+      }
+      last_key = &key;
+      last_idx = idx;
+      for (int i = 0; i < stores.count; ++i) {
+        const Relation::ColumnarView& view = views[static_cast<size_t>(i)];
+        const Column& col = view.segment->column(st.probe_column);
+        const Relation* dedup =
+            stores.entries[static_cast<size_t>(i)].dedup;
+        auto [lo, hi] = cache.ranges[idx][static_cast<size_t>(i)];
+        for (uint32_t p = lo; p < hi && !poll(); ++p) {
+          try_append(st, view.segment->row(col.RowAt(p)), brow, dedup,
+                     st.probe_column);
+        }
+      }
+    }
+  };
+
+  // Filter step: ground the literal per row (into a reused span — no
+  // per-row Tuple allocation) and keep rows valid in I. Membership goes
+  // through the segments' flat whole-row indexes instead of the
+  // node-based tuple sets, block-at-a-time: a block is grounded and
+  // hashed first (prefetching every probe slot), then resolved — so the
+  // probe cache misses overlap instead of serializing. That overlap is
+  // structural to batching; the tuple executor checks one candidate at a
+  // time and eats the full miss latency per row.
+  auto run_filter = [&](const CompiledStep& st, const Value* src,
+                        size_t src_rows) {
+    const FilterStores stores = ResolveFilterStores(st, interp);
+    const Segment* segs[3] = {
+        stores.base != nullptr ? stores.base->Columnar().segment : nullptr,
+        stores.plus != nullptr ? stores.plus->Columnar().segment : nullptr,
+        stores.minus != nullptr ? stores.minus->Columnar().segment
+                                : nullptr};
+    const size_t nargs = st.slots.size();
+    constexpr size_t kBlock = 32;
+    scratch.filter_args.resize(kBlock * nargs);
+    std::array<size_t, kBlock> hashes;
+    auto has = [&](const Segment* seg, const Value* args, size_t hash) {
+      return seg != nullptr && seg->ContainsRow(args, nargs, hash);
+    };
+    for (size_t r0 = 0; r0 < src_rows && !interrupted; r0 += kBlock) {
+      const size_t bn = std::min(kBlock, src_rows - r0);
+      for (size_t i = 0; i < bn; ++i) {
+        const Value* brow = src + (r0 + i) * nvars;
+        Value* args = scratch.filter_args.data() + i * nargs;
+        for (size_t j = 0; j < nargs; ++j) {
+          const CompiledStep::Slot& slot = st.slots[j];
+          args[j] = slot.kind == CompiledStep::Slot::Kind::kConst
+                        ? slot.constant
+                        : brow[static_cast<size_t>(slot.var)];
+        }
+        const size_t h = TupleHash{}(TupleSpan{args, nargs});
+        hashes[i] = h;
+        for (const Segment* seg : segs) {
+          if (seg != nullptr) seg->PrefetchRow(h);
+        }
+      }
+      for (size_t i = 0; i < bn && !poll(); ++i) {
+        const Value* brow = src + (r0 + i) * nvars;
+        const Value* args = scratch.filter_args.data() + i * nargs;
+        const size_t h = hashes[i];
+        bool pass = false;
+        switch (st.kind) {
+          case LiteralKind::kPositive:
+            pass = has(segs[0], args, h) || has(segs[1], args, h);
+            break;
+          case LiteralKind::kNegated:
+            pass = has(segs[2], args, h) ||
+                   (!has(segs[0], args, h) && !has(segs[1], args, h));
+            break;
+          case LiteralKind::kEventInsert:
+            pass = has(segs[1], args, h);
+            break;
+          case LiteralKind::kEventDelete:
+            pass = has(segs[2], args, h);
+            break;
+        }
+        if (pass) {
+          scratch.next.insert(scratch.next.end(), brow, brow + nvars);
+          ++next_rows;
+        }
+      }
+    }
+  };
+
+  // Step 0 (the slicing gate) materializes its full output — `claimed`
+  // is range arithmetic over global stream ordinals, so it cannot be
+  // chunked — and everything downstream runs morsel-at-a-time: each
+  // kChunk-row slice of the step-0 batch is pushed through the whole
+  // remaining pipeline before the next slice starts. Joins fan out by
+  // the duplicate factor per step, so full intermediate batches can be
+  // orders of magnitude larger than their inputs; chunking keeps every
+  // intermediate cache-resident instead of streaming hundreds of
+  // megabytes through memory. Chunks run in step-0 order and each step
+  // preserves row order, so the emission sequence is byte-identical to
+  // the unchunked execution.
+  scratch.merge_cache.resize(plan.steps.size());
+  for (BatchScratch::MergeCache& cache : scratch.merge_cache) {
+    cache.ranges.clear();
+    cache.memo.clear();
+  }
+
+  {
+    const CompiledStep& st = plan.steps[0];
+    scratch.next.clear();
+    next_rows = 0;
+    if (st.filter) {
+      run_filter(st, scratch.cur.data(), nrows);
+    } else {
+      run_scan(st);
+      batch_rows += next_rows;
+    }
+    std::swap(scratch.cur, scratch.next);
+  }
+  const size_t total0 = next_rows;
+
+  constexpr size_t kChunk = 256;
+  for (size_t c0 = 0; c0 < total0 && !interrupted; c0 += kChunk) {
+    const Value* src = scratch.cur.data() + c0 * nvars;
+    size_t src_rows = std::min(kChunk, total0 - c0);
+    for (size_t s = 1; s < plan.steps.size() && src_rows > 0 && !interrupted;
+         ++s) {
+      const CompiledStep& st = plan.steps[s];
+      scratch.next.clear();
+      next_rows = 0;
+      if (st.filter) {
+        run_filter(st, src, src_rows);
+      } else if (st.join == JoinAlgo::kMerge && st.probe_column >= 0) {
+        run_merge(st, s, src, src_rows);
+        merge_rows += next_rows;
+      } else {
+        run_probe(st, src, src_rows);
+        probe_rows += next_rows;
+      }
+      std::swap(scratch.pipe, scratch.next);
+      src = scratch.pipe.data();
+      src_rows = next_rows;
+    }
+    if (interrupted) break;
+    for (size_t r = 0; r < src_rows && !poll(); ++r) {
+      Tuple result;
+      const Value* brow = src + r * nvars;
+      for (size_t v = 0; v < nvars; ++v) result.Append(brow[v]);
+      fn(result);
+    }
+  }
+
+  if (exec_stats != nullptr) {
+    exec_stats->batch_rows.fetch_add(batch_rows, std::memory_order_relaxed);
+    exec_stats->probe_rows.fetch_add(probe_rows, std::memory_order_relaxed);
+    exec_stats->merge_rows.fetch_add(merge_rows, std::memory_order_relaxed);
+  }
+  return claimed;
+}
+
+/// Batch-mode stream size of one generator step: the probe range (or
+/// whole segment) length summed over the stores — the exact ordinal
+/// count RunPlanBatch's step 0 partitions, at O(log rows) per store.
+/// `binding` supplies kBoundVar probe slots (seeded plans only).
+size_t CountStreamBatch(const CompiledStep& st, const IInterpretation& interp,
+                        const std::vector<Value>* binding) {
+  size_t total = 0;
+  LiteralStores stores = StoresFor(st.kind, st.predicate, interp);
+  ForEachStore(stores, [&](const Relation& rel) {
+    Relation::ColumnarView view = rel.Columnar();
+    if (st.probe_column < 0) {
+      total += view.segment->num_rows();
+      return;
+    }
+    const CompiledStep::Slot& slot =
+        st.slots[static_cast<size_t>(st.probe_column)];
+    const Value* v = nullptr;
+    if (slot.kind == CompiledStep::Slot::Kind::kConst) {
+      v = &slot.constant;
+    } else {
+      PARK_CHECK(binding != nullptr)
+          << "unseeded plan with a pre-bound step-0 variable";
+      v = &(*binding)[static_cast<size_t>(slot.var)];
+    }
+    std::pair<uint32_t, uint32_t> range =
+        view.segment->column(st.probe_column).EqualRange(*v);
+    total += range.second - range.first;
+  });
+  return total;
 }
 
 /// Stream size of one generator step under `pattern` (pre-dedup).
@@ -569,8 +1157,9 @@ PlanExplanation ExplainFromPlan(const CompiledPlan& plan, bool replan) {
   out.estimated_candidates = plan.estimated_candidates;
   out.steps.reserve(plan.steps.size());
   for (const CompiledStep& st : plan.steps) {
-    out.steps.push_back(PlanExplanation::Step{
-        st.literal_index, st.filter, st.probe_column, st.estimated_rows});
+    out.steps.push_back(PlanExplanation::Step{st.literal_index, st.filter,
+                                              st.probe_column,
+                                              st.estimated_rows, st.join});
   }
   return out;
 }
@@ -620,6 +1209,7 @@ CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
           : PlanBodyOrderCost(rule, seed_index, *interp);
 
   plan.steps.reserve(order.size());
+  bool have_generator = false;
   for (int literal_index : order) {
     const BodyLiteral& lit = body[static_cast<size_t>(literal_index)];
     CompiledStep step;
@@ -690,6 +1280,19 @@ CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
         step.probe_column = est.probe_column;
         step.estimated_rows = est.rows;
       }
+
+      // Batch-mode join operator: a probed join step (not the plan's
+      // first generator — that is the step-0 scan) over enough store
+      // rows amortizes its per-distinct-key range resolution, so pick
+      // sorted-merge; everything else keeps per-binding probes. Tuple
+      // execution ignores this.
+      if (have_generator && step.probe_column >= 0 && interp != nullptr) {
+        LiteralStores stores = StoresFor(step.kind, step.predicate, *interp);
+        size_t rows = 0;
+        ForEachStore(stores, [&](const Relation& rel) { rows += rel.size(); });
+        if (rows >= kMergeJoinMinRows) step.join = JoinAlgo::kMerge;
+      }
+      have_generator = true;
     }
 
     // The drift snapshot covers every store whose size the ordering can
@@ -737,8 +1340,13 @@ CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
 size_t ExecutePlan(const CompiledPlan& plan, const Rule& rule,
                    const IInterpretation& interp, CandidateSlice slice,
                    FunctionRef<void(const Tuple& binding)> fn,
-                   CancellationToken* cancel) {
+                   CancellationToken* cancel, ExecMode exec,
+                   ExecStats* exec_stats) {
   PARK_CHECK_EQ(plan.seed_index, -1) << "seeded plan passed to ExecutePlan";
+  if (exec == ExecMode::kBatch) {
+    return RunPlanBatch(plan, rule, interp, nullptr, slice, fn, cancel,
+                        exec_stats);
+  }
   return RunPlan(plan, rule, interp, nullptr, slice, fn, cancel);
 }
 
@@ -746,22 +1354,31 @@ size_t ExecutePlanSeeded(const CompiledPlan& plan, const Rule& rule,
                          const IInterpretation& interp,
                          const GroundAtom& seed_atom, CandidateSlice slice,
                          FunctionRef<void(const Tuple& binding)> fn,
-                         CancellationToken* cancel) {
+                         CancellationToken* cancel, ExecMode exec,
+                         ExecStats* exec_stats) {
   PARK_CHECK_GE(plan.seed_index, 0)
       << "unseeded plan passed to ExecutePlanSeeded";
+  if (exec == ExecMode::kBatch) {
+    return RunPlanBatch(plan, rule, interp, &seed_atom, slice, fn, cancel,
+                        exec_stats);
+  }
   return RunPlan(plan, rule, interp, &seed_atom, slice, fn, cancel);
 }
 
 size_t CountPlanCandidates(const CompiledPlan& plan,
-                           const IInterpretation& interp) {
+                           const IInterpretation& interp, ExecMode exec) {
   if (plan.steps.empty() || plan.steps[0].filter) return 0;
+  if (exec == ExecMode::kBatch) {
+    return CountStreamBatch(plan.steps[0], interp, nullptr);
+  }
   TuplePattern pattern = CountPattern(plan.steps[0], nullptr);
   return CountStream(plan.steps[0], interp, pattern);
 }
 
 size_t CountPlanCandidatesSeeded(const CompiledPlan& plan, const Rule& rule,
                                  const IInterpretation& interp,
-                                 const GroundAtom& seed_atom) {
+                                 const GroundAtom& seed_atom,
+                                 ExecMode exec) {
   PARK_CHECK_GE(plan.seed_index, 0) << "unseeded plan";
   if (plan.steps.empty() || plan.steps[0].filter) return 0;
   // Replay the seed binding program to resolve step-0 kBoundVar slots.
@@ -783,6 +1400,9 @@ size_t CountPlanCandidatesSeeded(const CompiledPlan& plan, const Rule& rule,
         if (binding[static_cast<size_t>(slot.var)] != value) return 0;
         break;
     }
+  }
+  if (exec == ExecMode::kBatch) {
+    return CountStreamBatch(plan.steps[0], interp, &binding);
   }
   TuplePattern pattern = CountPattern(plan.steps[0], &binding);
   return CountStream(plan.steps[0], interp, pattern);
@@ -970,7 +1590,8 @@ std::string ExplainPlanLine(const PlanExplanation& explanation) {
     } else {
       out << "[";
       if (step.probe_column >= 0) {
-        out << "probe c" << step.probe_column;
+        out << (step.join == JoinAlgo::kMerge ? "merge c" : "probe c")
+            << step.probe_column;
       } else {
         out << "scan";
       }

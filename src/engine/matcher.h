@@ -36,6 +36,7 @@
 #ifndef PARK_ENGINE_MATCHER_H_
 #define PARK_ENGINE_MATCHER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <limits>
@@ -57,6 +58,41 @@ class CancellationToken;
 enum class PlannerMode {
   kHeuristic,
   kCostBased,
+};
+
+/// How compiled plans execute (ParkOptions::exec_mode). kTuple is the
+/// classic tuple-at-a-time backtracking executor over per-column hash
+/// indexes. kBatch is batch-at-a-time: steps consume and produce whole
+/// binding batches against the storage layer's sorted, dictionary-encoded
+/// columnar segments (storage/segment.h), with per-step probe or
+/// sorted-merge joins and candidate slices that are plain segment ranges.
+/// The two modes enumerate the same match SET for every plan — the batch
+/// candidate stream is the canonical sorted segment order instead of hash
+/// order — and each mode is bit-identical across thread counts
+/// (docs/STORAGE.md; planner_oracle_test sweeps exec_mode).
+enum class ExecMode {
+  kTuple,
+  kBatch,
+};
+
+/// Physical join operator of one batch-mode generator step, chosen at
+/// plan-compile time from estimated cardinalities (tuple mode always
+/// probes). kMerge sorts the incoming batch by its probe-key and walks
+/// the segment's sorted column once per distinct key; kProbe binary-
+/// searches the segment per binding (or hash-probes in tuple mode).
+enum class JoinAlgo : uint8_t {
+  kProbe,
+  kMerge,
+};
+
+/// Batch-execution row counters, accumulated atomically by worker threads
+/// (each counter is a sum over a partition of the same row multiset, so
+/// the totals are thread-count invariant; surfaced as the park-stats-v1
+/// "exec" block). All stay 0 in tuple mode.
+struct ExecStats {
+  std::atomic<uint64_t> batch_rows{0};  // step-0 bindings materialized
+  std::atomic<uint64_t> probe_rows{0};  // bindings emitted by probe joins
+  std::atomic<uint64_t> merge_rows{0};  // bindings emitted by merge joins
 };
 
 /// One body literal of a compiled plan, in execution order, with every
@@ -98,6 +134,10 @@ struct CompiledStep {
   /// Planner's estimate of this step's candidate stream size given the
   /// statistics at compile time (for EXPLAIN; 0 for filter steps).
   double estimated_rows = 0;
+  /// Physical join operator when the plan executes in batch mode (see
+  /// JoinAlgo); tuple mode ignores it. Chosen at compile time so the
+  /// choice replays bit-identically with the plan.
+  JoinAlgo join = JoinAlgo::kProbe;
 };
 
 /// A rule body compiled against one statistics snapshot. Pure function of
@@ -140,6 +180,7 @@ struct PlanExplanation {
     bool filter = false;
     int probe_column = -1;
     double estimated_rows = 0;
+    JoinAlgo join = JoinAlgo::kProbe;
   };
   std::vector<Step> steps;
 };
@@ -254,10 +295,17 @@ CompiledPlan CompilePlan(const Rule& rule, int seed_index, PlannerMode mode,
 /// the full stream count). `rule` must be the rule the plan was compiled
 /// from. With a fired `cancel` the claimed count and emitted matches are
 /// partial and must be discarded.
+///
+/// `exec` picks the executor (see ExecMode). In batch mode the step-0
+/// stream is the probe range of the stores' columnar segments, so a
+/// slice's ordinals resolve by range arithmetic (no per-tuple claiming),
+/// and `exec_stats` (optional) accumulates the batch row counters.
 size_t ExecutePlan(const CompiledPlan& plan, const Rule& rule,
                    const IInterpretation& interp, CandidateSlice slice,
                    FunctionRef<void(const Tuple& binding)> fn,
-                   CancellationToken* cancel = nullptr);
+                   CancellationToken* cancel = nullptr,
+                   ExecMode exec = ExecMode::kTuple,
+                   ExecStats* exec_stats = nullptr);
 
 /// Seeded execution: binds the seed literal against `seed_atom` first
 /// (returning 0 matches if constants / repeated variables disagree).
@@ -265,16 +313,22 @@ size_t ExecutePlanSeeded(const CompiledPlan& plan, const Rule& rule,
                          const IInterpretation& interp,
                          const GroundAtom& seed_atom, CandidateSlice slice,
                          FunctionRef<void(const Tuple& binding)> fn,
-                         CancellationToken* cancel = nullptr);
+                         CancellationToken* cancel = nullptr,
+                         ExecMode exec = ExecMode::kTuple,
+                         ExecStats* exec_stats = nullptr);
 
 /// Size of the plan's first generator step candidate stream (0 when
-/// unsliceable). Uses the plan's own probe column, so inside a frozen
-/// section it touches exactly the indexes the plan's execution would.
+/// unsliceable), consistent with the ordinals the matching executor
+/// claims. Tuple mode counts full-pattern index matches (touching
+/// exactly the indexes execution would); batch mode is the probe range
+/// of the columnar segments — O(log rows) arithmetic, no scan.
 size_t CountPlanCandidates(const CompiledPlan& plan,
-                           const IInterpretation& interp);
+                           const IInterpretation& interp,
+                           ExecMode exec = ExecMode::kTuple);
 size_t CountPlanCandidatesSeeded(const CompiledPlan& plan, const Rule& rule,
                                  const IInterpretation& interp,
-                                 const GroundAtom& seed_atom);
+                                 const GroundAtom& seed_atom,
+                                 ExecMode exec = ExecMode::kTuple);
 
 /// The column indexes that evaluating a program's bodies can probe, per
 /// predicate, split by which part of the i-interpretation the matcher

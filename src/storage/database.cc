@@ -52,6 +52,13 @@ bool Database::Contains(const GroundAtom& atom) const {
   return it->second.Contains(atom.args());
 }
 
+bool Database::Contains(PredicateId predicate, const Value* args,
+                        size_t n) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  return it->second.Contains(args, n);
+}
+
 const Relation* Database::GetRelation(PredicateId predicate) const {
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return nullptr;
@@ -83,6 +90,23 @@ void Database::FreezeIndexes() const {
 
 void Database::ThawIndexes() const {
   for (const auto& [pred, rel] : relations_) rel.ThawIndexes();
+}
+
+void Database::CompactColumnar() const {
+  for (const auto& [pred, rel] : relations_) rel.CompactColumnar();
+}
+
+Database::ColumnarFootprint Database::ColumnarStats() const {
+  ColumnarFootprint out;
+  for (const auto& [pred, rel] : relations_) {
+    if (rel.HasSegment()) {
+      ++out.segments;
+      out.segment_rows += rel.segment_rows();
+      out.dict_entries += rel.dict_entries();
+    }
+    out.compactions += rel.compactions();
+  }
+  return out;
 }
 
 std::vector<std::string> Database::SortedAtomStrings() const {

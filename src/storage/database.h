@@ -51,6 +51,11 @@ class Database {
 
   bool Contains(const GroundAtom& atom) const;
 
+  /// Heterogeneous lookup: does `predicate(args[0..n))` hold? Same answer
+  /// as Contains(GroundAtom(...)) without materializing the atom — the
+  /// executors' per-candidate dedup and filter checks go through here.
+  bool Contains(PredicateId predicate, const Value* args, size_t n) const;
+
   /// Number of atoms across all predicates.
   size_t size() const { return total_atoms_; }
   bool empty() const { return total_atoms_ == 0; }
@@ -71,6 +76,21 @@ class Database {
   /// reached the state the parallel readers will see.
   void FreezeIndexes() const;
   void ThawIndexes() const;
+
+  /// Compacts the columnar view of every relation (Relation::
+  /// CompactColumnar) — the batch-mode Γ-section prewarm, run by the
+  /// coordinator before any freeze. No-op for already-compact relations.
+  void CompactColumnar() const;
+
+  /// Aggregated columnar counters across all relations, for the
+  /// park-stats-v1 "storage" block.
+  struct ColumnarFootprint {
+    uint64_t segments = 0;      // relations with a built segment
+    uint64_t segment_rows = 0;  // rows across those segments
+    uint64_t compactions = 0;   // segment (re)builds, lifetime total
+    uint64_t dict_entries = 0;  // dictionary entries across segments
+  };
+  ColumnarFootprint ColumnarStats() const;
 
   /// All atoms as sorted, rendered strings — deterministic; used in tests
   /// and tools.

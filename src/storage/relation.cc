@@ -27,6 +27,7 @@ bool Relation::Insert(const Tuple& t) {
       indexes_[static_cast<size_t>(c)]->emplace((*stored)[c], stored);
     }
   }
+  if (segment_.has_value()) delta_adds_.push_back(stored);
   return true;
 }
 
@@ -47,7 +48,29 @@ bool Relation::Erase(const Tuple& t) {
       }
     }
   }
-  tuples_.erase(it);
+  if (segment_.has_value()) {
+    // The tuple is either a delta add (drop it) or a segment row. A
+    // segment row is tombstoned by index and its node parked in the
+    // graveyard instead of destroyed: `segment_rows_` holds raw pointers
+    // into the nodes and later erases binary-search through them, so
+    // every entry must stay dereferenceable until the next compaction.
+    auto d = std::find(delta_adds_.begin(), delta_adds_.end(), stored);
+    if (d != delta_adds_.end()) {
+      delta_adds_.erase(d);
+      tuples_.erase(it);
+    } else {
+      auto row = std::lower_bound(
+          segment_rows_.begin(), segment_rows_.end(), *stored,
+          [](const Tuple* a, const Tuple& b) { return *a < b; });
+      PARK_CHECK(row != segment_rows_.end() && **row == *stored)
+          << "erased tuple missing from both segment and delta";
+      tombstones_.push_back(
+          static_cast<uint32_t>(row - segment_rows_.begin()));
+      graveyard_.push_back(tuples_.extract(it));
+    }
+  } else {
+    tuples_.erase(it);
+  }
   return true;
 }
 
@@ -146,6 +169,67 @@ void Relation::ForEachMatchingProbe(const TuplePattern& pattern,
     const Tuple& t = *it->second;
     if (Matches(t, pattern)) fn(t);
   }
+}
+
+Relation::ColumnarView Relation::Columnar() const {
+  if (ColumnarDirty()) {
+    // Mirrors the lazy-index rule: a dirty view inside a frozen
+    // (parallel, read-only) section means the coordinator's compaction
+    // sweep missed this relation — fail loudly rather than race.
+    PARK_CHECK(!frozen_)
+        << "lazy columnar compaction on a frozen relation "
+           "(compaction sweep missed this relation)";
+    CompactColumnarImpl();
+  }
+  return ColumnarView{&*segment_, &segment_rows_};
+}
+
+void Relation::CompactColumnar() const {
+  if (!ColumnarDirty()) return;
+  PARK_CHECK(!frozen_) << "CompactColumnar on a frozen relation";
+  CompactColumnarImpl();
+}
+
+void Relation::CompactColumnarImpl() const {
+  if (!segment_.has_value()) {
+    // First build: sort the whole set.
+    segment_rows_.clear();
+    segment_rows_.reserve(tuples_.size());
+    for (const Tuple& t : tuples_) segment_rows_.push_back(&t);
+    std::sort(segment_rows_.begin(), segment_rows_.end(),
+              [](const Tuple* a, const Tuple* b) { return *a < *b; });
+  } else {
+    // Merge (segment rows − tombstones) with the sorted delta. A delta
+    // add can never equal a live segment row (it was absent from the set
+    // when inserted), so strict < places every add uniquely.
+    std::sort(delta_adds_.begin(), delta_adds_.end(),
+              [](const Tuple* a, const Tuple* b) { return *a < *b; });
+    std::sort(tombstones_.begin(), tombstones_.end());
+    std::vector<const Tuple*> merged;
+    merged.reserve(segment_rows_.size() + delta_adds_.size() -
+                   tombstones_.size());
+    size_t ti = 0;
+    size_t di = 0;
+    for (size_t r = 0; r < segment_rows_.size(); ++r) {
+      if (ti < tombstones_.size() &&
+          tombstones_[ti] == static_cast<uint32_t>(r)) {
+        ++ti;
+        continue;
+      }
+      const Tuple* row = segment_rows_[r];
+      while (di < delta_adds_.size() && *delta_adds_[di] < *row) {
+        merged.push_back(delta_adds_[di++]);
+      }
+      merged.push_back(row);
+    }
+    while (di < delta_adds_.size()) merged.push_back(delta_adds_[di++]);
+    segment_rows_ = std::move(merged);
+    delta_adds_.clear();
+    tombstones_.clear();
+    graveyard_.clear();
+  }
+  segment_.emplace(Segment::Build(arity_, segment_rows_));
+  ++compactions_;
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "storage/relation_stats.h"
+#include "storage/segment.h"
 #include "storage/tuple.h"
 #include "util/function_ref.h"
 
@@ -60,6 +61,13 @@ class Relation {
 
   bool Contains(const Tuple& t) const { return tuples_.contains(t); }
 
+  /// Heterogeneous lookup from a flat Value[n] span — no Tuple is
+  /// materialized. The batch executor's dedup and filter checks run on
+  /// segment rows and binding rows stored this way.
+  bool Contains(const Value* data, size_t n) const {
+    return tuples_.find(TupleSpan{data, n}) != tuples_.end();
+  }
+
   /// Invokes `fn` for every tuple, in unspecified order. `fn` must not
   /// mutate this relation.
   void ForEach(FunctionRef<void(const Tuple&)> fn) const;
@@ -105,19 +113,74 @@ class Relation {
   /// All tuples, sorted — for deterministic printing and diffs.
   std::vector<Tuple> SortedTuples() const;
 
+  // --- Columnar view (batch execution; see docs/STORAGE.md) ---
+  //
+  // The columnar view is an immutable dictionary-encoded Segment over the
+  // lexicographically sorted tuple set plus `rows`, the segment-row ->
+  // stable-tuple-pointer map (into `tuples_`, node-based, so pointers
+  // survive rehash). Between compactions, Insert appends to a small delta
+  // store and Erase records a tombstone; Columnar() merges all three back
+  // into a fresh segment. Because the merged row order is the canonical
+  // sorted order of the set, the view is independent of mutation history
+  // — the determinism anchor of batch-at-a-time execution.
+
+  struct ColumnarView {
+    const Segment* segment = nullptr;
+    /// rows[r] is the tuple at segment row r.
+    const std::vector<const Tuple*>* rows = nullptr;
+  };
+
+  /// The compacted view, building or merging on demand. Like the lazy
+  /// index build, compaction mutates under `const`; a frozen relation
+  /// must already be compact (CompactColumnar runs before the freeze) —
+  /// a dirty view inside a frozen section fails loudly instead of racing.
+  ColumnarView Columnar() const;
+
+  /// Eager compaction (no-op when the view is already compact). The
+  /// batch-mode evaluator calls this for every relation at each Γ-section
+  /// boundary, so `compactions()` is a property of the computation, not
+  /// of the thread count.
+  void CompactColumnar() const;
+
+  bool HasSegment() const { return segment_.has_value(); }
+  bool ColumnarDirty() const {
+    return !segment_.has_value() || !delta_adds_.empty() ||
+           !tombstones_.empty();
+  }
+  uint64_t compactions() const { return compactions_; }
+  uint64_t segment_rows() const {
+    return segment_.has_value() ? segment_->num_rows() : 0;
+  }
+  uint64_t dict_entries() const {
+    return segment_.has_value() ? segment_->DictEntries() : 0;
+  }
+
  private:
   // Value -> tuples having that value in the indexed column. Pointers are
   // into `tuples_` (node-based, so stable until erase).
   using ColumnIndex = std::unordered_multimap<Value, const Tuple*, ValueHash>;
 
   void EnsureIndex(int column) const;
+  void CompactColumnarImpl() const;
   static bool Matches(const Tuple& t, const TuplePattern& pattern);
 
   int arity_;
   RelationStats stats_;
-  std::unordered_set<Tuple, TupleHash> tuples_;
+  std::unordered_set<Tuple, TupleHash, TupleEq> tuples_;
   // indexes_[c] is built lazily; nullopt means "not built".
   mutable std::vector<std::optional<ColumnIndex>> indexes_;
+  // Columnar state: nothing is tracked until the first Columnar() /
+  // CompactColumnar() call builds a segment, so tuple-mode-only runs pay
+  // zero overhead here. Erased segment rows are tombstoned by index and
+  // their set nodes parked in `graveyard_` so every `segment_rows_`
+  // pointer stays dereferenceable until the merge rebuilds the view.
+  mutable std::optional<Segment> segment_;
+  mutable std::vector<const Tuple*> segment_rows_;
+  mutable std::vector<const Tuple*> delta_adds_;  // insertion order
+  mutable std::vector<uint32_t> tombstones_;      // erased segment rows
+  mutable std::vector<std::unordered_set<Tuple, TupleHash, TupleEq>::node_type>
+      graveyard_;
+  mutable uint64_t compactions_ = 0;
   mutable bool frozen_ = false;
 };
 

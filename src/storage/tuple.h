@@ -46,8 +46,48 @@ class Tuple {
   std::vector<Value> values_;
 };
 
+/// A borrowed view of a tuple's values — the heterogeneous-lookup key for
+/// tuple sets. The batch executor stores rows as flat Value spans; probing
+/// a relation through a TupleSpan skips materializing a heap-backed Tuple
+/// per lookup.
+struct TupleSpan {
+  const Value* data = nullptr;
+  size_t size = 0;
+};
+
 struct TupleHash {
+  using is_transparent = void;
   size_t operator()(const Tuple& t) const { return t.Hash(); }
+  size_t operator()(const TupleSpan& s) const {
+    // Must match Tuple::Hash exactly (same seed, same combine).
+    size_t seed = 0x51ed270b;
+    for (size_t i = 0; i < s.size; ++i) {
+      seed = HashCombine(seed, s.data[i].Hash());
+    }
+    return seed;
+  }
+};
+
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  bool operator()(const TupleSpan& s, const Tuple& t) const {
+    if (s.size != static_cast<size_t>(t.arity())) return false;
+    for (size_t i = 0; i < s.size; ++i) {
+      if (s.data[i] != t[static_cast<int>(i)]) return false;
+    }
+    return true;
+  }
+  bool operator()(const Tuple& t, const TupleSpan& s) const {
+    return (*this)(s, t);
+  }
+  bool operator()(const TupleSpan& a, const TupleSpan& b) const {
+    if (a.size != b.size) return false;
+    for (size_t i = 0; i < a.size; ++i) {
+      if (a.data[i] != b.data[i]) return false;
+    }
+    return true;
+  }
 };
 
 }  // namespace park

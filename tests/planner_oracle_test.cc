@@ -34,11 +34,13 @@ struct RunOutcome {
 
 RunOutcome RunConfig(const Program& program, const Database& db,
                      GammaMode mode, PlannerMode planner, int num_threads,
-                     ParkStats* stats_out = nullptr) {
+                     ParkStats* stats_out = nullptr,
+                     ExecMode exec = ExecMode::kTuple) {
   ParkOptions options;
   options.gamma_mode = mode;
   options.planner_mode = planner;
   options.num_threads = num_threads;
+  options.exec_mode = exec;
   options.trace_level = TraceLevel::kFull;
   options.record_provenance = true;
   auto result = Park(program, db, options);
@@ -226,6 +228,145 @@ TEST(PlannerOracleTest, SteppedEvaluationMatchesBatch) {
     EXPECT_EQ(batch->stats.plans_compiled, stepper.stats().plans_compiled);
     EXPECT_EQ(batch->stats.planner_actual_rows,
               stepper.stats().planner_actual_rows);
+  }
+}
+
+// --- Batch execution oracle (see ParkOptions::exec_mode) ---
+//
+// The executor mode is a third replay-stable knob: batch-at-a-time
+// execution over columnar segments (sorted-merge joins included) must
+// reproduce the tuple executor's results exactly.
+
+/// For each Γ mode, the tuple single-thread run is the oracle; every
+/// (planner, threads) batch cell must reproduce its database, blocked
+/// set, counters, trace history, and provenance.
+void ExpectExecSweepAgrees(const Program& program, const Database& db) {
+  for (GammaMode mode : {GammaMode::kNaive, GammaMode::kDeltaFiltered,
+                         GammaMode::kSemiNaive}) {
+    SCOPED_TRACE(ModeName(mode));
+    RunOutcome oracle =
+        RunConfig(program, db, mode, PlannerMode::kHeuristic, 1);
+    for (PlannerMode planner :
+         {PlannerMode::kHeuristic, PlannerMode::kCostBased}) {
+      for (int threads : {1, 2, 4, 8}) {
+        SCOPED_TRACE(StrFormat(
+            "exec=batch planner=%s threads=%d",
+            planner == PlannerMode::kHeuristic ? "heuristic" : "cost",
+            threads));
+        RunOutcome run = RunConfig(program, db, mode, planner, threads,
+                                   nullptr, ExecMode::kBatch);
+        EXPECT_EQ(oracle.database, run.database);
+        EXPECT_EQ(oracle.blocked, run.blocked);
+        EXPECT_EQ(oracle.restarts, run.restarts);
+        EXPECT_EQ(oracle.gamma_steps, run.gamma_steps);
+        EXPECT_EQ(oracle.rule_evaluations, run.rule_evaluations);
+        EXPECT_EQ(oracle.history, run.history);
+        EXPECT_EQ(oracle.provenance, run.provenance);
+      }
+    }
+  }
+}
+
+TEST(PlannerOracleTest, BatchExecClosureAgrees) {
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kRandom, 14, 40, 3);
+  ExpectExecSweepAgrees(w.program, w.database);
+}
+
+TEST(PlannerOracleTest, BatchExecConflictWorkloadAgrees) {
+  Workload w = MakeConflictPairsWorkload(25, 0.3, 77);
+  ExpectExecSweepAgrees(w.program, w.database);
+}
+
+TEST(PlannerOracleTest, BatchExecPayrollEcaAgrees) {
+  PayrollParams params;
+  params.num_employees = 40;
+  params.inactive_fraction = 0.2;
+  params.num_deactivations = 4;
+  params.seed = 5;
+  Workload w = MakePayrollWorkload(params);
+  auto extended = ProgramWithUpdates(w.program, w.updates.updates());
+  ASSERT_TRUE(extended.ok());
+  ExpectExecSweepAgrees(*extended, w.database);
+}
+
+TEST(PlannerOracleTest, BatchExecSkewedJoinAgrees) {
+  // Enough rows that the planner picks sorted-merge joins for the later
+  // literals (kMergeJoinMinRows), so the merge path itself is swept.
+  auto symbols = MakeSymbolTable();
+  std::string facts = "sel(c0). sel(c1). ";
+  Rng rng(17);
+  for (int i = 0; i < 150; ++i) {
+    facts += StrFormat("big(x%d, c%d). ", i,
+                       static_cast<int>(rng.UniformInt(0, 5)));
+  }
+  Program program = MustParseProgram(
+      "skew: big(X, Y), sel(Y) -> +out(X).\n"
+      "chain: out(X), big(X, Y) -> +hit(Y).\n",
+      symbols);
+  Database db = MustParseDatabase(facts, symbols);
+  ExpectExecSweepAgrees(program, db);
+}
+
+TEST(PlannerOracleTest, BatchFixedConfigurationIsBitIdentical) {
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kRandom, 12, 30, 9);
+  for (PlannerMode planner :
+       {PlannerMode::kHeuristic, PlannerMode::kCostBased}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(StrFormat(
+          "exec=batch planner=%s threads=%d",
+          planner == PlannerMode::kHeuristic ? "heuristic" : "cost",
+          threads));
+      ParkStats first_stats;
+      ParkStats second_stats;
+      RunOutcome first =
+          RunConfig(w.program, w.database, GammaMode::kNaive, planner,
+                    threads, &first_stats, ExecMode::kBatch);
+      RunOutcome second =
+          RunConfig(w.program, w.database, GammaMode::kNaive, planner,
+                    threads, &second_stats, ExecMode::kBatch);
+      EXPECT_EQ(first.database, second.database);
+      EXPECT_EQ(first.blocked, second.blocked);
+      EXPECT_EQ(first.history, second.history);
+      EXPECT_EQ(first.provenance, second.provenance);
+      EXPECT_EQ(first_stats.exec_batch_rows, second_stats.exec_batch_rows);
+      EXPECT_EQ(first_stats.exec_probe_rows, second_stats.exec_probe_rows);
+      EXPECT_EQ(first_stats.exec_merge_rows, second_stats.exec_merge_rows);
+      EXPECT_EQ(first_stats.storage_compactions,
+                second_stats.storage_compactions);
+      EXPECT_EQ(first_stats.storage_segment_rows,
+                second_stats.storage_segment_rows);
+      EXPECT_EQ(first_stats.storage_dict_entries,
+                second_stats.storage_dict_entries);
+    }
+  }
+}
+
+TEST(PlannerOracleTest, BatchCountersAreThreadInvariant) {
+  // Compaction runs on the coordinator at every Γ step and the exec row
+  // counters are sums over a disjoint partition of the same stream, so
+  // the storage and exec stats must be independent of the thread count.
+  Workload w = MakeTransitiveClosureWorkload(GraphShape::kRandom, 14, 40, 3);
+  for (GammaMode mode : {GammaMode::kNaive, GammaMode::kDeltaFiltered,
+                         GammaMode::kSemiNaive}) {
+    SCOPED_TRACE(ModeName(mode));
+    ParkStats base;
+    RunConfig(w.program, w.database, mode, PlannerMode::kCostBased, 1, &base,
+              ExecMode::kBatch);
+    EXPECT_GT(base.exec_batch_rows, 0u);
+    EXPECT_GT(base.storage_compactions, 0u);
+    EXPECT_GT(base.storage_dict_entries, 0u);
+    for (int threads : {2, 4}) {
+      SCOPED_TRACE(threads);
+      ParkStats stats;
+      RunConfig(w.program, w.database, mode, PlannerMode::kCostBased,
+                threads, &stats, ExecMode::kBatch);
+      EXPECT_EQ(stats.exec_batch_rows, base.exec_batch_rows);
+      EXPECT_EQ(stats.exec_probe_rows, base.exec_probe_rows);
+      EXPECT_EQ(stats.exec_merge_rows, base.exec_merge_rows);
+      EXPECT_EQ(stats.storage_compactions, base.storage_compactions);
+      EXPECT_EQ(stats.storage_segment_rows, base.storage_segment_rows);
+      EXPECT_EQ(stats.storage_dict_entries, base.storage_dict_entries);
+    }
   }
 }
 

@@ -10,6 +10,7 @@ Each FILE is dispatched on its "schema" tag:
   park-bench-parallel-v1       -- bench_parallel
   park-bench-planner-v1        -- bench_planner
   park-bench-paper-examples-v1 -- bench_paper_examples
+  park-bench-columnar-v1       -- bench_columnar (tuple vs batch exec)
 
 Exit status 0 iff every file parses and matches its schema. The checker
 is deliberately stdlib-only (json + sys) so it runs on a bare CI image;
@@ -79,6 +80,24 @@ PARK_STATS_RESOURCE = [
 PARK_STATS_IO_RETRY = [
     "attempts", "retries", "backoff_ms_total", "retries_exhausted",
 ]
+# Columnar storage accounting (segments live at run end, compaction work).
+PARK_STATS_STORAGE = [
+    "segments", "segment_rows", "compactions", "dict_entries",
+]
+# Batch executor row counters (all zero under tuple-at-a-time execution).
+PARK_STATS_EXEC = [
+    "batch_rows", "probe_rows", "merge_rows",
+]
+
+# Every park-bench-*-v1 document shares the bench_json.h envelope, which
+# records the machine and build so a flat speedup curve (or a 1-core CI
+# box) is explainable from the JSON alone.
+BENCH_ENVELOPE_SPEC = [
+    ("hardware_concurrency", _is_int, "integer"),
+    ("cpu_model", lambda v: isinstance(v, str), "string"),
+    ("build_type", lambda v: v in ("release", "debug"),
+     '"release" or "debug"'),
+]
 
 
 def check_park_stats(errors, doc):
@@ -89,6 +108,8 @@ def check_park_stats(errors, doc):
         ("planner", lambda v: isinstance(v, dict), "object"),
         ("resource", lambda v: isinstance(v, dict), "object"),
         ("io_retry", lambda v: isinstance(v, dict), "object"),
+        ("storage", lambda v: isinstance(v, dict), "object"),
+        ("exec", lambda v: isinstance(v, dict), "object"),
         ("timings", lambda v: isinstance(v, dict), "object"),
     ])
     if not isinstance(doc, dict):
@@ -106,6 +127,12 @@ def check_park_stats(errors, doc):
                 [(k, _is_int, "integer") for k in PARK_STATS_RESOURCE])
     _check_keys(errors, "$.io_retry", doc.get("io_retry", {}),
                 [(k, _is_int, "integer") for k in PARK_STATS_IO_RETRY])
+    _check_keys(errors, "$.storage", doc.get("storage", {}),
+                [(k, _is_int, "integer") for k in PARK_STATS_STORAGE])
+    exec_spec = [("mode", lambda v: v in ("tuple", "batch"),
+                  '"tuple" or "batch"')]
+    exec_spec += [(k, _is_int, "integer") for k in PARK_STATS_EXEC]
+    _check_keys(errors, "$.exec", doc.get("exec", {}), exec_spec)
     timings_spec = [("collected", lambda v: isinstance(v, bool), "bool")]
     timings_spec += [(k, _is_int, "integer") for k in PARK_STATS_TIMINGS]
     _check_keys(errors, "$.timings", doc.get("timings", {}), timings_spec)
@@ -124,10 +151,9 @@ BENCH_CONFIG_SPEC = [
 
 
 def check_bench_parallel(errors, doc):
-    _check_keys(errors, "$", doc, [
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
         ("schema", lambda v: v == "park-bench-parallel-v1",
          '"park-bench-parallel-v1"'),
-        ("hardware_concurrency", _is_int, "integer"),
         ("smoke", lambda v: isinstance(v, bool), "bool"),
         ("bit_identical", lambda v: v is True, "true"),
         ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
@@ -160,10 +186,9 @@ PLANNER_CONFIG_SPEC = [
 
 
 def check_bench_planner(errors, doc):
-    _check_keys(errors, "$", doc, [
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
         ("schema", lambda v: v == "park-bench-planner-v1",
          '"park-bench-planner-v1"'),
-        ("hardware_concurrency", _is_int, "integer"),
         ("smoke", lambda v: isinstance(v, bool), "bool"),
         ("set_identical", lambda v: v is True, "true"),
         ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
@@ -183,10 +208,9 @@ def check_bench_planner(errors, doc):
 
 
 def check_bench_paper_examples(errors, doc):
-    _check_keys(errors, "$", doc, [
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
         ("schema", lambda v: v == "park-bench-paper-examples-v1",
          '"park-bench-paper-examples-v1"'),
-        ("hardware_concurrency", _is_int, "integer"),
         ("matches", _is_int, "integer"),
         ("total", _is_int, "integer"),
         ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
@@ -201,11 +225,50 @@ def check_bench_paper_examples(errors, doc):
         ], allow_extra=True)  # optional "note"
 
 
+COLUMNAR_CONFIG_SPEC = [
+    ("exec", lambda v: v in ("tuple", "batch"), '"tuple" or "batch"'),
+    ("best_ms", _is_num, "number"),
+    ("speedup", _is_num, "number"),
+    ("gamma_steps", _is_int, "integer"),
+    ("batch_rows", _is_int, "integer"),
+    ("probe_rows", _is_int, "integer"),
+    ("merge_rows", _is_int, "integer"),
+    ("storage_compactions", _is_int, "integer"),
+    ("storage_segment_rows", _is_int, "integer"),
+]
+
+
+def check_bench_columnar(errors, doc):
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
+        ("schema", lambda v: v == "park-bench-columnar-v1",
+         '"park-bench-columnar-v1"'),
+        ("smoke", lambda v: isinstance(v, bool), "bool"),
+        ("set_identical", lambda v: v is True, "true"),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        where = f"$.cases[{i}]"
+        _check_keys(errors, where, case, [
+            ("name", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("gamma_mode",
+             lambda v: v in ("naive", "delta_filtered", "semi_naive"),
+             "gamma mode name"),
+            ("configs", lambda v: isinstance(v, list) and v,
+             "non-empty array"),
+        ])
+        if not isinstance(case, dict):
+            continue
+        for j, config in enumerate(case.get("configs") or []):
+            _check_keys(errors, f"{where}.configs[{j}]", config,
+                        COLUMNAR_CONFIG_SPEC)
+
+
 CHECKERS = {
     "park-stats-v1": check_park_stats,
     "park-bench-parallel-v1": check_bench_parallel,
     "park-bench-planner-v1": check_bench_planner,
     "park-bench-paper-examples-v1": check_bench_paper_examples,
+    "park-bench-columnar-v1": check_bench_columnar,
 }
 
 
