@@ -1,0 +1,224 @@
+// P3 — delta-driven Γ scheduling on the kilorule workload: the same
+// fixpoint computed with the dependency scheduler on vs off, with an
+// in-bench bit-identity check (every scheduled run must reproduce the
+// unscheduled database and step counts exactly, or the bench aborts).
+// Emits BENCH_scheduler.json with per-config times, the on/off speedup,
+// and the scheduler counters (rules_considered / rules_skipped / strata /
+// pipeline_stages) that explain it: a kilorule step affects a handful of
+// rules, so the unscheduled evaluator's per-step all-rules affectedness
+// scan dominates and the watcher index removes it (docs/SCHEDULER.md).
+//
+//   bench_scheduler [--smoke] [output.json]  (default: BENCH_scheduler.json)
+//
+// --smoke shrinks the program and skips the speedup gate so CI can
+// exercise the full path (including the JSON schema) in a second; the
+// timings of a smoke run are meaningless and the JSON says so.
+//
+// Non-smoke runs gate on kilorule delta_filtered@1: scheduler-on must be
+// >= 3x faster than scheduler-off, or the bench exits non-zero.
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "park/park.h"
+#include "util/string_util.h"
+#include "workload/kilorule_gen.h"
+
+namespace park {
+namespace {
+
+struct ConfigResult {
+  const char* gamma_mode = "delta_filtered";
+  int threads = 1;
+  double off_ms = 0;
+  double on_ms = 0;
+  double speedup = 1.0;  // off / on
+  size_t gamma_steps = 0;
+  // Scheduler counters of the scheduled run.
+  size_t rules_considered = 0;
+  size_t rules_skipped = 0;
+  size_t strata = 0;
+  size_t pipeline_stages = 0;
+  // The same counter from the unscheduled run, for contrast.
+  size_t off_rules_considered = 0;
+};
+
+ParkResult RunOnce(const Workload& w, GammaMode mode, int threads,
+                   SchedulerMode scheduler, double* elapsed_ms) {
+  ParkOptions options;
+  options.gamma_mode = mode;
+  options.num_threads = threads;
+  options.scheduler_mode = scheduler;
+  auto start = std::chrono::steady_clock::now();
+  auto result = Park(w.program, w.database, options);
+  auto end = std::chrono::steady_clock::now();
+  PARK_CHECK(result.ok()) << result.status().ToString();
+  *elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return std::move(*result);
+}
+
+ConfigResult RunConfig(const Workload& w, const char* mode_name,
+                       GammaMode mode, int threads, int repetitions) {
+  ConfigResult config;
+  config.gamma_mode = mode_name;
+  config.threads = threads;
+  double best_off = -1;
+  double best_on = -1;
+  std::string off_db;
+  size_t off_steps = 0;
+  // All unscheduled reps first, then all scheduled reps: interleaving the
+  // two leaves each timed run with the other's allocator/cache wake, which
+  // measurably inflates the scheduled times. ToString checks stay outside
+  // the timed region either way (RunOnce times Park() only).
+  for (int rep = 0; rep < repetitions; ++rep) {
+    double ms = 0;
+    ParkResult off = RunOnce(w, mode, threads, SchedulerMode::kOff, &ms);
+    if (best_off < 0 || ms < best_off) best_off = ms;
+    if (rep == 0) {
+      off_db = off.database.ToString();
+      off_steps = off.stats.gamma_steps;
+    }
+    config.off_rules_considered = off.stats.sched_rules_considered;
+  }
+  for (int rep = 0; rep < repetitions; ++rep) {
+    double ms = 0;
+    ParkResult on =
+        RunOnce(w, mode, threads, SchedulerMode::kDependency, &ms);
+    if (best_on < 0 || ms < best_on) best_on = ms;
+    // The whole point: scheduling must be bit-identical, every run.
+    PARK_CHECK(on.database.ToString() == off_db)
+        << mode_name << "@" << threads
+        << ": scheduled database differs from the unscheduled result";
+    PARK_CHECK(on.stats.gamma_steps == off_steps)
+        << mode_name << "@" << threads
+        << ": scheduled run took a different number of steps";
+    config.gamma_steps = on.stats.gamma_steps;
+    config.rules_considered = on.stats.sched_rules_considered;
+    config.rules_skipped = on.stats.sched_rules_skipped;
+    config.strata = on.stats.sched_strata;
+    config.pipeline_stages = on.stats.sched_pipeline_stages;
+  }
+  config.off_ms = best_off;
+  config.on_ms = best_on;
+  config.speedup = best_on > 0 ? best_off / best_on : 1.0;
+  std::printf(
+      "  %-16s threads=%d  off %8.2f ms  on %8.2f ms  speedup %.2fx  "
+      "(considered %zu vs %zu, %zu strata)\n",
+      mode_name, threads, best_off, best_on, config.speedup,
+      config.rules_considered, config.off_rules_considered, config.strata);
+  return config;
+}
+
+std::string ToJson(const std::string& case_name, size_t rules,
+                   const std::vector<ConfigResult>& configs, bool smoke,
+                   const char* gate) {
+  JsonWriter w = bench::BeginBenchJson("park-bench-scheduler-v1");
+  w.Key("smoke").Bool(smoke);
+  w.Key("bit_identical").Bool(true);
+  // kilorule delta_filtered@1 >= 3x gate: "passed", or "skipped" in
+  // smoke mode (tiny program, timings meaningless).
+  w.Key("gate").String(gate);
+  w.Key("cases").BeginArray();
+  w.BeginObject();
+  w.Key("name").String(case_name);
+  w.Key("rules").UInt(rules);
+  w.Key("configs").BeginArray();
+  for (const ConfigResult& c : configs) {
+    w.BeginObject();
+    w.Key("gamma_mode").String(c.gamma_mode);
+    w.Key("threads").Int(c.threads);
+    w.Key("scheduler_off_ms").Double(c.off_ms);
+    w.Key("scheduler_on_ms").Double(c.on_ms);
+    w.Key("speedup").Double(c.speedup);
+    w.Key("gamma_steps").UInt(c.gamma_steps);
+    w.Key("rules_considered").UInt(c.rules_considered);
+    w.Key("rules_skipped").UInt(c.rules_skipped);
+    w.Key("strata").UInt(c.strata);
+    w.Key("pipeline_stages").UInt(c.pipeline_stages);
+    w.Key("off_rules_considered").UInt(c.off_rules_considered);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_scheduler.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  // The kilorule shape: >= 1000 rules, ~`levels` Γ steps each affecting
+  // `chains` rules — per-step rule selection is the whole cost. The
+  // unscheduled scan term grows with steps * rules (quadratic in
+  // `levels`) while evaluation and one-time plan compilation grow
+  // linearly, so deep-and-thin maximizes the contrast. Smoke mode
+  // shrinks the program an order of magnitude.
+  const int chains = smoke ? 4 : 8;
+  const int levels = smoke ? 32 : 768;
+  const int facts = 1;
+  Workload w = MakeKiloruleWorkload(chains, levels, facts);
+  const int repetitions = smoke ? 1 : 3;
+
+  std::printf("bench_scheduler: %s%s\n", w.description.c_str(),
+              smoke ? " [smoke mode: timings meaningless]" : "");
+
+  std::vector<ConfigResult> configs;
+  configs.push_back(RunConfig(w, "delta_filtered", GammaMode::kDeltaFiltered,
+                              /*threads=*/1, repetitions));
+  configs.push_back(RunConfig(w, "semi_naive", GammaMode::kSemiNaive,
+                              /*threads=*/1, repetitions));
+  if (smoke) {
+    // Smoke always includes a pooled config: it drives the staged
+    // parallel dispatch (one pool section per stratum group) regardless
+    // of host width, which is what the CI TSan run is after.
+    configs.push_back(RunConfig(w, "delta_filtered",
+                                GammaMode::kDeltaFiltered,
+                                /*threads=*/2, repetitions));
+  } else if (std::thread::hardware_concurrency() >= 4) {
+    configs.push_back(RunConfig(w, "delta_filtered",
+                                GammaMode::kDeltaFiltered,
+                                /*threads=*/4, repetitions));
+  }
+
+  const char* gate = "skipped";
+  if (!smoke) {
+    const ConfigResult& headline = configs[0];  // delta_filtered@1
+    if (headline.speedup < 3.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: kilorule delta_filtered@1 scheduler "
+                   "speedup %.2fx (want >= 3x)\n",
+                   headline.speedup);
+      return 1;
+    }
+    gate = "passed";
+  }
+
+  std::string case_name = StrFormat("kilorule_%dx%d", chains, levels);
+  if (!bench::WriteBenchJson(
+          out_path,
+          ToJson(case_name, w.program.size(), configs, smoke, gate))) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace park
+
+int main(int argc, char** argv) { return park::Main(argc, argv); }

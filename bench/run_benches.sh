@@ -90,6 +90,13 @@ done
 if [[ -x "${bench_dir}/bench_parallel" ]]; then
   run_bench bench_parallel "${out_dir}/BENCH_parallel.json" \
     "${bench_dir}/bench_parallel" "${out_dir}/BENCH_parallel.json"
+  # The payroll@4 regression gate only runs with >= 4 hardware threads;
+  # the JSON records the skip and a clean exit must not hide it.
+  if grep -q '"gate": "skipped"' "${out_dir}/BENCH_parallel.json" 2>/dev/null; then
+    echo "notice: bench_parallel payroll@4 regression gate was SKIPPED" \
+         "(host has ${hw_threads} hardware thread(s)); BENCH_parallel.json" \
+         "records gate=skipped — this is not a pass" >&2
+  fi
 fi
 
 # Cost-based planner vs the static heuristic (skewed and control cases).
@@ -109,6 +116,14 @@ fi
 if [[ -x "${bench_dir}/bench_columnar" ]]; then
   run_bench bench_columnar "${out_dir}/BENCH_columnar.json" \
     "${bench_dir}/bench_columnar" "${out_dir}/BENCH_columnar.json"
+fi
+
+# Delta-driven Γ scheduling on the kilorule workload (scheduler on vs
+# off, in-run bit-identity check, >= 3x speedup gate on the non-smoke
+# delta_filtered@1 config).
+if [[ -x "${bench_dir}/bench_scheduler" ]]; then
+  run_bench bench_scheduler "${out_dir}/BENCH_scheduler.json" \
+    "${bench_dir}/bench_scheduler" "${out_dir}/BENCH_scheduler.json"
 fi
 
 if ((${#failed[@]} > 0)); then

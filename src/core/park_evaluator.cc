@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 
+#include "engine/rule_graph.h"
 #include "util/cancellation.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -34,6 +35,14 @@ const char* ExecModeName(ExecMode mode) {
   switch (mode) {
     case ExecMode::kTuple: return "tuple";
     case ExecMode::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+const char* SchedulerModeName(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kOff: return "off";
+    case SchedulerMode::kDependency: return "dependency";
   }
   return "unknown";
 }
@@ -199,6 +208,13 @@ std::string ParkStats::ToJson() const {
   w.Key("estimated_rows").UInt(planner_estimated_rows);
   w.Key("actual_rows").UInt(planner_actual_rows);
   w.EndObject();
+  w.Key("scheduler").BeginObject();
+  w.Key("mode").String(SchedulerModeName(scheduler_mode));
+  w.Key("rules_considered").UInt(sched_rules_considered);
+  w.Key("rules_skipped").UInt(sched_rules_skipped);
+  w.Key("strata").UInt(sched_strata);
+  w.Key("pipeline_stages").UInt(sched_pipeline_stages);
+  w.EndObject();
   w.Key("resource").BeginObject();
   w.Key("memory_limit_bytes").UInt(memory_limit_bytes);
   w.Key("peak_memory_bytes").UInt(peak_memory_bytes);
@@ -281,6 +297,18 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       parallel_state.has_value() ? &*parallel_state : nullptr;
   stats.num_threads = static_cast<size_t>(num_threads);
   stats.planner_mode = options.planner_mode;
+  stats.scheduler_mode = options.scheduler_mode;
+  // The dependency graph behind delta-driven scheduling, built once per
+  // evaluation. Naive Γ matches every rule every step by definition, so
+  // the graph would never be consulted — skip building it.
+  std::optional<RuleDependencyGraph> graph_state;
+  if (options.scheduler_mode == SchedulerMode::kDependency &&
+      mode != GammaMode::kNaive) {
+    graph_state.emplace(program);
+    stats.sched_strata = graph_state->num_strata();
+  }
+  const RuleDependencyGraph* graph =
+      graph_state.has_value() ? &*graph_state : nullptr;
   const ExecMode exec = options.exec_mode;
   stats.exec_mode = exec;
   ExecStats exec_stats;
@@ -329,12 +357,12 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       case GammaMode::kDeltaFiltered:
         gamma = ComputeGammaFiltered(program, blocked, interp, delta,
                                      parallel, &plans, cancel, exec,
-                                     &exec_stats);
+                                     &exec_stats, graph);
         break;
       case GammaMode::kSemiNaive:
         gamma = ComputeGammaSemiNaive(program, blocked, interp, delta_atoms,
                                       parallel, &plans, cancel, exec,
-                                      &exec_stats);
+                                      &exec_stats, graph);
         break;
     }
     if (timed) {
@@ -350,6 +378,9 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       if (cancel->Check()) return cancel->ToStatus();
     }
     stats.rule_evaluations += gamma.rules_evaluated;
+    stats.sched_rules_considered += gamma.rules_considered;
+    stats.sched_rules_skipped += gamma.rules_skipped;
+    stats.sched_pipeline_stages += gamma.pipeline_stages;
     observer.Notify([&](RunObserver& o) {
       o.OnGammaSection(GammaSectionInfo{
           step, gamma.rules_evaluated, gamma.derivations.size(),
@@ -404,6 +435,9 @@ Result<ParkResult> Park(const Program& program, const Database& db,
       }
       if (cancel != nullptr && cancel->Check()) return cancel->ToStatus();
       stats.rule_evaluations += gamma.rules_evaluated;
+      stats.sched_rules_considered += gamma.rules_considered;
+      stats.sched_rules_skipped += gamma.rules_skipped;
+      stats.sched_pipeline_stages += gamma.pipeline_stages;
       observer.Notify([&](RunObserver& o) {
         o.OnGammaSection(GammaSectionInfo{
             step, gamma.rules_evaluated, gamma.derivations.size(),

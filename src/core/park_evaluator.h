@@ -60,6 +60,24 @@ enum class GammaMode {
   kSemiNaive,
 };
 
+/// Whether Γ steps are driven through the program's rule/predicate
+/// dependency graph (docs/SCHEDULER.md). Like the planner and exec modes
+/// this is a pure performance knob: the scheduled evaluation produces
+/// bit-identical results for any fixed configuration (asserted in
+/// scheduler_oracle_test), so kDependency is the default.
+enum class SchedulerMode {
+  /// Legacy per-step behavior: delta-filtered Γ scans every rule for
+  /// affectedness, semi-naive crosses every rule's body with the delta.
+  kOff,
+  /// Build a RuleDependencyGraph once per evaluation and use its watcher
+  /// index to reach the affected rules in O(|changed predicates|), quick-
+  /// exit steps whose delta wakes no rule, and (delta-filtered, parallel)
+  /// dispatch the affected rules stratum by stratum with per-stage plan
+  /// prewarm. Naive Γ mode matches everything by definition and ignores
+  /// the scheduler.
+  kDependency,
+};
+
 /// Evaluation parameters. Default-constructed options use the principle
 /// of inertia and no tracing.
 struct ParkOptions {
@@ -138,6 +156,11 @@ struct ParkOptions {
   /// (and fixed other options) results are bit-identical across runs and
   /// thread counts.
   PlannerMode planner_mode = PlannerMode::kCostBased;
+  /// Delta-driven Γ scheduling over the rule dependency graph (see
+  /// SchedulerMode above and docs/SCHEDULER.md). Never affects results,
+  /// only how fast sparse deltas find their rules; `parkcli --scheduler
+  /// on|off` exposes it and bench_scheduler quantifies it.
+  SchedulerMode scheduler_mode = SchedulerMode::kDependency;
   /// Observation hooks at the loop's structural points (see
   /// core/observer.h). Not owned; must outlive the evaluation. Null means
   /// no observation (each hook site is then a single branch). A free
@@ -214,6 +237,21 @@ struct ParkStats {
   /// of actually enumerated stream rows — the cost model's calibration.
   size_t planner_estimated_rows = 0;
   size_t planner_actual_rows = 0;
+  // Scheduler counters (see ParkOptions::scheduler_mode and
+  // docs/SCHEDULER.md), summed over every Γ call of the run. Thread- and
+  // schedule-partition-invariant: the affected set and its stage
+  // structure are properties of the delta, never of the pool.
+  // `sched_rules_considered` counts rules examined for affectedness
+  // (program size per scan-mode step, watcher hits per scheduled step,
+  // 0 on quick-exited steps); `sched_rules_skipped` counts rules not
+  // matched; `sched_strata` is the static stratum count of the program's
+  // dependency graph (0 with the scheduler off); `sched_pipeline_stages`
+  // sums the per-step stratum groups among scheduled rules.
+  SchedulerMode scheduler_mode = SchedulerMode::kDependency;
+  size_t sched_rules_considered = 0;
+  size_t sched_rules_skipped = 0;
+  size_t sched_strata = 0;
+  size_t sched_pipeline_stages = 0;
   // Resource-governance counters (see ParkOptions::{deadline_ms,
   // max_memory_bytes, max_derivations, cancel} and docs/ROBUSTNESS.md).
   // The limits echo the options; peak_memory_bytes is the high-water mark
@@ -260,6 +298,7 @@ struct ParkStats {
   ///    "counters": {...},   // deterministic: identical across threads
   ///    "parallel": {...},   // partitioning-dependent pool counters
   ///    "planner": {...},    // join-planner counters (deterministic)
+  ///    "scheduler": {...},  // Γ-scheduler counters (docs/SCHEDULER.md)
   ///    "resource": {...},   // budgets armed + peaks (docs/ROBUSTNESS.md)
   ///    "io_retry": {...},   // commit-pipeline retry counters
   ///    "storage": {...},    // columnar segment counters (docs/STORAGE.md)

@@ -57,6 +57,12 @@ ParkStepper::ParkStepper(const Program& program, const Database& db,
     parallel_.emplace(program_, num_threads, options_.min_slice_size);
     if (options_.collect_timings) parallel_->EnableTiming();
   }
+  stats_.scheduler_mode = options_.scheduler_mode;
+  if (options_.scheduler_mode == SchedulerMode::kDependency &&
+      options_.gamma_mode != GammaMode::kNaive) {
+    graph_.emplace(program_);
+    stats_.sched_strata = graph_->num_strata();
+  }
   if (options_.observer != nullptr) {
     plans_.set_compile_listener([this](const PlanExplanation& explanation) {
       observer_.Notify(
@@ -144,13 +150,15 @@ Result<StepOutcome> ParkStepper::Step() {
     case GammaMode::kDeltaFiltered:
       gamma = ComputeGammaFiltered(program_, blocked_, interp_, delta_,
                                    parallel, &plans_, cancel_,
-                                   options_.exec_mode, &exec_stats_);
+                                   options_.exec_mode, &exec_stats_,
+                                   graph_.has_value() ? &*graph_ : nullptr);
       break;
     case GammaMode::kSemiNaive:
       gamma = ComputeGammaSemiNaive(program_, blocked_, interp_,
                                     delta_atoms_, parallel, &plans_,
                                     cancel_, options_.exec_mode,
-                                    &exec_stats_);
+                                    &exec_stats_,
+                                    graph_.has_value() ? &*graph_ : nullptr);
       break;
   }
   if (timed) {
@@ -168,6 +176,9 @@ Result<StepOutcome> ParkStepper::Step() {
     }
   }
   stats_.rule_evaluations += gamma.rules_evaluated;
+  stats_.sched_rules_considered += gamma.rules_considered;
+  stats_.sched_rules_skipped += gamma.rules_skipped;
+  stats_.sched_pipeline_stages += gamma.pipeline_stages;
   RefreshParallelStats();
   RefreshPlannerStats();
   RefreshResourceStats();
@@ -234,6 +245,9 @@ Result<StepOutcome> ParkStepper::Step() {
       }
     }
     stats_.rule_evaluations += gamma.rules_evaluated;
+    stats_.sched_rules_considered += gamma.rules_considered;
+    stats_.sched_rules_skipped += gamma.rules_skipped;
+    stats_.sched_pipeline_stages += gamma.pipeline_stages;
     RefreshParallelStats();
     RefreshPlannerStats();
     RefreshResourceStats();

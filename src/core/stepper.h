@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/park_evaluator.h"
+#include "engine/rule_graph.h"
 #include "util/cancellation.h"
 
 namespace park {
@@ -83,6 +84,10 @@ class ParkStepper {
   PolicyPtr policy_;
   /// Engaged iff options_.num_threads resolves to > 1.
   std::optional<ParallelGamma> parallel_;
+  /// Delta-driven Γ scheduling (see ParkOptions::scheduler_mode and
+  /// docs/SCHEDULER.md). Engaged iff the scheduler is on and the Γ mode
+  /// can use it (naive matches everything by definition).
+  std::optional<RuleDependencyGraph> graph_;
   /// Compiled rule plans shared by every Γ section of this evaluation
   /// (see ParkOptions::planner_mode); its counters fold into stats_.
   PlanCache plans_;

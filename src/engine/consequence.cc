@@ -1,7 +1,9 @@
 #include "engine/consequence.h"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "engine/rule_graph.h"
 #include "util/cancellation.h"
 #include "util/metrics.h"
 
@@ -377,6 +379,7 @@ GammaResult ComputeGamma(const Program& program, const BlockedSet& blocked,
       ++result.rules_evaluated;
     }
   }
+  result.rules_considered = program.size();
   AnalyzeDerivations(interp, result);
   return result;
 }
@@ -414,15 +417,74 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  ParallelGamma* parallel,
                                  PlanCache* plans,
                                  CancellationToken* cancel, ExecMode exec,
-                                 ExecStats* exec_stats) {
+                                 ExecStats* exec_stats,
+                                 const RuleDependencyGraph* graph) {
   GammaResult result;
   CompactForBatch(interp, exec);
   std::vector<const Rule*> affected;
-  affected.reserve(program.size());
-  for (const Rule& rule : program.rules()) {
-    if (RuleIsAffected(rule, delta)) affected.push_back(&rule);
+  std::vector<std::vector<int>> stages;
+  if (graph != nullptr) {
+    // Scheduled path: the watcher index yields {r : RuleIsAffected(r,
+    // delta)} — same set, same program order — in O(|changed predicates|)
+    // instead of the all-rules scan below.
+    GammaSchedule schedule = graph->Schedule(delta);
+    result.rules_considered = schedule.rules.size();
+    result.pipeline_stages = schedule.stages.size();
+    if (schedule.rules.empty()) {
+      // Quick exit: no watched predicate changed, so Γ restricted to
+      // affected rules is empty — an O(1) no-op step that never touches
+      // the pool, the plan cache, or the derivation analysis
+      // (stepper_test pins this with the scheduler counters).
+      result.rules_skipped = program.size();
+      result.consistent = true;
+      return result;
+    }
+    affected.reserve(schedule.rules.size());
+    for (int r : schedule.rules) affected.push_back(&program.rule(r));
+    stages = std::move(schedule.stages);
+  } else {
+    affected.reserve(program.size());
+    for (const Rule& rule : program.rules()) {
+      if (RuleIsAffected(rule, delta)) affected.push_back(&rule);
+    }
+    result.rules_considered = program.size();
   }
-  if (parallel != nullptr && !affected.empty()) {
+  result.rules_skipped = program.size() - affected.size();
+  if (parallel != nullptr && stages.size() > 1) {
+    // Pipelined dispatch: one pool section per stratum group, each with
+    // its own plan fetch + index prewarm (inside MatchRulesParallel), so
+    // a deep program warms the cache stage by stage instead of
+    // front-loading every rule's plan. Every rule lives in exactly one
+    // stage and every stage keeps program order internally, so walking
+    // the affected list while draining each stage's buffer by rule index
+    // reassembles the exact unstaged derivation order.
+    std::vector<std::vector<Derivation>> stage_out(stages.size());
+    std::unordered_map<int, size_t> stage_of;
+    for (size_t s = 0; s < stages.size(); ++s) {
+      for (int r : stages[s]) stage_of.emplace(r, s);
+    }
+    for (size_t s = 0; s < stages.size(); ++s) {
+      if (cancel != nullptr && cancel->fired()) break;
+      std::vector<const Rule*> stage_rules;
+      stage_rules.reserve(stages[s].size());
+      for (int r : stages[s]) stage_rules.push_back(&program.rule(r));
+      MatchRulesParallel(stage_rules, blocked, interp, *parallel, plans,
+                         stage_out[s], cancel, exec, exec_stats);
+    }
+    std::vector<size_t> cursor(stages.size(), 0);
+    size_t total = 0;
+    for (const auto& buffer : stage_out) total += buffer.size();
+    result.derivations.reserve(total);
+    for (const Rule* rule : affected) {
+      const size_t s = stage_of.at(rule->index());
+      std::vector<Derivation>& buffer = stage_out[s];
+      size_t& c = cursor[s];
+      while (c < buffer.size() &&
+             buffer[c].grounding.rule_index() == rule->index()) {
+        result.derivations.push_back(std::move(buffer[c++]));
+      }
+    }
+  } else if (parallel != nullptr && !affected.empty()) {
     MatchRulesParallel(affected, blocked, interp, *parallel, plans,
                        result.derivations, cancel, exec, exec_stats);
   } else {
@@ -451,12 +513,43 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   ParallelGamma* parallel,
                                   PlanCache* plans,
                                   CancellationToken* cancel, ExecMode exec,
-                                  ExecStats* exec_stats) {
+                                  ExecStats* exec_stats,
+                                  const RuleDependencyGraph* graph) {
   if (delta.initial) {
     return ComputeGamma(program, blocked, interp, parallel, plans, cancel,
                         exec, exec_stats);
   }
+  GammaResult result;
   CompactForBatch(interp, exec);
+
+  // With a dependency graph, collapse the delta atoms to their changed
+  // predicates and let the watcher index name the rules that can hold a
+  // seed — task building then iterates those rules only, instead of
+  // crossing every rule's body with the delta. The rules come back in
+  // program order and the inner loops below are unchanged, so the task
+  // list (hence the derivation list) is bit-identical to the full scan's.
+  GammaSchedule schedule;
+  if (graph != nullptr) {
+    DeltaState changed;
+    changed.initial = false;
+    for (const GroundAtom& atom : delta.plus) {
+      changed.plus_changed.insert(atom.predicate());
+    }
+    for (const GroundAtom& atom : delta.minus) {
+      changed.minus_changed.insert(atom.predicate());
+    }
+    schedule = graph->Schedule(changed);
+    result.rules_considered = schedule.rules.size();
+    result.pipeline_stages = schedule.stages.size();
+    if (schedule.rules.empty()) {
+      // Quick exit — see ComputeGammaFiltered.
+      result.rules_skipped = program.size();
+      result.consistent = true;
+      return result;
+    }
+  } else {
+    result.rules_considered = program.size();
+  }
 
   // Enumerate the (rule, seed literal, seed atom) completions to run.
   // Listing them up front (in the same nested order the sequential loop
@@ -469,7 +562,7 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
   };
   std::vector<SeedTask> tasks;
   size_t rules_evaluated = 0;
-  for (const Rule& rule : program.rules()) {
+  auto seed_rule = [&](const Rule& rule) {
     bool evaluated = false;
     for (size_t i = 0; i < rule.body().size(); ++i) {
       const BodyLiteral& lit = rule.body()[i];
@@ -491,10 +584,15 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
       }
     }
     if (evaluated) ++rules_evaluated;
+  };
+  if (graph != nullptr) {
+    for (int r : schedule.rules) seed_rule(program.rule(r));
+  } else {
+    for (const Rule& rule : program.rules()) seed_rule(rule);
   }
 
-  GammaResult result;
   result.rules_evaluated = rules_evaluated;
+  result.rules_skipped = program.size() - rules_evaluated;
 
   // With a plan cache, fetch every task's Δ-seeded plan up front on the
   // coordinator (tasks sharing a (rule, literal) hit the cache) so the

@@ -37,6 +37,8 @@
 
 namespace park {
 
+class RuleDependencyGraph;  // engine/rule_graph.h
+
 /// One firing: the grounding (r, θ), the head action it commands, and the
 /// ground head atom.
 struct Derivation {
@@ -65,6 +67,19 @@ struct GammaResult {
   /// Number of rules whose bodies were actually matched (= program size
   /// for ComputeGamma; possibly fewer for ComputeGammaFiltered).
   size_t rules_evaluated = 0;
+
+  // Scheduler counters (docs/SCHEDULER.md). `rules_considered` counts
+  // rules this Γ call examined for affectedness: the whole program on the
+  // scan paths, only the watcher hits with a RuleDependencyGraph, and 0
+  // on a quick-exited empty schedule. `rules_skipped` is the complement
+  // of the rules matched (program size - rules_evaluated).
+  // `pipeline_stages` is the number of strata groups among the scheduled
+  // rules — with a graph and a thread pool, the number of pool sections
+  // the delta-filtered call dispatched; 0 on unscheduled calls. All three
+  // are schedule properties, invariant across thread counts.
+  size_t rules_considered = 0;
+  size_t rules_skipped = 0;
+  size_t pipeline_stages = 0;
 };
 
 /// Default for ParkOptions::min_slice_size / ParallelGamma: small enough
@@ -203,6 +218,16 @@ bool RuleIsAffected(const Rule& rule, const DeltaState& delta);
 
 /// Γ(P,B)(I) restricted to affected rules. `rules_evaluated` in the result
 /// counts the rules actually matched.
+///
+/// `graph` (here and in ComputeGammaSemiNaive) is the program's optional
+/// dependency analysis (engine/rule_graph.h). With it, the affected set
+/// comes from the watcher index in O(|changed predicates|) instead of the
+/// all-rules RuleIsAffected scan — the same set, in the same order, so
+/// the derivation list is bit-identical — an empty schedule quick-exits
+/// without touching the pool or the plan cache, and the parallel path
+/// dispatches the affected rules stratum by stratum, prewarming each
+/// stage's plans separately and merging the stage buffers back into
+/// program order. nullptr keeps the legacy scan.
 GammaResult ComputeGammaFiltered(const Program& program,
                                  const BlockedSet& blocked,
                                  const IInterpretation& interp,
@@ -211,7 +236,8 @@ GammaResult ComputeGammaFiltered(const Program& program,
                                  PlanCache* plans = nullptr,
                                  CancellationToken* cancel = nullptr,
                                  ExecMode exec = ExecMode::kTuple,
-                                 ExecStats* exec_stats = nullptr);
+                                 ExecStats* exec_stats = nullptr,
+                                 const RuleDependencyGraph* graph = nullptr);
 
 /// ApplyDerivations variant that also records, into `next_delta`, which
 /// predicates gained new marks (for the next filtered step).
@@ -257,7 +283,8 @@ GammaResult ComputeGammaSemiNaive(const Program& program,
                                   PlanCache* plans = nullptr,
                                   CancellationToken* cancel = nullptr,
                                   ExecMode exec = ExecMode::kTuple,
-                                  ExecStats* exec_stats = nullptr);
+                                  ExecStats* exec_stats = nullptr,
+                                  const RuleDependencyGraph* graph = nullptr);
 
 /// ApplyDerivations variant recording the newly marked atoms themselves.
 size_t ApplyDerivationsTrackedAtoms(

@@ -12,15 +12,27 @@
 
 #include "core/park_evaluator.h"
 #include "workload/graph_gen.h"
+#include "workload/kilorule_gen.h"
 
 namespace park {
 namespace {
 
 /// The "counters" object of a park-stats-v1 document (emission order is
-/// fixed: counters, then parallel, then timings).
+/// fixed: counters, parallel, planner, scheduler, then timings last).
 std::string CountersSection(const std::string& json) {
   size_t begin = json.find("\"counters\"");
   size_t end = json.find("\"parallel\"");
+  EXPECT_NE(begin, std::string::npos);
+  EXPECT_NE(end, std::string::npos);
+  return json.substr(begin, end - begin);
+}
+
+/// The "planner" object — thread- AND schedule-invariant: the scheduler
+/// prunes rules the affectedness scan would have skipped anyway, so plan
+/// fetches, replans, and row estimates must not see it.
+std::string PlannerSection(const std::string& json) {
+  size_t begin = json.find("\"planner\"");
+  size_t end = json.find("\"scheduler\"");
   EXPECT_NE(begin, std::string::npos);
   EXPECT_NE(end, std::string::npos);
   return json.substr(begin, end - begin);
@@ -78,6 +90,68 @@ TEST(StatsInvarianceTest, FieldLevelCountersMatchToo) {
   EXPECT_EQ(ra->stats.derived_marks, rb->stats.derived_marks);
   EXPECT_EQ(ra->stats.policy_invocations, rb->stats.policy_invocations);
   EXPECT_EQ(ra->stats.rule_evaluations, rb->stats.rule_evaluations);
+}
+
+TEST(StatsInvarianceTest, PlannerCountersInvariantAcrossScheduler) {
+  // The drift-envelope replan statistics (and every other planner
+  // counter) must not count scheduler-pruned rules: a pruned rule is one
+  // the scan path would not have evaluated either, so the plan cache
+  // sees the same Get/compile/replan sequence whether the watcher index
+  // or the per-step scan selected the work — at any thread count.
+  Workload w = MakeKiloruleWorkload(/*chains=*/4, /*levels=*/12,
+                                    /*facts=*/2);
+  for (GammaMode mode :
+       {GammaMode::kDeltaFiltered, GammaMode::kSemiNaive}) {
+    ParkOptions reference;
+    reference.gamma_mode = mode;
+    reference.scheduler_mode = SchedulerMode::kOff;
+    reference.num_threads = 1;
+    auto ref = Park(w.program, w.database, reference);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    const std::string ref_json = ref->stats.ToJson();
+    const std::string ref_planner = PlannerSection(ref_json);
+    const std::string ref_counters = CountersSection(ref_json);
+
+    for (int threads : {1, 4}) {
+      ParkOptions scheduled = reference;
+      scheduled.scheduler_mode = SchedulerMode::kDependency;
+      scheduled.num_threads = threads;
+      auto run = Park(w.program, w.database, scheduled);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      const std::string json = run->stats.ToJson();
+      EXPECT_EQ(PlannerSection(json), ref_planner)
+          << "gamma mode " << static_cast<int>(mode) << " at " << threads
+          << " thread(s): planner counters must not see the scheduler";
+      EXPECT_EQ(CountersSection(json), ref_counters);
+      EXPECT_EQ(run->stats.plans_compiled, ref->stats.plans_compiled);
+      EXPECT_EQ(run->stats.plan_cache_hits, ref->stats.plan_cache_hits);
+      EXPECT_EQ(run->stats.plan_replans, ref->stats.plan_replans);
+      EXPECT_EQ(run->stats.planner_estimated_rows,
+                ref->stats.planner_estimated_rows);
+      EXPECT_EQ(run->stats.planner_actual_rows,
+                ref->stats.planner_actual_rows);
+    }
+  }
+}
+
+TEST(StatsInvarianceTest, SchedulerCountersInvariantAcrossThreads) {
+  // The scheduler block itself reflects the schedule, not the machine:
+  // considered/skipped/strata/pipeline_stages agree at 1 and 4 threads.
+  Workload w = MakeKiloruleWorkload(/*chains=*/4, /*levels=*/8,
+                                    /*facts=*/2);
+  ParkOptions a;
+  a.num_threads = 1;
+  ParkOptions b;
+  b.num_threads = 4;
+  auto ra = Park(w.program, w.database, a);
+  auto rb = Park(w.program, w.database, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->stats.sched_rules_considered,
+            rb->stats.sched_rules_considered);
+  EXPECT_EQ(ra->stats.sched_rules_skipped, rb->stats.sched_rules_skipped);
+  EXPECT_EQ(ra->stats.sched_strata, rb->stats.sched_strata);
+  EXPECT_EQ(ra->stats.sched_pipeline_stages,
+            rb->stats.sched_pipeline_stages);
 }
 
 TEST(StatsInvarianceTest, TimingsAbsentUnlessRequested) {

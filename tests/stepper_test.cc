@@ -109,6 +109,47 @@ TEST(StepperTest, FinishAgreesWithBatchEvaluator) {
   }
 }
 
+TEST(StepperTest, EmptyWatchedDeltaQuickExits) {
+  // The last Γ step of any terminating chain has a delta nobody watches
+  // (the chain tip appears in no rule body). With the dependency
+  // scheduler that step is an O(1) no-op: the watcher lookup comes back
+  // empty and Γ returns before scanning, matching, or touching the plan
+  // cache — pinned here via sched_rules_considered, which must not grow
+  // on the quick-exited step.
+  auto symbols = MakeSymbolTable();
+  Program program = MustParseProgram(
+      "r1: a0 -> +a1. r2: a1 -> +a2. r3: a2 -> +a3.", symbols);
+  Database db = MustParseDatabase("a0.", symbols);
+  ParkOptions options;
+  options.gamma_mode = GammaMode::kDeltaFiltered;
+  options.scheduler_mode = SchedulerMode::kDependency;
+  ParkStepper stepper(program, db, options);
+  std::vector<size_t> considered;
+  while (!stepper.done()) {
+    ASSERT_TRUE(stepper.Step().ok());
+    considered.push_back(stepper.stats().sched_rules_considered);
+  }
+  ASSERT_GE(considered.size(), 2u);
+  EXPECT_EQ(considered.back(), considered[considered.size() - 2])
+      << "fixpoint-detecting step must consider zero rules";
+  // Every step still skipped the rest of the program.
+  EXPECT_GT(stepper.stats().sched_rules_skipped, 0u);
+
+  // Contrast: with the scheduler off, the same step scans the whole
+  // program to discover that nothing is affected.
+  options.scheduler_mode = SchedulerMode::kOff;
+  ParkStepper scanning(program, db, options);
+  std::vector<size_t> scanned;
+  while (!scanning.done()) {
+    ASSERT_TRUE(scanning.Step().ok());
+    scanned.push_back(scanning.stats().sched_rules_considered);
+  }
+  ASSERT_GE(scanned.size(), 2u);
+  EXPECT_EQ(scanned.back(), scanned[scanned.size() - 2] + program.size());
+  // Same fixpoint, same step count, either way.
+  EXPECT_EQ(stepper.stats().gamma_steps, scanning.stats().gamma_steps);
+}
+
 TEST(StepperTest, ErrorsMatchBatchSemantics) {
   auto symbols = MakeSymbolTable();
   Program program = MustParseProgram("p -> +a. p -> -a.", symbols);

@@ -11,6 +11,8 @@ Each FILE is dispatched on its "schema" tag:
   park-bench-planner-v1        -- bench_planner
   park-bench-paper-examples-v1 -- bench_paper_examples
   park-bench-columnar-v1       -- bench_columnar (tuple vs batch exec)
+  park-bench-scheduler-v1      -- bench_scheduler (dependency scheduler
+                                  on vs off on the kilorule workload)
 
 Exit status 0 iff every file parses and matches its schema. The checker
 is deliberately stdlib-only (json + sys) so it runs on a bare CI image;
@@ -88,6 +90,11 @@ PARK_STATS_STORAGE = [
 PARK_STATS_EXEC = [
     "batch_rows", "probe_rows", "merge_rows",
 ]
+# Dependency-scheduler accounting (docs/SCHEDULER.md): rules examined
+# for affectedness vs pruned, static stratum count, per-step stage sum.
+PARK_STATS_SCHEDULER = [
+    "rules_considered", "rules_skipped", "strata", "pipeline_stages",
+]
 
 # Every park-bench-*-v1 document shares the bench_json.h envelope, which
 # records the machine and build so a flat speedup curve (or a 1-core CI
@@ -106,6 +113,7 @@ def check_park_stats(errors, doc):
         ("counters", lambda v: isinstance(v, dict), "object"),
         ("parallel", lambda v: isinstance(v, dict), "object"),
         ("planner", lambda v: isinstance(v, dict), "object"),
+        ("scheduler", lambda v: isinstance(v, dict), "object"),
         ("resource", lambda v: isinstance(v, dict), "object"),
         ("io_retry", lambda v: isinstance(v, dict), "object"),
         ("storage", lambda v: isinstance(v, dict), "object"),
@@ -123,6 +131,12 @@ def check_park_stats(errors, doc):
     planner_spec += [(k, _is_int, "integer")
                      for k in PARK_STATS_PLANNER_COUNTERS]
     _check_keys(errors, "$.planner", doc.get("planner", {}), planner_spec)
+    scheduler_spec = [("mode", lambda v: v in ("off", "dependency"),
+                       '"off" or "dependency"')]
+    scheduler_spec += [(k, _is_int, "integer")
+                       for k in PARK_STATS_SCHEDULER]
+    _check_keys(errors, "$.scheduler", doc.get("scheduler", {}),
+                scheduler_spec)
     _check_keys(errors, "$.resource", doc.get("resource", {}),
                 [(k, _is_int, "integer") for k in PARK_STATS_RESOURCE])
     _check_keys(errors, "$.io_retry", doc.get("io_retry", {}),
@@ -156,6 +170,11 @@ def check_bench_parallel(errors, doc):
          '"park-bench-parallel-v1"'),
         ("smoke", lambda v: isinstance(v, bool), "bool"),
         ("bit_identical", lambda v: v is True, "true"),
+        # payroll@4 regression gate: "skipped" (recorded, not silent) on
+        # hosts without 4 hardware threads; a failed gate exits non-zero
+        # before any JSON is written, so "failed" never appears.
+        ("gate", lambda v: v in ("passed", "skipped"),
+         '"passed" or "skipped"'),
         ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
     ])
     for i, case in enumerate(doc.get("cases") or []):
@@ -263,12 +282,56 @@ def check_bench_columnar(errors, doc):
                         COLUMNAR_CONFIG_SPEC)
 
 
+SCHEDULER_CONFIG_SPEC = [
+    ("gamma_mode", lambda v: v in ("delta_filtered", "semi_naive"),
+     '"delta_filtered" or "semi_naive"'),
+    ("threads", _is_int, "integer"),
+    ("scheduler_off_ms", _is_num, "number"),
+    ("scheduler_on_ms", _is_num, "number"),
+    ("speedup", _is_num, "number"),
+    ("gamma_steps", _is_int, "integer"),
+    ("rules_considered", _is_int, "integer"),
+    ("rules_skipped", _is_int, "integer"),
+    ("strata", _is_int, "integer"),
+    ("pipeline_stages", _is_int, "integer"),
+    ("off_rules_considered", _is_int, "integer"),
+]
+
+
+def check_bench_scheduler(errors, doc):
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
+        ("schema", lambda v: v == "park-bench-scheduler-v1",
+         '"park-bench-scheduler-v1"'),
+        ("smoke", lambda v: isinstance(v, bool), "bool"),
+        ("bit_identical", lambda v: v is True, "true"),
+        # kilorule delta_filtered@1 speedup gate: "skipped" only in smoke
+        # mode; a failed gate exits non-zero before writing any JSON.
+        ("gate", lambda v: v in ("passed", "skipped"),
+         '"passed" or "skipped"'),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        where = f"$.cases[{i}]"
+        _check_keys(errors, where, case, [
+            ("name", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("rules", _is_int, "integer"),
+            ("configs", lambda v: isinstance(v, list) and v,
+             "non-empty array"),
+        ])
+        if not isinstance(case, dict):
+            continue
+        for j, config in enumerate(case.get("configs") or []):
+            _check_keys(errors, f"{where}.configs[{j}]", config,
+                        SCHEDULER_CONFIG_SPEC)
+
+
 CHECKERS = {
     "park-stats-v1": check_park_stats,
     "park-bench-parallel-v1": check_bench_parallel,
     "park-bench-planner-v1": check_bench_planner,
     "park-bench-paper-examples-v1": check_bench_paper_examples,
     "park-bench-columnar-v1": check_bench_columnar,
+    "park-bench-scheduler-v1": check_bench_scheduler,
 }
 
 
