@@ -1,0 +1,293 @@
+// SV — concurrent serving: group-commit throughput and snapshot-reader
+// behaviour of the Session front-end (docs/SERVING.md). W writer threads
+// hammer one durable Session while R reader threads take snapshots and
+// query them; the max_group_size sweep pits fsync-per-commit
+// (max_group_size = 1, the ActiveDatabase baseline behaviour) against
+// folded group commits, under the SAME durability setting — the whole
+// point of batching is that k transactions share one PARK firing and one
+// journal fsync.
+//
+//   bench_serve [--smoke] [output.json]   (default: BENCH_serving.json)
+//
+// Every configuration's final state is checked bit-identically against a
+// sequential single-threaded oracle committing the same updates — a
+// concurrency bug fails the bench, not just the numbers. --smoke shrinks
+// the run for CI (sync mode none, fewer commits) and skips the gate.
+//
+// Non-smoke runs gate on 8 writers under fsync: the largest
+// max_group_size configuration must be >= 2x the commits/sec of
+// max_group_size = 1, or the bench exits non-zero.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "eca/journal.h"
+#include "park/park.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+constexpr char kRules[] = R"(
+  onboard: +emp(X) -> +active(X).
+  cleanup: -emp(X), payroll(X, S) -> -payroll(X, S).
+)";
+
+struct ConfigResult {
+  size_t max_group_size = 1;
+  uint64_t commits = 0;
+  double wall_ms = 0;
+  double commits_per_sec = 0;
+  double mean_commit_latency_us = 0;
+  uint64_t batches = 0;
+  double mean_batch_size = 1.0;
+  uint64_t max_batch_size = 1;
+  uint64_t journal_records = 0;
+  uint64_t snapshot_reads = 0;
+  double throughput_vs_unbatched = 1.0;
+  std::string final_state;  // not serialized; the bit-identity check
+};
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      std::filesystem::temp_directory_path() / ("park_bench_" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const char* SyncModeName(JournalSyncMode mode) {
+  switch (mode) {
+    case JournalSyncMode::kNone: return "none";
+    case JournalSyncMode::kFlush: return "fdatasync";
+    case JournalSyncMode::kFsync: return "fsync";
+  }
+  return "?";
+}
+
+ConfigResult RunConfig(int writers, int readers, int commits_per_writer,
+                       JournalSyncMode sync_mode, size_t max_group_size) {
+  ConfigResult result;
+  result.max_group_size = max_group_size;
+
+  const std::string dir =
+      FreshDir(StrFormat("serve_g%zu", max_group_size));
+  Session::Params params;
+  params.rules = kRules;
+  params.sync_mode = sync_mode;
+  params.max_group_size = max_group_size;
+  auto session_or = Session::Open(dir, std::move(params));
+  PARK_CHECK(session_or.ok()) << session_or.status().ToString();
+  std::unique_ptr<Session> session = std::move(session_or).value();
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> latency_ns_total{0};
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < commits_per_writer; ++i) {
+        Transaction tx = session->Begin();
+        tx.Insert("emp", {StrFormat("w%d_%d", w, i)});
+        auto start = std::chrono::steady_clock::now();
+        auto report = std::move(tx).Commit();
+        auto end = std::chrono::steady_clock::now();
+        PARK_CHECK(report.ok()) << report.status().ToString();
+        latency_ns_total.fetch_add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                .count()));
+        committed.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!done.load(std::memory_order_acquire)) {
+        Snapshot snap = session->Snapshot();
+        auto hits = snap.Query("active(X)");
+        PARK_CHECK(hits.ok()) << hits.status().ToString();
+        reads.fetch_add(1);
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (int w = 0; w < writers; ++w) threads[w].join();
+  auto end = std::chrono::steady_clock::now();
+  done.store(true, std::memory_order_release);
+  for (size_t t = static_cast<size_t>(writers); t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  result.commits = committed.load();
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.commits_per_sec =
+      result.wall_ms > 0 ? 1000.0 * result.commits / result.wall_ms : 0;
+  result.mean_commit_latency_us =
+      result.commits > 0
+          ? latency_ns_total.load() / 1000.0 / result.commits
+          : 0;
+  result.snapshot_reads = reads.load();
+
+  ParkStats::ServingCounters counters = session->serving_stats();
+  result.batches = counters.batches;
+  result.mean_batch_size =
+      counters.batches > 0
+          ? static_cast<double>(counters.batched_txns) / counters.batches
+          : 1.0;
+  result.max_batch_size = counters.max_batch_size;
+  result.final_state = session->Snapshot().ToString();
+  session.reset();
+
+  auto records = TransactionJournal::ReadRecords(dir + "/journal.log",
+                                                 MakeSymbolTable());
+  PARK_CHECK(records.ok()) << records.status().ToString();
+  result.journal_records = records->size();
+  std::filesystem::remove_all(dir);
+
+  std::printf("  max_group_size=%-4zu %6llu commits in %8.1f ms  "
+              "%8.0f commits/s  mean batch %.2f  %llu journal record(s)  "
+              "%llu snapshot read(s)\n",
+              max_group_size,
+              static_cast<unsigned long long>(result.commits),
+              result.wall_ms, result.commits_per_sec,
+              result.mean_batch_size,
+              static_cast<unsigned long long>(result.journal_records),
+              static_cast<unsigned long long>(result.snapshot_reads));
+  return result;
+}
+
+/// Single-threaded oracle: the same inserts, committed one at a time in
+/// writer-major order, on a bare ActiveDatabase. Insert-only workload
+/// with per-writer-distinct atoms, so every interleaving reaches this
+/// same fixpoint — which is exactly what the bench asserts.
+std::string SequentialOracle(int writers, int commits_per_writer) {
+  ActiveDatabase db;
+  PARK_CHECK(db.LoadRules(kRules).ok());
+  for (int w = 0; w < writers; ++w) {
+    for (int i = 0; i < commits_per_writer; ++i) {
+      Transaction tx = db.Begin();
+      tx.Insert("emp", {StrFormat("w%d_%d", w, i)});
+      auto report = std::move(tx).Commit();
+      PARK_CHECK(report.ok()) << report.status().ToString();
+    }
+  }
+  return db.database().ToString();
+}
+
+std::string ToJson(int writers, int readers, JournalSyncMode sync_mode,
+                   const std::vector<ConfigResult>& configs, bool smoke,
+                   const char* gate) {
+  JsonWriter w = bench::BeginBenchJson("park-bench-serving-v1");
+  w.Key("smoke").Bool(smoke);
+  w.Key("bit_identical").Bool(true);
+  w.Key("gate").String(gate);
+  w.Key("cases").BeginArray();
+  w.BeginObject();
+  w.Key("name").String("payroll_onboard");
+  w.Key("writers").Int(writers);
+  w.Key("readers").Int(readers);
+  w.Key("sync_mode").String(SyncModeName(sync_mode));
+  w.Key("configs").BeginArray();
+  for (const ConfigResult& c : configs) {
+    w.BeginObject();
+    w.Key("max_group_size").UInt(c.max_group_size);
+    w.Key("commits").UInt(c.commits);
+    w.Key("wall_ms").Double(c.wall_ms);
+    w.Key("commits_per_sec").Double(c.commits_per_sec);
+    w.Key("mean_commit_latency_us").Double(c.mean_commit_latency_us);
+    w.Key("batches").UInt(c.batches);
+    w.Key("mean_batch_size").Double(c.mean_batch_size);
+    w.Key("max_batch_size").UInt(c.max_batch_size);
+    w.Key("journal_records").UInt(c.journal_records);
+    w.Key("snapshot_reads").UInt(c.snapshot_reads);
+    w.Key("throughput_vs_unbatched").Double(c.throughput_vs_unbatched);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const int writers = smoke ? 4 : 8;
+  const int readers = 2;
+  const int commits_per_writer = smoke ? 8 : 64;
+  const JournalSyncMode sync_mode =
+      smoke ? JournalSyncMode::kNone : JournalSyncMode::kFsync;
+
+  std::printf("bench_serve: %d writer(s) x %d commit(s), %d reader(s), "
+              "sync=%s%s\n",
+              writers, commits_per_writer, readers,
+              SyncModeName(sync_mode),
+              smoke ? " [smoke mode: timings meaningless]" : "");
+
+  const std::string oracle = SequentialOracle(writers, commits_per_writer);
+
+  std::vector<ConfigResult> configs;
+  for (size_t max_group_size : {size_t{1}, size_t{8}, size_t{64}}) {
+    configs.push_back(RunConfig(writers, readers, commits_per_writer,
+                                sync_mode, max_group_size));
+    // Concurrency must never show in the fixpoint: every configuration
+    // ends bit-identical to the sequential oracle.
+    PARK_CHECK(configs.back().final_state == oracle)
+        << "max_group_size=" << max_group_size
+        << ": served state diverges from the sequential oracle";
+  }
+  const double base = configs.front().commits_per_sec;
+  for (ConfigResult& c : configs) {
+    c.throughput_vs_unbatched = base > 0 ? c.commits_per_sec / base : 1.0;
+  }
+
+  const char* gate = "skipped";
+  if (!smoke) {
+    const double speedup = configs.back().throughput_vs_unbatched;
+    if (speedup < 2.0) {
+      std::fprintf(stderr,
+                   "REGRESSION: group commit at %d writers under fsync is "
+                   "%.2fx fsync-per-commit (want >= 2x)\n",
+                   writers, speedup);
+      return 1;
+    }
+    gate = "passed";
+  }
+
+  if (!bench::WriteBenchJson(
+          out_path,
+          ToJson(writers, readers, sync_mode, configs, smoke, gate))) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace park
+
+int main(int argc, char** argv) { return park::Main(argc, argv); }

@@ -126,6 +126,14 @@ if [[ -x "${bench_dir}/bench_scheduler" ]]; then
     "${bench_dir}/bench_scheduler" "${out_dir}/BENCH_scheduler.json"
 fi
 
+# Concurrent Session serving: group-commit throughput vs fsync-per-commit
+# at 8 writers under fsync (>= 2x gate), snapshot readers alongside, and
+# an in-run bit-identity check against a sequential oracle replay.
+if [[ -x "${bench_dir}/bench_serve" ]]; then
+  run_bench bench_serve "${out_dir}/BENCH_serving.json" \
+    "${bench_dir}/bench_serve" "${out_dir}/BENCH_serving.json"
+fi
+
 if ((${#failed[@]} > 0)); then
   echo "error: ${#failed[@]} bench(es) failed: ${failed[*]}" >&2
   exit 1

@@ -45,7 +45,12 @@ int main() {
   // rule priority sides with the transaction, because update seed rules
   // are appended after all program rules and so carry the highest default
   // priority.
-  db.SetPolicy(park::MakeRulePriorityPolicy());
+  {
+    park::ParkOptions options;
+    options.policy = park::MakeRulePriorityPolicy();
+    status = db.Configure(std::move(options));
+    if (!status.ok()) return Fail(status);
+  }
 
   status = db.LoadFacts(R"(
     emp(ada).    active(ada).    payroll(ada, 9000).
@@ -86,8 +91,13 @@ int main() {
   // Transaction 3: a conflicting transaction — deactivate ada AND bump her
   // payroll in one go. There is no rule conflict here, but re-running the
   // same commit with a different SELECT policy is a one-liner:
-  db.SetPolicy(park::MakeCompositePolicy(
-      {park::MakeSpecificityPolicy(), park::MakeInertiaPolicy()}));
+  {
+    park::ParkOptions options;
+    options.policy = park::MakeCompositePolicy(
+        {park::MakeSpecificityPolicy(), park::MakeInertiaPolicy()});
+    status = db.Configure(std::move(options));
+    if (!status.ok()) return Fail(status);
+  }
   {
     park::Transaction tx = db.Begin();
     tx.Delete("active", {"ada"});

@@ -88,9 +88,14 @@ int main() {
   // protection, inertia would side with deletion for rows not in D.
   status = db.LoadRules("keep: audit(O, C) -> +audit(O, C).");
   if (!status.ok()) return Fail(status);
-  db.SetPolicy(park::MakeCompositePolicy(
-      {park::MakeProtectedPredicatesPolicy({"audit"}),
-       park::MakeInertiaPolicy()}));
+  {
+    park::ParkOptions options;
+    options.policy = park::MakeCompositePolicy(
+        {park::MakeProtectedPredicatesPolicy({"audit"}),
+         park::MakeInertiaPolicy()});
+    status = db.Configure(std::move(options));
+    if (!status.ok()) return Fail(status);
+  }
   auto protect_run = db.Stabilize();
   if (!protect_run.ok()) return Fail(protect_run.status());
   std::printf("\nafter purge-vs-keep conflict with protected audit:\n");

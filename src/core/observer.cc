@@ -95,6 +95,22 @@ void TracingObserver::OnCheckpoint(uint64_t seq) {
   out_ << "[park] checkpoint at seq " << seq << "\n";
 }
 
+void TracingObserver::OnBatchCommit(const BatchCommitInfo& info) {
+  out_ << "[park] batch " << info.batch_seq << ": " << info.txns
+       << " txn(s)";
+  if (info.journal_seq != 0) out_ << ", journal seq " << info.journal_seq;
+  if (info.poisoned) out_ << ", POISONED (members retried individually)";
+  out_ << "\n";
+}
+
+void TracingObserver::OnSnapshotOpen(uint64_t journal_seq) {
+  out_ << "[park] snapshot open at seq " << journal_seq << "\n";
+}
+
+void TracingObserver::OnSnapshotRelease(uint64_t journal_seq) {
+  out_ << "[park] snapshot release at seq " << journal_seq << "\n";
+}
+
 // --- MetricsObserver -----------------------------------------------------
 
 MetricsObserver::MetricsObserver(MetricsRegistry* registry)
@@ -120,6 +136,11 @@ MetricsObserver::MetricsObserver(MetricsRegistry* registry)
       commit_deleted_(registry->GetCounter("park.commit_deleted")),
       journal_appends_(registry->GetCounter("park.journal_appends")),
       checkpoints_(registry->GetCounter("park.checkpoints")),
+      batches_(registry->GetCounter("park.batches")),
+      batched_txns_(registry->GetCounter("park.batched_txns")),
+      poisoned_batches_(registry->GetCounter("park.poisoned_batches")),
+      snapshots_opened_(registry->GetCounter("park.snapshots_opened")),
+      snapshots_released_(registry->GetCounter("park.snapshots_released")),
       run_timer_(registry->GetTimer("park.run")),
       commit_timer_(registry->GetTimer("park.commit")) {}
 
@@ -198,6 +219,22 @@ void MetricsObserver::OnJournalAppend(uint64_t seq) {
 void MetricsObserver::OnCheckpoint(uint64_t seq) {
   (void)seq;
   checkpoints_->Add();
+}
+
+void MetricsObserver::OnBatchCommit(const BatchCommitInfo& info) {
+  batches_->Add();
+  batched_txns_->Add(info.txns);
+  if (info.poisoned) poisoned_batches_->Add();
+}
+
+void MetricsObserver::OnSnapshotOpen(uint64_t journal_seq) {
+  (void)journal_seq;
+  snapshots_opened_->Add();
+}
+
+void MetricsObserver::OnSnapshotRelease(uint64_t journal_seq) {
+  (void)journal_seq;
+  snapshots_released_->Add();
 }
 
 }  // namespace park

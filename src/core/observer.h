@@ -77,6 +77,18 @@ struct CommitEndInfo {
   uint64_t journal_seq = 0;
 };
 
+/// One completed group commit (serve::Session, docs/SERVING.md): `txns`
+/// staged transactions folded into a single PARK firing and journal
+/// record. `poisoned` means the folded batch failed as a unit and its
+/// members were retried individually (each retry reports its own
+/// OnCommitStart/OnCommitEnd pair).
+struct BatchCommitInfo {
+  uint64_t batch_seq = 0;    // 1-based batch counter of the session
+  size_t txns = 0;           // transactions folded into the batch
+  uint64_t journal_seq = 0;  // record the batch landed in (0: no journal)
+  bool poisoned = false;
+};
+
 /// Callback interface. Every method has an empty default, so observers
 /// override only the events they care about. Callbacks should be fast
 /// (they run inline on the evaluation thread) and must not re-enter the
@@ -123,6 +135,19 @@ class RunObserver {
   virtual void OnJournalAppend(uint64_t seq) { (void)seq; }
   /// A checkpoint completed at watermark `seq`.
   virtual void OnCheckpoint(uint64_t seq) { (void)seq; }
+
+  // --- serving layer (serve::Session, docs/SERVING.md) ---
+  /// A group commit completed (success or poisoned fallback). Fires on
+  /// the leader thread after the batch's members were all reported.
+  virtual void OnBatchCommit(const BatchCommitInfo& info) { (void)info; }
+  /// A snapshot was opened pinning the generation committed at
+  /// `journal_seq` / released (its pinned segments became reclaimable).
+  /// Fire on the opening thread and on whichever thread dropped the last
+  /// handle, respectively.
+  virtual void OnSnapshotOpen(uint64_t journal_seq) { (void)journal_seq; }
+  virtual void OnSnapshotRelease(uint64_t journal_seq) {
+    (void)journal_seq;
+  }
 };
 
 /// The evaluator-side wrapper that makes observers non-fatal: Notify
@@ -174,6 +199,9 @@ class TracingObserver : public RunObserver {
   void OnCommitEnd(const CommitEndInfo& info) override;
   void OnJournalAppend(uint64_t seq) override;
   void OnCheckpoint(uint64_t seq) override;
+  void OnBatchCommit(const BatchCommitInfo& info) override;
+  void OnSnapshotOpen(uint64_t journal_seq) override;
+  void OnSnapshotRelease(uint64_t journal_seq) override;
 
  private:
   std::ostream& out_;
@@ -200,6 +228,9 @@ class MetricsObserver : public RunObserver {
   void OnCommitEnd(const CommitEndInfo& info) override;
   void OnJournalAppend(uint64_t seq) override;
   void OnCheckpoint(uint64_t seq) override;
+  void OnBatchCommit(const BatchCommitInfo& info) override;
+  void OnSnapshotOpen(uint64_t journal_seq) override;
+  void OnSnapshotRelease(uint64_t journal_seq) override;
 
  private:
   MetricsRegistry* registry_;
@@ -223,6 +254,11 @@ class MetricsObserver : public RunObserver {
   MetricsRegistry::Counter* commit_deleted_;
   MetricsRegistry::Counter* journal_appends_;
   MetricsRegistry::Counter* checkpoints_;
+  MetricsRegistry::Counter* batches_;
+  MetricsRegistry::Counter* batched_txns_;
+  MetricsRegistry::Counter* poisoned_batches_;
+  MetricsRegistry::Counter* snapshots_opened_;
+  MetricsRegistry::Counter* snapshots_released_;
   MetricsRegistry::Timer* run_timer_;
   MetricsRegistry::Timer* commit_timer_;
   int64_t run_start_ns_ = 0;

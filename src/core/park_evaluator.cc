@@ -239,6 +239,20 @@ std::string ParkStats::ToJson() const {
   w.Key("probe_rows").UInt(exec_probe_rows);
   w.Key("merge_rows").UInt(exec_merge_rows);
   w.EndObject();
+  w.Key("serving").BeginObject();
+  w.Key("batches").UInt(serving.batches);
+  w.Key("batched_txns").UInt(serving.batched_txns);
+  w.Key("max_batch_size").UInt(serving.max_batch_size);
+  w.Key("batch_size_hist").BeginArray();
+  for (uint64_t bucket : serving.batch_size_hist) w.UInt(bucket);
+  w.EndArray();
+  w.Key("poisoned_batches").UInt(serving.poisoned_batches);
+  w.Key("individual_retries").UInt(serving.individual_retries);
+  w.Key("snapshots_opened").UInt(serving.snapshots_opened);
+  w.Key("snapshots_pinned").UInt(serving.snapshots_pinned);
+  w.Key("segment_generations_retained")
+      .UInt(serving.segment_generations_retained);
+  w.EndObject();
   w.Key("timings").BeginObject();
   w.Key("collected").Bool(timings.collected);
   w.Key("total_ns").UInt(timings.total_ns);

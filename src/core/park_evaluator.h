@@ -290,6 +290,35 @@ struct ParkStats {
   uint64_t exec_batch_rows = 0;
   uint64_t exec_probe_rows = 0;
   uint64_t exec_merge_rows = 0;
+  // Serving-layer counters (docs/SERVING.md). Zero for a bare evaluation;
+  // serve::Session fills them in the stats it exposes and in the reports
+  // handed back from group commits. `batch_size_hist` buckets completed
+  // batch sizes as 1 / 2 / 3-4 / 5-8 / 9-16 / 17+.
+  struct ServingCounters {
+    uint64_t batches = 0;           // group commits (journal records)
+    uint64_t batched_txns = 0;      // transactions folded into them
+    uint64_t max_batch_size = 0;    // largest batch committed
+    uint64_t batch_size_hist[6] = {0, 0, 0, 0, 0, 0};
+    uint64_t poisoned_batches = 0;  // batches that fell back to retry
+    uint64_t individual_retries = 0;  // member txns retried solo
+    uint64_t snapshots_opened = 0;    // Snapshot() calls, lifetime
+    uint64_t snapshots_pinned = 0;    // snapshots currently alive
+    uint64_t segment_generations_retained = 0;  // distinct pinned gens
+
+    void RecordBatch(uint64_t size) {
+      ++batches;
+      batched_txns += size;
+      if (size > max_batch_size) max_batch_size = size;
+      int b = size <= 1 ? 0
+              : size == 2 ? 1
+              : size <= 4 ? 2
+              : size <= 8 ? 3
+              : size <= 16 ? 4
+                           : 5;
+      ++batch_size_hist[b];
+    }
+  };
+  ServingCounters serving;
   /// Phase timers (see ParkOptions::collect_timings).
   PhaseTimings timings;
 
@@ -303,6 +332,7 @@ struct ParkStats {
   ///    "io_retry": {...},   // commit-pipeline retry counters
   ///    "storage": {...},    // columnar segment counters (docs/STORAGE.md)
   ///    "exec": {...},       // executor mode + batch row counters
+  ///    "serving": {...},    // group-commit + snapshot counters
   ///    "timings": {"collected": bool, <phase>_ns...}}
   /// The "counters" object is invariant across num_threads /
   /// min_slice_size settings (asserted in stats_invariance_test);

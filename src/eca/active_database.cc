@@ -55,8 +55,8 @@ Status ActiveDatabase::LoadFacts(std::string_view facts_text) {
   return ParseFactsInto(facts_text, database_);
 }
 
-Result<CommitReport> ActiveDatabase::Apply(ActionKind action,
-                                           const GroundAtom& atom) {
+CommitResult ActiveDatabase::Apply(ActionKind action,
+                                   const GroundAtom& atom) {
   Transaction tx = Begin();
   if (action == ActionKind::kInsert) {
     tx.Insert(atom);
@@ -66,14 +66,15 @@ Result<CommitReport> ActiveDatabase::Apply(ActionKind action,
   return std::move(tx).Commit();
 }
 
-Result<CommitReport> ActiveDatabase::Stabilize() {
+CommitResult ActiveDatabase::Stabilize() {
   return CommitUpdates(UpdateSet());
 }
 
-Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
+CommitResult ActiveDatabase::CommitUpdates(const UpdateSet& updates,
+                                           uint64_t txns) {
   // Backstop for options installed around Configure() (direct writes via
-  // mutable_options() or the deprecated setters): an invalid bundle fails
-  // here, before any evaluation, instead of misbehaving mid-commit.
+  // mutable_options()): an invalid bundle fails here, before any
+  // evaluation, instead of misbehaving mid-commit.
   {
     Status valid =
         ValidateOptions(options_).WithContext("ActiveDatabase options");
@@ -81,8 +82,8 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
       CommitFailure failure;
       failure.stage = CommitFailure::Stage::kValidate;
       failure.cause = valid;
-      last_commit_failure_ = std::move(failure);
-      return valid;
+      last_commit_failure_ = failure;
+      return CommitResult(valid, std::move(failure));
     }
   }
   ObserverHook observer(options_.observer);
@@ -96,8 +97,8 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
     CommitFailure failure;
     failure.stage = CommitFailure::Stage::kEvaluate;
     failure.cause = evaluated.status();
-    last_commit_failure_ = std::move(failure);
-    return evaluated.status();
+    last_commit_failure_ = failure;
+    return CommitResult(evaluated.status(), std::move(failure));
   }
   ParkResult park = std::move(*evaluated);
   const int64_t evaluated_ns = MonotonicNanos();
@@ -122,7 +123,7 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
     // its exact inverse — so memory never runs ahead of the durable
     // history: the commit either applied (and is durable) or left the
     // database untouched.
-    Status appended = journal_->Append(updates, *symbols());
+    Status appended = journal_->Append(updates, *symbols(), txns);
     if (!appended.ok()) {
       for (const GroundAtom& atom : report.inserted) database_.Erase(atom);
       for (const GroundAtom& atom : report.deleted) database_.Insert(atom);
@@ -130,8 +131,10 @@ Result<CommitReport> ActiveDatabase::CommitUpdates(const UpdateSet& updates) {
       failure.stage = CommitFailure::Stage::kJournal;
       failure.cause = appended;
       failure.journal_attempts = journal_->last_append_attempts();
-      last_commit_failure_ = std::move(failure);
-      return appended.WithContext("commit rolled back: durability failed");
+      last_commit_failure_ = failure;
+      return CommitResult(
+          appended.WithContext("commit rolled back: durability failed"),
+          std::move(failure));
     }
     report.journal_seq = journal_->last_seq();
     report.timings.journal_ns =

@@ -57,8 +57,7 @@ class ActiveDatabase {
 
   /// Installs a complete evaluation-options bundle after validating it
   /// (ValidateOptions in core/park_evaluator.h). This is THE way to
-  /// configure an ActiveDatabase; the Set* methods below survive as thin
-  /// wrappers for source compatibility. On rejection the previous options
+  /// configure an ActiveDatabase. On rejection the previous options
   /// are left untouched and a kInvalidArgument status names the bad knob.
   ///
   /// Two kinds of knobs live in ParkOptions (see docs/OBSERVABILITY.md):
@@ -70,27 +69,6 @@ class ActiveDatabase {
   ///     bit-identical whatever they are set to.
   Status Configure(ParkOptions options);
 
-  /// DEPRECATED — prefer Configure(). Sets the SELECT policy used at
-  /// commit (default: inertia).
-  void SetPolicy(PolicyPtr policy) { options_.policy = std::move(policy); }
-  /// DEPRECATED — prefer Configure().
-  void SetBlockGranularity(BlockGranularity granularity) {
-    options_.block_granularity = granularity;
-  }
-  /// DEPRECATED — prefer Configure(). Threads for Γ evaluation at commit
-  /// (see ParkOptions::num_threads; 0 = hardware concurrency,
-  /// 1 = sequential). Results are identical either way, so
-  /// replay/recovery is unaffected by this knob.
-  void SetNumThreads(int num_threads) {
-    options_.num_threads = num_threads;
-  }
-  /// DEPRECATED — prefer Configure(). Smallest first-literal candidate
-  /// count one intra-rule slice may carry when Γ runs parallel (see
-  /// ParkOptions::min_slice_size). A pure partitioning knob: results and
-  /// replay are unaffected.
-  void SetMinSliceSize(size_t min_slice_size) {
-    options_.min_slice_size = min_slice_size;
-  }
   /// DEPRECATED — prefer Configure().
   void SetTraceLevel(TraceLevel level) { options_.trace_level = level; }
   const ParkOptions& options() const { return options_; }
@@ -114,18 +92,20 @@ class ActiveDatabase {
   // --- transactions ---
 
   /// Starts a transaction. Multiple sequential transactions are fine;
-  /// concurrent ones are not supported (PARK is a sequential semantics).
+  /// concurrent ones against a bare ActiveDatabase are not — for
+  /// concurrent commits and snapshot reads, front the database with a
+  /// serve::Session (src/serve/session.h, docs/SERVING.md), which owns
+  /// the ActiveDatabase and serializes commits through its group-commit
+  /// pipeline.
   Transaction Begin() { return Transaction(this); }
 
   /// One-shot convenience: runs a single-update transaction.
-  Result<CommitReport> Apply(ActionKind action, const GroundAtom& atom);
+  CommitResult Apply(ActionKind action, const GroundAtom& atom);
 
-  /// Post-mortem of the most recent FAILED commit (cleared by the next
-  /// successful one). Every failure path leaves the stored instance at
-  /// its pre-commit state — including a journal-append failure after
-  /// retries, which rolls the in-place diff back — so the database
-  /// remains usable without reopening; this accessor says what happened
-  /// and at which pipeline stage.
+  /// DEPRECATED — read CommitResult::failure() off the failed Commit()
+  /// instead; this mirror of it survives one release for callers that
+  /// still pair the Status with a separate getter. Post-mortem of the
+  /// most recent FAILED commit (cleared by the next successful one).
   const std::optional<CommitFailure>& last_commit_failure() const {
     return last_commit_failure_;
   }
@@ -133,7 +113,7 @@ class ActiveDatabase {
   /// Runs the rules with NO user updates — PARK(P, D) — replacing the
   /// stored instance with the result. Useful after LoadFacts to bring the
   /// database to a rule-consistent state.
-  Result<CommitReport> Stabilize();
+  CommitResult Stabilize();
 
   // --- crash-safe durability (directory mode) ---
 
@@ -218,9 +198,12 @@ class ActiveDatabase {
 
  private:
   friend class Transaction;
+  friend class Session;
 
-  /// Shared commit path: PARK(D, P, U) then swap in the result.
-  Result<CommitReport> CommitUpdates(const UpdateSet& updates);
+  /// Shared commit path: PARK(D, P, U) then swap in the result. `txns`
+  /// is the number of transactions folded into `updates` by a group
+  /// commit (stamped into the journal record; 1 = plain commit).
+  CommitResult CommitUpdates(const UpdateSet& updates, uint64_t txns = 1);
 
   /// Parses snapshot contents: an optional "# park-snapshot last_seq=N"
   /// header line followed by a fact file. Returns the header's sequence

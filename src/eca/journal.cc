@@ -323,7 +323,8 @@ void TransactionJournal::CloseLogged() {
 }
 
 Status TransactionJournal::Append(const UpdateSet& updates,
-                                  const SymbolTable& symbols) {
+                                  const SymbolTable& symbols,
+                                  uint64_t txns) {
   if (file_ == nullptr) {
     return FailedPreconditionError("journal has been moved from");
   }
@@ -332,8 +333,14 @@ Status TransactionJournal::Append(const UpdateSet& updates,
         "journal %s is disabled after an unhealed append failure; reopen "
         "to recover", path_.c_str()));
   }
+  if (txns == 0) {
+    return InvalidArgumentError("journal record must hold >= 1 txn");
+  }
   const uint64_t seq = next_seq_;
   std::string body;
+  if (txns > 1) {
+    body += StrFormat("batch %llu\n", static_cast<unsigned long long>(txns));
+  }
   for (const Update& update : updates.updates()) {
     body += ActionKindSign(update.action);
     body += update.atom.ToString(symbols);
@@ -426,7 +433,23 @@ Result<std::vector<JournalRecord>> TransactionJournal::ReadRecords(
   for (const ScannedRecord& scanned : scan.records) {
     JournalRecord record;
     record.seq = scanned.seq;
-    for (std::string_view line : scanned.update_lines) {
+    size_t first_update = 0;
+    // A leading "batch <k>" line annotates a group commit; it is body
+    // text (CRC-covered), not an update.
+    if (!scanned.update_lines.empty() &&
+        StartsWith(scanned.update_lines[0], "batch ")) {
+      uint64_t txns = 0;
+      if (!ParseSeq(scanned.update_lines[0].substr(6), &txns) ||
+          txns == 0) {
+        return DataLossError(StrFormat(
+            "%s: record %llu has a malformed batch line", path.c_str(),
+            static_cast<unsigned long long>(scanned.seq)));
+      }
+      record.txns = txns;
+      first_update = 1;
+    }
+    for (size_t i = first_update; i < scanned.update_lines.size(); ++i) {
+      std::string_view line = scanned.update_lines[i];
       Status status = record.updates.AddParsed(line, symbols);
       if (!status.ok()) {
         return status.WithContext(StrFormat(

@@ -18,6 +18,20 @@
 // record is accepted during recovery only if its commit footer made it to
 // disk intact.
 //
+// A group commit (serve::Session, docs/SERVING.md) folds k transactions
+// into ONE record — one firing, one fsync — and annotates it with a
+// `batch k` line before the updates:
+//
+//   begin 8
+//   batch 3
+//   +a(x)
+//   +b(y)
+//   commit 8 crc=9a8b7c6d
+//
+// The batch line is part of the CRC'd body, so framing and recovery are
+// unchanged; readers report it via JournalRecord::txns (1 when absent,
+// so journals from before the extension replay identically).
+//
 // Recovery semantics (see docs/DURABILITY.md):
 //   - a torn or corrupt TAIL (crash mid-append) is dropped and truncated;
 //   - corruption in the MIDDLE of the journal (valid records follow the
@@ -68,6 +82,9 @@ struct JournalOptions {
 /// One committed record as read back from disk.
 struct JournalRecord {
   uint64_t seq = 0;
+  /// Transactions folded into this record by a group commit; 1 for a
+  /// plain commit (and for records written before the batch extension).
+  uint64_t txns = 1;
   UpdateSet updates;
 };
 
@@ -96,7 +113,13 @@ class TransactionJournal {
   /// journal consistent and appendable (no reopen needed). The one
   /// exception is a failed heal, which disables the handle (kDataLoss
   /// risk otherwise); reopening then truncates the torn tail.
-  Status Append(const UpdateSet& updates, const SymbolTable& symbols);
+  ///
+  /// `txns` is the number of transactions folded into this record by a
+  /// group commit; values > 1 emit a `batch <txns>` annotation line
+  /// (CRC-covered like any update line). Plain commits pass 1 and the
+  /// record format is byte-identical to the pre-batch journal.
+  Status Append(const UpdateSet& updates, const SymbolTable& symbols,
+                uint64_t txns = 1);
 
   const std::string& path() const { return path_; }
 

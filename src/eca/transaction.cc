@@ -4,9 +4,16 @@
 
 namespace park {
 
+Transaction::Transaction(ActiveDatabase* db)
+    : db_(db), symbols_(db->symbols()) {}
+
+Transaction::Transaction(CommitSink* sink,
+                         std::shared_ptr<SymbolTable> symbols)
+    : sink_(sink), symbols_(std::move(symbols)) {}
+
 GroundAtom Transaction::MakeAtom(std::string_view predicate,
                                  const std::vector<std::string>& args) {
-  SymbolTable& symbols = *db_->symbols();
+  SymbolTable& symbols = *symbols_;
   PredicateId pred =
       symbols.InternPredicate(predicate, static_cast<int>(args.size()));
   Tuple tuple;
@@ -37,10 +44,11 @@ Transaction& Transaction::Delete(std::string_view predicate,
 }
 
 Status Transaction::Stage(std::string_view update_text) {
-  return updates_.AddParsed(update_text, db_->symbols());
+  return updates_.AddParsed(update_text, symbols_);
 }
 
-Result<CommitReport> Transaction::Commit() && {
+CommitResult Transaction::Commit() && {
+  if (sink_ != nullptr) return sink_->CommitThrough(std::move(updates_));
   return db_->CommitUpdates(updates_);
 }
 

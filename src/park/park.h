@@ -24,6 +24,15 @@
 //   auto tx = adb.Begin();
 //   tx.Insert("q", {"b"});
 //   auto report = std::move(tx).Commit();
+//
+// For concurrent use (many reader/writer threads over one database),
+// front the database with a Session — snapshot-isolated reads plus
+// group-committed writes (docs/SERVING.md):
+//
+//   auto session = park::Session::Open(dir, std::move(params)).value();
+//   auto snap = session->Snapshot();          // reader threads
+//   auto tx = session->Begin();               // writer threads
+//   auto report = std::move(tx).Commit();     // may fold into a batch
 
 #ifndef PARK_PARK_PARK_H_
 #define PARK_PARK_PARK_H_
@@ -39,5 +48,7 @@
 #include "lang/parser.h"                  // IWYU pragma: export
 #include "lang/printer.h"                 // IWYU pragma: export
 #include "lang/query.h"                   // IWYU pragma: export
+#include "serve/session.h"                // IWYU pragma: export
+#include "serve/snapshot.h"               // IWYU pragma: export
 
 #endif  // PARK_PARK_PARK_H_

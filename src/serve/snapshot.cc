@@ -1,0 +1,149 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/observer.h"
+#include "lang/parser.h"
+#include "storage/ground_atom.h"
+
+namespace park {
+
+namespace serve_internal {
+
+SnapshotTicket::~SnapshotTicket() {
+  if (shared == nullptr) return;
+  RunObserver* observer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    --shared->snapshots_pinned;
+    auto it = shared->pinned_generations.find(generation);
+    if (it != shared->pinned_generations.end() && --it->second == 0) {
+      shared->pinned_generations.erase(it);
+    }
+    observer = shared->observer;
+  }
+  // Notify outside the lock: the callback must not be able to deadlock
+  // against a concurrent Snapshot() taking the accounting mutex.
+  ObserverHook hook(observer);
+  hook.Notify([&](RunObserver& o) { o.OnSnapshotRelease(journal_seq); });
+}
+
+}  // namespace serve_internal
+
+size_t Snapshot::size() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : state_->relations) {
+    (void)pred;
+    total += rel.segment->num_rows();
+  }
+  return total;
+}
+
+bool Snapshot::Contains(const GroundAtom& atom) const {
+  auto it = state_->relations.find(atom.predicate());
+  if (it == state_->relations.end()) return false;
+  if (atom.arity() != it->second.arity) return false;
+  const std::vector<Value>& args = atom.args().values();
+  return it->second.segment->ContainsRow(
+      args.data(), args.size(), TupleHash{}(atom.args()));
+}
+
+namespace {
+
+/// Mirror of lang/query.cc's BindRow over a flat segment row: binds the
+/// pattern's variables against `row`, returning the projected tuple or
+/// nullopt when a constant or repeated variable disagrees.
+std::optional<Tuple> BindSegmentRow(const AtomPattern& atom,
+                                    const Value* row, int num_variables,
+                                    const std::vector<int>& projection) {
+  std::vector<std::optional<Value>> binding(
+      static_cast<size_t>(num_variables));
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    const Value& value = row[i];
+    if (term.is_constant()) {
+      if (term.constant() != value) return std::nullopt;
+      continue;
+    }
+    auto& slot = binding[static_cast<size_t>(term.var_index())];
+    if (slot.has_value()) {
+      if (*slot != value) return std::nullopt;
+    } else {
+      slot = value;
+    }
+  }
+  Tuple out;
+  for (int var : projection) out.Append(*binding[static_cast<size_t>(var)]);
+  return out;
+}
+
+}  // namespace
+
+Result<QueryResult> Snapshot::Query(std::string_view pattern_text) const {
+  PARK_ASSIGN_OR_RETURN(ParsedAtomPattern parsed,
+                        ParseAtomPattern(pattern_text, state_->symbols));
+
+  QueryResult result;
+  std::vector<int> projection;
+  for (size_t v = 0; v < parsed.variable_names.size(); ++v) {
+    if (parsed.variable_names[v] != "_") {
+      projection.push_back(static_cast<int>(v));
+      result.variable_names.push_back(parsed.variable_names[v]);
+    }
+  }
+
+  auto it = state_->relations.find(parsed.atom.predicate);
+  if (it == state_->relations.end()) return result;  // never populated
+  const Segment& segment = *it->second.segment;
+
+  for (uint32_t r = 0; r < segment.num_rows(); ++r) {
+    auto row = BindSegmentRow(parsed.atom, segment.row(r),
+                              static_cast<int>(parsed.variable_names.size()),
+                              projection);
+    if (row.has_value()) result.bindings.push_back(std::move(*row));
+  }
+  // Segment rows are sorted, but the projection can reorder — sort and
+  // dedup exactly like QueryDatabase so results are bit-identical.
+  std::sort(result.bindings.begin(), result.bindings.end());
+  result.bindings.erase(
+      std::unique(result.bindings.begin(), result.bindings.end()),
+      result.bindings.end());
+  return result;
+}
+
+Result<bool> Snapshot::Matches(std::string_view pattern_text) const {
+  PARK_ASSIGN_OR_RETURN(QueryResult result, Query(pattern_text));
+  return !result.empty();
+}
+
+std::vector<std::string> Snapshot::SortedAtomStrings() const {
+  const SymbolTable& symbols = *state_->symbols;
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const auto& [pred, rel] : state_->relations) {
+    const Segment& segment = *rel.segment;
+    for (uint32_t r = 0; r < segment.num_rows(); ++r) {
+      Tuple args;
+      const Value* row = segment.row(r);
+      for (int c = 0; c < rel.arity; ++c) args.Append(row[c]);
+      out.push_back(GroundAtom(pred, std::move(args)).ToString(symbols));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Snapshot::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const std::string& atom : SortedAtomStrings()) {
+    if (!first) out += ", ";
+    first = false;
+    out += atom;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace park

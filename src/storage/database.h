@@ -70,6 +70,13 @@ class Database {
   /// Invokes `fn` for every atom, in unspecified order.
   void ForEach(const std::function<void(const GroundAtom&)>& fn) const;
 
+  /// Invokes `fn` for every (predicate, relation) pair, in unspecified
+  /// order. The serving layer pins snapshot segments through this.
+  void ForEachRelation(
+      const std::function<void(PredicateId, const Relation&)>& fn) const {
+    for (const auto& [pred, rel] : relations_) fn(pred, rel);
+  }
+
   /// Freezes (resp. thaws) every relation for a read-only parallel
   /// section — see Relation::FreezeIndexes. Relations created after a
   /// freeze are unfrozen, so freezing must happen after the database has

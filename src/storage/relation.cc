@@ -27,7 +27,7 @@ bool Relation::Insert(const Tuple& t) {
       indexes_[static_cast<size_t>(c)]->emplace((*stored)[c], stored);
     }
   }
-  if (segment_.has_value()) delta_adds_.push_back(stored);
+  if (segment_ != nullptr) delta_adds_.push_back(stored);
   return true;
 }
 
@@ -48,7 +48,7 @@ bool Relation::Erase(const Tuple& t) {
       }
     }
   }
-  if (segment_.has_value()) {
+  if (segment_ != nullptr) {
     // The tuple is either a delta add (drop it) or a segment row. A
     // segment row is tombstoned by index and its node parked in the
     // graveyard instead of destroyed: `segment_rows_` holds raw pointers
@@ -181,7 +181,7 @@ Relation::ColumnarView Relation::Columnar() const {
            "(compaction sweep missed this relation)";
     CompactColumnarImpl();
   }
-  return ColumnarView{&*segment_, &segment_rows_};
+  return ColumnarView{segment_.get(), &segment_rows_};
 }
 
 void Relation::CompactColumnar() const {
@@ -191,7 +191,7 @@ void Relation::CompactColumnar() const {
 }
 
 void Relation::CompactColumnarImpl() const {
-  if (!segment_.has_value()) {
+  if (segment_ == nullptr) {
     // First build: sort the whole set.
     segment_rows_.clear();
     segment_rows_.reserve(tuples_.size());
@@ -228,7 +228,10 @@ void Relation::CompactColumnarImpl() const {
     tombstones_.clear();
     graveyard_.clear();
   }
-  segment_.emplace(Segment::Build(arity_, segment_rows_));
+  // A fresh shared segment per build: snapshots pinning the previous
+  // generation keep it alive; unpinned generations free immediately.
+  segment_ =
+      std::make_shared<const Segment>(Segment::Build(arity_, segment_rows_));
   ++compactions_;
 }
 

@@ -8,6 +8,7 @@
 #ifndef PARK_STORAGE_RELATION_H_
 #define PARK_STORAGE_RELATION_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -17,6 +18,7 @@
 #include "storage/segment.h"
 #include "storage/tuple.h"
 #include "util/function_ref.h"
+#include "util/logging.h"
 
 namespace park {
 
@@ -142,18 +144,34 @@ class Relation {
   /// of the thread count.
   void CompactColumnar() const;
 
-  bool HasSegment() const { return segment_.has_value(); }
+  bool HasSegment() const { return segment_ != nullptr; }
   bool ColumnarDirty() const {
-    return !segment_.has_value() || !delta_adds_.empty() ||
-           !tombstones_.empty();
+    return segment_ == nullptr || !delta_adds_.empty() || !tombstones_.empty();
   }
   uint64_t compactions() const { return compactions_; }
   uint64_t segment_rows() const {
-    return segment_.has_value() ? segment_->num_rows() : 0;
+    return segment_ != nullptr ? segment_->num_rows() : 0;
   }
   uint64_t dict_entries() const {
-    return segment_.has_value() ? segment_->DictEntries() : 0;
+    return segment_ != nullptr ? segment_->DictEntries() : 0;
   }
+
+  /// Shared ownership of the current segment, for snapshot pinning: a
+  /// serving Snapshot holds the returned pointer, so compaction (which
+  /// installs a fresh segment) defers reclamation of this generation
+  /// until the last pinning snapshot drops. Segments are self-contained
+  /// (they copy row values out of the tuple set), so a pinned segment
+  /// stays readable across any later mutation of this relation. The
+  /// relation must be compact (CompactColumnar first).
+  std::shared_ptr<const Segment> SharedSegment() const {
+    PARK_CHECK(!ColumnarDirty()) << "SharedSegment on a dirty relation";
+    return segment_;
+  }
+
+  /// Monotone generation counter: bumps on every segment (re)build, so
+  /// two snapshots pin the same segment object iff they report the same
+  /// generation for this relation.
+  uint64_t segment_generation() const { return compactions_; }
 
  private:
   // Value -> tuples having that value in the indexed column. Pointers are
@@ -174,7 +192,7 @@ class Relation {
   // zero overhead here. Erased segment rows are tombstoned by index and
   // their set nodes parked in `graveyard_` so every `segment_rows_`
   // pointer stays dereferenceable until the merge rebuilds the view.
-  mutable std::optional<Segment> segment_;
+  mutable std::shared_ptr<const Segment> segment_;
   mutable std::vector<const Tuple*> segment_rows_;
   mutable std::vector<const Tuple*> delta_adds_;  // insertion order
   mutable std::vector<uint32_t> tombstones_;      // erased segment rows

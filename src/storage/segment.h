@@ -27,10 +27,11 @@ class Segment {
   Segment() = default;
 
   /// Builds from `rows`, which MUST be lexicographically sorted and
-  /// duplicate-free; the pointers must stay valid for the segment's
-  /// lifetime (they point into the owning Relation's node-based set).
-  /// 0-ary relations yield a segment with num_rows in {0, 1} and no
-  /// columns.
+  /// duplicate-free. The segment copies every value out of the tuples —
+  /// it holds no pointers into the owning Relation afterwards, which is
+  /// what lets serve::Snapshot pin a segment past later mutations,
+  /// compactions, and even the Relation's destruction. 0-ary relations
+  /// yield a segment with num_rows in {0, 1} and no columns.
   static Segment Build(int arity, const std::vector<const Tuple*>& rows);
 
   int arity() const { return arity_; }

@@ -1,8 +1,11 @@
 #include "storage/symbol_table.h"
 
+#include <mutex>
+
 namespace park {
 
 SymbolId SymbolTable::InternSymbol(std::string_view name) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = symbol_ids_.find(std::string(name));
   if (it != symbol_ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(symbol_names_.size());
@@ -12,13 +15,17 @@ SymbolId SymbolTable::InternSymbol(std::string_view name) {
 }
 
 std::optional<SymbolId> SymbolTable::FindSymbol(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = symbol_ids_.find(std::string(name));
   if (it == symbol_ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& SymbolTable::SymbolName(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   PARK_CHECK_LT(id, symbol_names_.size()) << "invalid symbol id";
+  // Safe to return by reference: the deque never moves settled entries
+  // and an interned name is immutable for the table's lifetime.
   return symbol_names_[id];
 }
 
@@ -27,6 +34,7 @@ PredicateId SymbolTable::InternPredicate(std::string_view name, int arity) {
   std::string key(name);
   key += '/';
   key += std::to_string(arity);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   auto it = predicate_ids_.find(key);
   if (it != predicate_ids_.end()) return it->second;
   PredicateId id = static_cast<PredicateId>(predicates_.size());
@@ -40,19 +48,32 @@ std::optional<PredicateId> SymbolTable::FindPredicate(std::string_view name,
   std::string key(name);
   key += '/';
   key += std::to_string(arity);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = predicate_ids_.find(key);
   if (it == predicate_ids_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& SymbolTable::PredicateName(PredicateId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   PARK_CHECK_LT(id, predicates_.size()) << "invalid predicate id";
   return predicates_[id].name;
 }
 
 int SymbolTable::PredicateArity(PredicateId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   PARK_CHECK_LT(id, predicates_.size()) << "invalid predicate id";
   return predicates_[id].arity;
+}
+
+size_t SymbolTable::NumSymbols() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return symbol_names_.size();
+}
+
+size_t SymbolTable::NumPredicates() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return predicates_.size();
 }
 
 }  // namespace park

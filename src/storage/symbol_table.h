@@ -10,12 +10,13 @@
 #define PARK_STORAGE_SYMBOL_TABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "util/logging.h"
 
@@ -29,8 +30,10 @@ using PredicateId = uint32_t;
 
 /// Bidirectional name<->id maps for symbols and predicates.
 ///
-/// Not thread-safe; callers serialize access (the evaluator is
-/// single-threaded by design — PARK is a sequential fixpoint computation).
+/// Thread-safe: interning takes an exclusive lock, lookups a shared lock.
+/// Name references returned by SymbolName/PredicateName stay valid for the
+/// table's lifetime — entries live in deques and are never moved or erased —
+/// so concurrent serving sessions can intern and resolve names freely.
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -46,7 +49,7 @@ class SymbolTable {
   /// Returns the name of an interned symbol. `id` must be valid.
   const std::string& SymbolName(SymbolId id) const;
 
-  size_t NumSymbols() const { return symbol_names_.size(); }
+  size_t NumSymbols() const;
 
   /// Returns the id for predicate `name/arity`, interning on first use.
   /// The same name with two different arities yields two predicates.
@@ -60,7 +63,7 @@ class SymbolTable {
   const std::string& PredicateName(PredicateId id) const;
   int PredicateArity(PredicateId id) const;
 
-  size_t NumPredicates() const { return predicates_.size(); }
+  size_t NumPredicates() const;
 
  private:
   struct PredicateInfo {
@@ -68,11 +71,13 @@ class SymbolTable {
     int arity;
   };
 
+  mutable std::shared_mutex mutex_;
+
   std::unordered_map<std::string, SymbolId> symbol_ids_;
-  std::vector<std::string> symbol_names_;
+  std::deque<std::string> symbol_names_;  // deque: stable addresses
 
   std::unordered_map<std::string, PredicateId> predicate_ids_;  // "name/arity"
-  std::vector<PredicateInfo> predicates_;
+  std::deque<PredicateInfo> predicates_;
 };
 
 /// Convenience factory for the shared-ownership idiom used across the API.

@@ -87,23 +87,38 @@ TEST(ActiveDatabaseTest, FailedCommitLeavesDatabaseUntouched) {
   ASSERT_TRUE(db.LoadRules("p -> +a. p -> -a.").ok());
   ASSERT_TRUE(db.LoadFacts("p.").ok());
   // An abstaining policy makes the commit fail...
-  db.SetPolicy(MakeLambdaPolicy(
-      "abstain", [](const PolicyContext&, const Conflict&) -> Result<Vote> {
-        return Vote::kAbstain;
-      }));
+  {
+    ParkOptions options;
+    options.policy = MakeLambdaPolicy(
+        "abstain", [](const PolicyContext&, const Conflict&) -> Result<Vote> {
+          return Vote::kAbstain;
+        });
+    ASSERT_TRUE(db.Configure(std::move(options)).ok());
+  }
   auto report = db.Stabilize();
   EXPECT_FALSE(report.ok());
   // ... and the stored database is unchanged.
   EXPECT_EQ(db.database().ToString(), "{p}");
+  // The failure detail also rides on the result itself.
+  ASSERT_TRUE(report.failure().has_value());
+  EXPECT_EQ(report.failure()->stage, CommitFailure::Stage::kEvaluate);
   // Switching to a complete policy, the same commit succeeds.
-  db.SetPolicy(MakeInertiaPolicy());
+  {
+    ParkOptions options;
+    options.policy = MakeInertiaPolicy();
+    ASSERT_TRUE(db.Configure(std::move(options)).ok());
+  }
   EXPECT_TRUE(db.Stabilize().ok());
 }
 
 TEST(ActiveDatabaseTest, PolicyAndOptionsAreConfigurable) {
   ActiveDatabase db;
-  db.SetPolicy(MakeAlwaysInsertPolicy());
-  db.SetBlockGranularity(BlockGranularity::kFirstConflictOnly);
+  {
+    ParkOptions options;
+    options.policy = MakeAlwaysInsertPolicy();
+    options.block_granularity = BlockGranularity::kFirstConflictOnly;
+    ASSERT_TRUE(db.Configure(std::move(options)).ok());
+  }
   db.SetTraceLevel(TraceLevel::kFull);
   ASSERT_TRUE(db.LoadRules("p -> +a. p -> -a.").ok());
   ASSERT_TRUE(db.LoadFacts("p.").ok());

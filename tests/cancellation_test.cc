@@ -271,16 +271,15 @@ TEST(CommitCancellationTest, DeadlineFailedCommitLeavesDatabaseUntouched) {
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(db.database().ToString(), before);
-  ASSERT_TRUE(db.last_commit_failure().has_value());
-  EXPECT_EQ(db.last_commit_failure()->stage,
-            CommitFailure::Stage::kEvaluate);
-  EXPECT_TRUE(db.last_commit_failure()->rolled_back);
+  ASSERT_TRUE(report.failure().has_value());
+  EXPECT_EQ(report.failure()->stage, CommitFailure::Stage::kEvaluate);
+  EXPECT_TRUE(report.failure()->rolled_back);
 
   // The database stays usable: lifting the deadline commits normally.
   ASSERT_TRUE(db.Configure(ParkOptions{}).ok());
   auto retry = std::move(db.Begin().Insert("q", {"ok"})).Commit();
   ASSERT_TRUE(retry.ok()) << retry.status().ToString();
-  EXPECT_FALSE(db.last_commit_failure().has_value());
+  EXPECT_FALSE(retry.failure().has_value());
 }
 
 }  // namespace

@@ -81,16 +81,11 @@ TEST(ConfigureTest, RejectionLeavesPreviousOptionsUntouched) {
   EXPECT_EQ(db.options().num_threads, 3);
 }
 
-TEST(ConfigureTest, DeprecatedSettersStillWork) {
+TEST(ConfigureTest, SurvivingDeprecatedSettersStillWork) {
+  // SetPolicy/SetBlockGranularity/SetNumThreads/SetMinSliceSize are gone
+  // (use Configure); only SetTraceLevel and mutable_options() survive.
   ActiveDatabase db;
-  db.SetNumThreads(2);
-  db.SetMinSliceSize(32);
-  db.SetBlockGranularity(BlockGranularity::kFirstConflictOnly);
   db.SetTraceLevel(TraceLevel::kFull);
-  EXPECT_EQ(db.options().num_threads, 2);
-  EXPECT_EQ(db.options().min_slice_size, 32u);
-  EXPECT_EQ(db.options().block_granularity,
-            BlockGranularity::kFirstConflictOnly);
   EXPECT_EQ(db.options().trace_level, TraceLevel::kFull);
 }
 

@@ -54,9 +54,13 @@ TEST_F(IntegrationTest, WarehouseLifecycle) {
   )").ok());
 
   // The recall rule outranks sales; resolve their fight by priority.
-  db.SetPolicy(MakeCompositePolicy(
-      {MakeRulePriorityPolicy(), MakeInertiaPolicy()}));
-  db.SetTraceLevel(TraceLevel::kSummary);
+  {
+    ParkOptions options;
+    options.policy = MakeCompositePolicy(
+        {MakeRulePriorityPolicy(), MakeInertiaPolicy()});
+    options.trace_level = TraceLevel::kSummary;
+    ASSERT_TRUE(db.Configure(std::move(options)).ok());
+  }
 
   // Static analysis sees both tug-of-wars: on_order (reorder/received)
   // and sellable (recall/sales).
@@ -110,8 +114,12 @@ TEST_F(IntegrationTest, WarehouseLifecycle) {
 
   ActiveDatabase recovered;
   ASSERT_TRUE(recovered.LoadRules(kInventoryRules).ok());
-  recovered.SetPolicy(MakeCompositePolicy(
-      {MakeRulePriorityPolicy(), MakeInertiaPolicy()}));
+  {
+    ParkOptions options;
+    options.policy = MakeCompositePolicy(
+        {MakeRulePriorityPolicy(), MakeInertiaPolicy()});
+    ASSERT_TRUE(recovered.Configure(std::move(options)).ok());
+  }
   ASSERT_TRUE(recovered.LoadSnapshot(snapshot_path).ok());
   EXPECT_EQ(recovered.database().ToString(), expected);
 
@@ -131,9 +139,13 @@ TEST_F(IntegrationTest, SourceReliabilityOverridesPriority) {
   ASSERT_TRUE(db.LoadFacts(
       "stock(doohickey, 100). sellable(doohickey). recalled(doohickey).")
                   .ok());
-  db.SetPolicy(MakeCompositePolicy(
-      {MakeSourceReliabilityPolicy({{2, 100}, {3, 10}, {1, 50}}),
-       MakeInertiaPolicy()}));
+  {
+    ParkOptions options;
+    options.policy = MakeCompositePolicy(
+        {MakeSourceReliabilityPolicy({{2, 100}, {3, 10}, {1, 50}}),
+         MakeInertiaPolicy()});
+    ASSERT_TRUE(db.Configure(std::move(options)).ok());
+  }
   ASSERT_TRUE(db.Stabilize().ok());
   EXPECT_FALSE(DatabaseMatches(db.database(), "sellable(doohickey)",
                                db.symbols()).value());
@@ -144,9 +156,13 @@ TEST_F(IntegrationTest, SourceReliabilityOverridesPriority) {
   ASSERT_TRUE(db2.LoadFacts(
       "stock(doohickey, 100). sellable(doohickey). recalled(doohickey).")
                   .ok());
-  db2.SetPolicy(MakeCompositePolicy(
-      {MakeSourceReliabilityPolicy({{2, 10}, {3, 100}, {1, 50}}),
-       MakeInertiaPolicy()}));
+  {
+    ParkOptions options;
+    options.policy = MakeCompositePolicy(
+        {MakeSourceReliabilityPolicy({{2, 10}, {3, 100}, {1, 50}}),
+         MakeInertiaPolicy()});
+    ASSERT_TRUE(db2.Configure(std::move(options)).ok());
+  }
   ASSERT_TRUE(db2.Stabilize().ok());
   EXPECT_TRUE(DatabaseMatches(db2.database(), "sellable(doohickey)",
                               db2.symbols()).value());

@@ -48,7 +48,11 @@ TEST_P(ReplayStressTest, JournalReplayReproducesState) {
   {
     ActiveDatabase db;
     ASSERT_TRUE(db.LoadRules(kRules).ok());
-    db.SetPolicy(MakeTestPolicy());
+    {
+      ParkOptions options;
+      options.policy = MakeTestPolicy();
+      ASSERT_TRUE(db.Configure(std::move(options)).ok());
+    }
     ASSERT_TRUE(db.AttachJournal(journal_path_).ok());
 
     for (int t = 0; t < 40; ++t) {
@@ -85,7 +89,11 @@ TEST_P(ReplayStressTest, JournalReplayReproducesState) {
   {
     ActiveDatabase db;
     ASSERT_TRUE(db.LoadRules(kRules).ok());
-    db.SetPolicy(MakeTestPolicy());
+    {
+      ParkOptions options;
+      options.policy = MakeTestPolicy();
+      ASSERT_TRUE(db.Configure(std::move(options)).ok());
+    }
     ASSERT_TRUE(db.RecoverFromJournal(journal_path_).ok());
     EXPECT_EQ(db.database().ToString(), final_state);
   }

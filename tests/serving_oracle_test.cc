@@ -1,0 +1,353 @@
+// Serving-layer oracle: concurrency is an implementation detail of the
+// Session front-end, never a semantic one. Whatever interleaving the
+// group-commit pipeline produces, (a) the journal must hold ONE record
+// per batch whose sequential replay reproduces the served state
+// bit-identically, and (b) every Snapshot must observe exactly the state
+// some journal prefix produces — never a torn commit, never an
+// uncommitted batch. Run under TSan in CI (the serving job), where the
+// lock-free reader path and the leader/follower queue get their data-race
+// certification.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/policy.h"
+#include "eca/journal.h"
+#include "serve/session.h"
+#include "util/string_util.h"
+
+namespace park {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+/// Spin latch: releases all waiting threads at once so commits actually
+/// arrive concurrently and the pipeline has batches to fold.
+class StartGate {
+ public:
+  void Wait() const {
+    while (!open_.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+  void Open() { open_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> open_{false};
+};
+
+struct SnapshotObservation {
+  uint64_t journal_seq = 0;
+  std::string state;
+};
+
+struct CommitObservation {
+  uint64_t journal_seq = 0;
+  uint64_t batch_seq = 0;
+  uint32_t batch_size = 0;
+  uint32_t batch_position = 0;
+};
+
+TEST(ServingOracleTest, ConcurrentCommitsMatchSequentialJournalReplay) {
+  const std::string dir = TempDir("park_serving_oracle");
+  const char* kRules = "+emp(X) -> +active(X).\n"
+                       "-emp(X), payroll(X, S) -> -payroll(X, S).\n";
+  constexpr int kWriters = 4;
+  constexpr int kCommitsPerWriter = 12;
+  constexpr int kReaders = 2;
+
+  Session::Params params;
+  params.rules = kRules;
+  params.sync_mode = JournalSyncMode::kNone;  // speed; durability is
+                                              // bench_serve's concern
+  auto session_or = Session::Open(dir, std::move(params));
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  std::unique_ptr<Session> session = std::move(session_or).value();
+
+  StartGate gate;
+  std::atomic<bool> writers_done{false};
+  std::vector<std::vector<CommitObservation>> commits(kWriters);
+  std::vector<std::vector<SnapshotObservation>> reads(kReaders);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      gate.Wait();
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        Transaction tx = session->Begin();
+        tx.Insert("emp", {StrFormat("w%d_%d", w, i)});
+        if (i % 3 == 2) {
+          tx.Insert("payroll", {StrFormat("w%d_%d", w, i), "1000"});
+        }
+        auto report = std::move(tx).Commit();
+        if (!report.ok()) {
+          ++failures;
+          continue;
+        }
+        commits[w].push_back({report->journal_seq, report->batch_seq,
+                              report->batch_size, report->batch_position});
+      }
+    });
+  }
+  // Readers snapshot continuously while the writers run; each
+  // observation is (journal_seq, full rendered state).
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      gate.Wait();
+      while (!writers_done.load(std::memory_order_acquire)) {
+        park::Snapshot snap = session->Snapshot();
+        reads[r].push_back({snap.journal_seq(), snap.ToString()});
+        std::this_thread::yield();
+      }
+    });
+  }
+  gate.Open();
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // --- Oracle: sequential replay of the journal, one record at a time,
+  // recording the state after every prefix. ---
+  auto records = TransactionJournal::ReadRecords(dir + "/journal.log",
+                                                 session->symbols());
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+
+  ActiveDatabase oracle(session->symbols());
+  ASSERT_TRUE(oracle.LoadRules(kRules).ok());
+  std::map<uint64_t, std::string> state_at;  // journal_seq -> state
+  state_at[0] = oracle.database().ToString();
+  uint64_t total_txns = 0;
+  uint64_t prev_seq = 0;
+  for (const JournalRecord& record : *records) {
+    EXPECT_GT(record.seq, prev_seq) << "journal sequence must ascend";
+    prev_seq = record.seq;
+    total_txns += record.txns;
+    Transaction tx = oracle.Begin();
+    for (const Update& update : record.updates.updates()) {
+      if (update.action == ActionKind::kInsert) {
+        tx.Insert(update.atom);
+      } else {
+        tx.Delete(update.atom);
+      }
+    }
+    auto replayed = std::move(tx).Commit();
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    state_at[record.seq] = oracle.database().ToString();
+  }
+
+  // One folded record per batch: the journal's txns sum to every commit.
+  EXPECT_EQ(total_txns,
+            static_cast<uint64_t>(kWriters) * kCommitsPerWriter);
+
+  // The served final state is the replayed final state, bit-identically.
+  EXPECT_EQ(session->Snapshot().ToString(),
+            oracle.database().ToString());
+
+  // Every snapshot observed exactly a committed prefix state.
+  size_t observations = 0;
+  for (const auto& reader : reads) {
+    for (const SnapshotObservation& obs : reader) {
+      auto it = state_at.find(obs.journal_seq);
+      ASSERT_NE(it, state_at.end())
+          << "snapshot at seq " << obs.journal_seq
+          << " does not match any commit boundary";
+      EXPECT_EQ(obs.state, it->second)
+          << "snapshot diverges from the sequential replay at seq "
+          << obs.journal_seq;
+      ++observations;
+    }
+  }
+  EXPECT_GT(observations, 0u);
+
+  // Batch-report invariants: members of one (non-retried) batch agree on
+  // the journal record and batch size, and occupy distinct positions.
+  std::map<uint64_t, std::vector<CommitObservation>> by_batch;
+  for (const auto& writer : commits) {
+    for (const CommitObservation& obs : writer) {
+      ASSERT_GT(obs.journal_seq, 0u);
+      ASSERT_GE(obs.batch_size, 1u);
+      EXPECT_LT(obs.batch_position, obs.batch_size);
+      if (obs.batch_size > 1) by_batch[obs.batch_seq].push_back(obs);
+    }
+  }
+  for (const auto& [batch_seq, members] : by_batch) {
+    std::set<uint32_t> positions;
+    for (const CommitObservation& obs : members) {
+      EXPECT_EQ(obs.journal_seq, members.front().journal_seq);
+      EXPECT_EQ(obs.batch_size, members.front().batch_size);
+      positions.insert(obs.batch_position);
+    }
+    EXPECT_EQ(positions.size(), members.size())
+        << "batch " << batch_seq << " repeated a position";
+  }
+
+  // Batch journal records replay through Open as well: a reopened
+  // session serves the identical state.
+  session.reset();
+  Session::Params reopen;
+  reopen.rules = kRules;
+  auto reopened = Session::Open(dir, std::move(reopen));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Snapshot().ToString(),
+            oracle.database().ToString());
+}
+
+TEST(ServingOracleTest, SnapshotsPinTheirGenerationAcrossLaterCommits) {
+  auto session_or = Session::Create({});
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  std::unique_ptr<Session> session = std::move(session_or).value();
+
+  ASSERT_TRUE(std::move(session->Begin().Insert("p", {"a"})).Commit().ok());
+  park::Snapshot before = session->Snapshot();
+  ASSERT_TRUE(std::move(session->Begin().Insert("p", {"b"})).Commit().ok());
+  park::Snapshot after = session->Snapshot();
+
+  // The old handle still reads its pinned generation...
+  EXPECT_EQ(before.ToString(), "{p(a)}");
+  EXPECT_EQ(after.ToString(), "{p(a), p(b)}");
+  EXPECT_LT(before.generation(), after.generation());
+  auto hits = before.Query("p(X)");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->bindings.size(), 1u);
+  EXPECT_TRUE(after.Matches("p(b)").value());
+  EXPECT_FALSE(before.Matches("p(b)").value());
+
+  // ...and the accounting sees two live pins on distinct generations.
+  ParkStats::ServingCounters counters = session->serving_stats();
+  EXPECT_EQ(counters.snapshots_opened, 2u);
+  EXPECT_EQ(counters.snapshots_pinned, 2u);
+  EXPECT_EQ(counters.segment_generations_retained, 2u);
+
+  // Dropping one handle releases exactly its pin (copies share a pin).
+  park::Snapshot copy = before;
+  before = park::Snapshot();
+  EXPECT_EQ(session->serving_stats().snapshots_pinned, 2u);
+  copy = park::Snapshot();
+  counters = session->serving_stats();
+  EXPECT_EQ(counters.snapshots_pinned, 1u);
+  EXPECT_EQ(counters.segment_generations_retained, 1u);
+
+  // A snapshot outlives its session: destruction of everything the
+  // session owned must not disturb the pinned segments.
+  session.reset();
+  EXPECT_EQ(after.ToString(), "{p(a), p(b)}");
+}
+
+TEST(ServingOracleTest, PoisonedBatchFallsBackToIndividualCommits) {
+  // The conflict only exists WITHIN a batch: +x(I) and +y(I) are staged
+  // by different transactions, so only a fold that unites the two events
+  // fires the +a/-a pair. The abstaining policy turns that conflict into
+  // a failed folded firing; the pipeline must then commit the members
+  // individually (where neither rule fires) without failing anyone.
+  Session::Params params;
+  params.rules = "+x(I), +y(I) -> +a(I).\n"
+                 "+x(I), +y(I) -> -a(I).\n";
+  params.options.policy = MakeLambdaPolicy(
+      "abstain", [](const PolicyContext&, const Conflict&) -> Result<Vote> {
+        return Vote::kAbstain;
+      });
+  auto session_or = Session::Create(std::move(params));
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  std::unique_ptr<Session> session = std::move(session_or).value();
+
+  constexpr int kRounds = 25;
+  constexpr int kPairs = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    StartGate gate;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kPairs; ++p) {
+      for (const char* pred : {"x", "y"}) {
+        threads.emplace_back([&, p, pred] {
+          gate.Wait();
+          Transaction tx = session->Begin();
+          tx.Insert(pred, {StrFormat("i%d_%d", round, p)});
+          if (!std::move(tx).Commit().ok()) ++failures;
+        });
+      }
+    }
+    gate.Open();
+    for (std::thread& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0) << "round " << round;
+    // Stop as soon as the scheduler actually co-batched a pair.
+    if (session->serving_stats().poisoned_batches > 0) break;
+  }
+
+  ParkStats::ServingCounters counters = session->serving_stats();
+  if (counters.poisoned_batches > 0) {
+    // A poisoned batch of k retries k members.
+    EXPECT_GE(counters.individual_retries, 2 * counters.poisoned_batches);
+  }
+  // Whatever got batched, no a(...) may survive and every insert landed.
+  park::Snapshot snap = session->Snapshot();
+  EXPECT_FALSE(snap.Matches("a(_)").value());
+  auto xs = snap.Query("x(I)");
+  auto ys = snap.Query("y(I)");
+  ASSERT_TRUE(xs.ok());
+  ASSERT_TRUE(ys.ok());
+  EXPECT_EQ(xs->bindings.size(), ys->bindings.size());
+  EXPECT_GT(xs->bindings.size(), 0u);
+}
+
+TEST(ServingOracleTest, ReportsAndStatsDescribeTheBatching) {
+  auto session_or = Session::Create({});
+  ASSERT_TRUE(session_or.ok());
+  std::unique_ptr<Session> session = std::move(session_or).value();
+
+  auto report = std::move(session->Begin().Insert("p", {"a"})).Commit();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->batch_seq, 0u);
+  EXPECT_EQ(report->batch_size, 1u);
+  EXPECT_EQ(report->batch_position, 0u);
+  // Each report carries the serving block it was committed under.
+  EXPECT_GE(report->stats.serving.batches, 1u);
+
+  ParkStats::ServingCounters counters = session->serving_stats();
+  EXPECT_EQ(counters.batches, 1u);
+  EXPECT_EQ(counters.batched_txns, 1u);
+  EXPECT_EQ(counters.max_batch_size, 1u);
+  uint64_t hist_sum = 0;
+  for (uint64_t bucket : counters.batch_size_hist) hist_sum += bucket;
+  EXPECT_EQ(hist_sum, counters.batches);
+
+  // max_group_size = 1 disables folding entirely.
+  Session::Params solo;
+  solo.max_group_size = 1;
+  auto unbatched = Session::Create(std::move(solo));
+  ASSERT_TRUE(unbatched.ok());
+  EXPECT_EQ((*unbatched)->max_group_size(), 1u);
+}
+
+TEST(ServingOracleTest, SessionQueryAndStabilizeServeCommittedState) {
+  Session::Params params;
+  params.rules = "p(X) -> +q(X).";
+  auto session_or = Session::Create(std::move(params));
+  ASSERT_TRUE(session_or.ok());
+  std::unique_ptr<Session> session = std::move(session_or).value();
+
+  ASSERT_TRUE(session->LoadFacts("p(a). p(b).").ok());
+  // LoadFacts republishes without firing rules...
+  EXPECT_FALSE(session->Snapshot().Matches("q(_)").value());
+  // ...Stabilize fires them and republishes again.
+  auto stabilized = session->Stabilize();
+  ASSERT_TRUE(stabilized.ok()) << stabilized.status().ToString();
+  auto hits = session->Query("q(X)");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->bindings.size(), 2u);
+}
+
+}  // namespace
+}  // namespace park

@@ -25,6 +25,11 @@
 //                must fail with kResourceExhausted and leave the
 //                instance untouched.
 //   memory     — a small max_memory_bytes budget; ditto.
+//   batch      — concurrent insert-only writers through a Session (group
+//                commit) over a crash-injecting Env; recovery with a
+//                clean Env must succeed, must equal a sequential replay
+//                of the surviving journal records (batching invisible to
+//                recovery), and must contain every acked commit.
 //
 // Every fault iteration verifies the applied-exactly-or-untouched
 // contract (snapshot equality around each commit) and, for durable
@@ -44,8 +49,10 @@
 #include <filesystem>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "eca/journal.h"
 #include "park/park.h"
 #include "util/fault_env.h"
 
@@ -251,9 +258,9 @@ void RunTransient(Harness& h, int iteration, uint64_t script_seed,
                           "changed (applied-exactly-or-untouched broken)");
         return;
       }
-      if (!db->last_commit_failure().has_value()) {
+      if (!report.failure().has_value()) {
         h.Fail(iteration,
-               "transient: failed commit recorded no CommitFailure");
+               "transient: failed commit carried no CommitFailure");
         return;
       }
       break;  // stop the workload at the first failure, like the crash case
@@ -358,8 +365,8 @@ void RunGoverned(Harness& h, int iteration, uint64_t script_seed,
     h.Fail(iteration, "governed: failed commit left the instance changed");
     return;
   }
-  if (!db.last_commit_failure().has_value() ||
-      db.last_commit_failure()->stage != CommitFailure::Stage::kEvaluate) {
+  if (!report.failure().has_value() ||
+      report.failure()->stage != CommitFailure::Stage::kEvaluate) {
     h.Fail(iteration, "governed: CommitFailure missing or wrong stage");
     return;
   }
@@ -374,8 +381,117 @@ void RunGoverned(Harness& h, int iteration, uint64_t script_seed,
                           retry.status().ToString());
     return;
   }
-  if (db.last_commit_failure().has_value()) {
-    h.Fail(iteration, "governed: CommitFailure not cleared by success");
+  if (retry.failure().has_value()) {
+    h.Fail(iteration, "governed: CommitFailure riding on a success");
+  }
+}
+
+// --- scenario: crash mid-group-commit through the Session front-end ------
+
+// Concurrent writers push insert-only commits through a Session (so group
+// commit folds them into batch journal records) over a crash-injecting
+// Env. After the crash, recovery with a clean Env must (a) succeed, (b)
+// land bit-identically on a sequential replay of the surviving journal
+// records — batching must be invisible to recovery — and (c) contain
+// every commit that was acked before the crash (sync_mode is kFsync, so
+// an ack promises durability). The workload is insert-only with
+// per-writer-distinct atoms, so (c) is well-defined whatever order the
+// batches formed in.
+void RunBatch(Harness& h, int iteration, uint64_t script_seed,
+              const std::string& dir) {
+  std::mt19937_64 rng(script_seed);
+  constexpr int kWriters = 3;
+  constexpr int kCommitsPerWriter = 4;
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCrash;
+  plan.fault_at = static_cast<int64_t>(rng() % 96);
+  plan.torn_write_percent = static_cast<int>(rng() % 101);
+  FaultInjectingEnv fault_env(Env::Default(), plan);
+  const size_t max_group_size = 1 + rng() % 8;
+
+  std::vector<std::vector<std::string>> acked(kWriters);
+  {
+    Session::Params params;
+    params.rules = kRules;
+    params.env = &fault_env;
+    params.sync_mode = JournalSyncMode::kFsync;
+    params.max_group_size = max_group_size;
+    auto session = Session::Open(dir, std::move(params));
+    if (session.ok()) {
+      std::vector<std::thread> writers;
+      for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+          for (int i = 0; i < kCommitsPerWriter; ++i) {
+            const std::string who =
+                "b" + std::to_string(w) + "_" + std::to_string(i);
+            Transaction tx = (*session)->Begin();
+            tx.Insert("emp", {who});
+            if (std::move(tx).Commit().ok()) acked[w].push_back(who);
+          }
+        });
+      }
+      for (std::thread& t : writers) t.join();
+    }
+    // else: the crash landed inside Open() itself; recovery below must
+    // still cope with whatever partial directory it left behind.
+  }
+
+  auto recovered = ActiveDatabase::Open(dir, DurableParams(Env::Default(),
+                                                           /*threads=*/1));
+  if (!recovered.ok()) {
+    h.Fail(iteration, "batch: recovery Open() failed: " +
+                          recovered.status().ToString());
+    return;
+  }
+  const std::string got = recovered->database().ToString();
+
+  // (b) Bit-identical to a sequential replay of the surviving journal: a
+  // batch record replays as the one folded transaction it was.
+  auto symbols = MakeSymbolTable();
+  ActiveDatabase oracle(symbols);
+  if (!oracle.LoadRules(kRules).ok()) std::abort();
+  const std::string journal_path = dir + "/journal.log";
+  if (std::filesystem::exists(journal_path)) {
+    auto records = TransactionJournal::ReadRecords(journal_path, symbols);
+    if (!records.ok()) {
+      h.Fail(iteration, "batch: surviving journal unreadable: " +
+                            records.status().ToString());
+      return;
+    }
+    for (const JournalRecord& record : *records) {
+      Transaction tx = oracle.Begin();
+      for (const Update& u : record.updates.updates()) {
+        if (u.action == ActionKind::kInsert) {
+          tx.Insert(u.atom);
+        } else {
+          tx.Delete(u.atom);
+        }
+      }
+      if (!std::move(tx).Commit().ok()) {
+        h.Fail(iteration, "batch: oracle replay of a journal record failed");
+        return;
+      }
+    }
+  }
+  if (got != oracle.database().ToString()) {
+    h.Fail(iteration,
+           "batch: recovered instance diverges from sequential journal "
+           "replay (max_group_size=" + std::to_string(max_group_size) +
+               ", fault_at=" + std::to_string(plan.fault_at) + ")");
+    return;
+  }
+
+  // (c) Acked implies durable: every acked insert survived the crash.
+  for (int w = 0; w < kWriters; ++w) {
+    for (const std::string& who : acked[w]) {
+      if (got.find("emp(" + who + ")") == std::string::npos) {
+        h.Fail(iteration, "batch: acked commit emp(" + who +
+                              ") missing after recovery (fault_at=" +
+                              std::to_string(plan.fault_at) + ")");
+        return;
+      }
+    }
   }
 }
 
@@ -404,11 +520,11 @@ int Main(int argc, char** argv) {
   std::filesystem::remove_all(base);
   std::filesystem::create_directories(base);
 
-  static const char* kNames[] = {"control", "crash",  "transient",
-                                 "deadline", "cancel", "memory"};
+  static const char* kNames[] = {"control",  "crash",  "transient",
+                                 "deadline", "cancel", "memory", "batch"};
   for (int it = 0; it < h.iterations; ++it) {
-    const int scenario = it % 6;
-    const int threads = (it / 6) % 2 == 0 ? 1 : 4;
+    const int scenario = it % 7;
+    const int threads = (it / 7) % 2 == 0 ? 1 : 4;
     const uint64_t script_seed =
         h.seed * 1000003ull + static_cast<uint64_t>(it);
     if (h.verbose) {
@@ -435,6 +551,9 @@ int Main(int argc, char** argv) {
         break;
       case 5:
         RunGoverned(h, it, script_seed, Budget::kMemory, threads);
+        break;
+      case 6:
+        RunBatch(h, it, script_seed, dir);
         break;
     }
     ++h.runs;

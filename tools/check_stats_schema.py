@@ -13,6 +13,8 @@ Each FILE is dispatched on its "schema" tag:
   park-bench-columnar-v1       -- bench_columnar (tuple vs batch exec)
   park-bench-scheduler-v1      -- bench_scheduler (dependency scheduler
                                   on vs off on the kilorule workload)
+  park-bench-serving-v1        -- bench_serve (group commit + snapshot
+                                  readers against the Session front-end)
 
 Exit status 0 iff every file parses and matches its schema. The checker
 is deliberately stdlib-only (json + sys) so it runs on a bare CI image;
@@ -95,6 +97,14 @@ PARK_STATS_EXEC = [
 PARK_STATS_SCHEDULER = [
     "rules_considered", "rules_skipped", "strata", "pipeline_stages",
 ]
+# Serving-layer accounting (docs/SERVING.md): group-commit batches and
+# snapshot pins. batch_size_hist is checked separately (array, buckets
+# 1 / 2 / 3-4 / 5-8 / 9-16 / 17+).
+PARK_STATS_SERVING = [
+    "batches", "batched_txns", "max_batch_size", "poisoned_batches",
+    "individual_retries", "snapshots_opened", "snapshots_pinned",
+    "segment_generations_retained",
+]
 
 # Every park-bench-*-v1 document shares the bench_json.h envelope, which
 # records the machine and build so a flat speedup curve (or a 1-core CI
@@ -118,6 +128,7 @@ def check_park_stats(errors, doc):
         ("io_retry", lambda v: isinstance(v, dict), "object"),
         ("storage", lambda v: isinstance(v, dict), "object"),
         ("exec", lambda v: isinstance(v, dict), "object"),
+        ("serving", lambda v: isinstance(v, dict), "object"),
         ("timings", lambda v: isinstance(v, dict), "object"),
     ])
     if not isinstance(doc, dict):
@@ -147,6 +158,12 @@ def check_park_stats(errors, doc):
                   '"tuple" or "batch"')]
     exec_spec += [(k, _is_int, "integer") for k in PARK_STATS_EXEC]
     _check_keys(errors, "$.exec", doc.get("exec", {}), exec_spec)
+    serving_spec = [("batch_size_hist",
+                     lambda v: isinstance(v, list) and len(v) == 6
+                     and all(_is_int(b) for b in v),
+                     "array of 6 integers")]
+    serving_spec += [(k, _is_int, "integer") for k in PARK_STATS_SERVING]
+    _check_keys(errors, "$.serving", doc.get("serving", {}), serving_spec)
     timings_spec = [("collected", lambda v: isinstance(v, bool), "bool")]
     timings_spec += [(k, _is_int, "integer") for k in PARK_STATS_TIMINGS]
     _check_keys(errors, "$.timings", doc.get("timings", {}), timings_spec)
@@ -325,6 +342,53 @@ def check_bench_scheduler(errors, doc):
                         SCHEDULER_CONFIG_SPEC)
 
 
+SERVING_CONFIG_SPEC = [
+    ("max_group_size", _is_int, "integer"),
+    ("commits", _is_int, "integer"),
+    ("wall_ms", _is_num, "number"),
+    ("commits_per_sec", _is_num, "number"),
+    ("mean_commit_latency_us", _is_num, "number"),
+    ("batches", _is_int, "integer"),
+    ("mean_batch_size", _is_num, "number"),
+    ("max_batch_size", _is_int, "integer"),
+    ("journal_records", _is_int, "integer"),
+    ("snapshot_reads", _is_int, "integer"),
+    ("throughput_vs_unbatched", _is_num, "number"),
+]
+
+
+def check_bench_serving(errors, doc):
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
+        ("schema", lambda v: v == "park-bench-serving-v1",
+         '"park-bench-serving-v1"'),
+        ("smoke", lambda v: isinstance(v, bool), "bool"),
+        # Every configuration's final state equals the sequential oracle.
+        ("bit_identical", lambda v: v is True, "true"),
+        # Group-commit >= 2x over fsync-per-commit at 8 writers; "skipped"
+        # (recorded, not silent) in smoke mode or off-fsync runs. A failed
+        # gate exits non-zero before any JSON is written.
+        ("gate", lambda v: v in ("passed", "skipped"),
+         '"passed" or "skipped"'),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        where = f"$.cases[{i}]"
+        _check_keys(errors, where, case, [
+            ("name", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("writers", _is_int, "integer"),
+            ("readers", _is_int, "integer"),
+            ("sync_mode", lambda v: v in ("fsync", "fdatasync", "none"),
+             "sync mode name"),
+            ("configs", lambda v: isinstance(v, list) and v,
+             "non-empty array"),
+        ])
+        if not isinstance(case, dict):
+            continue
+        for j, config in enumerate(case.get("configs") or []):
+            _check_keys(errors, f"{where}.configs[{j}]", config,
+                        SERVING_CONFIG_SPEC)
+
+
 CHECKERS = {
     "park-stats-v1": check_park_stats,
     "park-bench-parallel-v1": check_bench_parallel,
@@ -332,6 +396,7 @@ CHECKERS = {
     "park-bench-paper-examples-v1": check_bench_paper_examples,
     "park-bench-columnar-v1": check_bench_columnar,
     "park-bench-scheduler-v1": check_bench_scheduler,
+    "park-bench-serving-v1": check_bench_serving,
 }
 
 
