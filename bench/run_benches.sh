@@ -126,6 +126,14 @@ if [[ -x "${bench_dir}/bench_scheduler" ]]; then
     "${bench_dir}/bench_scheduler" "${out_dir}/BENCH_scheduler.json"
 fi
 
+# Incremental fixpoint maintenance: multi-commit scripts replayed with
+# maintenance on vs off (in-run per-commit bit-identity check, >= 3x
+# speedup gate on every measured config of both cases).
+if [[ -x "${bench_dir}/bench_incremental" ]]; then
+  run_bench bench_incremental "${out_dir}/BENCH_incremental.json" \
+    "${bench_dir}/bench_incremental" "${out_dir}/BENCH_incremental.json"
+fi
+
 # Concurrent Session serving: group-commit throughput vs fsync-per-commit
 # at 8 writers under fsync (>= 2x gate), snapshot readers alongside, and
 # an in-run bit-identity check against a sequential oracle replay.

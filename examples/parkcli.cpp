@@ -35,6 +35,16 @@
 //                      and quick-exits steps whose delta nobody
 //                      watches; off, every step scans the whole
 //                      program. Results are bit-identical either way
+//   --maintenance NAME on | off (default) — incremental fixpoint
+//                      maintenance across commits (docs/INCREMENTAL.md):
+//                      on, an ActiveDatabase keeps its materialized PARK
+//                      result alive between commits and serves eligible
+//                      commits by a seeded closure at cost ~|U| instead
+//                      of re-running from scratch; ineligible commits
+//                      transparently fall back. Results are
+//                      bit-identical either way. parkcli runs a single
+//                      one-shot evaluation, so the flag mainly matters
+//                      for the stats block ("maintenance") it surfaces
 //   --stats-json FILE  write evaluation stats (park-stats-v1 JSON,
 //                      ParkStats::ToJson) to FILE; "-" means stdout
 //                      (the human-readable report then moves to stderr
@@ -265,7 +275,7 @@ int Usage(const char* argv0) {
                "          [--deadline-ms N] [--threads N]\n"
                "          [--min-slice-size N] [--planner cost|heuristic]\n"
                "          [--exec-mode tuple|batch] [--scheduler on|off]\n"
-               "          [--stats-json FILE]\n"
+               "          [--maintenance on|off] [--stats-json FILE]\n"
                "          [--max-memory-bytes N] [--max-derivations N]\n"
                "          [--observe] [--trace] [--explain]\n"
                "       %s --serve-demo\n"
@@ -439,6 +449,18 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "--scheduler wants 'on' or 'off', got '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--maintenance") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "on") == 0) {
+        options.maintenance_mode = park::MaintenanceMode::kIncremental;
+      } else if (std::strcmp(v, "off") == 0) {
+        options.maintenance_mode = park::MaintenanceMode::kOff;
+      } else {
+        std::fprintf(stderr,
+                     "--maintenance wants 'on' or 'off', got '%s'\n", v);
         return 2;
       }
     } else if (arg == "--stats-json") {

@@ -1,0 +1,284 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace park {
+
+void FixpointMaintainer::Invalidate() {
+  stable_ = false;
+  bound_program_ = nullptr;
+  bound_rule_count_ = 0;
+  graph_.reset();
+  plans_.reset();
+  parallel_.reset();
+  static_eligible_ = false;
+  head_preds_.clear();
+  negated_preds_.clear();
+}
+
+bool FixpointMaintainer::EnsureBound(const Program& program,
+                                     const ParkOptions& options) {
+  const bool program_changed =
+      bound_program_ != &program || bound_rule_count_ != program.size();
+  if (program_changed) {
+    // A program identity change without an Invalidate() call (e.g. the
+    // owning ActiveDatabase was moved) drops INV too: the flag describes
+    // a (database, program) pair, and we can no longer vouch for it.
+    Invalidate();
+    bound_program_ = &program;
+    bound_rule_count_ = program.size();
+
+    // Static gate (docs/INCREMENTAL.md): (1) every head inserts — delete
+    // heads make the stabilized instance a moving target; (2) no event or
+    // negated body literal reads a predicate some head writes — those
+    // literal kinds are satisfied by MARKS, and a from-scratch run marks
+    // every derived atom while the seeded closure marks only the cone, so
+    // feedback through them could fire rules the closure never sees.
+    static_eligible_ = true;
+    for (const Rule& rule : program.rules()) {
+      if (rule.head().action != ActionKind::kInsert) {
+        static_eligible_ = false;
+      }
+      head_preds_.insert(rule.head().atom.predicate);
+    }
+    for (const Rule& rule : program.rules()) {
+      for (const BodyLiteral& lit : rule.body()) {
+        if (lit.kind == LiteralKind::kNegated) {
+          negated_preds_.insert(lit.atom.predicate);
+        }
+        if (lit.kind != LiteralKind::kPositive &&
+            head_preds_.count(lit.atom.predicate) > 0) {
+          static_eligible_ = false;
+        }
+      }
+    }
+  }
+  if (!graph_.has_value()) graph_.emplace(program);
+  if (!plans_.has_value() || bound_planner_ != options.planner_mode) {
+    plans_.emplace(program, options.planner_mode);
+    bound_planner_ = options.planner_mode;
+  }
+  const int threads = ResolveNumThreads(options.num_threads);
+  if (threads > 1) {
+    if (parallel_ == nullptr || bound_threads_ != threads ||
+        bound_slice_ != options.min_slice_size) {
+      parallel_ = std::make_unique<ParallelGamma>(program, threads,
+                                                  options.min_slice_size);
+      bound_threads_ = threads;
+      bound_slice_ = options.min_slice_size;
+    }
+  } else {
+    parallel_.reset();
+    bound_threads_ = 1;
+  }
+  return true;
+}
+
+void FixpointMaintainer::NoteFullCommit(const Program& program,
+                                        const ParkOptions& options,
+                                        bool conflict_free) {
+  EnsureBound(program, options);
+  // INV holds after a conflict-free full run of a gated program: the run
+  // ended at a Γ fixpoint, so every rule body valid over the pure result
+  // instance had fired and its (insert) head is already stored — a
+  // stabilize run would be a no-op. Blocked instances or restarts break
+  // the argument (a blocked grounding could re-fire in a fresh run).
+  stable_ = static_eligible_ && conflict_free;
+}
+
+std::optional<MaintenanceOutcome> FixpointMaintainer::TryCommit(
+    const Database& db, const Program& program,
+    const std::vector<Update>& updates, const ParkOptions& options) {
+  EnsureBound(program, options);
+  if (!stable_ || !static_eligible_) return std::nullopt;
+  // Options gate: the incremental path produces no trace, provenance, or
+  // per-step observer events, and skips governance polling — when any of
+  // those is armed the caller needs the full evaluator's behavior.
+  if (options.trace_level != TraceLevel::kNone || options.record_provenance ||
+      options.observer != nullptr || options.deadline_ms > 0 ||
+      options.cancel != nullptr || options.max_memory_bytes > 0 ||
+      options.max_derivations > 0) {
+    return std::nullopt;
+  }
+
+  // Dynamic gate over U: (3) no atom updated with both signs (that is a
+  // guaranteed conflict — let the policy machinery handle it); (4) no
+  // delete of a predicate some head writes (the closure would have to
+  // re-derive into the deletion — exactly the degenerate DRed case,
+  // docs/INCREMENTAL.md); (5) no insert into a negated predicate (a
+  // from-scratch run may fire a !p(...) body in the same step the seed
+  // lands; the proof keeps that window closed by gating it out).
+  std::unordered_set<GroundAtom, GroundAtomHash> plus_seen;
+  std::unordered_set<GroundAtom, GroundAtomHash> minus_seen;
+  for (const Update& u : updates) {
+    const bool insert = u.action == ActionKind::kInsert;
+    if ((insert ? minus_seen : plus_seen).count(u.atom) > 0) {
+      return std::nullopt;
+    }
+    (insert ? plus_seen : minus_seen).insert(u.atom);
+    if (!insert && head_preds_.count(u.atom.predicate()) > 0) {
+      return std::nullopt;
+    }
+    if (insert && negated_preds_.count(u.atom.predicate()) > 0) {
+      return std::nullopt;
+    }
+  }
+
+  const bool timed = options.collect_timings;
+  const int64_t run_start_ns = timed ? MonotonicNanos() : 0;
+  const bool scheduled = options.scheduler_mode == SchedulerMode::kDependency;
+  const RuleDependencyGraph* graph = scheduled ? &*graph_ : nullptr;
+  ParallelGamma* parallel = parallel_.get();
+  ExecStats exec_stats;
+  const uint64_t plans_compiled_before = plans_->plans_compiled();
+  const uint64_t cache_hits_before = plans_->cache_hits();
+  const uint64_t replans_before = plans_->replans();
+  const uint64_t est_rows_before = plans_->estimated_rows();
+  const uint64_t act_rows_before = plans_->actual_rows();
+  const uint64_t sections_before =
+      parallel != nullptr ? parallel->pool().sections_run() : 0;
+  const uint64_t tasks_before =
+      parallel != nullptr ? parallel->pool().tasks_executed() : 0;
+  const uint64_t sliced_before =
+      parallel != nullptr ? parallel->sliced_units() : 0;
+  const uint64_t slices_before =
+      parallel != nullptr ? parallel->slice_tasks() : 0;
+
+  // Seed the closure: U's marks, exactly what the body-less seed rules of
+  // P_U would produce in the full run's first step.
+  IInterpretation interp(&db);
+  DeltaAtoms delta;
+  delta.initial = false;
+  const RuleGrounding seed;  // rule_index -1: "seeded by the transaction"
+  ParkStats stats;
+  for (const Update& u : updates) {
+    if (interp.AddMarked(u.action, u.atom, seed)) {
+      (u.action == ActionKind::kInsert ? delta.plus : delta.minus)
+          .push_back(u.atom);
+      ++stats.derived_marks;
+    }
+  }
+
+  // Semi-naive closure over the stable base. Rules untouched by the
+  // delta never re-fire — INV says their heads are already stored.
+  const BlockedSet no_blocked;
+  size_t steps = 0;
+  uint64_t gamma_ns = 0;
+  uint64_t apply_ns = 0;
+  while (true) {
+    if (steps >= options.max_steps) return std::nullopt;
+    const int64_t gamma_start_ns = timed ? MonotonicNanos() : 0;
+    GammaResult gamma = ComputeGammaSemiNaive(
+        program, no_blocked, interp, delta, parallel, &*plans_,
+        /*cancel=*/nullptr, options.exec_mode, &exec_stats, graph);
+    if (timed) {
+      gamma_ns += static_cast<uint64_t>(MonotonicNanos() - gamma_start_ns);
+    }
+    stats.rule_evaluations += gamma.rules_evaluated;
+    stats.sched_rules_considered += gamma.rules_considered;
+    stats.sched_rules_skipped += gamma.rules_skipped;
+    stats.sched_pipeline_stages += gamma.pipeline_stages;
+    // A clash inside the cone means this commit has real conflicts; the
+    // full evaluator owns conflict construction and SELECT policies.
+    if (!gamma.consistent) return std::nullopt;
+    if (gamma.newly_marked == 0) break;
+    const int64_t apply_start_ns = timed ? MonotonicNanos() : 0;
+    const size_t added =
+        ApplyDerivationsTrackedAtoms(gamma.derivations, interp, delta);
+    if (timed) {
+      apply_ns += static_cast<uint64_t>(MonotonicNanos() - apply_start_ns);
+    }
+    stats.derived_marks += added;
+    stats.maint_atoms_rederived += added;
+    ++stats.gamma_steps;
+    ++steps;
+  }
+
+  // The commit's diff, read straight off the marks in O(|marks|): the
+  // result instance is (D ∪ plus) \ minus with plus ∩ minus = ∅.
+  MaintenanceOutcome outcome;
+  interp.plus().ForEach([&](const GroundAtom& atom) {
+    if (!db.Contains(atom)) outcome.inserted.push_back(atom);
+  });
+  interp.minus().ForEach([&](const GroundAtom& atom) {
+    if (db.Contains(atom)) outcome.deleted.push_back(atom);
+  });
+  // Same order Database::DiffWith reports, so CommitReports are
+  // bit-identical between the incremental and the full path.
+  std::sort(outcome.inserted.begin(), outcome.inserted.end());
+  std::sort(outcome.deleted.begin(), outcome.deleted.end());
+
+  stats.num_threads = static_cast<size_t>(
+      parallel != nullptr ? parallel->num_threads() : 1);
+  stats.planner_mode = options.planner_mode;
+  stats.scheduler_mode = options.scheduler_mode;
+  stats.exec_mode = options.exec_mode;
+  if (scheduled) stats.sched_strata = graph_->num_strata();
+  stats.plans_compiled = plans_->plans_compiled() - plans_compiled_before;
+  stats.plan_cache_hits = plans_->cache_hits() - cache_hits_before;
+  stats.plan_replans = plans_->replans() - replans_before;
+  stats.planner_estimated_rows = plans_->estimated_rows() - est_rows_before;
+  stats.planner_actual_rows = plans_->actual_rows() - act_rows_before;
+  if (parallel != nullptr) {
+    stats.parallel_sections =
+        parallel->pool().sections_run() - sections_before;
+    stats.parallel_tasks = parallel->pool().tasks_executed() - tasks_before;
+    stats.parallel_sliced_units = parallel->sliced_units() - sliced_before;
+    stats.parallel_slices = parallel->slice_tasks() - slices_before;
+    stats.parallel_max_queue_depth = parallel->pool().max_section_tasks();
+  }
+  {
+    Database::ColumnarFootprint fp = interp.base().ColumnarStats();
+    const Database::ColumnarFootprint plus_fp = interp.plus().ColumnarStats();
+    const Database::ColumnarFootprint minus_fp =
+        interp.minus().ColumnarStats();
+    fp.segments += plus_fp.segments + minus_fp.segments;
+    fp.segment_rows += plus_fp.segment_rows + minus_fp.segment_rows;
+    fp.compactions += plus_fp.compactions + minus_fp.compactions;
+    fp.dict_entries += plus_fp.dict_entries + minus_fp.dict_entries;
+    stats.storage_segments = static_cast<size_t>(fp.segments);
+    stats.storage_segment_rows = static_cast<size_t>(fp.segment_rows);
+    stats.storage_compactions = static_cast<size_t>(fp.compactions);
+    stats.storage_dict_entries = static_cast<size_t>(fp.dict_entries);
+  }
+  stats.exec_batch_rows =
+      exec_stats.batch_rows.load(std::memory_order_relaxed);
+  stats.exec_probe_rows =
+      exec_stats.probe_rows.load(std::memory_order_relaxed);
+  stats.exec_merge_rows =
+      exec_stats.merge_rows.load(std::memory_order_relaxed);
+
+  stats.maintenance_mode = MaintenanceMode::kIncremental;
+  stats.maint_commits = 1;
+  stats.maint_atoms_overdeleted = outcome.deleted.size();
+  {
+    std::vector<PredicateId> plus_preds;
+    std::vector<PredicateId> minus_preds;
+    for (const GroundAtom& atom : plus_seen) {
+      plus_preds.push_back(atom.predicate());
+    }
+    for (const GroundAtom& atom : minus_seen) {
+      minus_preds.push_back(atom.predicate());
+    }
+    stats.maint_cone_rules = graph_->ConeRules(plus_preds, minus_preds).size();
+  }
+  stats.timings.collected = timed;
+  if (timed) {
+    stats.timings.gamma_ns = gamma_ns;
+    stats.timings.apply_ns = apply_ns;
+    stats.timings.total_ns =
+        static_cast<uint64_t>(MonotonicNanos() - run_start_ns);
+  }
+  outcome.stats = std::move(stats);
+  // The applied commit preserves INV (docs/INCREMENTAL.md): the closure
+  // ended at a fixpoint, so the new instance is rule-stable too. stable_
+  // simply stays true; the caller's journal-failure rollback restores the
+  // previous (also stable) instance, so no post-hook is needed.
+  return outcome;
+}
+
+}  // namespace park

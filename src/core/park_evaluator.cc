@@ -47,6 +47,14 @@ const char* SchedulerModeName(SchedulerMode mode) {
   return "unknown";
 }
 
+const char* MaintenanceModeName(MaintenanceMode mode) {
+  switch (mode) {
+    case MaintenanceMode::kOff: return "off";
+    case MaintenanceMode::kIncremental: return "incremental";
+  }
+  return "unknown";
+}
+
 /// Arms the run's CancellationToken from the options (deadline, memory /
 /// derivation budgets, chained external cancel). Returns nullptr when no
 /// governance is configured — the matcher and Γ workers then skip polling
@@ -253,6 +261,14 @@ std::string ParkStats::ToJson() const {
   w.Key("segment_generations_retained")
       .UInt(serving.segment_generations_retained);
   w.EndObject();
+  w.Key("maintenance").BeginObject();
+  w.Key("mode").String(MaintenanceModeName(maintenance_mode));
+  w.Key("maintained_commits").UInt(maint_commits);
+  w.Key("atoms_overdeleted").UInt(maint_atoms_overdeleted);
+  w.Key("atoms_rederived").UInt(maint_atoms_rederived);
+  w.Key("cone_rules").UInt(maint_cone_rules);
+  w.Key("full_recompute_fallbacks").UInt(maint_full_recompute_fallbacks);
+  w.EndObject();
   w.Key("timings").BeginObject();
   w.Key("collected").Bool(timings.collected);
   w.Key("total_ns").UInt(timings.total_ns);
@@ -312,6 +328,10 @@ Result<ParkResult> Park(const Program& program, const Database& db,
   stats.num_threads = static_cast<size_t>(num_threads);
   stats.planner_mode = options.planner_mode;
   stats.scheduler_mode = options.scheduler_mode;
+  // Echoed so one-shot stats reports show the configured mode; the
+  // maintenance counters themselves are owned by FixpointMaintainer and
+  // ActiveDatabase (a bare Park() call is by definition from-scratch).
+  stats.maintenance_mode = options.maintenance_mode;
   // The dependency graph behind delta-driven scheduling, built once per
   // evaluation. Naive Γ matches every rule every step by definition, so
   // the graph would never be consulted — skip building it.

@@ -78,6 +78,22 @@ enum class SchedulerMode {
   kDependency,
 };
 
+/// Whether ActiveDatabase commits maintain the materialized PARK
+/// fixpoint incrementally across commits (docs/INCREMENTAL.md). With
+/// kIncremental, a commit whose program and update set pass the
+/// eligibility gates re-derives only the cone seeded from U over the
+/// already-stable database instead of recomputing PARK(D, P, U) from
+/// scratch — bit-identical results (incremental_oracle_test), commit
+/// cost proportional to |U| and its cone. Ineligible commits (conflicts,
+/// event/negation feedback, derived-predicate deletes, governance or
+/// tracing armed) fall back to the full evaluator transparently and are
+/// counted in ParkStats::maint_full_recompute_fallbacks. Consulted only
+/// by ActiveDatabase/Session; a bare Park() call ignores it.
+enum class MaintenanceMode {
+  kOff,
+  kIncremental,
+};
+
 /// Evaluation parameters. Default-constructed options use the principle
 /// of inertia and no tracing.
 struct ParkOptions {
@@ -161,6 +177,12 @@ struct ParkOptions {
   /// only how fast sparse deltas find their rules; `parkcli --scheduler
   /// on|off` exposes it and bench_scheduler quantifies it.
   SchedulerMode scheduler_mode = SchedulerMode::kDependency;
+  /// Incremental fixpoint maintenance across commits (see MaintenanceMode
+  /// above and docs/INCREMENTAL.md). Default off until a deployment has
+  /// been oracle-swept; `parkcli --maintenance on|off` exposes it and
+  /// bench_incremental quantifies it. Never affects results — ineligible
+  /// commits fall back to the full evaluator.
+  MaintenanceMode maintenance_mode = MaintenanceMode::kOff;
   /// Observation hooks at the loop's structural points (see
   /// core/observer.h). Not owned; must outlive the evaluation. Null means
   /// no observation (each hook site is then a single branch). A free
@@ -319,6 +341,25 @@ struct ParkStats {
     }
   };
   ServingCounters serving;
+  // Maintenance counters (see ParkOptions::maintenance_mode and
+  // docs/INCREMENTAL.md). Zero for a bare evaluation and under
+  // maintenance off; ActiveDatabase fills them per commit. Deterministic
+  // for a fixed configuration and invariant across thread counts: the
+  // seed set, the cone, and the fallback decision are properties of
+  // (D, P, U), never of the pool. `maint_commits` is 1 when the commit
+  // was served incrementally; `maint_atoms_overdeleted` counts stored
+  // atoms removed by the commit's over-delete phase;
+  // `maint_atoms_rederived` counts marks produced by the seeded
+  // re-derivation closure; `maint_cone_rules` is the number of rules in
+  // the dependency cone reachable from U's predicates; and
+  // `maint_full_recompute_fallbacks` is 1 when maintenance was on but
+  // the commit fell back to the from-scratch evaluator.
+  MaintenanceMode maintenance_mode = MaintenanceMode::kOff;
+  uint64_t maint_commits = 0;
+  uint64_t maint_atoms_overdeleted = 0;
+  uint64_t maint_atoms_rederived = 0;
+  uint64_t maint_cone_rules = 0;
+  uint64_t maint_full_recompute_fallbacks = 0;
   /// Phase timers (see ParkOptions::collect_timings).
   PhaseTimings timings;
 
@@ -333,6 +374,7 @@ struct ParkStats {
   ///    "storage": {...},    // columnar segment counters (docs/STORAGE.md)
   ///    "exec": {...},       // executor mode + batch row counters
   ///    "serving": {...},    // group-commit + snapshot counters
+  ///    "maintenance": {...},// incremental-fixpoint counters
   ///    "timings": {"collected": bool, <phase>_ns...}}
   /// The "counters" object is invariant across num_threads /
   /// min_slice_size settings (asserted in stats_invariance_test);

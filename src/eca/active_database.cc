@@ -32,6 +32,7 @@ ActiveDatabase::ActiveDatabase(std::shared_ptr<SymbolTable> symbols)
 Status ActiveDatabase::LoadRules(std::string_view program_text) {
   PARK_ASSIGN_OR_RETURN(Program parsed,
                         ParseProgram(program_text, database_.symbols()));
+  maintainer_.Invalidate();
   for (const Rule& rule : parsed.rules()) {
     // Re-add into the installed program so indexes/labels stay coherent.
     Rule copy = rule;
@@ -41,6 +42,7 @@ Status ActiveDatabase::LoadRules(std::string_view program_text) {
 }
 
 Status ActiveDatabase::AddRule(Rule rule) {
+  maintainer_.Invalidate();
   return program_.AddRule(std::move(rule));
 }
 
@@ -48,10 +50,14 @@ Status ActiveDatabase::Configure(ParkOptions options) {
   PARK_RETURN_IF_ERROR(
       ValidateOptions(options).WithContext("ActiveDatabase::Configure"));
   options_ = std::move(options);
+  maintainer_.Invalidate();
   return Status::OK();
 }
 
 Status ActiveDatabase::LoadFacts(std::string_view facts_text) {
+  // Bulk loads bypass rule evaluation, so the stored instance can no
+  // longer be assumed rule-stable.
+  maintainer_.Invalidate();
   return ParseFactsInto(facts_text, database_);
 }
 
@@ -82,7 +88,6 @@ CommitResult ActiveDatabase::CommitUpdates(const UpdateSet& updates,
       CommitFailure failure;
       failure.stage = CommitFailure::Stage::kValidate;
       failure.cause = valid;
-      last_commit_failure_ = failure;
       return CommitResult(valid, std::move(failure));
     }
   }
@@ -91,24 +96,46 @@ CommitResult ActiveDatabase::CommitUpdates(const UpdateSet& updates,
   observer.Notify(
       [&](RunObserver& o) { o.OnCommitStart(updates.updates().size()); });
 
-  auto evaluated = Park(database_, program_, updates.updates(), options_);
-  if (!evaluated.ok()) {
-    // Evaluation is copy-on-write, so the stored instance is untouched.
-    CommitFailure failure;
-    failure.stage = CommitFailure::Stage::kEvaluate;
-    failure.cause = evaluated.status();
-    last_commit_failure_ = failure;
-    return CommitResult(evaluated.status(), std::move(failure));
-  }
-  ParkResult park = std::move(*evaluated);
-  const int64_t evaluated_ns = MonotonicNanos();
-
+  const bool maintaining =
+      options_.maintenance_mode == MaintenanceMode::kIncremental;
   CommitReport report;
-  Database::Diff diff = park.database.DiffWith(database_);
-  report.inserted = std::move(diff.only_in_this);
-  report.deleted = std::move(diff.only_in_other);
-  report.stats = park.stats;
-  report.trace = std::move(park.trace);
+  bool served_incrementally = false;
+  bool full_conflict_free = false;
+  if (maintaining) {
+    std::optional<MaintenanceOutcome> maintained =
+        maintainer_.TryCommit(database_, program_, updates.updates(),
+                              options_);
+    if (maintained.has_value()) {
+      served_incrementally = true;
+      report.inserted = std::move(maintained->inserted);
+      report.deleted = std::move(maintained->deleted);
+      report.stats = std::move(maintained->stats);
+    }
+  }
+  if (!served_incrementally) {
+    auto evaluated = Park(database_, program_, updates.updates(), options_);
+    if (!evaluated.ok()) {
+      // Evaluation is copy-on-write, so the stored instance is untouched.
+      CommitFailure failure;
+      failure.stage = CommitFailure::Stage::kEvaluate;
+      failure.cause = evaluated.status();
+      return CommitResult(evaluated.status(), std::move(failure));
+    }
+    ParkResult park = std::move(*evaluated);
+    Database::Diff diff = park.database.DiffWith(database_);
+    report.inserted = std::move(diff.only_in_this);
+    report.deleted = std::move(diff.only_in_other);
+    report.stats = std::move(park.stats);
+    report.trace = std::move(park.trace);
+    full_conflict_free =
+        park.blocked.empty() && report.stats.restarts == 0;
+    if (maintaining) {
+      report.stats.maintenance_mode = MaintenanceMode::kIncremental;
+      report.stats.maint_full_recompute_fallbacks = 1;
+    }
+  }
+
+  const int64_t evaluated_ns = MonotonicNanos();
 
   // Apply the diff in place rather than swapping in the result database:
   // O(|changes|) instead of discarding the stored instance, and the
@@ -122,7 +149,8 @@ CommitResult ActiveDatabase::CommitUpdates(const UpdateSet& updates,
     // journal's transient-failure retries, the in-place diff is undone —
     // its exact inverse — so memory never runs ahead of the durable
     // history: the commit either applied (and is durable) or left the
-    // database untouched.
+    // database untouched. The rollback restores a rule-stable instance,
+    // so the maintainer's INV flag is deliberately left alone.
     Status appended = journal_->Append(updates, *symbols(), txns);
     if (!appended.ok()) {
       for (const GroundAtom& atom : report.inserted) database_.Erase(atom);
@@ -131,7 +159,6 @@ CommitResult ActiveDatabase::CommitUpdates(const UpdateSet& updates,
       failure.stage = CommitFailure::Stage::kJournal;
       failure.cause = appended;
       failure.journal_attempts = journal_->last_append_attempts();
-      last_commit_failure_ = failure;
       return CommitResult(
           appended.WithContext("commit rolled back: durability failed"),
           std::move(failure));
@@ -147,7 +174,12 @@ CommitResult ActiveDatabase::CommitUpdates(const UpdateSet& updates,
     observer.Notify(
         [&](RunObserver& o) { o.OnJournalAppend(report.journal_seq); });
   }
-  last_commit_failure_.reset();
+  if (maintaining && !served_incrementally) {
+    // A full run's result database is now durably installed: a
+    // conflict-free run of a gated program (re-)establishes INV, so the
+    // NEXT commit can go incrementally.
+    maintainer_.NoteFullCommit(program_, options_, full_conflict_free);
+  }
   report.timings.evaluate_ns =
       static_cast<uint64_t>(evaluated_ns - commit_start_ns);
   report.timings.apply_ns = static_cast<uint64_t>(applied_ns - evaluated_ns);
@@ -184,6 +216,7 @@ Result<uint64_t> ActiveDatabase::LoadSnapshotContents(
   }
   // The header is a `#` comment, which the fact parser skips, so the
   // whole contents parse as one fact file.
+  maintainer_.Invalidate();
   Status status = ParseFactsInto(contents, database_);
   if (!status.ok()) {
     return status.WithContext(
@@ -396,6 +429,7 @@ Status ActiveDatabase::SaveSnapshot(const std::string& path) const {
 Status ActiveDatabase::LoadSnapshot(const std::string& path) {
   PARK_ASSIGN_OR_RETURN(Database loaded,
                         ReadDatabaseFile(path, symbols()));
+  maintainer_.Invalidate();
   loaded.ForEach([this](const GroundAtom& atom) { database_.Insert(atom); });
   return Status::OK();
 }

@@ -25,6 +25,7 @@
 
 #include <optional>
 
+#include "core/maintenance.h"
 #include "eca/journal.h"
 #include "eca/transaction.h"
 
@@ -101,14 +102,6 @@ class ActiveDatabase {
 
   /// One-shot convenience: runs a single-update transaction.
   CommitResult Apply(ActionKind action, const GroundAtom& atom);
-
-  /// DEPRECATED — read CommitResult::failure() off the failed Commit()
-  /// instead; this mirror of it survives one release for callers that
-  /// still pair the Status with a separate getter. Post-mortem of the
-  /// most recent FAILED commit (cleared by the next successful one).
-  const std::optional<CommitFailure>& last_commit_failure() const {
-    return last_commit_failure_;
-  }
 
   /// Runs the rules with NO user updates — PARK(P, D) — replacing the
   /// stored instance with the result. Useful after LoadFacts to bring the
@@ -215,7 +208,11 @@ class ActiveDatabase {
   Program program_;
   ParkOptions options_;
   std::optional<TransactionJournal> journal_;
-  std::optional<CommitFailure> last_commit_failure_;
+  /// Incremental fixpoint maintenance (ParkOptions::maintenance_mode,
+  /// docs/INCREMENTAL.md). Consulted by CommitUpdates when the mode is
+  /// kIncremental; invalidated whenever rules, facts, or options change
+  /// outside the commit path.
+  FixpointMaintainer maintainer_;
 
   // Directory mode (set by Open).
   std::string dir_;

@@ -36,8 +36,10 @@ RuleDependencyGraph::RuleDependencyGraph(const Program& program) {
   // polarity — the same wake-up Schedule() performs at runtime, so the
   // static graph and the dynamic scheduler can never disagree.
   std::vector<std::vector<int>> adj(n);
+  heads_.reserve(n);
   for (size_t r = 0; r < n; ++r) {
     const RuleHead& head = program.rule(r).head();
+    heads_.emplace_back(head.action, head.atom.predicate);
     const std::vector<int>& readers =
         head.action == ActionKind::kInsert
             ? Watchers(plus_watchers_, head.atom.predicate)
@@ -169,6 +171,32 @@ GammaSchedule RuleDependencyGraph::Schedule(const DeltaState& delta) const {
   }
   schedule.stages = StagesFor(schedule.rules);
   return schedule;
+}
+
+std::vector<int> RuleDependencyGraph::ConeRules(
+    const std::vector<PredicateId>& plus_preds,
+    const std::vector<PredicateId>& minus_preds) const {
+  std::vector<char> in_cone(size(), 0);
+  std::vector<int> frontier;
+  auto wake = [&](const WatcherIndex& index, PredicateId pred) {
+    for (int r : Watchers(index, pred)) {
+      if (!in_cone[static_cast<size_t>(r)]) {
+        in_cone[static_cast<size_t>(r)] = 1;
+        frontier.push_back(r);
+      }
+    }
+  };
+  for (PredicateId pred : plus_preds) wake(plus_watchers_, pred);
+  for (PredicateId pred : minus_preds) wake(minus_watchers_, pred);
+  // BFS: a woken rule's head mark wakes that polarity's watchers, exactly
+  // as the runtime scheduler would.
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    const auto& [action, pred] = heads_[static_cast<size_t>(frontier[i])];
+    wake(action == ActionKind::kInsert ? plus_watchers_ : minus_watchers_,
+         pred);
+  }
+  std::sort(frontier.begin(), frontier.end());
+  return frontier;
 }
 
 std::vector<std::vector<int>> RuleDependencyGraph::StagesFor(

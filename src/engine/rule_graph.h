@@ -84,6 +84,17 @@ class RuleDependencyGraph {
   std::vector<std::vector<int>> StagesFor(
       const std::vector<int>& rules) const;
 
+  /// Every rule transitively reachable from marks of the given polarities:
+  /// the closure of the watcher wake-up relation starting from `+` marks
+  /// of plus_preds and `-` marks of minus_preds, following each woken
+  /// rule's head write to its own watchers. Ascending rule indexes. This
+  /// is the static dependency CONE of an update set — incremental
+  /// maintenance (docs/INCREMENTAL.md) reports its size and uses it to
+  /// bound what a commit can touch.
+  std::vector<int> ConeRules(const std::vector<PredicateId>& plus_preds,
+                             const std::vector<PredicateId>& minus_preds)
+      const;
+
  private:
   using WatcherIndex = std::unordered_map<PredicateId, std::vector<int>>;
 
@@ -92,6 +103,8 @@ class RuleDependencyGraph {
 
   WatcherIndex plus_watchers_;
   WatcherIndex minus_watchers_;
+  /// Per-rule head write (action polarity + predicate), for cone BFS.
+  std::vector<std::pair<ActionKind, PredicateId>> heads_;
   std::vector<int> stratum_;  // per rule index
   size_t num_strata_ = 0;
   size_t num_sccs_ = 0;

@@ -248,21 +248,17 @@ TEST_F(CommitRetryTest, ExhaustedJournalRetriesRollTheCommitBack) {
   // Rolled back exactly: evaluation inserted p(b) AND the rule's q(b),
   // and both are gone again.
   EXPECT_EQ(db.database().ToString(), before);
-  // The failure detail rides on the CommitResult itself...
+  // The failure detail rides on the CommitResult itself.
   ASSERT_TRUE(failed.failure().has_value());
   EXPECT_EQ(failed.failure()->stage, CommitFailure::Stage::kJournal);
   EXPECT_EQ(failed.failure()->journal_attempts, 2);
   EXPECT_TRUE(failed.failure()->rolled_back);
-  // ...and (deprecated, one more release) on the side-channel.
-  ASSERT_TRUE(db.last_commit_failure().has_value());
-  EXPECT_EQ(db.last_commit_failure()->stage, CommitFailure::Stage::kJournal);
 
   // The database needs no reopen: the same handle commits once the
   // transient condition clears, and the durable history matches memory.
   env.set_transient(TransientFaults{});
   auto report = std::move(db.Begin().Insert("p", {"b"})).Commit();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_FALSE(db.last_commit_failure().has_value());
   EXPECT_GT(report->stats.io_attempts, 0u);
 
   auto records =

@@ -30,6 +30,13 @@
 //                clean Env must succeed, must equal a sequential replay
 //                of the surviving journal records (batching invisible to
 //                recovery), and must contain every acked commit.
+//   maintenance— commits under MaintenanceMode::kIncremental against a
+//                gate-eligible program over a crash-injecting Env, with a
+//                sprinkling of gate-violating commits forcing mid-stream
+//                fallbacks; recovery (also with maintenance on, so replay
+//                itself exercises the incremental path) must be EXACTLY a
+//                committed prefix of the maintenance-OFF from-scratch
+//                oracle history.
 //
 // Every fault iteration verifies the applied-exactly-or-untouched
 // contract (snapshot equality around each commit) and, for durable
@@ -495,6 +502,117 @@ void RunBatch(Harness& h, int iteration, uint64_t script_seed,
   }
 }
 
+// --- scenario: crash under incremental maintenance ------------------------
+
+/// Gate-eligible program (insert-only heads, no event/negation feedback
+/// onto a head predicate): commits inserting/deleting `emp` ride the
+/// incremental path, while deletes of `active` (a head predicate) force
+/// a transparent full-recompute fallback mid-stream.
+constexpr char kMaintRules[] = R"(
+  onboard: +emp(X) -> +active(X).
+  promote: active(X) -> +member(X).
+)";
+
+void RandomMaintUpdate(std::mt19937_64& rng, Transaction& tx) {
+  const std::string who = "v" + std::to_string(rng() % 8);
+  switch (rng() % 5) {
+    case 0:
+    case 1:
+      tx.Insert("emp", {who});
+      break;
+    case 2:
+      tx.Delete("emp", {who});  // eligible: emp is not a head predicate
+      break;
+    case 3:
+      tx.Delete("active", {who});  // head-predicate delete -> fallback
+      break;
+    default:
+      tx.Insert("emp", {who});
+      tx.Insert("extra", {who});
+      break;
+  }
+}
+
+/// Maintenance-OFF oracle: states[k] = instance after the first k commits
+/// of the seeded script, every one recomputed from scratch.
+std::vector<std::string> MaintOracleStates(uint64_t script_seed, int commits,
+                                           int threads) {
+  std::mt19937_64 rng(script_seed);
+  ActiveDatabase db;
+  if (!db.LoadRules(kMaintRules).ok()) std::abort();
+  ParkOptions options;
+  options.num_threads = threads;
+  if (!db.Configure(std::move(options)).ok()) std::abort();
+  std::vector<std::string> states;
+  states.push_back(db.database().ToString());
+  for (int i = 0; i < commits; ++i) {
+    Transaction tx = db.Begin();
+    RandomMaintUpdate(rng, tx);
+    if (!std::move(tx).Commit().ok()) std::abort();
+    states.push_back(db.database().ToString());
+  }
+  return states;
+}
+
+void RunMaintenance(Harness& h, int iteration, uint64_t script_seed,
+                    const std::string& dir, int threads) {
+  std::mt19937_64 rng(script_seed);
+  const int commits = 4;
+
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCrash;
+  plan.fault_at = static_cast<int64_t>(rng() % 64);
+  plan.torn_write_percent = static_cast<int>(rng() % 101);
+  FaultInjectingEnv fault_env(Env::Default(), plan);
+
+  auto params_for = [&](Env* env) {
+    ActiveDatabase::OpenParams params;
+    params.rules = kMaintRules;
+    params.env = env;
+    params.sync_mode = JournalSyncMode::kFsync;
+    params.options.num_threads = threads;
+    params.options.maintenance_mode = MaintenanceMode::kIncremental;
+    return params;
+  };
+
+  std::mt19937_64 script(script_seed);
+  int acked = 0;
+  bool in_flight = false;
+  {
+    auto db = ActiveDatabase::Open(dir, params_for(&fault_env));
+    if (db.ok()) {
+      for (int i = 0; i < commits; ++i) {
+        Transaction tx = db->Begin();
+        RandomMaintUpdate(script, tx);
+        in_flight = true;
+        if (!std::move(tx).Commit().ok()) break;
+        in_flight = false;
+        ++acked;
+      }
+    }
+  }
+
+  // Recovery ALSO runs with maintenance on: journal replay goes through
+  // the same incremental commit path the live run used.
+  auto recovered = ActiveDatabase::Open(dir, params_for(Env::Default()));
+  if (!recovered.ok()) {
+    h.Fail(iteration, "maintenance: recovery Open() failed: " +
+                          recovered.status().ToString());
+    return;
+  }
+  const std::vector<std::string> oracle =
+      MaintOracleStates(script_seed, commits, threads);
+  const std::string got = recovered->database().ToString();
+  bool legal = got == oracle[acked];
+  if (!legal && in_flight) legal = got == oracle[acked + 1];
+  if (!legal) {
+    h.Fail(iteration,
+           "maintenance: recovered instance is not a committed prefix of "
+           "the from-scratch oracle (acked=" + std::to_string(acked) +
+               ", fault_at=" + std::to_string(plan.fault_at) + ")");
+  }
+}
+
 // --- driver ---------------------------------------------------------------
 
 int Main(int argc, char** argv) {
@@ -521,10 +639,11 @@ int Main(int argc, char** argv) {
   std::filesystem::create_directories(base);
 
   static const char* kNames[] = {"control",  "crash",  "transient",
-                                 "deadline", "cancel", "memory", "batch"};
+                                 "deadline", "cancel", "memory", "batch",
+                                 "maintenance"};
   for (int it = 0; it < h.iterations; ++it) {
-    const int scenario = it % 7;
-    const int threads = (it / 7) % 2 == 0 ? 1 : 4;
+    const int scenario = it % 8;
+    const int threads = (it / 8) % 2 == 0 ? 1 : 4;
     const uint64_t script_seed =
         h.seed * 1000003ull + static_cast<uint64_t>(it);
     if (h.verbose) {
@@ -554,6 +673,9 @@ int Main(int argc, char** argv) {
         break;
       case 6:
         RunBatch(h, it, script_seed, dir);
+        break;
+      case 7:
+        RunMaintenance(h, it, script_seed, dir, threads);
         break;
     }
     ++h.runs;

@@ -15,6 +15,8 @@ Each FILE is dispatched on its "schema" tag:
                                   on vs off on the kilorule workload)
   park-bench-serving-v1        -- bench_serve (group commit + snapshot
                                   readers against the Session front-end)
+  park-bench-incremental-v1    -- bench_incremental (maintenance on vs
+                                  from-scratch over multi-commit scripts)
 
 Exit status 0 iff every file parses and matches its schema. The checker
 is deliberately stdlib-only (json + sys) so it runs on a bare CI image;
@@ -105,6 +107,12 @@ PARK_STATS_SERVING = [
     "individual_retries", "snapshots_opened", "snapshots_pinned",
     "segment_generations_retained",
 ]
+# Incremental-maintenance accounting (docs/INCREMENTAL.md): commits
+# served by the seeded closure vs transparent full-recompute fallbacks.
+PARK_STATS_MAINTENANCE = [
+    "maintained_commits", "atoms_overdeleted", "atoms_rederived",
+    "cone_rules", "full_recompute_fallbacks",
+]
 
 # Every park-bench-*-v1 document shares the bench_json.h envelope, which
 # records the machine and build so a flat speedup curve (or a 1-core CI
@@ -129,6 +137,7 @@ def check_park_stats(errors, doc):
         ("storage", lambda v: isinstance(v, dict), "object"),
         ("exec", lambda v: isinstance(v, dict), "object"),
         ("serving", lambda v: isinstance(v, dict), "object"),
+        ("maintenance", lambda v: isinstance(v, dict), "object"),
         ("timings", lambda v: isinstance(v, dict), "object"),
     ])
     if not isinstance(doc, dict):
@@ -164,6 +173,12 @@ def check_park_stats(errors, doc):
                      "array of 6 integers")]
     serving_spec += [(k, _is_int, "integer") for k in PARK_STATS_SERVING]
     _check_keys(errors, "$.serving", doc.get("serving", {}), serving_spec)
+    maintenance_spec = [("mode", lambda v: v in ("off", "incremental"),
+                         '"off" or "incremental"')]
+    maintenance_spec += [(k, _is_int, "integer")
+                         for k in PARK_STATS_MAINTENANCE]
+    _check_keys(errors, "$.maintenance", doc.get("maintenance", {}),
+                maintenance_spec)
     timings_spec = [("collected", lambda v: isinstance(v, bool), "bool")]
     timings_spec += [(k, _is_int, "integer") for k in PARK_STATS_TIMINGS]
     _check_keys(errors, "$.timings", doc.get("timings", {}), timings_spec)
@@ -389,6 +404,50 @@ def check_bench_serving(errors, doc):
                         SERVING_CONFIG_SPEC)
 
 
+INCREMENTAL_CONFIG_SPEC = [
+    ("threads", _is_int, "integer"),
+    ("scratch_ms", _is_num, "number"),
+    ("incremental_ms", _is_num, "number"),
+    ("speedup", _is_num, "number"),
+    ("commits", _is_int, "integer"),
+    ("maintained_commits", _is_int, "integer"),
+    ("fallbacks", _is_int, "integer"),
+    ("atoms_rederived", _is_int, "integer"),
+    ("atoms_overdeleted", _is_int, "integer"),
+    ("cone_rules", _is_int, "integer"),
+]
+
+
+def check_bench_incremental(errors, doc):
+    _check_keys(errors, "$", doc, BENCH_ENVELOPE_SPEC + [
+        ("schema", lambda v: v == "park-bench-incremental-v1",
+         '"park-bench-incremental-v1"'),
+        ("smoke", lambda v: isinstance(v, bool), "bool"),
+        # Every incremental run's per-commit diffs and final instance
+        # equal the from-scratch replay's.
+        ("bit_identical", lambda v: v is True, "true"),
+        # Every measured config >= 3x over from-scratch; "skipped" only
+        # in smoke mode. A failed gate exits non-zero before any JSON is
+        # written, so "failed" never appears.
+        ("gate", lambda v: v in ("passed", "skipped"),
+         '"passed" or "skipped"'),
+        ("cases", lambda v: isinstance(v, list) and v, "non-empty array"),
+    ])
+    for i, case in enumerate(doc.get("cases") or []):
+        where = f"$.cases[{i}]"
+        _check_keys(errors, where, case, [
+            ("name", lambda v: isinstance(v, str) and v, "non-empty string"),
+            ("rules", _is_int, "integer"),
+            ("configs", lambda v: isinstance(v, list) and v,
+             "non-empty array"),
+        ])
+        if not isinstance(case, dict):
+            continue
+        for j, config in enumerate(case.get("configs") or []):
+            _check_keys(errors, f"{where}.configs[{j}]", config,
+                        INCREMENTAL_CONFIG_SPEC)
+
+
 CHECKERS = {
     "park-stats-v1": check_park_stats,
     "park-bench-parallel-v1": check_bench_parallel,
@@ -397,6 +456,7 @@ CHECKERS = {
     "park-bench-columnar-v1": check_bench_columnar,
     "park-bench-scheduler-v1": check_bench_scheduler,
     "park-bench-serving-v1": check_bench_serving,
+    "park-bench-incremental-v1": check_bench_incremental,
 }
 
 
